@@ -1,0 +1,70 @@
+//! Ablation benchmarks: wall-clock cost of one CLITE run under each design
+//! variant (kernel family, acquisition function, dropout). Complements the
+//! quality-focused `experiments ablations` report with the time dimension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clite::config::CliteConfig;
+use clite::controller::CliteController;
+use clite_bench::mixes::fig15b_mix;
+use clite_bo::acquisition::Acquisition;
+use clite_bo::engine::BoConfig;
+use clite_gp::kernel::KernelFamily;
+
+fn run_with(config: CliteConfig, seed: u64) -> f64 {
+    let mut server = fig15b_mix().server(seed);
+    CliteController::new(config.with_seed(seed))
+        .run(&mut server)
+        .expect("run succeeds")
+        .best_score
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clite_run");
+    g.sample_size(10);
+
+    g.bench_function("kernel_matern52", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_with(CliteConfig::default(), seed)
+        })
+    });
+    g.bench_function("kernel_sqexp", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_with(
+                CliteConfig::default().with_bo(BoConfig {
+                    kernel_family: KernelFamily::SquaredExponential,
+                    ..BoConfig::default()
+                }),
+                seed,
+            )
+        })
+    });
+    g.bench_function("acquisition_pi", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_with(
+                CliteConfig::default().with_bo(BoConfig {
+                    acquisition: Acquisition::ProbabilityOfImprovement { zeta: 0.01 },
+                    ..BoConfig::default()
+                }),
+                seed,
+            )
+        })
+    });
+    g.bench_function("no_dropout", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_with(CliteConfig::default().without_dropout(), seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Per-figure benchmark targets: each measures the cost of one
+//! representative cell/run of a paper experiment, so the full
+//! `experiments` sweep time is predictable (`cells × cell cost`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clite_bench::experiments::{fig01, fig06, tables};
+use clite_bench::mixes::{fig12_mix, fig15b_mix, fig7_mix};
+use clite_bench::runner::{run_policy, PolicyKind};
+use clite_bench::ExpOptions;
+
+fn bench_policy_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_cell");
+    g.sample_size(10);
+    g.bench_function("fig7_cell_clite", |b| {
+        let mix = fig7_mix(0.3, 0.3, 0.3);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_policy(PolicyKind::Clite, &mix, seed)
+        })
+    });
+    g.bench_function("fig7_cell_parties", |b| {
+        let mix = fig7_mix(0.3, 0.3, 0.3);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_policy(PolicyKind::Parties, &mix, seed)
+        })
+    });
+    g.bench_function("fig12_cell_oracle", |b| {
+        let mix = fig12_mix(0.5, 0.5);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_policy(PolicyKind::Oracle, &mix, seed)
+        })
+    });
+    g.bench_function("fig15b_run_clite", |b| {
+        let mix = fig15b_mix();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_policy(PolicyKind::Clite, &mix, seed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cheap_figures(c: &mut Criterion) {
+    let opts = ExpOptions::default();
+    c.bench_function("fig1_full", |b| b.iter(|| fig01::run(&opts)));
+    c.bench_function("fig6_full", |b| b.iter(|| fig06::run(&opts)));
+    c.bench_function("tables_full", |b| {
+        b.iter(|| (tables::table1(&opts), tables::table2(&opts), tables::table3(&opts)))
+    });
+}
+
+criterion_group!(benches, bench_policy_cells, bench_cheap_figures);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks for the building blocks on CLITE's critical path: the
+//! per-iteration cost the paper reports as "less than 100 ms in most
+//! cases" decomposes into GP fitting/prediction, acquisition evaluation,
+//! acquisition maximization, score computation, and partition enforcement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use clite::score::score_value;
+use clite_bo::acquisition::Acquisition;
+use clite_bo::optimizer::{maximize_acquisition, OptimizerConfig};
+use clite_bo::space::SearchSpace;
+use clite_gp::gp::{GaussianProcess, GpConfig};
+use clite_gp::kernel::Kernel;
+use clite_sim::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn training_data(n: usize, jobs: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let space = SearchSpace::new(ResourceCatalog::testbed(), jobs).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| space.encode(&space.random(&mut rng))).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() / x.len() as f64).collect();
+    (xs, ys)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let (xs, ys) = training_data(30, 4);
+    let dims = xs[0].len(); // 4 jobs x NUM_RESOURCES
+    c.bench_function("gp_fit_n30", |b| {
+        b.iter(|| {
+            GaussianProcess::fit(
+                Kernel::matern52(0.04, 0.3),
+                GpConfig::default(),
+                black_box(xs.clone()),
+                black_box(ys.clone()),
+            )
+            .unwrap()
+        })
+    });
+    let gp = GaussianProcess::fit(Kernel::matern52(0.04, 0.3), GpConfig::default(), xs, ys)
+        .unwrap();
+    let query = vec![0.3; dims];
+    c.bench_function("gp_predict_n30", |b| {
+        b.iter(|| gp.predict(black_box(&query)))
+    });
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let acq = Acquisition::paper_default();
+    c.bench_function("ei_eval", |b| {
+        b.iter(|| acq.score(black_box(0.6), black_box(0.1), black_box(0.7)))
+    });
+
+    let (xs, ys) = training_data(30, 3);
+    let gp = GaussianProcess::fit(Kernel::matern52(0.04, 0.3), GpConfig::default(), xs, ys)
+        .unwrap();
+    let space = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
+    c.bench_function("acquisition_maximize_3jobs", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| {
+                maximize_acquisition(
+                    &space,
+                    OptimizerConfig::default(),
+                    |p| {
+                        let (m, s) = gp.predict_std(&space.encode(p));
+                        acq.score(m, s, 0.7)
+                    },
+                    &[space.equal_share()],
+                    None,
+                    &HashSet::new(),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let jobs = vec![
+        JobSpec::latency_critical(WorkloadId::Memcached, 0.3),
+        JobSpec::latency_critical(WorkloadId::ImgDnn, 0.3),
+        JobSpec::background(WorkloadId::Streamcluster),
+    ];
+    let mut server = Server::new(ResourceCatalog::testbed(), jobs, 1).unwrap();
+    let p = Partition::equal_share(server.catalog(), 3).unwrap();
+    c.bench_function("server_observe_3jobs", |b| b.iter(|| server.observe(black_box(&p))));
+
+    let obs = server.observe(&p);
+    c.bench_function("score_eq3", |b| b.iter(|| score_value(black_box(&obs))));
+
+    c.bench_function("partition_neighbors_3jobs", |b| b.iter(|| black_box(&p).neighbors(None)));
+}
+
+criterion_group!(benches, bench_gp, bench_acquisition, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! `colocate` — the operator-facing CLI: run a co-location policy on an
+//! ad-hoc job mix, sweep one job's load, or inspect QoS targets.
+//!
+//! ```text
+//! colocate run memcached:40 img-dnn:30 streamcluster
+//! colocate run --policy PARTIES memcached:40 img-dnn:30 streamcluster
+//! colocate sweep --sweep memcached:10 masstree:30 img-dnn:30
+//! colocate qos
+//! ```
+
+use std::process::ExitCode;
+
+use clite_bench::cli::{parse, usage, Command};
+use clite_bench::mixes::Mix;
+use clite_bench::render::{pct, Table};
+use clite_bench::runner::{final_eval, run_policy};
+use clite_sim::prelude::*;
+use clite_sim::resource::ResourceKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        Command::Help => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Command::Qos { workloads } => {
+            let catalog = ResourceCatalog::testbed();
+            let list = if workloads.is_empty() {
+                WorkloadId::LATENCY_CRITICAL.to_vec()
+            } else {
+                workloads
+            };
+            let mut t = Table::new(vec![
+                "workload",
+                "class",
+                "QoS target (us)",
+                "max load (QPS)",
+                "unloaded p95 (us)",
+            ]);
+            for w in list {
+                match w.class() {
+                    JobClass::LatencyCritical => {
+                        let q = QosSpec::derive(w, &catalog);
+                        t.row(vec![
+                            w.name().to_owned(),
+                            "LC".to_owned(),
+                            format!("{:.0}", q.target_us),
+                            format!("{:.0}", q.max_qps),
+                            format!("{:.0}", q.unloaded_p95_us),
+                        ]);
+                    }
+                    JobClass::Background => {
+                        t.row(vec![
+                            w.name().to_owned(),
+                            "BG".to_owned(),
+                            "-".to_owned(),
+                            "-".to_owned(),
+                            "-".to_owned(),
+                        ]);
+                    }
+                }
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        Command::Run { policy, seed, jobs } => {
+            let mix = mix_from(jobs);
+            println!("mix: {}  policy: {}  seed: {seed}\n", mix.name, policy.name());
+            let outcome = run_policy(policy, &mix, seed);
+            let obs = final_eval(&mix, &outcome, seed);
+            println!(
+                "samples: {}   score: {:.4}   QoS: {}\n",
+                outcome.samples_used(),
+                outcome.best_score,
+                if obs.all_qos_met() { "met" } else { "VIOLATED" }
+            );
+            let mut t = Table::new(vec![
+                "job", "class", "cores", "L3 ways", "mem b/w", "mem cap", "disk b/w", "outcome",
+            ]);
+            for (j, job) in obs.jobs.iter().enumerate() {
+                let p = &outcome.best_partition;
+                let outcome_cell = match job.qos_met {
+                    Some(true) => format!(
+                        "p95 {:.0}us <= {:.0}us",
+                        job.latency_p95_us,
+                        job.qos_target_us.unwrap_or(f64::NAN)
+                    ),
+                    Some(false) => format!(
+                        "p95 {:.0}us > {:.0}us",
+                        job.latency_p95_us,
+                        job.qos_target_us.unwrap_or(f64::NAN)
+                    ),
+                    None => format!("throughput {}", pct(job.normalized_perf)),
+                };
+                t.row(vec![
+                    job.workload.name().to_owned(),
+                    job.class.to_string(),
+                    p.units(j, ResourceKind::Cores).to_string(),
+                    p.units(j, ResourceKind::LlcWays).to_string(),
+                    p.units(j, ResourceKind::MemBandwidth).to_string(),
+                    p.units(j, ResourceKind::MemCapacity).to_string(),
+                    p.units(j, ResourceKind::DiskBandwidth).to_string(),
+                    outcome_cell,
+                ]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        Command::Sweep { policy, seed, swept, fixed } => {
+            let mut t = Table::new(vec!["swept load", "QoS", "score", "samples", "BG perf"]);
+            for step in 1..=9 {
+                let load = f64::from(step) / 10.0;
+                let mut jobs = vec![JobSpec::latency_critical(swept.workload, load)];
+                jobs.extend(fixed.iter().cloned());
+                let mix = mix_from(jobs);
+                let outcome = run_policy(policy, &mix, seed.wrapping_add(step as u64));
+                let obs = final_eval(&mix, &outcome, seed.wrapping_add(step as u64));
+                t.row(vec![
+                    pct(load),
+                    if obs.all_qos_met() { "met".to_owned() } else { "X".to_owned() },
+                    format!("{:.4}", outcome.best_score),
+                    outcome.samples_used().to_string(),
+                    obs.mean_bg_perf().map_or("-".to_owned(), pct),
+                ]);
+            }
+            println!(
+                "sweeping {} with {} fixed jobs, policy {}\n\n{}",
+                swept.workload.name(),
+                fixed.len(),
+                policy.name(),
+                t.render()
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn mix_from(jobs: Vec<JobSpec>) -> Mix {
+    let lc: Vec<(WorkloadId, f64)> = jobs
+        .iter()
+        .filter(|j| j.class() == JobClass::LatencyCritical)
+        .map(|j| (j.workload, j.load.at(0.0)))
+        .collect();
+    let bg: Vec<WorkloadId> = jobs
+        .iter()
+        .filter(|j| j.class() == JobClass::Background)
+        .map(|j| j.workload)
+        .collect();
+    Mix::new(&lc, &bg)
+}

@@ -1,0 +1,104 @@
+//! The experiment driver: regenerates every table and figure of the CLITE
+//! paper's evaluation on the simulator substrate.
+//!
+//! ```text
+//! experiments all                 # everything, quick grids
+//! experiments fig7 fig12          # selected experiments
+//! experiments all --full          # paper-sized grids (slower)
+//! experiments all --seed 7        # re-seed every stochastic component
+//! experiments --list              # list experiment ids
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use clite_bench::experiments::{registry, run_by_id};
+use clite_bench::export::save_reports;
+use clite_bench::ExpOptions;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOptions::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut save_dir: Option<std::path::PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => opts.quick = false,
+            "--quick" => opts.quick = true,
+            "--list" => list = true,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--save" => match it.next() {
+                Some(d) => save_dir = Some(std::path::PathBuf::from(d)),
+                None => {
+                    eprintln!("--save requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+
+    if list {
+        for (id, _) in registry() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if ids.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = registry().into_iter().map(|(id, _)| id.to_owned()).collect();
+    }
+
+    let mut reports = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        match run_by_id(id, &opts) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{id} took {:.1?}]", start.elapsed());
+                reports.push(report);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (use --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = save_dir {
+        if let Err(e) = save_reports(&dir, &reports) {
+            eprintln!("failed to save reports to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[saved {} reports to {}]", reports.len(), dir.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments <id>... | all [--full] [--seed N] [--save DIR] [--list]\n\
+         ids: table1 table2 table3 fig1 fig2 fig6 fig7 fig8 fig9a fig9b fig10\n\
+         \x20     fig11 fig12 fig13 fig14 fig15a fig15b fig16 summary ablations"
+    );
+}

@@ -1,0 +1,289 @@
+//! Argument parsing for the `colocate` CLI (hand-rolled; the workspace
+//! stays dependency-light).
+//!
+//! Grammar:
+//!
+//! ```text
+//! colocate run   [--policy NAME] [--seed N] JOB...
+//! colocate sweep [--policy NAME] [--seed N] --sweep JOB JOB...
+//! colocate qos   [WORKLOAD...]
+//! JOB := <workload>[:<load-percent>]       e.g. memcached:40, blackscholes
+//! ```
+//!
+//! A job with a load is latency-critical; one without is background.
+
+use clite_sim::prelude::*;
+
+use crate::runner::PolicyKind;
+
+/// A parsed `colocate` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one policy on one mix.
+    Run {
+        /// Policy to run.
+        policy: PolicyKind,
+        /// RNG seed.
+        seed: u64,
+        /// The co-located jobs.
+        jobs: Vec<JobSpec>,
+    },
+    /// Sweep one job's load from 10% to 90% against a fixed rest-of-mix.
+    Sweep {
+        /// Policy to run.
+        policy: PolicyKind,
+        /// RNG seed.
+        seed: u64,
+        /// The swept job (its parsed load is ignored).
+        swept: JobSpec,
+        /// The fixed jobs.
+        fixed: Vec<JobSpec>,
+    },
+    /// Print QoS targets for LC workloads (all of them if none named).
+    Qos {
+        /// Workloads to describe.
+        workloads: Vec<WorkloadId>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one `workload[:load%]` job token.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unknown workloads, malformed loads, loads
+/// outside (0, 100], or an LC workload without a load / BG workload with
+/// one.
+pub fn parse_job(token: &str) -> Result<JobSpec, ParseError> {
+    let (name, load) = match token.split_once(':') {
+        Some((n, l)) => {
+            let pct: f64 = l
+                .parse()
+                .map_err(|_| ParseError(format!("bad load '{l}' in '{token}'")))?;
+            if !(pct > 0.0 && pct <= 100.0) {
+                return Err(ParseError(format!("load {pct}% outside (0, 100] in '{token}'")));
+            }
+            (n, Some(pct / 100.0))
+        }
+        None => (token, None),
+    };
+    let workload = WorkloadId::from_name(name)
+        .ok_or_else(|| ParseError(format!("unknown workload '{name}'")))?;
+    match (workload.class(), load) {
+        (JobClass::LatencyCritical, Some(l)) => Ok(JobSpec::latency_critical(workload, l)),
+        (JobClass::LatencyCritical, None) => Err(ParseError(format!(
+            "latency-critical workload '{name}' needs a load, e.g. '{name}:40'"
+        ))),
+        (JobClass::Background, None) => Ok(JobSpec::background(workload)),
+        (JobClass::Background, Some(_)) => Err(ParseError(format!(
+            "background workload '{name}' takes no load"
+        ))),
+    }
+}
+
+/// Parses a policy name (paper spelling, case-insensitive).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unknown policies.
+pub fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ParseError(format!(
+                "unknown policy '{name}' (expected one of: {})",
+                PolicyKind::ALL.map(|k| k.name()).join(", ")
+            ))
+        })
+}
+
+/// Parses the full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any malformed input.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().peekable();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "qos" => {
+            let mut workloads = Vec::new();
+            for tok in it {
+                let w = WorkloadId::from_name(tok)
+                    .ok_or_else(|| ParseError(format!("unknown workload '{tok}'")))?;
+                workloads.push(w);
+            }
+            Ok(Command::Qos { workloads })
+        }
+        "run" | "sweep" => {
+            let mut policy = PolicyKind::Clite;
+            let mut seed = 42u64;
+            let mut jobs: Vec<JobSpec> = Vec::new();
+            let mut swept: Option<JobSpec> = None;
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--policy" => {
+                        let v = it.next().ok_or_else(|| {
+                            ParseError("--policy requires a value".into())
+                        })?;
+                        policy = parse_policy(v)?;
+                    }
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--seed requires a value".into()))?;
+                        seed = v
+                            .parse()
+                            .map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                    }
+                    "--sweep" => {
+                        let v = it.next().ok_or_else(|| {
+                            ParseError("--sweep requires a job token".into())
+                        })?;
+                        swept = Some(parse_job(v)?);
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(ParseError(format!("unknown flag '{other}'")));
+                    }
+                    other => jobs.push(parse_job(other)?),
+                }
+            }
+            if sub == "run" {
+                if jobs.is_empty() {
+                    return Err(ParseError("run needs at least one job".into()));
+                }
+                Ok(Command::Run { policy, seed, jobs })
+            } else {
+                let swept = swept.ok_or_else(|| {
+                    ParseError("sweep needs --sweep <workload>:<load>".into())
+                })?;
+                Ok(Command::Sweep { policy, seed, swept, fixed: jobs })
+            }
+        }
+        other => Err(ParseError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+/// The usage text printed by `colocate help`.
+#[must_use]
+pub fn usage() -> &'static str {
+    "colocate — co-locate jobs on a simulated server with a scheduling policy
+
+USAGE:
+  colocate run   [--policy NAME] [--seed N] JOB...
+  colocate sweep [--policy NAME] [--seed N] --sweep JOB JOB...
+  colocate qos   [WORKLOAD...]
+
+JOB:
+  <workload>:<load-percent>   latency-critical, e.g. memcached:40
+  <workload>                  background, e.g. blackscholes
+
+POLICIES:
+  Heracles, PARTIES, RAND+, GENETIC, CLITE (default), ORACLE
+
+EXAMPLES:
+  colocate run memcached:40 img-dnn:30 streamcluster
+  colocate run --policy PARTIES memcached:40 img-dnn:30 streamcluster
+  colocate sweep --sweep memcached:0 masstree:30 img-dnn:30
+  colocate qos memcached xapian"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_lc_and_bg_jobs() {
+        let lc = parse_job("memcached:40").unwrap();
+        assert_eq!(lc.workload, WorkloadId::Memcached);
+        assert!((lc.load.at(0.0) - 0.4).abs() < 1e-12);
+        let bg = parse_job("blackscholes").unwrap();
+        assert_eq!(bg.class(), JobClass::Background);
+    }
+
+    #[test]
+    fn rejects_malformed_jobs() {
+        assert!(parse_job("nginx:40").is_err());
+        assert!(parse_job("memcached").is_err(), "LC without load");
+        assert!(parse_job("blackscholes:40").is_err(), "BG with load");
+        assert!(parse_job("memcached:0").is_err());
+        assert!(parse_job("memcached:140").is_err());
+        assert!(parse_job("memcached:abc").is_err());
+    }
+
+    #[test]
+    fn parses_policies_case_insensitively() {
+        assert_eq!(parse_policy("clite").unwrap(), PolicyKind::Clite);
+        assert_eq!(parse_policy("PARTIES").unwrap(), PolicyKind::Parties);
+        assert_eq!(parse_policy("rand+").unwrap(), PolicyKind::RandomPlus);
+        assert!(parse_policy("sgd").is_err());
+    }
+
+    #[test]
+    fn parses_run_command() {
+        let cmd = parse(&v(&["run", "--policy", "PARTIES", "--seed", "7", "memcached:40",
+            "swaptions"]))
+        .unwrap();
+        match cmd {
+            Command::Run { policy, seed, jobs } => {
+                assert_eq!(policy, PolicyKind::Parties);
+                assert_eq!(seed, 7);
+                assert_eq!(jobs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_command() {
+        let cmd =
+            parse(&v(&["sweep", "--sweep", "memcached:10", "masstree:30", "img-dnn:30"])).unwrap();
+        match cmd {
+            Command::Sweep { swept, fixed, .. } => {
+                assert_eq!(swept.workload, WorkloadId::Memcached);
+                assert_eq!(fixed.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&v(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run"])).is_err(), "run without jobs");
+        assert!(parse(&v(&["sweep", "masstree:30"])).is_err(), "sweep without --sweep");
+    }
+
+    #[test]
+    fn qos_command_accepts_names() {
+        match parse(&v(&["qos", "memcached", "xapian"])).unwrap() {
+            Command::Qos { workloads } => assert_eq!(workloads.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["qos", "nginx"])).is_err());
+    }
+}

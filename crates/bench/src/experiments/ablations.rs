@@ -1,0 +1,159 @@
+//! Ablations of CLITE's design choices (paper Sec. 3.3–4).
+//!
+//! The paper argues each component earns its keep: the Matérn kernel (no
+//! strong smoothness assumption), EI with ζ (cheap, balanced), informed
+//! bootstrapping (extrema + equal split), dropout-copy (dimensionality),
+//! and the scaled EI termination. Each ablation swaps exactly one choice
+//! and reports the score achieved and samples spent on a standard
+//! 3 LC + 1 BG mix.
+
+use clite::config::CliteConfig;
+use clite::controller::CliteController;
+use clite_bo::acquisition::Acquisition;
+use clite_bo::engine::BoConfig;
+use clite_bo::termination::Termination;
+use clite_gp::kernel::KernelFamily;
+use clite_gp::stats::mean;
+
+use crate::mixes::fig15b_mix;
+use crate::render::Table;
+use crate::{ExpOptions, Report};
+
+/// One ablation variant.
+struct Variant {
+    name: &'static str,
+    config: CliteConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = CliteConfig::default();
+    let with_kernel = |family: KernelFamily| {
+        base.clone().with_bo(BoConfig { kernel_family: family, ..BoConfig::default() })
+    };
+    let with_acq = |acq: Acquisition| {
+        base.clone().with_bo(BoConfig { acquisition: acq, ..BoConfig::default() })
+    };
+    vec![
+        Variant { name: "CLITE (paper defaults)", config: base.clone() },
+        Variant { name: "kernel: Matern 3/2", config: with_kernel(KernelFamily::Matern32) },
+        Variant {
+            name: "kernel: squared-exponential",
+            config: with_kernel(KernelFamily::SquaredExponential),
+        },
+        Variant {
+            name: "acquisition: PI",
+            config: with_acq(Acquisition::ProbabilityOfImprovement { zeta: 0.01 }),
+        },
+        Variant {
+            name: "acquisition: UCB (beta=2)",
+            config: with_acq(Acquisition::UpperConfidenceBound { beta: 2.0 }),
+        },
+        Variant {
+            name: "zeta = 0 (pure exploitation)",
+            config: with_acq(Acquisition::ExpectedImprovement { zeta: 0.0 }),
+        },
+        Variant {
+            name: "zeta = 0.1 (heavy exploration)",
+            config: with_acq(Acquisition::ExpectedImprovement { zeta: 0.1 }),
+        },
+        Variant { name: "no dropout-copy", config: base.clone().without_dropout() },
+        Variant {
+            name: "loose termination (0.5%)",
+            config: base.clone().with_termination(Termination {
+                ei_threshold: 0.005,
+                ..Termination::default()
+            }),
+        },
+        Variant {
+            name: "tight termination (15%)",
+            config: base.with_termination(Termination {
+                ei_threshold: 0.15,
+                ..Termination::default()
+            }),
+        },
+    ]
+}
+
+/// Runs the ablation suite.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let repeats = if opts.quick { 2 } else { 4 };
+    let mix = fig15b_mix();
+    let mut t = Table::new(vec!["Variant", "mean best score", "mean samples", "QoS met"]);
+    for v in variants() {
+        let mut scores = Vec::new();
+        let mut samples = Vec::new();
+        let mut met = 0usize;
+        for r in 0..repeats {
+            let seed = opts.seed.wrapping_add(31 * r as u64);
+            let mut server = mix.server(seed);
+            let controller = CliteController::new(v.config.clone().with_seed(seed));
+            let outcome = controller.run(&mut server).expect("ablation run succeeds");
+            scores.push(outcome.best_score);
+            samples.push(outcome.samples_used() as f64);
+            if outcome.qos_met() {
+                met += 1;
+            }
+        }
+        t.row(vec![
+            v.name.to_owned(),
+            format!("{:.4}", mean(&scores)),
+            format!("{:.1}", mean(&samples)),
+            format!("{met}/{repeats}"),
+        ]);
+    }
+    let mut body = format!("mix: {} ({repeats} repeats each)\n\n", mix.name);
+    body.push_str(&t.render());
+
+    // Simulator-model sensitivity: the same controller under different
+    // queueing models / QoS quantiles (targets are re-derived per model,
+    // so every row is a self-consistent world).
+    use clite_sim::queueing::{TailConfig, TailModel};
+    let mut t2 = Table::new(vec!["latency model", "mean best score", "QoS met"]);
+    for (name, tail) in [
+        ("processor-sharing p95 (default)", TailConfig::default()),
+        (
+            "processor-sharing p99",
+            TailConfig { model: TailModel::ProcessorSharing, quantile: 0.99 },
+        ),
+        ("Erlang-C p95", TailConfig { model: TailModel::ErlangC, quantile: 0.95 }),
+    ] {
+        let mut scores = Vec::new();
+        let mut met = 0usize;
+        for r in 0..repeats {
+            let seed = opts.seed.wrapping_add(77 * r as u64);
+            let mut server = mix.server(seed);
+            server.set_tail(tail);
+            let outcome = CliteController::new(CliteConfig::default().with_seed(seed))
+                .run(&mut server)
+                .expect("ablation run succeeds");
+            scores.push(outcome.best_score);
+            if outcome.qos_met() {
+                met += 1;
+            }
+        }
+        t2.row(vec![
+            name.to_owned(),
+            format!("{:.4}", mean(&scores)),
+            format!("{met}/{repeats}"),
+        ]);
+    }
+    body.push_str("\nsimulator latency-model sensitivity:\n");
+    body.push_str(&t2.render());
+    Report { id: "ablations", title: "CLITE design-choice ablations".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_list_covers_all_design_axes() {
+        let names: Vec<&str> = variants().iter().map(|v| v.name).collect();
+        assert!(names.iter().any(|n| n.contains("Matern 3/2")));
+        assert!(names.iter().any(|n| n.contains("PI")));
+        assert!(names.iter().any(|n| n.contains("dropout")));
+        assert!(names.iter().any(|n| n.contains("termination")));
+        assert!(names.iter().any(|n| n.contains("zeta")));
+    }
+}

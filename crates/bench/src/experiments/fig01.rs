@@ -1,0 +1,86 @@
+//! Fig. 1: QoS-safe regions for three LC jobs over two resources.
+//!
+//! The paper's motivating figure: multiple (cores, LLC-ways) allocations
+//! meet a job's QoS, and the share of one resource required depends on the
+//! share of the other — the *resource equivalence class* property. We plot
+//! the QoS-safe region of each workload at 50% load with the remaining
+//! resources held at half, directly from the performance model.
+
+use clite_sim::alloc::JobAllocation;
+use clite_sim::perf::{capacity_qps, query_time_us};
+use clite_sim::queueing::{p95_latency_us, QosSpec};
+use clite_sim::resource::ResourceCatalog;
+use clite_sim::workload::WorkloadId;
+
+use crate::render::region;
+use crate::{ExpOptions, Report};
+
+/// Whether `workload` at `load` meets QoS with `cores` cores and `ways`
+/// LLC ways (other resources at half the machine).
+#[must_use]
+pub fn qos_safe(workload: WorkloadId, load: f64, cores: u32, ways: u32) -> bool {
+    let catalog = ResourceCatalog::testbed();
+    let spec = QosSpec::derive(workload, &catalog);
+    let profile = workload.profile();
+    let alloc = JobAllocation::from_units([cores, ways, 5, 5, 5, 5]);
+    let t = query_time_us(&profile, &alloc, &catalog);
+    let p95 = p95_latency_us(spec.qps_at_load(load), capacity_qps(t, cores), t);
+    spec.met_by(p95)
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(_opts: &ExpOptions) -> Report {
+    let catalog = ResourceCatalog::testbed();
+    let mut body = String::new();
+    for w in [WorkloadId::ImgDnn, WorkloadId::Specjbb, WorkloadId::Memcached] {
+        let max_ways = catalog.all_units()[1];
+        let max_cores = catalog.all_units()[0];
+        // Rows: ways from max down to 1; cols: cores from 1 to max.
+        let grid: Vec<Vec<bool>> = (1..=max_ways)
+            .rev()
+            .map(|ways| (1..=max_cores).map(|cores| qos_safe(w, 0.5, cores, ways)).collect())
+            .collect();
+        body.push_str(&format!("\n{} @ 50% load (# = QoS met):\n", w.name()));
+        body.push_str(&region("cores", "LLC ways", &grid));
+    }
+    body.push_str(
+        "\nReading: several (cores, ways) combinations along the region frontier are\n\
+         interchangeable for QoS — the resource equivalence class property.\n",
+    );
+    Report { id: "fig1", title: "QoS-safe regions for three LC jobs".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_monotone_in_resources() {
+        // More cores (ways fixed) can never break a safe configuration.
+        for w in [WorkloadId::ImgDnn, WorkloadId::Specjbb, WorkloadId::Memcached] {
+            for ways in [2, 6, 10] {
+                let mut was_safe = false;
+                for cores in 1..=10 {
+                    let safe = qos_safe(w, 0.5, cores, ways);
+                    if was_safe {
+                        assert!(safe, "{w} lost QoS when gaining cores ({cores}, {ways})");
+                    }
+                    was_safe = safe;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_class_exists() {
+        // img-dnn: a ways-heavy and a cores-heavy configuration both safe,
+        // while the starved corner is not.
+        assert!(!qos_safe(WorkloadId::ImgDnn, 0.5, 1, 1));
+        let frontier: Vec<(u32, u32)> = (1..=10)
+            .flat_map(|c| (1..=11).map(move |w| (c, w)))
+            .filter(|&(c, w)| qos_safe(WorkloadId::ImgDnn, 0.5, c, w))
+            .collect();
+        assert!(frontier.len() >= 2, "multiple configurations must meet QoS");
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 2: why one-dimension-at-a-time (coordinate-descent) search fails.
+//!
+//! The paper's second motivating figure shows three two-job scenarios of
+//! increasing difficulty: (a) equal division works, (b) success depends on
+//! the starting point, (c) the overlap region is so skewed that exploring
+//! one dimension at a time from any natural start never finds it. We
+//! reproduce the *operational* content of the figure by running PARTIES
+//! (coordinate descent) and CLITE (joint multi-dimensional search) on
+//! three concrete two-LC-job settings of increasing tightness and
+//! reporting who co-locates what.
+
+use crate::mixes::Mix;
+use crate::render::Table;
+use crate::runner::{run_policy, PolicyKind};
+use crate::{ExpOptions, Report};
+use clite_sim::workload::WorkloadId;
+
+/// The three scenarios: progressively tighter two-LC-job co-locations.
+#[must_use]
+pub fn scenarios() -> Vec<(&'static str, Mix)> {
+    vec![
+        (
+            "(a) loose: both jobs at 20%",
+            Mix::new(&[(WorkloadId::Memcached, 0.2), (WorkloadId::ImgDnn, 0.2)], &[]),
+        ),
+        (
+            "(b) asymmetric: masstree 80% + img-dnn 30%",
+            Mix::new(&[(WorkloadId::Masstree, 0.8), (WorkloadId::ImgDnn, 0.3)], &[]),
+        ),
+        (
+            "(c) tight: masstree 80% + img-dnn 70%",
+            Mix::new(&[(WorkloadId::Masstree, 0.8), (WorkloadId::ImgDnn, 0.7)], &[]),
+        ),
+    ]
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut t = Table::new(vec!["Scenario", "PARTIES", "CLITE", "ORACLE"]);
+    for (name, mix) in scenarios() {
+        let mut cells = vec![name.to_owned()];
+        for kind in [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle] {
+            let outcome = run_policy(kind, &mix, opts.seed);
+            cells.push(if outcome.qos_met { "QoS met".into() } else { "failed".to_owned() });
+        }
+        t.row(cells);
+    }
+    let mut body = t.render();
+    body.push_str(
+        "\nReading: coordinate descent handles the loose case; as the feasible\n\
+         region shrinks and skews, one-dimension-at-a-time search becomes\n\
+         start-point dependent and eventually fails where joint exploration\n\
+         still succeeds (paper Fig. 2 (a)-(c)).\n",
+    );
+    Report { id: "fig2", title: "Coordinate descent vs joint search".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_list_is_three_cases() {
+        assert_eq!(scenarios().len(), 3);
+    }
+
+    #[test]
+    fn loose_scenario_easy_for_everyone() {
+        let (_, mix) = &scenarios()[0];
+        let outcome = run_policy(PolicyKind::Parties, mix, 7);
+        assert!(outcome.qos_met, "case (a) must be easy for PARTIES too");
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 6: QPS-vs-p95 isolation curves and the derived QoS targets.
+//!
+//! For every LC workload, sweep the offered load in isolation (whole
+//! machine allocated), print the hockey-stick curve, and report the knee
+//! latency (= QoS target) and knee QPS (= maximum load), exactly the
+//! methodology the paper uses to set up its evaluation.
+
+use clite_sim::prelude::*;
+use clite_sim::queueing::isolation_sweep;
+
+use crate::render::Table;
+use crate::{ExpOptions, Report};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let catalog = ResourceCatalog::testbed();
+    let points = if opts.quick { 10 } else { 20 };
+    let mut body = String::new();
+
+    let mut summary = Table::new(vec![
+        "Workload",
+        "Unloaded p95 (us)",
+        "QoS target (us)",
+        "Max load (QPS)",
+    ]);
+    for w in WorkloadId::LATENCY_CRITICAL {
+        let spec = QosSpec::derive(w, &catalog);
+        summary.row(vec![
+            w.name().to_owned(),
+            format!("{:.0}", spec.unloaded_p95_us),
+            format!("{:.0}", spec.target_us),
+            format!("{:.0}", spec.max_qps),
+        ]);
+    }
+    body.push_str(&summary.render());
+
+    for w in WorkloadId::LATENCY_CRITICAL {
+        let profile = w.profile();
+        let sweep = isolation_sweep(&profile, &catalog, points, 0.95);
+        body.push_str(&format!("\n{} isolation curve:\n", w.name()));
+        let mut t = Table::new(vec!["QPS", "p95 (us)"]);
+        for p in sweep {
+            t.row(vec![format!("{:.0}", p.qps), format!("{:.0}", p.p95_us)]);
+        }
+        body.push_str(&t.render());
+    }
+    Report {
+        id: "fig6",
+        title: "QPS vs 95th-percentile latency in isolation; knee = QoS target".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_lc_workloads() {
+        let r = run(&ExpOptions::default());
+        for w in WorkloadId::LATENCY_CRITICAL {
+            assert!(r.body.contains(w.name()));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 7: maximum supported memcached load when co-located with masstree
+//! and img-dnn (no BG job), per policy.
+//!
+//! For every (masstree load, img-dnn load) grid cell, find the highest
+//! memcached load at which the policy meets *all three* QoS targets; `X`
+//! marks cells where no load works. The paper's headline observations to
+//! reproduce: Heracles cannot co-locate memcached at all; CLITE matches or
+//! beats PARTIES everywhere; ORACLE bounds everyone; CLITE tracks ORACLE
+//! except at extreme loads.
+
+use crate::mixes::fig7_mix;
+use crate::render::{heatmap, pct};
+use crate::runner::{load_grid, max_supported_load, PolicyKind};
+use crate::{ExpOptions, Report};
+
+/// The policies Fig. 7 compares.
+pub const POLICIES: [PolicyKind; 4] =
+    [PolicyKind::Heracles, PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
+
+/// Computes the heatmap for one policy. Returned as `grid[imgdnn][masstree]`.
+#[must_use]
+pub fn policy_grid(kind: PolicyKind, loads: &[f64], seed: u64) -> Vec<Vec<Option<f64>>> {
+    loads
+        .iter()
+        .map(|&img| {
+            loads
+                .iter()
+                .map(|&mas| {
+                    max_supported_load(kind, loads, seed, |mem| fig7_mix(mem, mas, img))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let loads = if opts.quick { load_grid(0.4) } else { load_grid(0.2) };
+    let ticks: Vec<String> = loads.iter().map(|&l| pct(l)).collect();
+    let mut body = String::new();
+    body.push_str("value = max memcached load with all QoS met; X = not co-locatable\n");
+    for kind in POLICIES {
+        let grid = policy_grid(kind, &loads, opts.seed);
+        body.push_str(&format!("\n{}:\n", kind.name()));
+        body.push_str(&heatmap("masstree load", "img-dnn", &ticks, &ticks, &grid, pct));
+    }
+    Report {
+        id: "fig7",
+        title: "Co-locating three LC jobs: max supported memcached load".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_dominates_parties_in_easy_corner() {
+        let loads = [0.1, 0.5];
+        let seed = 3;
+        let parties = policy_grid(PolicyKind::Parties, &loads, seed);
+        let oracle = policy_grid(PolicyKind::Oracle, &loads, seed);
+        // Easy corner (10%/10%) must be co-locatable for both.
+        assert!(oracle[0][0].is_some());
+        // ORACLE supports at least what PARTIES supports there.
+        let p = parties[0][0].unwrap_or(0.0);
+        let o = oracle[0][0].unwrap_or(0.0);
+        assert!(o >= p, "oracle {o} vs parties {p}");
+    }
+}

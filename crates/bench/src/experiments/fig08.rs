@@ -1,0 +1,69 @@
+//! Fig. 8: the Fig. 7 sweep with an additional BG job (blackscholes).
+//!
+//! Same metric as Fig. 7 — maximum supported memcached load — with four
+//! co-located jobs. Expected shapes: every policy supports less than in
+//! Fig. 7 (more `X` cells), and CLITE still beats PARTIES by a wide margin
+//! at high loads while feeding the BG job.
+
+use crate::mixes::fig8_mix;
+use crate::render::{heatmap, pct};
+use crate::runner::{load_grid, max_supported_load, PolicyKind};
+use crate::{ExpOptions, Report};
+
+/// The policies Fig. 8 compares.
+pub const POLICIES: [PolicyKind; 3] =
+    [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
+
+/// Computes the heatmap for one policy (`grid[imgdnn][masstree]`).
+#[must_use]
+pub fn policy_grid(kind: PolicyKind, loads: &[f64], seed: u64) -> Vec<Vec<Option<f64>>> {
+    loads
+        .iter()
+        .map(|&img| {
+            loads
+                .iter()
+                .map(|&mas| {
+                    max_supported_load(kind, loads, seed, |mem| fig8_mix(mem, mas, img))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let loads = if opts.quick { load_grid(0.4) } else { load_grid(0.2) };
+    let ticks: Vec<String> = loads.iter().map(|&l| pct(l)).collect();
+    let mut body = String::new();
+    body.push_str(
+        "3 LC jobs + blackscholes (BG); value = max memcached load with all QoS met\n",
+    );
+    for kind in POLICIES {
+        let grid = policy_grid(kind, &loads, opts.seed);
+        body.push_str(&format!("\n{}:\n", kind.name()));
+        body.push_str(&heatmap("masstree load", "img-dnn", &ticks, &ticks, &grid, pct));
+    }
+    Report {
+        id: "fig8",
+        title: "Three LC jobs plus one BG job: max supported memcached load".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bg_job_reduces_headroom_vs_fig7() {
+        // With the BG job present, ORACLE's supported load in the hard
+        // corner can only be <= the Fig. 7 value.
+        let loads = [0.1, 0.9];
+        let with_bg = policy_grid(PolicyKind::Oracle, &loads, 5);
+        let without = crate::experiments::fig07::policy_grid(PolicyKind::Oracle, &loads, 5);
+        let hard_with = with_bg[1][1].unwrap_or(0.0);
+        let hard_without = without[1][1].unwrap_or(0.0);
+        assert!(hard_with <= hard_without + 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 10: mean LC performance normalized to ORACLE as one job's load
+//! sweeps.
+//!
+//! Two 3-LC-job mixes; two jobs held at 10% load, the third swept. The
+//! metric is the mean isolation-relative performance of the three LC jobs
+//! at each policy's chosen configuration, normalized to ORACLE's. Shapes
+//! to reproduce: CLITE in the high 90s% of ORACLE, PARTIES meaningfully
+//! lower (the paper reports 74–85%), RAND+/GENETIC below 80%, and the
+//! CLITE advantage growing with load.
+
+use crate::mixes::{fig10_mix_a, fig10_mix_b, Mix};
+use crate::render::{pct, Table};
+use crate::runner::{run_and_eval, PolicyKind};
+use crate::{ExpOptions, Report};
+
+/// Ground-truth mean LC performance of a policy's chosen partition,
+/// `None` if it does not meet QoS (reported as X in the figure, like the
+/// paper's missing bars).
+fn lc_perf(kind: PolicyKind, mix: &Mix, seed: u64) -> Option<f64> {
+    let (qos_met, _, lc) = run_and_eval(kind, mix, seed);
+    if qos_met {
+        lc
+    } else {
+        None
+    }
+}
+
+/// Runs one mix family over the load sweep.
+fn sweep(make: impl Fn(f64) -> Mix, loads: &[f64], seed: u64) -> Table {
+    let mut t = Table::new(vec!["swept load", "PARTIES", "RAND+", "GENETIC", "CLITE"]);
+    for (i, &load) in loads.iter().enumerate() {
+        let mix = make(load);
+        let oracle = lc_perf(PolicyKind::Oracle, &mix, seed.wrapping_add(i as u64)).unwrap_or(0.0);
+        let mut row = vec![pct(load)];
+        for kind in PolicyKind::ONLINE_COMPARED {
+            let perf = lc_perf(kind, &mix, seed.wrapping_add(i as u64)).unwrap_or(0.0);
+            row.push(if oracle > 0.0 { pct(perf / oracle) } else { "X".into() });
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let loads: Vec<f64> =
+        if opts.quick { vec![0.1, 0.5, 0.9] } else { vec![0.1, 0.3, 0.5, 0.7, 0.9] };
+    let mut body = String::new();
+    body.push_str("mean LC performance as % of ORACLE (X = QoS not met)\n");
+    body.push_str("\nmix A: img-dnn@10% + xapian@10% + memcached@swept:\n");
+    body.push_str(&sweep(fig10_mix_a, &loads, opts.seed).render());
+    body.push_str("\nmix B: specjbb@10% + masstree@10% + xapian@swept:\n");
+    body.push_str(&sweep(fig10_mix_b, &loads, opts.seed ^ 0xB).render());
+    Report {
+        id: "fig10",
+        title: "LC performance normalized to ORACLE vs load".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clite_close_to_oracle_at_moderate_load() {
+        let mix = fig10_mix_a(0.5);
+        let oracle = lc_perf(PolicyKind::Oracle, &mix, 21).unwrap();
+        let clite = lc_perf(PolicyKind::Clite, &mix, 21).unwrap();
+        assert!(
+            clite / oracle > 0.85,
+            "CLITE at {:.1}% of ORACLE ({clite:.3} vs {oracle:.3})",
+            100.0 * clite / oracle
+        );
+    }
+}

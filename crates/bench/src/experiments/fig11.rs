@@ -1,0 +1,93 @@
+//! Fig. 11: run-to-run variability of each policy's chosen configuration.
+//!
+//! The same co-located set is run several times (different seeds for both
+//! the measurement noise and the policy's stochastic choices); the metric
+//! is the standard deviation, as % of the mean, of the mean-LC performance
+//! of the chosen configuration. Shapes to reproduce: CLITE's variability
+//! stays below ~7% while PARTIES / RAND+ / GENETIC often exceed 20% (their
+//! randomness — trial-and-error order, uniform sampling, mutation — is
+//! structural; CLITE's only residue is the probabilistic dropout choice).
+
+use clite_gp::stats::{mean, std_dev};
+
+use crate::mixes::Mix;
+use crate::render::{pct1, Table};
+use crate::runner::{run_policy, PolicyKind};
+use crate::{ExpOptions, Report};
+use clite_sim::workload::WorkloadId;
+
+/// The two job sets the paper uses for the variability study.
+#[must_use]
+pub fn variability_mixes() -> Vec<(&'static str, Mix)> {
+    vec![
+        (
+            "img-dnn+xapian+memcached",
+            Mix::new(
+                &[
+                    (WorkloadId::ImgDnn, 0.3),
+                    (WorkloadId::Xapian, 0.3),
+                    (WorkloadId::Memcached, 0.3),
+                ],
+                &[],
+            ),
+        ),
+        (
+            "specjbb+masstree+xapian",
+            Mix::new(
+                &[
+                    (WorkloadId::Specjbb, 0.3),
+                    (WorkloadId::Masstree, 0.3),
+                    (WorkloadId::Xapian, 0.3),
+                ],
+                &[],
+            ),
+        ),
+    ]
+}
+
+/// Variability (std dev as % of mean) of a policy's best-sample LC
+/// performance across `trials` re-seeded runs.
+#[must_use]
+pub fn variability(kind: PolicyKind, mix: &Mix, trials: usize, seed: u64) -> f64 {
+    let perfs: Vec<f64> = (0..trials)
+        .map(|i| {
+            let outcome = run_policy(kind, mix, seed.wrapping_add(1000 * i as u64 + 1));
+            outcome.best_lc_perf().unwrap_or(0.0)
+        })
+        .collect();
+    let m = mean(&perfs);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(&perfs) / m
+    }
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let trials = if opts.quick { 4 } else { 8 };
+    let mut t = Table::new(vec!["Job set", "PARTIES", "RAND+", "GENETIC", "CLITE"]);
+    for (name, mix) in variability_mixes() {
+        let mut row = vec![name.to_owned()];
+        for kind in PolicyKind::ONLINE_COMPARED {
+            row.push(pct1(variability(kind, &mix, trials, opts.seed)));
+        }
+        t.row(row);
+    }
+    let mut body = format!("std dev as % of mean over {trials} re-seeded runs (lower is better)\n\n");
+    body.push_str(&t.render());
+    Report { id: "fig11", title: "Run-to-run variability of chosen configurations".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clite_variability_is_low() {
+        let (_, mix) = &variability_mixes()[0];
+        let v = variability(PolicyKind::Clite, mix, 3, 31);
+        assert!(v < 0.15, "CLITE variability {v}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 12: BG-job performance heatmap while two LC jobs meet QoS.
+//!
+//! streamcluster co-located with memcached and xapian at a grid of loads;
+//! the value is streamcluster's throughput normalized to isolation, for
+//! configurations where both LC jobs meet QoS (`X` otherwise). Shapes to
+//! reproduce: CLITE within ~5% of ORACLE across most of the grid, PARTIES
+//! clearly darker-to-lighter (worse), all policies degrading as the LC
+//! loads grow.
+
+use crate::mixes::fig12_mix;
+use crate::render::{heatmap, pct};
+use crate::runner::{load_grid, run_and_eval, PolicyKind};
+use crate::{ExpOptions, Report};
+
+/// The policies Fig. 12 compares.
+pub const POLICIES: [PolicyKind; 3] =
+    [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
+
+/// BG performance grid (`grid[memcached][xapian]`); `None` where the
+/// policy could not meet both QoS targets.
+#[must_use]
+pub fn policy_grid(kind: PolicyKind, loads: &[f64], seed: u64) -> Vec<Vec<Option<f64>>> {
+    loads
+        .iter()
+        .enumerate()
+        .map(|(yi, &mem)| {
+            loads
+                .iter()
+                .enumerate()
+                .map(|(xi, &xap)| {
+                    let mix = fig12_mix(mem, xap);
+                    let (qos_met, bg, _) =
+                        run_and_eval(kind, &mix, seed.wrapping_add((yi * 37 + xi) as u64));
+                    if qos_met {
+                        bg
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let loads = if opts.quick { load_grid(0.4) } else { load_grid(0.2) };
+    let ticks: Vec<String> = loads.iter().map(|&l| pct(l)).collect();
+    let mut body = String::new();
+    body.push_str(
+        "streamcluster throughput as % of isolation (memcached+xapian QoS met; X = infeasible)\n",
+    );
+    for kind in POLICIES {
+        let grid = policy_grid(kind, &loads, opts.seed);
+        body.push_str(&format!("\n{}:\n", kind.name()));
+        body.push_str(&heatmap("xapian load", "memcached", &ticks, &ticks, &grid, pct));
+    }
+    Report { id: "fig12", title: "BG performance while meeting 2 LC QoS targets".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bg_perf_degrades_with_load_for_oracle() {
+        let loads = [0.1, 0.9];
+        let grid = policy_grid(PolicyKind::Oracle, &loads, 7);
+        let easy = grid[0][0].expect("10/10 must be feasible");
+        if let Some(hard) = grid[1][1] {
+            assert!(hard <= easy + 1e-9, "more LC load cannot help the BG job");
+        }
+    }
+
+    #[test]
+    fn clite_tracks_oracle_on_easy_cell() {
+        let loads = [0.1];
+        let oracle = policy_grid(PolicyKind::Oracle, &loads, 9)[0][0].unwrap();
+        let clite = policy_grid(PolicyKind::Clite, &loads, 9)[0][0].unwrap();
+        assert!(clite / oracle > 0.8, "CLITE at {:.2} of oracle", clite / oracle);
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 13: BG performance for different BG jobs under 3-LC mixes.
+//!
+//! Every BG workload co-located with each of two 3-LC-job mixes; the value
+//! is the BG job's throughput as % of ORACLE's for the same mix, with 0
+//! where the policy failed to meet the three QoS targets at all. Shapes to
+//! reproduce: CLITE above ~75% of ORACLE on average, every other technique
+//! far lower (the paper reports <30% for the rest), occasional 0s for
+//! PARTIES/RAND+/GENETIC.
+
+use crate::mixes::{fig13_lc_mixes, Mix};
+use crate::render::{pct, Table};
+use crate::runner::{run_and_eval, PolicyKind};
+use crate::{ExpOptions, Report};
+use clite_sim::workload::WorkloadId;
+
+/// Ground-truth BG perf of a policy's chosen partition (absolute,
+/// isolation-relative); `None` when QoS is not met.
+fn bg_perf(kind: PolicyKind, mix: &Mix, seed: u64) -> Option<f64> {
+    let (qos_met, bg, _) = run_and_eval(kind, mix, seed);
+    if qos_met {
+        bg
+    } else {
+        None
+    }
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let bg_set: &[WorkloadId] = if opts.quick {
+        &[WorkloadId::Blackscholes, WorkloadId::Streamcluster, WorkloadId::Canneal]
+    } else {
+        &WorkloadId::BACKGROUND
+    };
+    let mut body = String::new();
+    body.push_str("BG throughput as % of ORACLE (0% = QoS of the 3 LC jobs not met)\n");
+    for (mix_name, lc) in fig13_lc_mixes() {
+        body.push_str(&format!("\nLC mix: {mix_name}\n"));
+        let mut t = Table::new(vec!["BG job", "PARTIES", "RAND+", "GENETIC", "CLITE"]);
+        for (bi, &bg) in bg_set.iter().enumerate() {
+            let mix = Mix::new(&lc, &[bg]);
+            let seed = opts.seed.wrapping_add(100 + bi as u64);
+            // Reference: best known QoS-meeting configuration (ORACLE's
+            // hill climb can be locally suboptimal in 30 dimensions; the
+            // paper's exhaustive ORACLE bounds every policy by definition).
+            let perfs: Vec<f64> = PolicyKind::ONLINE_COMPARED
+                .iter()
+                .map(|&k| bg_perf(k, &mix, seed).unwrap_or(0.0))
+                .collect();
+            let oracle = bg_perf(PolicyKind::Oracle, &mix, seed)
+                .unwrap_or(0.0)
+                .max(perfs.iter().cloned().fold(0.0, f64::max));
+            let mut row = vec![bg.name().to_owned()];
+            for &perf in &perfs {
+                row.push(if oracle > 0.0 { pct(perf / oracle) } else { "X".into() });
+            }
+            t.row(row);
+        }
+        body.push_str(&t.render());
+    }
+    Report { id: "fig13", title: "BG jobs' performance under 3-LC mixes".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clite_feeds_bg_job_on_moderate_mix() {
+        let (_, lc) = &fig13_lc_mixes()[0];
+        let mix = Mix::new(lc, &[WorkloadId::Blackscholes]);
+        let clite = bg_perf(PolicyKind::Clite, &mix, 51);
+        assert!(clite.is_some(), "CLITE must meet the 3 QoS targets");
+        assert!(clite.unwrap() > 0.1);
+    }
+}

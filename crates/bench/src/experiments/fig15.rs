@@ -1,0 +1,115 @@
+//! Fig. 15: overhead and convergence.
+//!
+//! * **(a)** configurations sampled per policy as the number of co-located
+//!   jobs grows. Shapes: RAND+/GENETIC highest (pre-set budgets), PARTIES
+//!   lowest (stops at first QoS-meeting configuration), CLITE slightly
+//!   above PARTIES but under ~30 samples, ORACLE orders of magnitude more
+//!   (offline).
+//! * **(b)** convergence over samples for 3 LC + fluidanimate: both
+//!   policies reach all-QoS-met at similar times, but CLITE keeps
+//!   improving the BG job's throughput afterwards while PARTIES stops at
+//!   a suboptimal value.
+
+use clite_policies::oracle::Oracle;
+
+use crate::mixes::{fig15_mixes, fig15b_mix};
+use crate::render::{pct, Table};
+use crate::runner::{run_policy, PolicyKind};
+use crate::{ExpOptions, Report};
+
+/// Runs Fig. 15a.
+#[must_use]
+pub fn run_a(opts: &ExpOptions) -> Report {
+    let mut t = Table::new(vec![
+        "Mix",
+        "Heracles",
+        "PARTIES",
+        "RAND+",
+        "GENETIC",
+        "CLITE",
+        "ORACLE (offline)",
+    ]);
+    for (mi, mix) in fig15_mixes().into_iter().enumerate() {
+        let seed = opts.seed.wrapping_add(13 * mi as u64);
+        let mut row = vec![mix.name.clone()];
+        for kind in [
+            PolicyKind::Heracles,
+            PolicyKind::Parties,
+            PolicyKind::RandomPlus,
+            PolicyKind::Genetic,
+            PolicyKind::Clite,
+        ] {
+            let outcome = run_policy(kind, &mix, seed);
+            row.push(outcome.samples_used().to_string());
+        }
+        let oracle = run_policy(PolicyKind::Oracle, &mix, seed);
+        row.push(Oracle::evaluations(&oracle).to_string());
+        t.row(row);
+    }
+    let mut body = String::from("configurations sampled before each policy stops\n\n");
+    body.push_str(&t.render());
+    Report { id: "fig15a", title: "Sampling overhead vs number of co-located jobs".into(), body }
+}
+
+/// Runs Fig. 15b.
+#[must_use]
+pub fn run_b(opts: &ExpOptions) -> Report {
+    let mix = fig15b_mix();
+    let mut body = format!("mix: {}\n", mix.name);
+    for kind in [PolicyKind::Parties, PolicyKind::Clite] {
+        let outcome = run_policy(kind, &mix, opts.seed);
+        body.push_str(&format!(
+            "\n{}: first all-QoS sample = {:?}, total samples = {}\n",
+            kind.name(),
+            outcome.samples_to_qos,
+            outcome.samples_used()
+        ));
+        let mut t = Table::new(vec!["sample", "all QoS met", "fluidanimate perf", "best-so-far"]);
+        let mut best_bg_so_far: f64 = 0.0;
+        let step = (outcome.samples_used() / 15).max(1);
+        for s in &outcome.samples {
+            let bg = s.observation.mean_bg_perf().unwrap_or(0.0);
+            if s.observation.all_qos_met() {
+                best_bg_so_far = best_bg_so_far.max(bg);
+            }
+            if s.index % step == 0 || s.index + 1 == outcome.samples_used() {
+                t.row(vec![
+                    s.index.to_string(),
+                    s.observation.all_qos_met().to_string(),
+                    pct(bg),
+                    pct(best_bg_so_far),
+                ]);
+            }
+        }
+        body.push_str(&t.render());
+    }
+    body.push_str(
+        "\nReading: PARTIES stabilizes at the first QoS-meeting allocation;\n\
+         CLITE keeps sampling and pushes the BG job's throughput higher\n\
+         (paper Fig. 15b).\n",
+    );
+    Report { id: "fig15b", title: "Convergence: QoS first, then BG improvement".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clite_under_sampling_budget() {
+        let mix = fig15b_mix();
+        let outcome = run_policy(PolicyKind::Clite, &mix, 61);
+        assert!(outcome.samples_used() <= 70, "CLITE used {}", outcome.samples_used());
+    }
+
+    #[test]
+    fn clite_bg_exceeds_parties_bg() {
+        // The Fig. 15b claim: CLITE's final BG throughput beats PARTIES's.
+        let mix = fig15b_mix();
+        let parties = run_policy(PolicyKind::Parties, &mix, 61);
+        let clite = run_policy(PolicyKind::Clite, &mix, 61);
+        let p = parties.best_bg_perf().unwrap_or(0.0);
+        let c = clite.best_bg_perf().unwrap_or(0.0);
+        assert!(c >= p * 0.95, "CLITE BG {c:.3} vs PARTIES BG {p:.3}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Extension experiment: the co-location frontier.
+//!
+//! Figs. 7/8 probe the feasibility boundary along one axis; this sweep
+//! characterizes it directly: three LC jobs share a total load budget
+//! equally, and we measure — per policy — the largest budget that is
+//! still co-locatable. The gap between ORACLE's frontier and each
+//! policy's frontier is the utilization left on the table by that
+//! policy's search.
+
+use crate::mixes::Mix;
+use crate::render::{pct, Table};
+use crate::runner::{run_and_eval, PolicyKind};
+use crate::{ExpOptions, Report};
+use clite_sim::workload::WorkloadId;
+
+/// The LC trio whose total load is swept.
+const TRIO: [WorkloadId; 3] = [WorkloadId::Memcached, WorkloadId::Masstree, WorkloadId::ImgDnn];
+
+/// Builds the equal-split mix for a total load budget (plus one BG job so
+/// the score's performance mode is exercised).
+fn mix(total_load: f64, with_bg: bool) -> Mix {
+    let per_job = total_load / 3.0;
+    let lc: Vec<(WorkloadId, f64)> = TRIO.iter().map(|&w| (w, per_job)).collect();
+    let bg: &[WorkloadId] =
+        if with_bg { &[WorkloadId::Blackscholes] } else { &[] };
+    Mix::new(&lc, bg)
+}
+
+/// Whether `kind` co-locates the trio at `total_load` (majority over
+/// `seeds` re-seeded runs).
+fn feasible(kind: PolicyKind, total_load: f64, with_bg: bool, seeds: &[u64]) -> bool {
+    let ok = seeds
+        .iter()
+        .filter(|&&s| run_and_eval(kind, &mix(total_load, with_bg), s).0)
+        .count();
+    ok * 2 > seeds.len()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> Report {
+    let seeds: Vec<u64> = if opts.quick {
+        vec![opts.seed]
+    } else {
+        vec![opts.seed, opts.seed + 101, opts.seed + 202]
+    };
+    let budgets: Vec<f64> =
+        (3..=10).map(|i| f64::from(i) * 0.3).collect(); // 90% .. 300% total
+
+    let mut body = String::new();
+    for with_bg in [false, true] {
+        body.push_str(if with_bg {
+            "\nwith blackscholes (BG):\n"
+        } else {
+            "\nLC jobs only:\n"
+        });
+        let mut t = Table::new(vec!["total LC load", "PARTIES", "CLITE", "ORACLE"]);
+        for &b in &budgets {
+            let mut row = vec![pct(b)];
+            for kind in [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle] {
+                row.push(if feasible(kind, b, with_bg, &seeds) {
+                    "yes".to_owned()
+                } else {
+                    "X".to_owned()
+                });
+            }
+            t.row(row);
+        }
+        body.push_str(&t.render());
+    }
+    body.push_str(
+        "\nReading: each policy's frontier is the last 'yes'. The distance to\n\
+         ORACLE's frontier is utilization the policy leaves on the table; adding\n\
+         a BG job pulls every frontier in.\n",
+    );
+    Report { id: "frontier", title: "Co-location feasibility frontier (extension)".into(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_frontier_is_monotone_boundary() {
+        // If ORACLE can host 1.8 total load, it can host 0.9.
+        let seeds = [5u64];
+        if feasible(PolicyKind::Oracle, 1.8, false, &seeds) {
+            assert!(feasible(PolicyKind::Oracle, 0.9, false, &seeds));
+        }
+    }
+
+    #[test]
+    fn low_budget_feasible_high_budget_not() {
+        let seeds = [5u64];
+        assert!(feasible(PolicyKind::Oracle, 0.9, false, &seeds));
+        assert!(!feasible(PolicyKind::Oracle, 3.0, false, &seeds));
+    }
+}

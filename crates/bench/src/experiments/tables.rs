@@ -1,0 +1,96 @@
+//! Tables 1–3: the setup tables, regenerated from the code that embodies
+//! them (so drift between docs and implementation is impossible).
+
+use clite_sim::prelude::*;
+
+use crate::render::Table;
+use crate::{ExpOptions, Report};
+
+/// Table 1: shared resources, allocation methods, and isolation tools.
+#[must_use]
+pub fn table1(_opts: &ExpOptions) -> Report {
+    let catalog = ResourceCatalog::testbed();
+    let mut t = Table::new(vec!["Shared Resource", "Allocation Method", "Isolation Tool", "Units"]);
+    for r in ResourceKind::ALL {
+        t.row(vec![
+            r.name().to_owned(),
+            r.allocation_method().to_owned(),
+            r.isolation_tool().to_owned(),
+            catalog.units(r).to_string(),
+        ]);
+    }
+    Report {
+        id: "table1",
+        title: "Shared resources and their isolation tools".into(),
+        body: t.render(),
+    }
+}
+
+/// Table 2: experimental testbed configuration.
+#[must_use]
+pub fn table2(_opts: &ExpOptions) -> Report {
+    let m = MachineSpec::xeon_silver_4114();
+    let mut t = Table::new(vec!["Component", "Specification"]);
+    t.row(vec!["CPU Model".to_owned(), m.cpu_model.clone()])
+        .row(vec!["Number of Sockets".to_owned(), m.sockets.to_string()])
+        .row(vec!["Processor Speed".to_owned(), format!("{:.2}GHz", m.ghz)])
+        .row(vec![
+            "Logical Processor Cores".to_owned(),
+            format!("{} Cores ({} physical cores)", m.logical_cores, m.physical_cores),
+        ])
+        .row(vec![
+            "Private L1 & L2 Cache Size".to_owned(),
+            format!("{}KB and {}KB", m.l1_kb, m.l2_kb),
+        ])
+        .row(vec![
+            "Shared L3 Cache Size".to_owned(),
+            format!("{} KB ({}-way set associative)", m.l3_kb, m.l3_ways),
+        ])
+        .row(vec!["Memory Capacity".to_owned(), format!("{} GB", m.mem_gb)])
+        .row(vec!["Operating System".to_owned(), m.os.clone()])
+        .row(vec!["SSD Capacity".to_owned(), format!("{} GB", m.ssd_gb)])
+        .row(vec!["HDD Capacity".to_owned(), format!("{} TB", m.hdd_tb)]);
+    Report { id: "table2", title: "Experimental testbed configuration".into(), body: t.render() }
+}
+
+/// Table 3: LC and BG workloads with their modelled sensitivities.
+#[must_use]
+pub fn table3(_opts: &ExpOptions) -> Report {
+    let mut t = Table::new(vec!["Workload", "Class", "Description", "Dominant sensitivity"]);
+    for w in WorkloadId::ALL {
+        let p = w.profile();
+        let mut sens: Vec<(&str, f64)> = vec![
+            ("cores", p.cpu_time_us),
+            ("mem b/w", p.mem_time_us * p.mem_intensity),
+            ("disk", p.disk_time_us),
+            ("LLC", p.mem_time_us * p.hit_max),
+        ];
+        sens.sort_by(|a, b| b.1.total_cmp(&a.1));
+        t.row(vec![
+            w.name().to_owned(),
+            w.class().to_string(),
+            w.description().to_owned(),
+            sens[0].0.to_owned(),
+        ]);
+    }
+    Report { id: "table3", title: "LC and BG workloads driving the evaluation".into(), body: t.render() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_expected_content() {
+        let o = ExpOptions::default();
+        let t1 = table1(&o);
+        assert!(t1.body.contains("Intel CAT"));
+        assert!(t1.body.contains("taskset"));
+        let t2 = table2(&o);
+        assert!(t2.body.contains("Xeon"));
+        assert!(t2.body.contains("14080"));
+        let t3 = table3(&o);
+        assert!(t3.body.contains("memcached"));
+        assert!(t3.body.contains("swaptions"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # clite-bench — the experiment harness
+//!
+//! One module per table/figure of the CLITE paper's evaluation (Sec. 5),
+//! each regenerating the corresponding result on the simulator substrate:
+//! the same workload mixes, the same policies, the same metrics, printed as
+//! paper-style tables and ASCII heatmaps.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p clite-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment (`fig7`, `fig15a`, `table1`, `summary`,
+//! `ablations`, …). Pass `--full` for the paper-sized grids (slower) and
+//! `--seed N` to re-seed every stochastic component.
+//!
+//! The absolute numbers differ from the paper (the substrate is a
+//! simulator, not a Xeon testbed); the *shapes* — who wins, by roughly what
+//! factor, where the co-location frontier falls — are the reproduction
+//! target. `EXPERIMENTS.md` at the repository root records paper-vs-
+//! measured for every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod export;
+pub mod mixes;
+pub mod render;
+pub mod runner;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Quick mode shrinks load grids and repeat counts so the whole suite
+    /// finishes in minutes; `--full` restores paper-sized sweeps.
+    pub quick: bool,
+    /// Base seed for every stochastic component (servers, policies).
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self { quick: true, seed: 42 }
+    }
+}
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Short id (`"fig7"`, `"table1"`, …).
+    pub id: &'static str,
+    /// Human-readable title (the paper's caption, abridged).
+    pub title: String,
+    /// Rendered body (tables/heatmaps/series).
+    pub body: String,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "━━━ {} — {} ━━━", self.id, self.title)?;
+        writeln!(f, "{}", self.body)
+    }
+}

@@ -1,0 +1,236 @@
+//! Standard job mixes used by the paper's evaluation.
+
+use clite_sim::prelude::*;
+
+/// A named job mix with per-LC-job loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    /// Display name, e.g. `"img-dnn+xapian+memcached / streamcluster"`.
+    pub name: String,
+    /// Job specs in order (LC jobs first by convention).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Mix {
+    /// Builds a mix from LC workloads with loads plus BG workloads.
+    #[must_use]
+    pub fn new(lc: &[(WorkloadId, f64)], bg: &[WorkloadId]) -> Self {
+        let mut name_parts: Vec<String> =
+            lc.iter().map(|(w, l)| format!("{}@{:.0}%", w.name(), l * 100.0)).collect();
+        if !bg.is_empty() {
+            name_parts.push(format!(
+                "/ {}",
+                bg.iter().map(|w| w.name()).collect::<Vec<_>>().join("+")
+            ));
+        }
+        let jobs = lc
+            .iter()
+            .map(|&(w, l)| JobSpec::latency_critical(w, l))
+            .chain(bg.iter().map(|&w| JobSpec::background(w)))
+            .collect();
+        Self { name: name_parts.join(" "), jobs }
+    }
+
+    /// Builds the server hosting this mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is infeasible for the testbed catalog (more jobs
+    /// than units of some resource) — mixes in this module never are.
+    #[must_use]
+    pub fn server(&self, seed: u64) -> Server {
+        Server::new(ResourceCatalog::testbed(), self.jobs.clone(), seed)
+            .expect("standard mixes are feasible for the testbed catalog")
+    }
+
+    /// Number of jobs in the mix.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the mix is empty (never for built mixes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Fig. 7's mix: memcached + masstree + img-dnn, no BG job.
+#[must_use]
+pub fn fig7_mix(memcached_load: f64, masstree_load: f64, imgdnn_load: f64) -> Mix {
+    Mix::new(
+        &[
+            (WorkloadId::Memcached, memcached_load),
+            (WorkloadId::Masstree, masstree_load),
+            (WorkloadId::ImgDnn, imgdnn_load),
+        ],
+        &[],
+    )
+}
+
+/// Fig. 8's mix: Fig. 7 plus blackscholes as the BG job.
+#[must_use]
+pub fn fig8_mix(memcached_load: f64, masstree_load: f64, imgdnn_load: f64) -> Mix {
+    Mix::new(
+        &[
+            (WorkloadId::Memcached, memcached_load),
+            (WorkloadId::Masstree, masstree_load),
+            (WorkloadId::ImgDnn, imgdnn_load),
+        ],
+        &[WorkloadId::Blackscholes],
+    )
+}
+
+/// Fig. 9a's mix: img-dnn + memcached + masstree with streamcluster.
+#[must_use]
+pub fn fig9a_mix() -> Mix {
+    Mix::new(
+        &[
+            (WorkloadId::ImgDnn, 0.3),
+            (WorkloadId::Memcached, 0.3),
+            (WorkloadId::Masstree, 0.3),
+        ],
+        &[WorkloadId::Streamcluster],
+    )
+}
+
+/// Fig. 10's first mix: img-dnn + xapian + memcached (third job's load is
+/// the sweep variable).
+#[must_use]
+pub fn fig10_mix_a(swept_load: f64) -> Mix {
+    Mix::new(
+        &[
+            (WorkloadId::ImgDnn, 0.1),
+            (WorkloadId::Xapian, 0.1),
+            (WorkloadId::Memcached, swept_load),
+        ],
+        &[],
+    )
+}
+
+/// Fig. 10's second mix: specjbb + masstree + xapian.
+#[must_use]
+pub fn fig10_mix_b(swept_load: f64) -> Mix {
+    Mix::new(
+        &[
+            (WorkloadId::Specjbb, 0.1),
+            (WorkloadId::Masstree, 0.1),
+            (WorkloadId::Xapian, swept_load),
+        ],
+        &[],
+    )
+}
+
+/// Fig. 12's mix: memcached + xapian with streamcluster.
+#[must_use]
+pub fn fig12_mix(memcached_load: f64, xapian_load: f64) -> Mix {
+    Mix::new(
+        &[(WorkloadId::Memcached, memcached_load), (WorkloadId::Xapian, xapian_load)],
+        &[WorkloadId::Streamcluster],
+    )
+}
+
+/// Fig. 13's LC mixes (each paired with every BG workload).
+#[must_use]
+pub fn fig13_lc_mixes() -> Vec<(&'static str, Vec<(WorkloadId, f64)>)> {
+    vec![
+        (
+            "img-dnn+xapian+memcached",
+            vec![
+                (WorkloadId::ImgDnn, 0.3),
+                (WorkloadId::Xapian, 0.3),
+                (WorkloadId::Memcached, 0.3),
+            ],
+        ),
+        (
+            "specjbb+masstree+xapian",
+            vec![
+                (WorkloadId::Specjbb, 0.3),
+                (WorkloadId::Masstree, 0.3),
+                (WorkloadId::Xapian, 0.3),
+            ],
+        ),
+    ]
+}
+
+/// Fig. 14's multi-BG mixes: two LC jobs with three BG jobs.
+#[must_use]
+pub fn fig14_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new(
+            &[(WorkloadId::Memcached, 0.3), (WorkloadId::ImgDnn, 0.3)],
+            &[WorkloadId::Blackscholes, WorkloadId::Canneal, WorkloadId::Fluidanimate],
+        ),
+        Mix::new(
+            &[(WorkloadId::Masstree, 0.3), (WorkloadId::Xapian, 0.3)],
+            &[WorkloadId::Freqmine, WorkloadId::Streamcluster, WorkloadId::Swaptions],
+        ),
+    ]
+}
+
+/// Fig. 15's job-count sweep: mixes with increasing numbers of LC/BG jobs.
+#[must_use]
+pub fn fig15_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new(&[(WorkloadId::Memcached, 0.3)], &[WorkloadId::Blackscholes]),
+        Mix::new(
+            &[(WorkloadId::Memcached, 0.3), (WorkloadId::ImgDnn, 0.3)],
+            &[WorkloadId::Blackscholes],
+        ),
+        Mix::new(
+            &[
+                (WorkloadId::Memcached, 0.3),
+                (WorkloadId::ImgDnn, 0.3),
+                (WorkloadId::Masstree, 0.3),
+            ],
+            &[WorkloadId::Fluidanimate],
+        ),
+        Mix::new(
+            &[
+                (WorkloadId::Memcached, 0.3),
+                (WorkloadId::ImgDnn, 0.3),
+                (WorkloadId::Masstree, 0.3),
+            ],
+            &[WorkloadId::Fluidanimate, WorkloadId::Swaptions],
+        ),
+    ]
+}
+
+/// Fig. 15b's convergence mix: 3 LC jobs plus fluidanimate.
+#[must_use]
+pub fn fig15b_mix() -> Mix {
+    Mix::new(
+        &[
+            (WorkloadId::ImgDnn, 0.2),
+            (WorkloadId::Memcached, 0.2),
+            (WorkloadId::Masstree, 0.2),
+        ],
+        &[WorkloadId::Fluidanimate],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_build_servers() {
+        for mix in [fig7_mix(0.3, 0.3, 0.3), fig9a_mix(), fig12_mix(0.5, 0.5), fig15b_mix()] {
+            let s = mix.server(1);
+            assert_eq!(s.job_count(), mix.len());
+            assert!(!mix.is_empty());
+            assert!(!mix.name.is_empty());
+        }
+        assert_eq!(fig14_mixes().len(), 2);
+        assert_eq!(fig15_mixes().len(), 4);
+        assert_eq!(fig13_lc_mixes().len(), 2);
+    }
+
+    #[test]
+    fn mix_names_are_descriptive() {
+        let m = fig8_mix(0.1, 0.2, 0.3);
+        assert!(m.name.contains("memcached@10%"));
+        assert!(m.name.contains("blackscholes"));
+    }
+}

@@ -1,0 +1,193 @@
+//! ASCII rendering of tables, heatmaps, and series.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (shorter rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a heatmap of optional values (e.g. max supported load; `None`
+/// renders as the paper's `X` = co-location not possible).
+///
+/// `values[y][x]` is displayed with `y` increasing downward; axis tick
+/// labels are printed on both axes.
+#[must_use]
+pub fn heatmap(
+    x_label: &str,
+    y_label: &str,
+    x_ticks: &[String],
+    y_ticks: &[String],
+    values: &[Vec<Option<f64>>],
+    fmt: impl Fn(f64) -> String,
+) -> String {
+    let cell_w = values
+        .iter()
+        .flatten()
+        .map(|v| v.map_or(1, |x| fmt(x).len()))
+        .chain(x_ticks.iter().map(String::len))
+        .max()
+        .unwrap_or(3)
+        .max(3);
+    let ylab_w = y_ticks.iter().map(String::len).max().unwrap_or(2).max(y_label.len());
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>ylab_w$} \\ {x_label}\n", y_label));
+    out.push_str(&format!("{:>ylab_w$} |", ""));
+    for t in x_ticks {
+        out.push_str(&format!(" {t:>cell_w$}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{}-+-{}\n", "-".repeat(ylab_w), "-".repeat((cell_w + 1) * x_ticks.len())));
+    for (yi, row) in values.iter().enumerate() {
+        let unlabeled = String::new();
+        let ytick = y_ticks.get(yi).unwrap_or(&unlabeled);
+        out.push_str(&format!("{ytick:>ylab_w$} |"));
+        for v in row {
+            match v {
+                Some(x) => out.push_str(&format!(" {:>cell_w$}", fmt(*x))),
+                None => out.push_str(&format!(" {:>cell_w$}", "X")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a boolean region map (`#` inside, `.` outside), e.g. QoS-safe
+/// regions (paper Fig. 1).
+#[must_use]
+pub fn region(x_label: &str, y_label: &str, grid: &[Vec<bool>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("rows: {y_label} (top = max)   cols: {x_label} (left = min)\n"));
+    for row in grid {
+        for &b in row {
+            out.push(if b { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with no decimals (`0.42` → `"42%"`).
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct1(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pads_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["long-name", "2"]);
+        let r = t.render();
+        assert!(r.contains("long-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn heatmap_renders_x_for_none() {
+        let h = heatmap(
+            "load",
+            "job",
+            &["10".into(), "20".into()],
+            &["a".into(), "b".into()],
+            &[vec![Some(0.5), None], vec![None, Some(1.0)]],
+            pct,
+        );
+        assert!(h.contains('X'));
+        assert!(h.contains("50%"));
+        assert!(h.contains("100%"));
+    }
+
+    #[test]
+    fn region_shapes() {
+        let r = region("cores", "ways", &[vec![true, false], vec![false, true]]);
+        assert!(r.contains("#."));
+        assert!(r.contains(".#"));
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(pct(0.42), "42%");
+        assert_eq!(pct1(0.426), "42.6%");
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared experiment-execution helpers.
+
+use clite::config::CliteConfig;
+use clite_policies::clite_policy::ClitePolicy;
+use clite_policies::genetic::Genetic;
+use clite_policies::heracles::Heracles;
+use clite_policies::oracle::Oracle;
+use clite_policies::parties::Parties;
+use clite_policies::policy::{Policy, PolicyOutcome};
+use clite_policies::random_plus::RandomPlus;
+
+use crate::mixes::Mix;
+
+/// The policies an experiment can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Heracles (protects one LC job).
+    Heracles,
+    /// PARTIES (FSM coordinate descent).
+    Parties,
+    /// RAND+ (filtered random sampling).
+    RandomPlus,
+    /// GENETIC (crossover + mutation).
+    Genetic,
+    /// CLITE (this paper).
+    Clite,
+    /// ORACLE (offline upper bound).
+    Oracle,
+}
+
+impl PolicyKind {
+    /// The paper's presentation order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Heracles,
+        PolicyKind::Parties,
+        PolicyKind::RandomPlus,
+        PolicyKind::Genetic,
+        PolicyKind::Clite,
+        PolicyKind::Oracle,
+    ];
+
+    /// The four policies Fig. 10/11 compare (online, multi-LC-aware).
+    pub const ONLINE_COMPARED: [PolicyKind; 4] =
+        [PolicyKind::Parties, PolicyKind::RandomPlus, PolicyKind::Genetic, PolicyKind::Clite];
+
+    /// Paper name of the policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Heracles => "Heracles",
+            PolicyKind::Parties => "PARTIES",
+            PolicyKind::RandomPlus => "RAND+",
+            PolicyKind::Genetic => "GENETIC",
+            PolicyKind::Clite => "CLITE",
+            PolicyKind::Oracle => "ORACLE",
+        }
+    }
+
+    /// Instantiates the policy, seeded deterministically.
+    #[must_use]
+    pub fn build(self, seed: u64) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Heracles => Box::new(Heracles::default()),
+            PolicyKind::Parties => Box::new(Parties::default().with_seed(seed)),
+            PolicyKind::RandomPlus => Box::new(RandomPlus::default().with_seed(seed)),
+            PolicyKind::Genetic => Box::new(Genetic::default().with_seed(seed)),
+            PolicyKind::Clite => {
+                Box::new(ClitePolicy::new(CliteConfig::default().with_seed(seed)))
+            }
+            PolicyKind::Oracle => Box::new(Oracle::default()),
+        }
+    }
+}
+
+/// Runs `kind` on a fresh server hosting `mix`.
+///
+/// # Panics
+///
+/// Panics on internal policy failures (experiments treat those as bugs).
+#[must_use]
+pub fn run_policy(kind: PolicyKind, mix: &Mix, seed: u64) -> PolicyOutcome {
+    let mut server = mix.server(seed);
+    kind.build(seed ^ 0x9E37_79B9)
+        .run(&mut server)
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.name(), mix.name))
+}
+
+/// Ground-truth (noise-free) evaluation of a policy's chosen partition on
+/// a fresh server hosting `mix`: the steady-state outcome the operator
+/// would measure after the controller settles, free of the winner's-curse
+/// bias of selecting by noisy samples.
+#[must_use]
+pub fn final_eval(mix: &Mix, outcome: &PolicyOutcome, seed: u64) -> clite_sim::metrics::Observation {
+    let server = mix.server(seed);
+    server.ground_truth(&outcome.best_partition)
+}
+
+/// Runs `kind` on `mix` and ground-truth-evaluates its chosen partition.
+/// Returns `(qos_met, mean_bg_perf, mean_lc_perf)`.
+#[must_use]
+pub fn run_and_eval(kind: PolicyKind, mix: &Mix, seed: u64) -> (bool, Option<f64>, Option<f64>) {
+    let outcome = run_policy(kind, mix, seed);
+    let obs = final_eval(mix, &outcome, seed);
+    (obs.all_qos_met(), obs.mean_bg_perf(), obs.mean_lc_perf())
+}
+
+/// Finds the maximum load (from `loads`, descending) of a *probe job*
+/// at which `kind` still meets every LC job's QoS. `make_mix` builds the
+/// mix for a candidate probe load. Returns `None` if no load works
+/// (the paper's `X`).
+#[must_use]
+pub fn max_supported_load(
+    kind: PolicyKind,
+    loads: &[f64],
+    seed: u64,
+    make_mix: impl Fn(f64) -> Mix,
+) -> Option<f64> {
+    let mut sorted: Vec<f64> = loads.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    for (i, &load) in sorted.iter().enumerate() {
+        let mix = make_mix(load);
+        let (qos_met, _, _) = run_and_eval(kind, &mix, seed.wrapping_add(i as u64));
+        if qos_met {
+            return Some(load);
+        }
+    }
+    None
+}
+
+/// The standard load grid (10%..=90% in `step` increments, as fractions).
+#[must_use]
+pub fn load_grid(step: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut l: f64 = 0.1;
+    while l < 0.95 {
+        out.push((l * 100.0).round() / 100.0);
+        l += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::fig7_mix;
+
+    #[test]
+    fn load_grids() {
+        assert_eq!(load_grid(0.2), vec![0.1, 0.3, 0.5, 0.7, 0.9]);
+        assert_eq!(load_grid(0.4), vec![0.1, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn policies_build_and_name() {
+        for k in PolicyKind::ALL {
+            assert!(!k.name().is_empty());
+            let _ = k.build(1);
+        }
+    }
+
+    #[test]
+    fn max_supported_load_descends() {
+        // ORACLE on an easy pair of fixed loads: highest feasible probe
+        // load should be found.
+        let max = max_supported_load(PolicyKind::Oracle, &[0.1, 0.5], 1, |l| {
+            fig7_mix(l, 0.1, 0.1)
+        });
+        assert!(max.is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! Bootstrapping configuration samples (paper Sec. 4).
+//!
+//! CLITE seeds its surrogate with carefully constructed samples instead of
+//! random ones: (1) every resource divided as equally as possible, and
+//! (2) for each job, the extremum where that job receives the maximum
+//! possible allocation of every resource and the others keep one unit.
+//! The extrema additionally identify jobs that cannot meet QoS *under any
+//! allocation* given the co-location — those can be ejected immediately
+//! without wasting BO cycles.
+
+use clite_sim::alloc::Partition;
+
+use crate::space::SearchSpace;
+use crate::BoError;
+
+/// The paper's bootstrap set: equal division first, then one per-job
+/// maximum-allocation extremum — `N_jobs + 1` samples in total.
+///
+/// # Errors
+///
+/// Returns [`BoError::Space`] if an extremum cannot be constructed (cannot
+/// happen for a space that passed construction checks).
+pub fn bootstrap_partitions(space: &SearchSpace) -> Result<Vec<Partition>, BoError> {
+    let mut out = Vec::with_capacity(space.jobs() + 1);
+    out.push(space.equal_share());
+    for j in 0..space.jobs() {
+        out.push(space.max_for_job(j)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::resource::{ResourceCatalog, ResourceKind};
+
+    #[test]
+    fn count_is_jobs_plus_one() {
+        for jobs in 1..=5 {
+            let space = SearchSpace::new(ResourceCatalog::testbed(), jobs).unwrap();
+            let b = bootstrap_partitions(&space).unwrap();
+            assert_eq!(b.len(), jobs + 1);
+        }
+    }
+
+    #[test]
+    fn first_is_equal_share_rest_are_extrema() {
+        let space = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
+        let b = bootstrap_partitions(&space).unwrap();
+        assert_eq!(b[0], space.equal_share());
+        for (j, p) in b[1..].iter().enumerate() {
+            assert_eq!(
+                p.units(j, ResourceKind::Cores),
+                space.catalog().max_for_job(ResourceKind::Cores, 3)
+            );
+            for other in (0..3).filter(|&o| o != j) {
+                assert_eq!(p.units(other, ResourceKind::Cores), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_bootstrap_samples_distinct() {
+        let space = SearchSpace::new(ResourceCatalog::testbed(), 4).unwrap();
+        let b = bootstrap_partitions(&space).unwrap();
+        for i in 0..b.len() {
+            for j in (i + 1)..b.len() {
+                assert_ne!(b[i], b[j]);
+            }
+        }
+    }
+}

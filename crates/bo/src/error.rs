@@ -1,0 +1,52 @@
+use std::fmt;
+
+use clite_gp::GpError;
+use clite_sim::SimError;
+
+/// Error type for the Bayesian-optimization engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoError {
+    /// `suggest` was called before any observations were recorded.
+    NoHistory,
+    /// The surrogate model failed to fit.
+    Surrogate(GpError),
+    /// The search space or a partition operation was invalid.
+    Space(SimError),
+    /// The acquisition maximizer found no feasible candidate (e.g. every
+    /// candidate was already sampled and no neighbour is feasible).
+    NoCandidate,
+}
+
+impl fmt::Display for BoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoError::NoHistory => write!(f, "no observations recorded yet"),
+            BoError::Surrogate(e) => write!(f, "surrogate model failure: {e}"),
+            BoError::Space(e) => write!(f, "search-space failure: {e}"),
+            BoError::NoCandidate => write!(f, "acquisition maximizer found no candidate"),
+        }
+    }
+}
+
+impl std::error::Error for BoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BoError::Surrogate(e) => Some(e),
+            BoError::Space(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for BoError {
+    fn from(e: GpError) -> Self {
+        BoError::Surrogate(e)
+    }
+}
+
+impl From<SimError> for BoError {
+    fn from(e: SimError) -> Self {
+        BoError::Space(e)
+    }
+}

@@ -1,0 +1,242 @@
+//! Constrained acquisition maximization.
+//!
+//! The paper solves `maximize a(x(j,r))` subject to the per-resource
+//! simplex constraints (Eq. 4–6) with constrained SLSQP over a continuous
+//! relaxation. The feasible set is really a product of integer simplices,
+//! whose natural neighbourhood is the *single-unit transfer* (move one unit
+//! of one resource between two jobs). This module maximizes the acquisition
+//! directly in that discrete space: steepest-ascent hill climbing from a
+//! set of seeds (incumbent-derived plus random restarts), optionally with
+//! one job's row frozen (dropout-copy, Sec. 4).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use clite_sim::alloc::{JobAllocation, Partition};
+
+use crate::space::SearchSpace;
+
+/// Configuration for the hill-climbing acquisition maximizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Number of random restart points added to the provided seeds.
+    pub random_restarts: usize,
+    /// Maximum steepest-ascent steps per start point.
+    pub max_steps: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self { random_restarts: 4, max_steps: 25 }
+    }
+}
+
+/// Maximizes `acq` over the feasible partitions of `space`.
+///
+/// * `seeds` — warm-start points (e.g. the incumbent best); random restarts
+///   are added on top.
+/// * `frozen` — dropout-copy: `(job, row)` fixes that job's allocation to
+///   `row` in every candidate; hill-climbing moves never touch it.
+/// * `tabu` — partitions already sampled; they are skipped as *final*
+///   answers (their acquisition is typically zero anyway, but observation
+///   noise can make re-sampling look attractive).
+///
+/// Returns the best candidate found and its acquisition value, or `None`
+/// if every reachable candidate is tabu.
+pub fn maximize_acquisition(
+    space: &SearchSpace,
+    config: OptimizerConfig,
+    acq: impl Fn(&Partition) -> f64,
+    seeds: &[Partition],
+    frozen: Option<(usize, JobAllocation)>,
+    tabu: &HashSet<Partition>,
+    rng: &mut StdRng,
+) -> Option<(Partition, f64)> {
+    let frozen_job = frozen.as_ref().map(|(j, _)| *j);
+
+    let mut starts: Vec<Partition> = Vec::with_capacity(seeds.len() + config.random_restarts);
+    starts.extend_from_slice(seeds);
+    for _ in 0..config.random_restarts {
+        starts.push(space.random(rng));
+    }
+    // Jitter half the seeds with a couple of random transfers so warm
+    // starts don't all climb the same hill.
+    let mut jittered: Vec<Partition> = Vec::new();
+    for p in &starts {
+        if rng.gen_bool(0.5) {
+            jittered.push(jitter(p, frozen_job, rng));
+        }
+    }
+    starts.extend(jittered);
+
+    let mut best: Option<(Partition, f64)> = None;
+    for start in starts {
+        // Apply the frozen row; skip starts that cannot host it.
+        let start = match &frozen {
+            Some((job, row)) => match start.with_frozen_row(*job, row) {
+                Ok(p) => p,
+                Err(_) => continue,
+            },
+            None => start,
+        };
+
+        let mut current = start;
+        let mut current_val = acq(&current);
+        for _ in 0..config.max_steps {
+            let mut improved = false;
+            for n in current.neighbors(frozen_job) {
+                let v = acq(&n);
+                if v > current_val {
+                    current = n;
+                    current_val = v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        if !tabu.contains(&current)
+            && best.as_ref().map_or(true, |(_, bv)| current_val > *bv)
+        {
+            best = Some((current, current_val));
+        } else if tabu.contains(&current) {
+            // The climb ended on a sampled point; take its best non-tabu
+            // neighbour instead so the engine always gets fresh information.
+            let mut alt: Option<(Partition, f64)> = None;
+            for n in current.neighbors(frozen_job) {
+                if tabu.contains(&n) {
+                    continue;
+                }
+                let v = acq(&n);
+                if alt.as_ref().map_or(true, |(_, av)| v > *av) {
+                    alt = Some((n, v));
+                }
+            }
+            if let Some((p, v)) = alt {
+                if best.as_ref().map_or(true, |(_, bv)| v > *bv) {
+                    best = Some((p, v));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Applies 1–3 random feasible unit transfers to diversify a start point.
+fn jitter(p: &Partition, frozen_job: Option<usize>, rng: &mut StdRng) -> Partition {
+    let mut out = p.clone();
+    let moves = rng.gen_range(1..=3);
+    for _ in 0..moves {
+        let neighbors = out.neighbors(frozen_job);
+        if neighbors.is_empty() {
+            break;
+        }
+        out = neighbors[rng.gen_range(0..neighbors.len())].clone();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::resource::{ResourceCatalog, ResourceKind};
+    use rand::SeedableRng;
+
+    fn space(jobs: usize) -> SearchSpace {
+        SearchSpace::new(ResourceCatalog::testbed(), jobs).unwrap()
+    }
+
+    #[test]
+    fn finds_obvious_optimum() {
+        // Acquisition = job 0's core fraction: optimum gives job 0 all
+        // transferable cores.
+        let s = space(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (best, val) = maximize_acquisition(
+            &s,
+            OptimizerConfig::default(),
+            |p| p.fraction(0, ResourceKind::Cores),
+            &[s.equal_share()],
+            None,
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(best.units(0, ResourceKind::Cores), 9);
+        assert!((val - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_frozen_row() {
+        let s = space(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let frozen_row = *s.equal_share().job(1);
+        let (best, _) = maximize_acquisition(
+            &s,
+            OptimizerConfig::default(),
+            |p| p.fraction(0, ResourceKind::LlcWays),
+            &[s.equal_share()],
+            Some((1, frozen_row)),
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(best.job(1), &frozen_row, "frozen job's row must be untouched");
+        // Job 0 still maximized its ways subject to the freeze.
+        assert!(best.units(0, ResourceKind::LlcWays) > s.equal_share().units(0, ResourceKind::LlcWays));
+    }
+
+    #[test]
+    fn avoids_tabu_points() {
+        let s = space(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Make the global optimum tabu; the maximizer must return something
+        // else.
+        let optimum = s.max_for_job(0).unwrap();
+        let mut tabu = HashSet::new();
+        tabu.insert(optimum.clone());
+        let found = maximize_acquisition(
+            &s,
+            OptimizerConfig::default(),
+            |p| p.features().iter().take(5).sum::<f64>(),
+            &[s.equal_share()],
+            None,
+            &tabu,
+            &mut rng,
+        );
+        let (best, _) = found.unwrap();
+        assert_ne!(best, optimum);
+    }
+
+    #[test]
+    fn multimodal_surface_benefits_from_restarts() {
+        // Two distant optima; hill climbing from the single seed lands in
+        // one, restarts make the search robust to the seed choice.
+        let s = space(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let target_a = s.max_for_job(0).unwrap().features();
+        let target_b = s.max_for_job(1).unwrap().features();
+        let acq = |p: &Partition| {
+            let f = p.features();
+            let da: f64 = f.iter().zip(&target_a).map(|(x, t)| (x - t).abs()).sum();
+            let db: f64 = f.iter().zip(&target_b).map(|(x, t)| (x - t).abs()).sum();
+            (-da).exp() + 1.5 * (-db).exp()
+        };
+        let (best, _) = maximize_acquisition(
+            &s,
+            OptimizerConfig { random_restarts: 8, max_steps: 40 },
+            acq,
+            &[s.max_for_job(0).unwrap()],
+            None,
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        // The better optimum (job 1 maxed) should win despite the seed.
+        assert_eq!(best, s.max_for_job(1).unwrap());
+    }
+}

@@ -1,0 +1,210 @@
+//! The feasible search space of allocation matrices.
+
+use rand::Rng;
+use serde::Serialize;
+
+use clite_sim::alloc::Partition;
+use clite_sim::resource::{ResourceCatalog, ResourceKind, NUM_RESOURCES};
+use clite_sim::SimError;
+
+use crate::BoError;
+
+/// The set of feasible partitions for a catalog and a number of co-located
+/// jobs, plus the encoding the surrogate model sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SearchSpace {
+    catalog: ResourceCatalog,
+    jobs: usize,
+}
+
+impl SearchSpace {
+    /// Builds the space, verifying the catalog can host `jobs` jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::Space`] if some resource has fewer units than
+    /// jobs, or if `jobs` is zero.
+    pub fn new(catalog: ResourceCatalog, jobs: usize) -> Result<Self, BoError> {
+        if jobs == 0 {
+            return Err(BoError::Space(SimError::NoJobs));
+        }
+        for r in ResourceKind::ALL {
+            if (catalog.units(r) as usize) < jobs {
+                return Err(BoError::Space(SimError::TooManyJobs {
+                    resource: r,
+                    units: catalog.units(r),
+                    jobs,
+                }));
+            }
+        }
+        Ok(Self { catalog, jobs })
+    }
+
+    /// The underlying resource catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &ResourceCatalog {
+        &self.catalog
+    }
+
+    /// Number of co-located jobs.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Dimensionality of the GP feature space (`N_jobs × N_res`).
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.jobs * NUM_RESOURCES
+    }
+
+    /// Number of feasible configurations (the paper's Sec. 2 formula).
+    #[must_use]
+    pub fn size(&self) -> u128 {
+        self.catalog.total_configurations(self.jobs)
+    }
+
+    /// The equal-division partition.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: feasibility was checked at construction.
+    #[must_use]
+    pub fn equal_share(&self) -> Partition {
+        Partition::equal_share(&self.catalog, self.jobs).expect("space checked at construction")
+    }
+
+    /// The extremum partition giving `job` everything possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::Space`] if `job` is out of range.
+    pub fn max_for_job(&self, job: usize) -> Result<Partition, BoError> {
+        Ok(Partition::max_for_job(&self.catalog, self.jobs, job)?)
+    }
+
+    /// A uniformly random feasible partition.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Partition {
+        Partition::random(&self.catalog, self.jobs, rng).expect("space checked at construction")
+    }
+
+    /// GP feature encoding of a partition (normalized fractions).
+    #[must_use]
+    pub fn encode(&self, partition: &Partition) -> Vec<f64> {
+        debug_assert_eq!(partition.job_count(), self.jobs);
+        partition.features()
+    }
+
+    /// Exhaustively enumerates **every** feasible partition of this space
+    /// (the literal version of the paper's ORACLE sweep). The count is
+    /// [`SearchSpace::size`]; callers should check it first — the testbed
+    /// space for 3+ jobs runs into the hundreds of millions.
+    #[must_use]
+    pub fn enumerate(&self) -> Vec<Partition> {
+        // Per-resource: all compositions of units(r) into `jobs` positive
+        // parts; the space is their Cartesian product.
+        let per_resource: Vec<Vec<Vec<u32>>> = ResourceKind::ALL
+            .iter()
+            .map(|&r| compositions(self.catalog.units(r), self.jobs))
+            .collect();
+
+        let mut out = Vec::new();
+        let mut indices = vec![0usize; NUM_RESOURCES];
+        'outer: loop {
+            let rows: Vec<clite_sim::alloc::JobAllocation> = (0..self.jobs)
+                .map(|j| {
+                    let mut units = [0u32; NUM_RESOURCES];
+                    for (ri, comps) in per_resource.iter().enumerate() {
+                        units[ri] = comps[indices[ri]][j];
+                    }
+                    clite_sim::alloc::JobAllocation::from_units(units)
+                })
+                .collect();
+            out.push(
+                Partition::from_rows(self.catalog, rows)
+                    .expect("enumerated compositions are feasible by construction"),
+            );
+            // Odometer increment.
+            for ri in 0..NUM_RESOURCES {
+                indices[ri] += 1;
+                if indices[ri] < per_resource[ri].len() {
+                    continue 'outer;
+                }
+                indices[ri] = 0;
+            }
+            break;
+        }
+        out
+    }
+}
+
+/// All compositions of `total` into `parts` positive integers, in
+/// lexicographic order.
+fn compositions(total: u32, parts: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut current = vec![0u32; parts];
+    fn rec(total: u32, idx: usize, parts: usize, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if idx == parts - 1 {
+            current[idx] = total;
+            out.push(current.clone());
+            return;
+        }
+        let remaining_parts = (parts - idx - 1) as u32;
+        for v in 1..=(total - remaining_parts) {
+            current[idx] = v;
+            rec(total - v, idx + 1, parts, current, out);
+        }
+    }
+    rec(total, 0, parts, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_checks_feasibility() {
+        assert!(SearchSpace::new(ResourceCatalog::testbed(), 4).is_ok());
+        assert!(SearchSpace::new(ResourceCatalog::testbed(), 0).is_err());
+        assert!(SearchSpace::new(ResourceCatalog::testbed(), 11).is_err());
+    }
+
+    #[test]
+    fn dims_and_size() {
+        let s = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
+        assert_eq!(s.dims(), 18);
+        assert!(s.size() > 1_000_000, "testbed space is large: {}", s.size());
+    }
+
+    #[test]
+    fn enumeration_matches_size_formula() {
+        let catalog = ResourceCatalog::new([4, 3, 3, 3, 3, 3]).unwrap();
+        let s = SearchSpace::new(catalog, 2).unwrap();
+        let all = s.enumerate();
+        assert_eq!(all.len() as u128, s.size());
+        // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn single_job_space_has_one_partition() {
+        let s = SearchSpace::new(ResourceCatalog::testbed(), 1).unwrap();
+        assert_eq!(s.size(), 1);
+        assert_eq!(s.enumerate().len(), 1);
+    }
+
+    #[test]
+    fn generators_produce_right_shape() {
+        let s = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.equal_share().job_count(), 3);
+        assert_eq!(s.max_for_job(2).unwrap().job_count(), 3);
+        assert!(s.max_for_job(3).is_err());
+        let p = s.random(&mut rng);
+        assert_eq!(s.encode(&p).len(), 18);
+    }
+}

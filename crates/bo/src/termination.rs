@@ -1,0 +1,178 @@
+//! Expected-improvement-based termination (paper Sec. 4).
+//!
+//! CLITE avoids a static iteration budget: it stops when the acquisition
+//! signal dries up — "when the expected improvement drops below a certain
+//! threshold", with the threshold "as low as 1%" but scaled by the number
+//! of co-located jobs because the EI curve decays more slowly with more
+//! jobs. [`Termination`] implements that, with one robustness addition:
+//! the stop also requires the *realized* improvement over a trailing
+//! window to be below the threshold, so a run that is still climbing
+//! steadily (e.g. during local polish, where a smooth surrogate
+//! under-reports EI) is never cut off mid-ascent. A hard iteration cap is
+//! the safety net.
+
+use serde::Serialize;
+
+/// Termination condition configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Termination {
+    /// Base relative threshold: candidate-stopping iterations are those
+    /// where both the max EI and the trailing-window realized gain are
+    /// below `threshold × max(best, floor)`. The paper's "as low as 1%"
+    /// corresponds to `0.01`.
+    pub ei_threshold: f64,
+    /// Consecutive below-threshold iterations required before stopping.
+    pub patience: usize,
+    /// Trailing window (iterations) over which realized improvement is
+    /// measured.
+    pub window: usize,
+    /// Hard cap on search iterations (bootstrap samples excluded).
+    pub max_iterations: usize,
+}
+
+impl Default for Termination {
+    fn default() -> Self {
+        Self { ei_threshold: 0.03, patience: 4, window: 7, max_iterations: 60 }
+    }
+}
+
+impl Termination {
+    /// Threshold after job-count scaling: with more co-located jobs the EI
+    /// decays more slowly, so the effective threshold is raised
+    /// proportionally to avoid unbounded searches (`threshold × (1 +
+    /// (jobs − 1)/4)`).
+    #[must_use]
+    pub fn scaled_threshold(&self, jobs: usize) -> f64 {
+        self.ei_threshold * (1.0 + (jobs.saturating_sub(1)) as f64 / 4.0)
+    }
+
+    /// Creates tracking state for one search run.
+    #[must_use]
+    pub fn start(&self, jobs: usize) -> TerminationState {
+        TerminationState {
+            config: *self,
+            threshold: self.scaled_threshold(jobs),
+            best_history: Vec::new(),
+            below_count: 0,
+            iterations: 0,
+        }
+    }
+}
+
+/// Mutable tracking state for the termination condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TerminationState {
+    config: Termination,
+    threshold: f64,
+    best_history: Vec<f64>,
+    below_count: usize,
+    iterations: usize,
+}
+
+impl TerminationState {
+    /// Records one search iteration's maximum expected improvement and the
+    /// incumbent best score; returns `true` if the search should stop.
+    pub fn record(&mut self, max_ei: f64, best_score: f64) -> bool {
+        self.iterations += 1;
+        self.best_history.push(best_score);
+        let reference = best_score.abs().max(0.1);
+        let bar = self.threshold * reference;
+
+        let w = self.config.window.min(self.best_history.len());
+        let window_gain =
+            best_score - self.best_history[self.best_history.len() - w];
+
+        if max_ei < bar && window_gain < bar {
+            self.below_count += 1;
+        } else {
+            self.below_count = 0;
+        }
+        self.should_stop()
+    }
+
+    /// Whether the condition has been met.
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        self.below_count >= self.config.patience || self.iterations >= self.config.max_iterations
+    }
+
+    /// Whether the stop was caused by the EI drying up (a genuine
+    /// convergence signal) rather than the hard iteration cap.
+    #[must_use]
+    pub fn stopped_by_threshold(&self) -> bool {
+        self.below_count >= self.config.patience
+    }
+
+    /// Iterations recorded so far.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(patience: usize) -> Termination {
+        Termination { ei_threshold: 0.01, patience, window: 5, max_iterations: 100 }
+    }
+
+    #[test]
+    fn stops_after_patience_consecutive_lows() {
+        let mut s = quick(3).start(2);
+        assert!(!s.record(1.0, 0.5));
+        assert!(!s.record(1e-6, 0.5));
+        assert!(!s.record(1e-6, 0.5));
+        assert!(s.record(1e-6, 0.5));
+    }
+
+    #[test]
+    fn high_ei_resets_patience() {
+        let mut s = quick(2).start(2);
+        assert!(!s.record(1e-6, 0.5));
+        assert!(!s.record(0.9, 0.5), "high EI resets the counter");
+        assert!(!s.record(1e-6, 0.5));
+        assert!(s.record(1e-6, 0.5));
+    }
+
+    #[test]
+    fn steady_realized_progress_prevents_stopping() {
+        // EI stays ~0, but the best keeps climbing by 2% of its value per
+        // iteration: the window gain keeps the run alive.
+        let mut s = quick(3).start(2);
+        let mut best = 0.5;
+        for _ in 0..30 {
+            best += 0.012;
+            assert!(!s.record(1e-9, best), "climbing run must not stop");
+        }
+        // Once progress stalls, it stops within window + patience.
+        let mut stopped = false;
+        for _ in 0..10 {
+            if s.record(1e-9, best) {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+    }
+
+    #[test]
+    fn hard_cap_fires() {
+        let t = Termination { ei_threshold: 1e-12, patience: 100, window: 5, max_iterations: 5 };
+        let mut s = t.start(2);
+        for i in 0..5 {
+            let stop = s.record(10.0, 0.5);
+            assert_eq!(stop, i == 4, "iteration {i}");
+        }
+        assert_eq!(s.iterations(), 5);
+        assert!(!s.stopped_by_threshold());
+    }
+
+    #[test]
+    fn threshold_scales_with_jobs() {
+        let t = Termination::default();
+        assert!(t.scaled_threshold(4) > t.scaled_threshold(2));
+        assert!((t.scaled_threshold(1) - t.ei_threshold).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+use clite::CliteError;
+use clite_sim::SimError;
+
+/// Error type for the cluster scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The per-node CLITE controller failed.
+    Clite(CliteError),
+    /// The simulator rejected a request.
+    Sim(SimError),
+    /// A node id was out of range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the cluster.
+        nodes: usize,
+    },
+    /// A job id was unknown (already removed or never placed).
+    UnknownJob {
+        /// The offending job id.
+        job: u64,
+    },
+    /// The cluster was created with zero nodes.
+    EmptyCluster,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Clite(e) => write!(f, "controller failure: {e}"),
+            ClusterError::Sim(e) => write!(f, "simulator failure: {e}"),
+            ClusterError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for {nodes}-node cluster")
+            }
+            ClusterError::UnknownJob { job } => write!(f, "unknown job id {job}"),
+            ClusterError::EmptyCluster => write!(f, "cluster needs at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Clite(e) => Some(e),
+            ClusterError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CliteError> for ClusterError {
+    fn from(e: CliteError) -> Self {
+        ClusterError::Clite(e)
+    }
+}
+
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        ClusterError::Sim(e)
+    }
+}

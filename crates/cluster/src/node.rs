@@ -1,0 +1,258 @@
+//! A single server in the fleet and its committed job set.
+
+use clite::config::CliteConfig;
+use clite::controller::CliteController;
+use clite::trace::CliteOutcome;
+use clite_sim::prelude::*;
+
+use crate::ClusterError;
+
+/// A placed job: cluster-wide id plus its spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedJob {
+    /// Cluster-assigned job id (stable across re-partitionings).
+    pub id: u64,
+    /// The job's specification.
+    pub spec: JobSpec,
+}
+
+/// One server of the fleet with its committed jobs and the most recent
+/// CLITE outcome for that job set.
+#[derive(Debug)]
+pub struct Node {
+    id: usize,
+    catalog: ResourceCatalog,
+    seed: u64,
+    jobs: Vec<PlacedJob>,
+    last_outcome: Option<CliteOutcome>,
+    searches_run: usize,
+    samples_spent: u64,
+}
+
+impl Node {
+    /// Creates an empty node.
+    #[must_use]
+    pub fn new(id: usize, catalog: ResourceCatalog, seed: u64) -> Self {
+        Self {
+            id,
+            catalog,
+            seed,
+            jobs: Vec::new(),
+            last_outcome: None,
+            searches_run: 0,
+            samples_spent: 0,
+        }
+    }
+
+    /// Node id within the cluster.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Committed jobs in placement order.
+    #[must_use]
+    pub fn jobs(&self) -> &[PlacedJob] {
+        &self.jobs
+    }
+
+    /// Number of committed jobs.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the node can physically host one more job (every resource
+    /// needs a spare unit).
+    #[must_use]
+    pub fn has_capacity_for_one_more(&self) -> bool {
+        self.catalog.supports_jobs(self.jobs.len() + 1)
+    }
+
+    /// The most recent CLITE outcome for the committed job set (`None`
+    /// while the node is empty).
+    #[must_use]
+    pub fn last_outcome(&self) -> Option<&CliteOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Number of CLITE searches this node has run (admissions + removals).
+    #[must_use]
+    pub fn searches_run(&self) -> usize {
+        self.searches_run
+    }
+
+    /// Total observation windows this node has spent partitioning.
+    #[must_use]
+    pub fn samples_spent(&self) -> u64 {
+        self.samples_spent
+    }
+
+    /// Sum of the committed LC jobs' load fractions — a quick headroom
+    /// proxy used by placement policies.
+    #[must_use]
+    pub fn committed_lc_load(&self) -> f64 {
+        self.jobs
+            .iter()
+            .filter(|j| j.spec.class() == JobClass::LatencyCritical)
+            .map(|j| j.spec.load.at(0.0))
+            .sum()
+    }
+
+    /// Tries to admit `job`: runs a CLITE search on the tentative job set
+    /// and commits only if every LC job (old and new) meets QoS.
+    ///
+    /// Returns `Ok(true)` and keeps the job (plus the found partition) on
+    /// success; returns `Ok(false)` and leaves the node unchanged when the
+    /// co-location is not QoS-feasible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller/simulator failures.
+    pub fn try_admit(&mut self, job: PlacedJob, config: &CliteConfig) -> Result<bool, ClusterError> {
+        if !self.catalog.supports_jobs(self.jobs.len() + 1) {
+            return Ok(false);
+        }
+        let mut tentative: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
+        tentative.push(job.spec.clone());
+
+        let outcome = self.run_search(tentative, config)?;
+        let feasible = outcome.qos_met();
+        if feasible {
+            self.jobs.push(job);
+            self.last_outcome = Some(outcome);
+        }
+        Ok(feasible)
+    }
+
+    /// Removes a job by id and re-partitions the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if the id is not on this node.
+    pub fn remove(&mut self, job_id: u64, config: &CliteConfig) -> Result<(), ClusterError> {
+        let idx = self
+            .jobs
+            .iter()
+            .position(|j| j.id == job_id)
+            .ok_or(ClusterError::UnknownJob { job: job_id })?;
+        self.jobs.remove(idx);
+        if self.jobs.is_empty() {
+            self.last_outcome = None;
+            return Ok(());
+        }
+        let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
+        let outcome = self.run_search(specs, config)?;
+        self.last_outcome = Some(outcome);
+        Ok(())
+    }
+
+    fn run_search(
+        &mut self,
+        specs: Vec<JobSpec>,
+        config: &CliteConfig,
+    ) -> Result<CliteOutcome, ClusterError> {
+        self.searches_run += 1;
+        let seed = self.seed.wrapping_add(self.searches_run as u64);
+        let mut server = Server::new(self.catalog, specs, seed)?;
+        let controller = CliteController::new(config.clone().with_seed(seed));
+        let outcome = controller.run(&mut server)?;
+        self.samples_spent += outcome.samples_used() as u64;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(0, ResourceCatalog::testbed(), 1)
+    }
+
+    fn quick_config() -> CliteConfig {
+        CliteConfig::default()
+    }
+
+    #[test]
+    fn empty_node_admits_light_job() {
+        let mut n = node();
+        let admitted = n
+            .try_admit(
+                PlacedJob { id: 1, spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.2) },
+                &quick_config(),
+            )
+            .unwrap();
+        assert!(admitted);
+        assert_eq!(n.job_count(), 1);
+        assert!(n.last_outcome().is_some());
+        assert!(n.searches_run() >= 1);
+    }
+
+    #[test]
+    fn rejects_infeasible_addition_and_stays_unchanged() {
+        let mut n = node();
+        for (i, w) in [WorkloadId::ImgDnn, WorkloadId::Masstree].iter().enumerate() {
+            assert!(n
+                .try_admit(
+                    PlacedJob { id: i as u64, spec: JobSpec::latency_critical(*w, 0.8) },
+                    &quick_config()
+                )
+                .unwrap());
+        }
+        let before = n.job_count();
+        // A third heavily-loaded job cannot fit.
+        let admitted = n
+            .try_admit(
+                PlacedJob { id: 99, spec: JobSpec::latency_critical(WorkloadId::Specjbb, 0.9) },
+                &quick_config(),
+            )
+            .unwrap();
+        assert!(!admitted);
+        assert_eq!(n.job_count(), before, "rejected job must not linger");
+    }
+
+    #[test]
+    fn remove_unknown_job_errors() {
+        let mut n = node();
+        assert!(matches!(
+            n.remove(42, &quick_config()),
+            Err(ClusterError::UnknownJob { job: 42 })
+        ));
+    }
+
+    #[test]
+    fn remove_repartitions_remainder() {
+        let mut n = node();
+        for (i, w) in [WorkloadId::Memcached, WorkloadId::Xapian].iter().enumerate() {
+            assert!(n
+                .try_admit(
+                    PlacedJob { id: i as u64, spec: JobSpec::latency_critical(*w, 0.2) },
+                    &quick_config()
+                )
+                .unwrap());
+        }
+        n.remove(0, &quick_config()).unwrap();
+        assert_eq!(n.job_count(), 1);
+        assert_eq!(n.jobs()[0].id, 1);
+        assert!(n.last_outcome().unwrap().qos_met());
+        n.remove(1, &quick_config()).unwrap();
+        assert!(n.last_outcome().is_none());
+    }
+
+    #[test]
+    fn committed_lc_load_sums_lc_only() {
+        let mut n = node();
+        n.try_admit(
+            PlacedJob { id: 1, spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.3) },
+            &quick_config(),
+        )
+        .unwrap();
+        n.try_admit(
+            PlacedJob { id: 2, spec: JobSpec::background(WorkloadId::Swaptions) },
+            &quick_config(),
+        )
+        .unwrap();
+        assert!((n.committed_lc_load() - 0.3).abs() < 1e-12);
+    }
+}

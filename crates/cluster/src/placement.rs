@@ -1,0 +1,119 @@
+//! Node-ordering policies for admission.
+
+use serde::Serialize;
+
+use crate::node::Node;
+
+/// In which order candidate nodes are tried for a new job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub enum PlacementPolicy {
+    /// Nodes in id order; the first feasible node wins. Minimizes search
+    /// work, tends to pack low-id nodes.
+    FirstFit,
+    /// Least committed LC load first: spreads latency-critical pressure
+    /// evenly across the fleet, maximizing per-node headroom.
+    #[default]
+    LeastLoaded,
+    /// Most committed LC load (that still has physical capacity) first:
+    /// bin-packing — consolidates jobs onto few nodes, freeing whole
+    /// machines, which is the utilization win the paper's introduction
+    /// argues for.
+    MostLoaded,
+}
+
+impl PlacementPolicy {
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFit => "first-fit",
+            PlacementPolicy::LeastLoaded => "least-loaded",
+            PlacementPolicy::MostLoaded => "most-loaded",
+        }
+    }
+
+    /// Candidate node ids in try-order, excluding nodes without physical
+    /// capacity for one more job.
+    #[must_use]
+    pub fn candidate_order(self, nodes: &[Node]) -> Vec<usize> {
+        let mut ids: Vec<usize> = nodes
+            .iter()
+            .filter(|n| n.has_capacity_for_one_more())
+            .map(Node::id)
+            .collect();
+        match self {
+            PlacementPolicy::FirstFit => {}
+            PlacementPolicy::LeastLoaded => {
+                ids.sort_by(|&a, &b| {
+                    nodes[a].committed_lc_load().total_cmp(&nodes[b].committed_lc_load())
+                });
+            }
+            PlacementPolicy::MostLoaded => {
+                ids.sort_by(|&a, &b| {
+                    nodes[b].committed_lc_load().total_cmp(&nodes[a].committed_lc_load())
+                });
+            }
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite::config::CliteConfig;
+    use clite_sim::prelude::*;
+
+    use crate::node::PlacedJob;
+
+    fn fleet() -> Vec<Node> {
+        let mut nodes: Vec<Node> =
+            (0..3).map(|i| Node::new(i, ResourceCatalog::testbed(), i as u64)).collect();
+        // Put one 40% job on node 1, two on node 2.
+        let cfg = CliteConfig::default();
+        nodes[1]
+            .try_admit(
+                PlacedJob { id: 1, spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.4) },
+                &cfg,
+            )
+            .unwrap();
+        nodes[2]
+            .try_admit(
+                PlacedJob { id: 2, spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.4) },
+                &cfg,
+            )
+            .unwrap();
+        nodes[2]
+            .try_admit(
+                PlacedJob { id: 3, spec: JobSpec::latency_critical(WorkloadId::Xapian, 0.4) },
+                &cfg,
+            )
+            .unwrap();
+        nodes
+    }
+
+    #[test]
+    fn orderings_differ_as_documented() {
+        let nodes = fleet();
+        assert_eq!(PlacementPolicy::FirstFit.candidate_order(&nodes), vec![0, 1, 2]);
+        assert_eq!(PlacementPolicy::LeastLoaded.candidate_order(&nodes), vec![0, 1, 2]);
+        assert_eq!(PlacementPolicy::MostLoaded.candidate_order(&nodes), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn full_nodes_are_excluded() {
+        // A node hosting 10 jobs (cores exhausted) cannot take an 11th.
+        let mut nodes = vec![Node::new(0, ResourceCatalog::testbed(), 0)];
+        let cfg = CliteConfig::default();
+        for i in 0..10 {
+            let admitted = nodes[0]
+                .try_admit(
+                    PlacedJob { id: i, spec: JobSpec::background(WorkloadId::Swaptions) },
+                    &cfg,
+                )
+                .unwrap();
+            assert!(admitted, "BG jobs are always feasible");
+        }
+        assert!(PlacementPolicy::FirstFit.candidate_order(&nodes).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Cluster-level admission control.
+
+use clite::config::CliteConfig;
+use clite_bo::termination::Termination;
+use clite_sim::prelude::*;
+
+use crate::node::{Node, PlacedJob};
+use crate::placement::PlacementPolicy;
+use crate::stats::ClusterStats;
+use crate::ClusterError;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Node try-order policy.
+    pub placement: PlacementPolicy,
+    /// CLITE configuration used for admission searches. The default uses
+    /// a tighter iteration cap than a standalone run: admission needs a
+    /// feasibility answer quickly, and the committed partition keeps
+    /// being refined by later searches anyway.
+    pub clite: CliteConfig,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            placement: PlacementPolicy::default(),
+            clite: CliteConfig::default().with_termination(Termination {
+                max_iterations: 30,
+                ..Termination::default()
+            }),
+        }
+    }
+}
+
+/// Where a job ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Cluster-assigned job id.
+    pub job_id: u64,
+    /// Node hosting the job.
+    pub node: usize,
+}
+
+/// The fleet scheduler: submits jobs to nodes, testing QoS feasibility
+/// with a per-node CLITE search before committing.
+#[derive(Debug)]
+pub struct ClusterScheduler {
+    nodes: Vec<Node>,
+    config: SchedulerConfig,
+    next_job_id: u64,
+    rejected: u64,
+}
+
+impl ClusterScheduler {
+    /// Builds a cluster of `nodes` identical testbed servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] for zero nodes.
+    pub fn new(nodes: usize, config: SchedulerConfig, seed: u64) -> Result<Self, ClusterError> {
+        if nodes == 0 {
+            return Err(ClusterError::EmptyCluster);
+        }
+        let nodes = (0..nodes)
+            .map(|i| Node::new(i, ResourceCatalog::testbed(), seed.wrapping_add(1000 * i as u64)))
+            .collect();
+        Ok(Self { nodes, config, next_job_id: 0, rejected: 0 })
+    }
+
+    /// The fleet.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Jobs rejected so far (no node could host them with QoS intact).
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Submits a job: tries nodes in the placement policy's order and
+    /// commits to the first where a CLITE search finds a QoS-feasible
+    /// partition. Returns the placement, or `None` if every node rejected
+    /// the job (the caller would queue or scale out).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller/simulator failures.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<Option<Placement>, ClusterError> {
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        for node_id in self.config.placement.candidate_order(&self.nodes) {
+            let job = PlacedJob { id: job_id, spec: spec.clone() };
+            if self.nodes[node_id].try_admit(job, &self.config.clite)? {
+                return Ok(Some(Placement { job_id, node: node_id }));
+            }
+        }
+        self.rejected += 1;
+        Ok(None)
+    }
+
+    /// Removes a placed job (departure) and re-partitions its node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if no node hosts `job_id`.
+    pub fn remove(&mut self, job_id: u64) -> Result<(), ClusterError> {
+        for node in &mut self.nodes {
+            if node.jobs().iter().any(|j| j.id == job_id) {
+                return node.remove(job_id, &self.config.clite);
+            }
+        }
+        Err(ClusterError::UnknownJob { job: job_id })
+    }
+
+    /// Current fleet statistics.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats::collect(&self.nodes, self.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(nodes: usize, policy: PlacementPolicy) -> ClusterScheduler {
+        ClusterScheduler::new(
+            nodes,
+            SchedulerConfig { placement: policy, ..SchedulerConfig::default() },
+            99,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(matches!(
+            ClusterScheduler::new(0, SchedulerConfig::default(), 0),
+            Err(ClusterError::EmptyCluster)
+        ));
+    }
+
+    #[test]
+    fn light_jobs_all_placed() {
+        let mut c = scheduler(2, PlacementPolicy::LeastLoaded);
+        for w in [WorkloadId::Memcached, WorkloadId::ImgDnn, WorkloadId::Xapian] {
+            let placed = c.submit(JobSpec::latency_critical(w, 0.2)).unwrap();
+            assert!(placed.is_some());
+        }
+        assert_eq!(c.rejected(), 0);
+        let total: usize = c.nodes().iter().map(Node::job_count).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn least_loaded_spreads_most_loaded_packs() {
+        let mut spread = scheduler(2, PlacementPolicy::LeastLoaded);
+        let mut pack = scheduler(2, PlacementPolicy::MostLoaded);
+        for _ in 0..2 {
+            spread.submit(JobSpec::latency_critical(WorkloadId::Memcached, 0.3)).unwrap();
+            pack.submit(JobSpec::latency_critical(WorkloadId::Memcached, 0.3)).unwrap();
+        }
+        let spread_counts: Vec<usize> = spread.nodes().iter().map(Node::job_count).collect();
+        let pack_counts: Vec<usize> = pack.nodes().iter().map(Node::job_count).collect();
+        assert_eq!(spread_counts, vec![1, 1], "least-loaded spreads");
+        assert_eq!(pack_counts, vec![2, 0], "most-loaded packs");
+    }
+
+    #[test]
+    fn overload_spills_to_other_nodes_then_rejects() {
+        let mut c = scheduler(2, PlacementPolicy::MostLoaded);
+        let mut placements = Vec::new();
+        // Heavy LC jobs: each node fits roughly one or two of these.
+        for i in 0..6 {
+            let w = [WorkloadId::Masstree, WorkloadId::ImgDnn][i % 2];
+            if let Some(p) = c.submit(JobSpec::latency_critical(w, 0.8)).unwrap() {
+                placements.push(p);
+            }
+        }
+        assert!(c.rejected() > 0, "a 2-node cluster cannot host six 80% LC jobs");
+        assert!(!placements.is_empty(), "but some must be placed");
+        // Every committed node still meets QoS.
+        for n in c.nodes() {
+            if let Some(o) = n.last_outcome() {
+                assert!(o.qos_met(), "node {} committed a QoS-violating set", n.id());
+            }
+        }
+    }
+
+    #[test]
+    fn departures_free_capacity() {
+        let mut c = scheduler(1, PlacementPolicy::FirstFit);
+        let a = c.submit(JobSpec::latency_critical(WorkloadId::Masstree, 0.8)).unwrap().unwrap();
+        let b = c.submit(JobSpec::latency_critical(WorkloadId::ImgDnn, 0.8)).unwrap();
+        assert!(b.is_some());
+        // A third heavy job is rejected...
+        let rejected = c.submit(JobSpec::latency_critical(WorkloadId::Specjbb, 0.9)).unwrap();
+        assert!(rejected.is_none());
+        // ...until a departure frees the node.
+        c.remove(a.job_id).unwrap();
+        let retry = c.submit(JobSpec::latency_critical(WorkloadId::Specjbb, 0.8)).unwrap();
+        assert!(retry.is_some(), "departure must free capacity");
+    }
+
+    #[test]
+    fn remove_unknown_job_errors() {
+        let mut c = scheduler(1, PlacementPolicy::FirstFit);
+        assert!(matches!(c.remove(7), Err(ClusterError::UnknownJob { job: 7 })));
+    }
+}

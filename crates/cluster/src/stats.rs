@@ -1,0 +1,119 @@
+//! Fleet-level accounting.
+
+use serde::Serialize;
+
+use clite_sim::workload::JobClass;
+
+use crate::node::Node;
+
+/// Per-node snapshot inside a [`ClusterStats`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodeStats {
+    /// Node id.
+    pub node: usize,
+    /// Jobs committed to this node.
+    pub jobs: usize,
+    /// Latency-critical jobs among them.
+    pub lc_jobs: usize,
+    /// Sum of committed LC load fractions.
+    pub lc_load: f64,
+    /// Mean BG throughput (isolation-relative) at the committed partition
+    /// (`None` for empty nodes or nodes without BG jobs).
+    pub bg_perf: Option<f64>,
+    /// Whether the committed partition meets every QoS target.
+    pub qos_met: bool,
+    /// Observation windows spent partitioning so far.
+    pub samples_spent: u64,
+}
+
+/// Aggregate fleet statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterStats {
+    /// Per-node snapshots in id order.
+    pub nodes: Vec<NodeStats>,
+    /// Jobs placed across the fleet.
+    pub placed: usize,
+    /// Jobs rejected by admission control.
+    pub rejected: u64,
+    /// Nodes hosting no jobs (whole machines freed — the consolidation
+    /// win the paper's introduction motivates).
+    pub empty_nodes: usize,
+}
+
+impl ClusterStats {
+    /// Collects statistics from the fleet.
+    #[must_use]
+    pub fn collect(nodes: &[Node], rejected: u64) -> Self {
+        let node_stats: Vec<NodeStats> = nodes
+            .iter()
+            .map(|n| {
+                let best = n.last_outcome().map(|o| {
+                    o.samples
+                        .iter()
+                        .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+                        .expect("outcomes have samples")
+                });
+                NodeStats {
+                    node: n.id(),
+                    jobs: n.job_count(),
+                    lc_jobs: n
+                        .jobs()
+                        .iter()
+                        .filter(|j| j.spec.class() == JobClass::LatencyCritical)
+                        .count(),
+                    lc_load: n.committed_lc_load(),
+                    bg_perf: best.and_then(|s| s.observation.mean_bg_perf()),
+                    qos_met: n.last_outcome().map_or(true, |o| o.qos_met()),
+                    samples_spent: n.samples_spent(),
+                }
+            })
+            .collect();
+        Self {
+            placed: node_stats.iter().map(|n| n.jobs).sum(),
+            empty_nodes: node_stats.iter().filter(|n| n.jobs == 0).count(),
+            nodes: node_stats,
+            rejected,
+        }
+    }
+
+    /// Fraction of submitted jobs that were placed.
+    #[must_use]
+    pub fn admission_rate(&self) -> f64 {
+        let submitted = self.placed as u64 + self.rejected;
+        if submitted == 0 {
+            1.0
+        } else {
+            self.placed as f64 / submitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::placement::PlacementPolicy;
+    use crate::scheduler::{ClusterScheduler, SchedulerConfig};
+    use clite_sim::prelude::*;
+
+    #[test]
+    fn stats_reflect_fleet_state() {
+        let mut c = ClusterScheduler::new(
+            3,
+            SchedulerConfig { placement: PlacementPolicy::MostLoaded, ..Default::default() },
+            5,
+        )
+        .unwrap();
+        c.submit(JobSpec::latency_critical(WorkloadId::Memcached, 0.3)).unwrap();
+        c.submit(JobSpec::background(WorkloadId::Swaptions)).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.placed, 2);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.empty_nodes, 2, "bin-packing keeps two machines free");
+        assert!((stats.admission_rate() - 1.0).abs() < 1e-12);
+        let busy = &stats.nodes[0];
+        assert_eq!(busy.jobs, 2);
+        assert_eq!(busy.lc_jobs, 1);
+        assert!(busy.qos_met);
+        assert!(busy.bg_perf.is_some());
+        assert!(busy.samples_spent > 0);
+    }
+}

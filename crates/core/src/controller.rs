@@ -1,0 +1,608 @@
+//! The CLITE search loop (paper Fig. 5 / Algorithm 1).
+//!
+//! One [`CliteController::run`]:
+//!
+//! 1. **Bootstrap** — evaluate the equal-division partition plus one
+//!    maximum-allocation extremum per job (`N_jobs + 1` samples). An LC job
+//!    that misses QoS *under its own maximum extremum* can never meet it in
+//!    this co-location; it is reported in
+//!    [`CliteOutcome::infeasible_jobs`](crate::trace::CliteOutcome) and the
+//!    search stops immediately ("these jobs can be immediately scheduled
+//!    elsewhere without wasting any BO cycles").
+//! 2. **Search** — repeat: pick a dropout job (the LC job performing best
+//!    so far, frozen at its best-seen allocation), ask the BO engine for
+//!    the acquisition-maximizing partition with that row frozen, enforce
+//!    it, observe for one window, score with Eq. 3, record.
+//! 3. **Terminate** — when the expected improvement stays below the
+//!    job-count-scaled threshold (or the iteration cap fires).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clite_bo::engine::BoEngine;
+use clite_bo::space::SearchSpace;
+use clite_bo::BoError;
+use clite_sim::alloc::{JobAllocation, Partition};
+use clite_sim::server::Server;
+use clite_sim::workload::JobClass;
+
+use crate::config::{CliteConfig, DropoutPolicy};
+use crate::score::score_observation;
+use crate::trace::{CliteOutcome, SampleRecord};
+use crate::CliteError;
+
+/// The CLITE controller.
+#[derive(Debug, Clone, Default)]
+pub struct CliteController {
+    config: CliteConfig,
+}
+
+impl CliteController {
+    /// Builds a controller with the given configuration.
+    #[must_use]
+    pub fn new(config: CliteConfig) -> Self {
+        Self { config }
+    }
+
+    /// The controller's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CliteConfig {
+        &self.config
+    }
+
+    /// Runs one full search on `server` and returns the outcome. The
+    /// server is left with the last *sampled* partition enforced; callers
+    /// should enforce [`CliteOutcome::best_partition`] afterwards (the
+    /// adaptive runner does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliteError::Bo`] if the engine cannot fit a surrogate or
+    /// produce a candidate, and [`CliteError::Sim`] for simulator
+    /// rejections.
+    pub fn run(&self, server: &mut Server) -> Result<CliteOutcome, CliteError> {
+        let jobs = server.job_count();
+        let space = SearchSpace::new(*server.catalog(), jobs)?;
+        let mut engine = BoEngine::new(space, self.config.bo.clone(), self.config.seed);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED_CAFE);
+
+        let mut samples: Vec<SampleRecord> = Vec::new();
+        let mut infeasible: Vec<usize> = Vec::new();
+        let mut samples_to_qos: Option<usize> = None;
+
+        // ── Phase 1: bootstrap ────────────────────────────────────────────
+        for (k, partition) in engine.bootstrap_samples()?.into_iter().enumerate() {
+            let observation = server.observe(&partition);
+            let score = score_observation(&observation);
+            if observation.all_qos_met() && samples_to_qos.is_none() {
+                samples_to_qos = Some(samples.len());
+            }
+            // Extremum k ≥ 1 gives job k−1 the maximum allocation: failing
+            // QoS there means failing it everywhere.
+            if k >= 1 {
+                let j = k - 1;
+                if server.class(j) == JobClass::LatencyCritical
+                    && observation.jobs[j].qos_met == Some(false)
+                {
+                    infeasible.push(j);
+                }
+            }
+            engine.record(partition.clone(), score.value);
+            samples.push(SampleRecord {
+                index: samples.len(),
+                bootstrap: true,
+                partition,
+                observation,
+                score,
+                expected_improvement: None,
+                frozen_job: None,
+            });
+        }
+
+        if !infeasible.is_empty() {
+            let (best_partition, best_score) =
+                engine.best().map(|(p, s)| (p.clone(), s)).expect("bootstrap recorded samples");
+            return Ok(CliteOutcome {
+                best_partition,
+                best_score,
+                samples,
+                converged: false,
+                infeasible_jobs: infeasible,
+                samples_to_qos,
+            });
+        }
+
+        // ── Phase 2: BO search with dropout-copy ──────────────────────────
+        // Runs to EI termination, then a confirmation pass re-observes the
+        // top candidates (the argmax of noisy scores is biased upward — a
+        // boundary configuration with one lucky window can masquerade as
+        // feasible). If confirmation reveals the incumbent was a mirage
+        // (re-observed score < 0.5), the search resumes once with the
+        // corrected evidence recorded.
+        let mut term = self.config.termination.start(jobs);
+        let mut fruitless_local_moves = 0usize;
+        #[allow(unused_assignments)]
+        let mut converged = false;
+        let mut resumptions = 0usize;
+        let (best_partition, best_score) = 'outer: loop {
+        loop {
+            let frozen = self.select_dropout(server, &samples, &mut rng);
+            let best_before = engine.best().map(|(_, s)| s).unwrap_or(0.0);
+            // A frozen search can dead-end (everything reachable was
+            // sampled); retry unconstrained. If even the unconstrained
+            // search has no unsampled candidate, the space is exhausted
+            // (e.g. a single co-located job has exactly one partition) --
+            // that is convergence, not an error.
+            let maybe_suggestion = match engine.suggest(frozen) {
+                Ok(s) => Some(s),
+                Err(BoError::NoCandidate) => match engine.suggest(None) {
+                    Ok(s) => Some(s),
+                    Err(BoError::NoCandidate) => None,
+                    Err(e) => return Err(e.into()),
+                },
+                Err(e) => return Err(e.into()),
+            };
+            let Some(mut suggestion) = maybe_suggestion else {
+                converged = true;
+                break;
+            };
+
+            // Local donation moves complement the global acquisition:
+            //
+            // * while some LC job still violates QoS, every other sample
+            //   is a *repair* move — route resources from comfortable jobs
+            //   to the worst-violating one (interleaved with global EI so
+            //   the surrogate keeps exploring);
+            // * once QoS is met and the global EI dries up, switch to
+            //   *polish* moves — a globally smooth surrogate can report
+            //   near-zero EI while genuine gains hide one unit-transfer
+            //   from the incumbent.
+            //
+            // Both ignore the dropout freeze on purpose: the frozen
+            // "best-performing" job is usually the very donor whose
+            // surplus should move.
+            let threshold = self.config.termination.scaled_threshold(jobs)
+                * best_before.abs().max(0.1);
+            let want_local = if samples_to_qos.is_some() {
+                suggestion.expected_improvement < threshold
+            } else {
+                // While violating, interleave counter-guided repair with
+                // global exploration (two repair moves per global sample);
+                // the fruitless-streak escape below hands control back to
+                // the global acquisition whenever repair stops paying off.
+                samples.len() % 3 != 0
+            };
+            // A streak of fruitless local moves means the incumbent's
+            // neighbourhood is tapped out; hand the next sample back to
+            // the global acquisition.
+            let mut is_local = false;
+            if want_local && fruitless_local_moves < 3 {
+                let candidates = donation_candidates(&samples);
+                let polish = match engine.suggest_ordered(&candidates)? {
+                    Some(p) => Some(p),
+                    None => engine.suggest_polish(None)?,
+                };
+                if let Some(polish) = polish {
+                    suggestion = polish;
+                    is_local = true;
+                }
+            }
+
+            let observation = server.observe(&suggestion.partition);
+            let score = score_observation(&observation);
+            if observation.all_qos_met() && samples_to_qos.is_none() {
+                samples_to_qos = Some(samples.len());
+            }
+            let sample_score = score.value;
+            engine.record(suggestion.partition.clone(), sample_score);
+            samples.push(SampleRecord {
+                index: samples.len(),
+                bootstrap: false,
+                partition: suggestion.partition,
+                observation,
+                score,
+                expected_improvement: Some(suggestion.expected_improvement),
+                frozen_job: frozen.map(|(j, _)| j),
+            });
+
+            let best = engine.best().map(|(_, s)| s).unwrap_or(0.0);
+            // EI-based convergence only applies once QoS has been met at
+            // least once (performance mode): while jobs still violate,
+            // CLITE keeps searching up to the iteration cap rather than
+            // declaring a low-EI violating configuration "converged".
+            // Observed improvement counts alongside model EI, so the
+            // search never stops while polish moves keep paying off.
+            let actual_improvement = (sample_score - best_before).max(0.0);
+            if is_local {
+                if actual_improvement > 0.0 {
+                    fruitless_local_moves = 0;
+                } else {
+                    fruitless_local_moves += 1;
+                }
+            } else {
+                fruitless_local_moves = 0;
+            }
+            let effective_ei = if samples_to_qos.is_some() {
+                suggestion.expected_improvement.max(actual_improvement)
+            } else {
+                f64::INFINITY
+            };
+            if term.record(effective_ei, best) {
+                converged = term.stopped_by_threshold();
+                break;
+            }
+        }
+
+        // ── Phase 3: confirmation ─────────────────────────────────────────
+        let mut top: Vec<(Partition, f64)> = engine
+            .history()
+            .iter()
+            .map(|(p, s)| (p.clone(), *s))
+            .collect();
+        top.sort_by(|a, b| b.1.total_cmp(&a.1));
+        top.dedup_by(|a, b| a.0 == b.0);
+        let mut best_partition = top[0].0.clone();
+        let mut best_score = f64::MIN;
+        let mut best_margin_ok = false;
+        for (p, _) in top.into_iter().take(3) {
+            let observation = server.observe(&p);
+            let score = score_observation(&observation);
+            if observation.all_qos_met() && samples_to_qos.is_none() {
+                samples_to_qos = Some(samples.len());
+            }
+            // Prefer candidates that clear every QoS target with a small
+            // margin (re-observed min LC slack >= 1.03): a configuration
+            // sitting exactly on the boundary flips with measurement noise
+            // and is a poor thing to commit to.
+            let margin_ok = observation
+                .lc_jobs()
+                .map(|j| j.qos_slack().unwrap_or(0.0))
+                .fold(f64::INFINITY, f64::min)
+                >= 1.03;
+            let better = match (margin_ok, best_margin_ok) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => score.value > best_score,
+            };
+            if better {
+                best_score = score.value;
+                best_partition = p.clone();
+                best_margin_ok = margin_ok;
+            }
+            // Feed the corrected evidence back to the surrogate: the same
+            // point with a second (independent) noisy measurement.
+            engine.record(p.clone(), score.value);
+            samples.push(SampleRecord {
+                index: samples.len(),
+                bootstrap: false,
+                partition: p,
+                observation,
+                score,
+                expected_improvement: None,
+                frozen_job: None,
+            });
+        }
+
+        if best_score >= 0.5 || resumptions >= 1 {
+            break 'outer (best_partition, best_score);
+        }
+        resumptions += 1;
+        term = self.config.termination.start(jobs);
+        fruitless_local_moves = 0;
+        };
+
+        Ok(CliteOutcome {
+            best_partition,
+            best_score,
+            samples,
+            converged,
+            infeasible_jobs: infeasible,
+            samples_to_qos,
+        })
+    }
+
+    /// Picks the dropout job and its frozen allocation (paper Sec. 4).
+    ///
+    /// Per-job "performance so far": for LC jobs the best QoS slack ratio
+    /// (`target / latency`, the job that has met or is closest to meeting
+    /// QoS); for BG jobs the best normalized throughput. The chosen job is
+    /// frozen at its allocation **in the best-scoring sample so far** —
+    /// dropout-*copy* copies dropped dimensions from the incumbent best
+    /// solution (Li et al.), which keeps the frozen row compatible with a
+    /// good overall partition (freezing at the job's own bootstrap
+    /// extremum would starve everyone else). Dropout needs at least three
+    /// co-located jobs: with two, freezing one row pins the whole
+    /// partition.
+    fn select_dropout(
+        &self,
+        server: &Server,
+        samples: &[SampleRecord],
+        rng: &mut StdRng,
+    ) -> Option<(usize, JobAllocation)> {
+        let explore_prob = match self.config.dropout {
+            DropoutPolicy::None => return None,
+            DropoutPolicy::BestJob { explore_prob } => explore_prob,
+        };
+        let jobs = server.job_count();
+        if jobs < 3 || samples.is_empty() {
+            return None;
+        }
+
+        let job = if rng.gen_bool(explore_prob.clamp(0.0, 1.0)) {
+            rng.gen_range(0..jobs)
+        } else {
+            // Highest best-seen performance metric.
+            let mut best_job = 0;
+            let mut best_metric = f64::MIN;
+            for j in 0..jobs {
+                let metric = samples
+                    .iter()
+                    .map(|s| job_metric(&s.observation.jobs[j]))
+                    .fold(f64::MIN, f64::max);
+                if metric > best_metric {
+                    best_metric = metric;
+                    best_job = j;
+                }
+            }
+            best_job
+        };
+
+        // Dropout-copy: freeze at this job's row in the incumbent best.
+        let best_sample = samples
+            .iter()
+            .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+            .expect("samples non-empty");
+        Some((job, *best_sample.partition.job(job)))
+    }
+}
+
+/// Per-job scalar performance used by dropout selection.
+fn job_metric(obs: &clite_sim::metrics::JobObservation) -> f64 {
+    match obs.qos_slack() {
+        Some(slack) => slack.min(10.0),
+        None => obs.normalized_perf,
+    }
+}
+
+/// Donation moves around the incumbent best, priority-ordered: transfer
+/// 1–3 units of a resource from a job with comfortable surplus (LC: QoS
+/// slack above 15%; BG: clearly better off than the weakest job) to the
+/// weakest job. These are the "resource equivalence class" exploitation
+/// moves the paper credits for CLITE's BG-performance advantage — the
+/// score's performance mode improves only by re-routing surplus to
+/// whoever drags the geometric mean down.
+///
+/// Ordering uses the recipient's performance counters from the incumbent
+/// observation (the same counters the real CLITE reads): capacity
+/// pressure ⇒ memory capacity first; bandwidth consumption pinned at the
+/// share ⇒ bandwidth; low LLC hit rate ⇒ ways; cores as the steady
+/// default. Careful single-unit transfers come before larger ones within
+/// a priority class.
+fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
+    use clite_sim::resource::ResourceKind;
+
+    let Some(best) = samples.iter().max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+    else {
+        return Vec::new();
+    };
+    let obs = &best.observation;
+    let jobs = obs.jobs.len();
+    if jobs < 2 {
+        return Vec::new();
+    }
+    let metrics: Vec<f64> = obs.jobs.iter().map(job_metric).collect();
+    // While any LC job violates QoS, repair targets the worst-violating
+    // LC job; only with all targets met does the weakest job overall
+    // (usually a BG job) receive donations.
+    let violating_lc: Option<usize> = obs
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.qos_met == Some(false))
+        .min_by(|(a, _), (b, _)| metrics[*a].total_cmp(&metrics[*b]))
+        .map(|(i, _)| i);
+    let recipient = violating_lc.unwrap_or_else(|| {
+        (0..jobs)
+            .min_by(|&a, &b| metrics[a].total_cmp(&metrics[b]))
+            .expect("at least two jobs")
+    });
+
+    // Per-resource utility for the recipient, from its counters.
+    let rc = &obs.jobs[recipient].counters;
+    let bw_share = best.partition.fraction(recipient, ResourceKind::MemBandwidth);
+    let utility = |r: ResourceKind| -> f64 {
+        match r {
+            ResourceKind::MemCapacity => 10.0 * rc.capacity_pressure,
+            ResourceKind::MemBandwidth => {
+                if rc.mem_bw_used_frac >= 0.9 * bw_share {
+                    3.0
+                } else {
+                    0.5
+                }
+            }
+            ResourceKind::LlcWays => 2.0 * (1.0 - rc.llc_hit_rate),
+            ResourceKind::Cores => 1.5,
+            ResourceKind::DiskBandwidth => {
+                let disk_share =
+                    best.partition.fraction(recipient, ResourceKind::DiskBandwidth);
+                if rc.disk_bw_used_frac >= 0.9 * disk_share {
+                    3.0
+                } else {
+                    0.25
+                }
+            }
+            ResourceKind::NetBandwidth => {
+                let net_share =
+                    best.partition.fraction(recipient, ResourceKind::NetBandwidth);
+                if rc.net_bw_used_frac >= 0.9 * net_share {
+                    3.0
+                } else {
+                    0.25
+                }
+            }
+        }
+    };
+
+    // Donors by descending surplus.
+    let mut donors: Vec<usize> = (0..jobs)
+        .filter(|&j| {
+            j != recipient
+                && match obs.jobs[j].qos_slack() {
+                    Some(slack) => slack > 1.15,
+                    None => metrics[j] > 1.5 * metrics[recipient],
+                }
+        })
+        .collect();
+    donors.sort_by(|&a, &b| metrics[b].total_cmp(&metrics[a]));
+
+    let mut scored: Vec<(f64, Partition)> = Vec::new();
+    for &donor in &donors {
+        for r in ResourceKind::ALL {
+            for amount in (1..=3u32).rev() {
+                if let Ok(p) = best.partition.transfer(r, donor, recipient, amount) {
+                    // Careful single-unit transfers rank above bigger ones
+                    // at equal resource utility: near the feasibility
+                    // ridge a 3-unit donation usually breaks the donor.
+                    scored.push((utility(r) - 0.01 * f64::from(amount), p));
+                }
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    scored.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Returns the partition a run should leave enforced: the outcome's best.
+/// Small helper shared by the adaptive runner and experiments.
+pub fn enforce_best(server: &mut Server, best: &Partition) -> clite_sim::metrics::Observation {
+    server.observe(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::prelude::*;
+
+    fn server(jobs: Vec<JobSpec>, seed: u64) -> Server {
+        Server::new(ResourceCatalog::testbed(), jobs, seed).unwrap()
+    }
+
+    fn easy_mix() -> Vec<JobSpec> {
+        vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.2),
+            JobSpec::latency_critical(WorkloadId::ImgDnn, 0.2),
+            JobSpec::background(WorkloadId::Blackscholes),
+        ]
+    }
+
+    #[test]
+    fn meets_qos_on_easy_mix() {
+        let mut s = server(easy_mix(), 1);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        assert!(outcome.infeasible_jobs.is_empty());
+        assert!(outcome.qos_met(), "best score {}", outcome.best_score);
+        assert!(outcome.samples_to_qos.is_some());
+        // Paper: fewer than ~30 samples even with several jobs.
+        assert!(outcome.samples_used() <= 80, "used {}", outcome.samples_used());
+    }
+
+    #[test]
+    fn bootstrap_comes_first_and_counts_jobs_plus_one() {
+        let mut s = server(easy_mix(), 2);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        let boot: Vec<_> = outcome.samples.iter().filter(|r| r.bootstrap).collect();
+        assert_eq!(boot.len(), 4, "N_jobs + 1 bootstrap samples");
+        assert!(outcome.samples[..4].iter().all(|r| r.bootstrap));
+        assert!(outcome.samples[4..].iter().all(|r| !r.bootstrap));
+    }
+
+    #[test]
+    fn infeasible_job_detected_and_run_stops_early() {
+        // Nine loaded LC jobs: each job's maximum extremum is only 2 cores
+        // (everyone else keeps one), so the heavyweight jobs fail QoS even
+        // with their own maximum allocation — individually infeasible, the
+        // case the paper ejects right after bootstrapping.
+        let mix = vec![
+            JobSpec::latency_critical(WorkloadId::ImgDnn, 1.0),
+            JobSpec::latency_critical(WorkloadId::Masstree, 1.0),
+            JobSpec::latency_critical(WorkloadId::Memcached, 1.0),
+            JobSpec::latency_critical(WorkloadId::Specjbb, 1.0),
+            JobSpec::latency_critical(WorkloadId::Xapian, 1.0),
+            JobSpec::latency_critical(WorkloadId::ImgDnn, 1.0),
+            JobSpec::latency_critical(WorkloadId::Masstree, 1.0),
+            JobSpec::latency_critical(WorkloadId::Specjbb, 1.0),
+            JobSpec::latency_critical(WorkloadId::Xapian, 1.0),
+        ];
+        let mut s = server(mix, 3);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        assert!(!outcome.infeasible_jobs.is_empty());
+        assert!(!outcome.converged);
+        // Stopped right after bootstrap: N_jobs + 1 samples.
+        assert_eq!(outcome.samples_used(), 10);
+    }
+
+    #[test]
+    fn improves_bg_performance_after_meeting_qos() {
+        // The paper's key differentiator: CLITE keeps optimizing BG
+        // performance after QoS is met.
+        let mut s = server(easy_mix(), 4);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        let first_qos_sample = outcome.samples_to_qos.unwrap();
+        let first_qos_bg =
+            outcome.samples[first_qos_sample].observation.mean_bg_perf().unwrap();
+        let best_bg = outcome.best_bg_perf().unwrap();
+        assert!(
+            best_bg >= first_qos_bg,
+            "best BG perf {best_bg} must not regress from first-QoS {first_qos_bg}"
+        );
+        assert!(outcome.best_score > 0.5);
+    }
+
+    #[test]
+    fn dropout_freezes_rows_in_search_samples() {
+        let mut s = server(easy_mix(), 5);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        let frozen_used = outcome
+            .samples
+            .iter()
+            .filter(|r| !r.bootstrap)
+            .any(|r| r.frozen_job.is_some());
+        assert!(frozen_used, "dropout-copy should engage with 3 co-located jobs");
+    }
+
+    #[test]
+    fn no_dropout_with_two_jobs() {
+        let mix = vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.3),
+            JobSpec::background(WorkloadId::Swaptions),
+        ];
+        let mut s = server(mix, 6);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        assert!(outcome.samples.iter().all(|r| r.frozen_job.is_none()));
+    }
+
+    #[test]
+    fn deterministic_with_same_seeds() {
+        let run = || {
+            let mut s = server(easy_mix(), 7);
+            CliteController::new(CliteConfig::default().with_seed(99)).run(&mut s).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_partition, b.best_partition);
+        assert_eq!(a.samples_used(), b.samples_used());
+    }
+
+    #[test]
+    fn lc_only_mix_optimizes_past_qos() {
+        let mix = vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.3),
+            JobSpec::latency_critical(WorkloadId::Masstree, 0.3),
+            JobSpec::latency_critical(WorkloadId::ImgDnn, 0.3),
+        ];
+        let mut s = server(mix, 8);
+        let outcome = CliteController::default().run(&mut s).unwrap();
+        assert!(outcome.qos_met(), "3 LC jobs at 30% load are co-locatable");
+        assert!(outcome.best_score > 0.5);
+    }
+}

@@ -1,0 +1,49 @@
+use std::fmt;
+
+use clite_bo::BoError;
+use clite_sim::SimError;
+
+/// Error type for the CLITE controller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CliteError {
+    /// The Bayesian-optimization engine failed.
+    Bo(BoError),
+    /// The simulator rejected a request.
+    Sim(SimError),
+    /// The server hosts no latency-critical *or* background jobs to
+    /// optimize for (empty server).
+    NothingToOptimize,
+}
+
+impl fmt::Display for CliteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliteError::Bo(e) => write!(f, "bayesian optimization failure: {e}"),
+            CliteError::Sim(e) => write!(f, "simulator failure: {e}"),
+            CliteError::NothingToOptimize => write!(f, "no jobs to optimize"),
+        }
+    }
+}
+
+impl std::error::Error for CliteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliteError::Bo(e) => Some(e),
+            CliteError::Sim(e) => Some(e),
+            CliteError::NothingToOptimize => None,
+        }
+    }
+}
+
+impl From<BoError> for CliteError {
+    fn from(e: BoError) -> Self {
+        CliteError::Bo(e)
+    }
+}
+
+impl From<SimError> for CliteError {
+    fn from(e: SimError) -> Self {
+        CliteError::Sim(e)
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's score function (Eq. 3).
+//!
+//! CLITE cannot hand raw multi-objective outcomes to BO; it collapses one
+//! observation window into a single smooth score in `[0, 1]` with two
+//! modes:
+//!
+//! * **QoS mode** (some LC job misses its target):
+//!   `score = ½ · (∏ₙ min(1, QoS-Targetₙ / Current-Latencyₙ))^(1/N_LC)` —
+//!   a geometric mean of capped latency ratios, smooth in how *far* each
+//!   job is from its target (never a flat 0, which would give BO no
+//!   gradient to follow; see the paper's discussion of why a 0/1 score
+//!   fails);
+//! * **performance mode** (every LC job meets its target):
+//!   `score = ½ + ½ · (∏ₙ Colo-Perfₙ / Iso-Perfₙ)^(1/N_BG)` over the BG
+//!   jobs — and when no BG jobs are co-located, `N_BG` is "simply replaced
+//!   by `N_LC`" (paper Sec. 4) using the LC jobs' isolation-relative
+//!   performance, so CLITE keeps improving LC performance past the QoS
+//!   targets.
+//!
+//! The cap at 0.5 encodes the paper's priority: *no* BG performance can
+//! compensate for a QoS violation.
+
+use serde::Serialize;
+
+use clite_gp::stats::geometric_mean;
+use clite_sim::metrics::Observation;
+use clite_sim::workload::JobClass;
+
+/// Which mode of Eq. 3 produced a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ScoreMode {
+    /// Some LC job misses QoS; score ≤ 0.5.
+    QosViolated,
+    /// All LC jobs meet QoS; score ≥ 0.5, driven by BG (or LC) performance.
+    QosMet,
+}
+
+/// A scored observation with its per-job components.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScoreBreakdown {
+    /// Final score in `[0, 1]`.
+    pub value: f64,
+    /// Which mode applied.
+    pub mode: ScoreMode,
+    /// Capped `target/latency` ratio per LC job (the QoS-mode factors).
+    pub lc_ratios: Vec<f64>,
+    /// Capped `colo/iso` performance ratio per BG job (the
+    /// performance-mode factors).
+    pub bg_ratios: Vec<f64>,
+}
+
+/// Scores one observation window per Eq. 3.
+///
+/// An observation with no LC jobs is always in performance mode; one with
+/// no BG jobs uses the LC jobs' isolation-relative performance in
+/// performance mode.
+#[must_use]
+pub fn score_observation(obs: &Observation) -> ScoreBreakdown {
+    let lc_ratios: Vec<f64> = obs
+        .lc_jobs()
+        .map(|j| {
+            let target = j.qos_target_us.expect("LC job has a QoS target");
+            (target / j.latency_p95_us).min(1.0)
+        })
+        .collect();
+    let bg_ratios: Vec<f64> = obs.bg_jobs().map(|j| j.normalized_perf.min(1.0)).collect();
+
+    let all_met = obs
+        .jobs
+        .iter()
+        .filter(|j| j.class == JobClass::LatencyCritical)
+        .all(|j| j.qos_met == Some(true));
+
+    if !all_met {
+        let value = 0.5 * geometric_mean(&lc_ratios);
+        return ScoreBreakdown { value, mode: ScoreMode::QosViolated, lc_ratios, bg_ratios };
+    }
+
+    // Performance mode: BG jobs if present, else the LC jobs' own
+    // isolation-relative performance (N_BG → N_LC substitution).
+    let perf = if bg_ratios.is_empty() {
+        let lc_perf: Vec<f64> =
+            obs.lc_jobs().map(|j| j.normalized_perf.min(1.0)).collect();
+        geometric_mean(&lc_perf)
+    } else {
+        geometric_mean(&bg_ratios)
+    };
+    ScoreBreakdown {
+        value: 0.5 + 0.5 * perf,
+        mode: ScoreMode::QosMet,
+        lc_ratios,
+        bg_ratios,
+    }
+}
+
+/// Convenience wrapper returning only the scalar score.
+#[must_use]
+pub fn score_value(obs: &Observation) -> f64 {
+    score_observation(obs).value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::counters::CounterSample;
+    use clite_sim::metrics::JobObservation;
+    use clite_sim::workload::WorkloadId;
+
+    fn counters() -> CounterSample {
+        CounterSample {
+            cpu_utilization: 0.5,
+            llc_hit_rate: 0.5,
+            mem_bw_used_frac: 0.2,
+            ipc_proxy: 0.8,
+            capacity_pressure: 0.0,
+            disk_bw_used_frac: 0.0,
+            net_bw_used_frac: 0.0,
+        }
+    }
+
+    fn lc(latency: f64, target: f64, iso: f64) -> JobObservation {
+        JobObservation {
+            workload: WorkloadId::Memcached,
+            class: JobClass::LatencyCritical,
+            latency_p95_us: latency,
+            offered_qps: 1000.0,
+            normalized_perf: (iso / latency).min(1.0),
+            qos_met: Some(latency <= target),
+            qos_target_us: Some(target),
+            iso_latency_p95_us: Some(iso),
+            counters: counters(),
+        }
+    }
+
+    fn bg(perf: f64) -> JobObservation {
+        JobObservation {
+            workload: WorkloadId::Blackscholes,
+            class: JobClass::Background,
+            latency_p95_us: 100.0,
+            offered_qps: 0.0,
+            normalized_perf: perf,
+            qos_met: None,
+            qos_target_us: None,
+            iso_latency_p95_us: None,
+            counters: counters(),
+        }
+    }
+
+    fn obs(jobs: Vec<JobObservation>) -> Observation {
+        Observation { time_s: 0.0, window_s: 2.0, jobs }
+    }
+
+    #[test]
+    fn violation_caps_score_at_half() {
+        // One job misses badly, BG perf is perfect — score must stay ≤ 0.5.
+        let o = obs(vec![lc(1000.0, 100.0, 50.0), bg(1.0)]);
+        let s = score_observation(&o);
+        assert_eq!(s.mode, ScoreMode::QosViolated);
+        assert!(s.value <= 0.5);
+        assert!((s.value - 0.5 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn met_mode_floors_score_at_half() {
+        let o = obs(vec![lc(50.0, 100.0, 40.0), bg(0.0001)]);
+        let s = score_observation(&o);
+        assert_eq!(s.mode, ScoreMode::QosMet);
+        assert!(s.value >= 0.5);
+    }
+
+    #[test]
+    fn perfect_colocations_score_one() {
+        let o = obs(vec![lc(50.0, 100.0, 50.0), bg(1.0)]);
+        let s = score_observation(&o);
+        assert!((s.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_smooth_in_violation_depth() {
+        // Closer to target ⇒ higher score, even while violating.
+        let near = score_value(&obs(vec![lc(120.0, 100.0, 50.0)]));
+        let far = score_value(&obs(vec![lc(400.0, 100.0, 50.0)]));
+        assert!(near > far);
+        assert!(near < 0.5);
+    }
+
+    #[test]
+    fn geometric_mean_punishes_worst_job() {
+        // Two jobs at ratios (0.9, 0.1) score lower than two at (0.5, 0.5):
+        // the geometric mean favors balanced progress.
+        let unbalanced = score_value(&obs(vec![
+            lc(100.0 / 0.9, 100.0, 50.0),
+            lc(1000.0, 100.0, 50.0),
+        ]));
+        let balanced =
+            score_value(&obs(vec![lc(200.0, 100.0, 50.0), lc(200.0, 100.0, 50.0)]));
+        assert!(balanced > unbalanced);
+    }
+
+    #[test]
+    fn bg_only_observation_uses_performance_mode() {
+        let o = obs(vec![bg(0.6), bg(0.8)]);
+        let s = score_observation(&o);
+        assert_eq!(s.mode, ScoreMode::QosMet);
+        let expected = 0.5 + 0.5 * (0.6f64 * 0.8).sqrt();
+        assert!((s.value - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lc_only_observation_optimizes_lc_past_qos() {
+        // All QoS met, no BG: score reflects LC isolation-relative perf.
+        let slack = score_value(&obs(vec![lc(50.0, 100.0, 45.0)]));
+        let tight = score_value(&obs(vec![lc(99.0, 100.0, 45.0)]));
+        assert!(slack > tight, "more LC slack must score higher with no BG jobs");
+        assert!(slack > 0.5 && tight > 0.5);
+    }
+
+    #[test]
+    fn score_always_in_unit_interval() {
+        for lat in [10.0, 100.0, 1e6] {
+            for perf in [0.0, 0.3, 1.0, 1.5] {
+                let v = score_value(&obs(vec![lc(lat, 100.0, 10.0), bg(perf)]));
+                assert!((0.0..=1.0).contains(&v), "score {v} for lat {lat} perf {perf}");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-sample records produced by the controller and consumed by the
+//! experiment harness (allocation-over-time plots, convergence curves,
+//! overhead accounting).
+
+use serde::Serialize;
+
+use clite_sim::alloc::Partition;
+use clite_sim::metrics::Observation;
+
+use crate::score::ScoreBreakdown;
+
+/// One evaluated configuration in a controller run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SampleRecord {
+    /// 0-based sample index (bootstrap samples come first).
+    pub index: usize,
+    /// Whether this sample belongs to the bootstrap set.
+    pub bootstrap: bool,
+    /// The partition that was enforced.
+    pub partition: Partition,
+    /// The full observation window.
+    pub observation: Observation,
+    /// The Eq. 3 score with its per-job components.
+    pub score: ScoreBreakdown,
+    /// Expected improvement the engine predicted for this sample (`None`
+    /// for bootstrap samples, which are not acquisition-driven).
+    pub expected_improvement: Option<f64>,
+    /// Which job was frozen by dropout-copy for this sample, if any.
+    pub frozen_job: Option<usize>,
+}
+
+/// Outcome of one controller run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CliteOutcome {
+    /// The best-scoring partition found.
+    pub best_partition: Partition,
+    /// Its score.
+    pub best_score: f64,
+    /// Every evaluated sample in order.
+    pub samples: Vec<SampleRecord>,
+    /// Whether the EI termination condition fired (vs the iteration cap).
+    pub converged: bool,
+    /// LC job indices that failed QoS even under their maximum-allocation
+    /// bootstrap extremum — the co-location is infeasible for them and the
+    /// paper would schedule them elsewhere immediately.
+    pub infeasible_jobs: Vec<usize>,
+    /// 0-based index of the first sample where every LC job met QoS
+    /// (`None` if never).
+    pub samples_to_qos: Option<usize>,
+}
+
+impl CliteOutcome {
+    /// Whether the best sample met every LC job's QoS.
+    #[must_use]
+    pub fn qos_met(&self) -> bool {
+        self.best_score >= 0.5 && self.infeasible_jobs.is_empty()
+    }
+
+    /// Total number of configurations sampled (the paper's Fig. 15a
+    /// overhead metric).
+    #[must_use]
+    pub fn samples_used(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean BG performance of the best sample (`None` if no BG jobs).
+    #[must_use]
+    pub fn best_bg_perf(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+            .and_then(|s| s.observation.mean_bg_perf())
+    }
+}

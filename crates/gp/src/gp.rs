@@ -1,0 +1,294 @@
+//! Exact Gaussian-process regression.
+//!
+//! Given training pairs `(X, y)`, a kernel `k`, and observation-noise
+//! variance `σ_n²`, the GP posterior at a query `x*` is
+//!
+//! ```text
+//! μ(x*) = k(x*,X) · (K + σ_n²·I)⁻¹ · (y − m)        + m
+//! σ²(x*) = k(x*,x*) − k(x*,X) · (K + σ_n²·I)⁻¹ · k(X,x*)
+//! ```
+//!
+//! with `m` the empirical mean of `y` (a constant-mean GP). The fit keeps
+//! the Cholesky factor of `K + σ_n²·I` so each prediction costs one
+//! triangular solve — CLITE keeps sample counts small (tens of points)
+//! specifically so this exact inference stays cheap (paper Sec. 4,
+//! "mitigates this overhead by carefully limiting the number of sampled
+//! data points").
+
+use crate::kernel::Kernel;
+use crate::linalg::{dot, Cholesky};
+use crate::GpError;
+
+/// Non-kernel GP configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpConfig {
+    /// Observation-noise variance `σ_n²` added to the Gram diagonal.
+    pub noise_variance: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self { noise_variance: 1e-4 }
+    }
+}
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    config: GpConfig,
+    xs: Vec<Vec<f64>>,
+    mean_y: f64,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    log_marginal: f64,
+}
+
+impl GaussianProcess {
+    /// Fits an exact GP to `(xs, ys)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::EmptyTrainingSet`], [`GpError::LengthMismatch`],
+    /// [`GpError::DimensionMismatch`], or [`GpError::NonFiniteValue`] for
+    /// malformed data, and [`GpError::NotPositiveDefinite`] if the kernel
+    /// matrix cannot be factorized even with jitter.
+    pub fn fit(
+        kernel: Kernel,
+        config: GpConfig,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+    ) -> Result<Self, GpError> {
+        if xs.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        if xs.len() != ys.len() {
+            return Err(GpError::LengthMismatch { inputs: xs.len(), targets: ys.len() });
+        }
+        let dim = xs[0].len();
+        for x in &xs {
+            if x.len() != dim {
+                return Err(GpError::DimensionMismatch { expected: dim, actual: x.len() });
+            }
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::NonFiniteValue);
+            }
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteValue);
+        }
+
+        let n = xs.len();
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
+
+        let mut k = kernel.gram(&xs);
+        k.add_diagonal(config.noise_variance.max(0.0));
+        let chol = Cholesky::decompose(&k)?;
+        let alpha = chol.solve(&centered)?;
+
+        // log p(y|X) = −½ yᵀα − ½ log|K| − (n/2) log 2π
+        let log_marginal = -0.5 * dot(&centered, &alpha)
+            - 0.5 * chol.log_determinant()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(Self { kernel, config, xs, mean_y, alpha, chol, log_marginal })
+    }
+
+    /// Number of training points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the training set is empty (never true for a fitted GP).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.xs[0].len()
+    }
+
+    /// The kernel used by this fit.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The configuration used by this fit.
+    #[must_use]
+    pub fn config(&self) -> GpConfig {
+        self.config
+    }
+
+    /// The log marginal likelihood `log p(y | X, θ)` of this fit.
+    #[must_use]
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// Posterior predictive mean and variance at `x`.
+    ///
+    /// The variance is clamped at zero to absorb round-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        let k_star = self.kernel.cross(x, &self.xs);
+        let mean = self.mean_y + dot(&k_star, &self.alpha);
+        // v = L⁻¹ k*; σ² = k(x,x) − vᵀv.
+        let v = self
+            .chol
+            .solve_lower(&k_star)
+            .expect("cross-covariance length matches training size");
+        let var = self.kernel.eval(x, x) - dot(&v, &v);
+        (mean, var.max(0.0))
+    }
+
+    /// Posterior mean and *standard deviation* at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    #[must_use]
+    pub fn predict_std(&self, x: &[f64]) -> (f64, f64) {
+        let (m, v) = self.predict(x);
+        (m, v.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i) / 9.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 4.0).sin() + 0.5 * x[0]).collect();
+        (xs, ys)
+    }
+
+    fn fit_toy() -> GaussianProcess {
+        let (xs, ys) = toy_data();
+        GaussianProcess::fit(Kernel::matern52(1.0, 0.3), GpConfig::default(), xs, ys).unwrap()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let gp = fit_toy();
+        let (xs, ys) = toy_data();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} vs target {y}");
+            assert!(v < 0.01, "variance should be tiny at training points, got {v}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let gp = fit_toy();
+        let (_, v_in) = gp.predict(&[0.5]);
+        let (_, v_out) = gp.predict(&[3.0]);
+        assert!(v_out > 10.0 * v_in.max(1e-9));
+        // Far from data the posterior reverts to the prior variance.
+        assert!((v_out - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn predictions_are_finite_and_variance_nonnegative() {
+        let gp = fit_toy();
+        for i in 0..50 {
+            let x = [f64::from(i) / 10.0 - 2.0];
+            let (m, v) = gp.predict(&x);
+            assert!(m.is_finite());
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn errors_on_malformed_input() {
+        let k = Kernel::matern52(1.0, 1.0);
+        let cfg = GpConfig::default();
+        assert_eq!(
+            GaussianProcess::fit(k.clone(), cfg, vec![], vec![]).unwrap_err(),
+            GpError::EmptyTrainingSet
+        );
+        assert!(matches!(
+            GaussianProcess::fit(k.clone(), cfg, vec![vec![0.0]], vec![1.0, 2.0]).unwrap_err(),
+            GpError::LengthMismatch { .. }
+        ));
+        assert!(matches!(
+            GaussianProcess::fit(
+                k.clone(),
+                cfg,
+                vec![vec![0.0], vec![0.0, 1.0]],
+                vec![1.0, 2.0]
+            )
+            .unwrap_err(),
+            GpError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            GaussianProcess::fit(k, cfg, vec![vec![f64::NAN]], vec![1.0]).unwrap_err(),
+            GpError::NonFiniteValue
+        );
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_noise() {
+        // Two identical inputs with different targets: the noise term keeps
+        // the Gram matrix invertible.
+        let xs = vec![vec![0.5], vec![0.5], vec![0.9]];
+        let ys = vec![1.0, 1.2, 0.0];
+        let gp = GaussianProcess::fit(
+            Kernel::matern52(1.0, 0.2),
+            GpConfig { noise_variance: 1e-2 },
+            xs,
+            ys,
+        )
+        .unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!(m > 0.8 && m < 1.3, "mean near the duplicate targets, got {m}");
+    }
+
+    #[test]
+    fn log_marginal_prefers_good_lengthscale() {
+        let (xs, ys) = toy_data();
+        let good = GaussianProcess::fit(
+            Kernel::matern52(1.0, 0.3),
+            GpConfig::default(),
+            xs.clone(),
+            ys.clone(),
+        )
+        .unwrap();
+        let bad = GaussianProcess::fit(
+            Kernel::matern52(1.0, 1e4),
+            GpConfig::default(),
+            xs,
+            ys,
+        )
+        .unwrap();
+        assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn higher_dimensional_inputs() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = f64::from(i) / 19.0;
+                vec![t, 1.0 - t, (t * 7.0).fract()]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1] + 0.3 * x[2]).collect();
+        let gp =
+            GaussianProcess::fit(Kernel::matern52(1.0, 0.5), GpConfig::default(), xs, ys).unwrap();
+        assert_eq!(gp.dim(), 3);
+        let (m, _) = gp.predict(&[0.5, 0.5, 0.5]);
+        assert!((m - 0.4).abs() < 0.15);
+    }
+}

@@ -1,0 +1,281 @@
+//! Covariance kernels.
+//!
+//! The paper chooses the **Matérn** covariance kernel because it "does not
+//! require restrictions on strong smoothness" (Sec. 4) — CLITE's score
+//! surface has a kink at the QoS boundary (the two modes of Eq. 3), so an
+//! infinitely smooth squared-exponential prior is a worse fit. Matérn 5/2
+//! is the default; Matérn 3/2 and squared-exponential are provided for the
+//! kernel-choice ablation.
+
+use crate::linalg::Matrix;
+
+/// Which covariance family a [`Kernel`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelFamily {
+    /// Matérn ν = 5/2 (twice differentiable) — the paper's choice.
+    Matern52,
+    /// Matérn ν = 3/2 (once differentiable).
+    Matern32,
+    /// Squared exponential (infinitely smooth).
+    SquaredExponential,
+}
+
+impl KernelFamily {
+    /// Short lower-case name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelFamily::Matern52 => "matern52",
+            KernelFamily::Matern32 => "matern32",
+            KernelFamily::SquaredExponential => "sqexp",
+        }
+    }
+}
+
+/// A stationary covariance kernel with signal variance and lengthscales.
+///
+/// Lengthscales are either isotropic (one scale for all input dimensions)
+/// or ARD (one per dimension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    family: KernelFamily,
+    variance: f64,
+    lengthscales: LengthScales,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum LengthScales {
+    Isotropic(f64),
+    Ard(Vec<f64>),
+}
+
+impl Kernel {
+    /// Matérn 5/2 kernel with isotropic lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` or `lengthscale` is not positive.
+    #[must_use]
+    pub fn matern52(variance: f64, lengthscale: f64) -> Self {
+        Self::new(KernelFamily::Matern52, variance, lengthscale)
+    }
+
+    /// Matérn 3/2 kernel with isotropic lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` or `lengthscale` is not positive.
+    #[must_use]
+    pub fn matern32(variance: f64, lengthscale: f64) -> Self {
+        Self::new(KernelFamily::Matern32, variance, lengthscale)
+    }
+
+    /// Squared-exponential kernel with isotropic lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` or `lengthscale` is not positive.
+    #[must_use]
+    pub fn squared_exponential(variance: f64, lengthscale: f64) -> Self {
+        Self::new(KernelFamily::SquaredExponential, variance, lengthscale)
+    }
+
+    /// Kernel of any family with an isotropic lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` or `lengthscale` is not positive.
+    #[must_use]
+    pub fn new(family: KernelFamily, variance: f64, lengthscale: f64) -> Self {
+        assert!(variance > 0.0, "kernel variance must be positive");
+        assert!(lengthscale > 0.0, "kernel lengthscale must be positive");
+        Self { family, variance, lengthscales: LengthScales::Isotropic(lengthscale) }
+    }
+
+    /// Kernel with per-dimension (ARD) lengthscales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is not positive or any lengthscale is not
+    /// positive.
+    #[must_use]
+    pub fn with_ard(family: KernelFamily, variance: f64, lengthscales: Vec<f64>) -> Self {
+        assert!(variance > 0.0, "kernel variance must be positive");
+        assert!(
+            !lengthscales.is_empty() && lengthscales.iter().all(|&l| l > 0.0),
+            "ARD lengthscales must be positive"
+        );
+        Self { family, variance, lengthscales: LengthScales::Ard(lengthscales) }
+    }
+
+    /// The kernel family.
+    #[must_use]
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// Signal variance `σ²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Returns a copy with a different variance and isotropic lengthscale
+    /// (used by grid hyperparameter search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn reparameterized(&self, variance: f64, lengthscale: f64) -> Self {
+        Self::new(self.family, variance, lengthscale)
+    }
+
+    /// Scaled distance `r = sqrt(Σ ((x_d − y_d)/ℓ_d)²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` and `y` have different lengths, or if ARD
+    /// lengthscales do not match the input dimension.
+    #[must_use]
+    pub fn scaled_distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let mut r2 = 0.0;
+        match &self.lengthscales {
+            LengthScales::Isotropic(l) => {
+                for (a, b) in x.iter().zip(y) {
+                    let d = (a - b) / l;
+                    r2 += d * d;
+                }
+            }
+            LengthScales::Ard(ls) => {
+                debug_assert_eq!(ls.len(), x.len());
+                for ((a, b), l) in x.iter().zip(y).zip(ls) {
+                    let d = (a - b) / l;
+                    r2 += d * d;
+                }
+            }
+        }
+        r2.sqrt()
+    }
+
+    /// Covariance `k(x, y)`.
+    #[must_use]
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let r = self.scaled_distance(x, y);
+        let corr = match self.family {
+            KernelFamily::Matern52 => {
+                let s = 5.0_f64.sqrt() * r;
+                (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+            KernelFamily::Matern32 => {
+                let s = 3.0_f64.sqrt() * r;
+                (1.0 + s) * (-s).exp()
+            }
+            KernelFamily::SquaredExponential => (-0.5 * r * r).exp(),
+        };
+        self.variance * corr
+    }
+
+    /// The full kernel (Gram) matrix over a set of points.
+    #[must_use]
+    pub fn gram(&self, xs: &[Vec<f64>]) -> Matrix {
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// The cross-covariance vector `k(x*, X)` of a query point against the
+    /// training points.
+    #[must_use]
+    pub fn cross(&self, x_star: &[f64], xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.eval(x_star, x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAMILIES: [KernelFamily; 3] =
+        [KernelFamily::Matern52, KernelFamily::Matern32, KernelFamily::SquaredExponential];
+
+    #[test]
+    fn self_covariance_is_variance() {
+        for f in FAMILIES {
+            let k = Kernel::new(f, 2.5, 0.7);
+            assert!((k.eval(&[0.3, 0.4], &[0.3, 0.4]) - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_and_decaying() {
+        for f in FAMILIES {
+            let k = Kernel::new(f, 1.0, 0.5);
+            let a = [0.0, 0.0];
+            let b = [0.4, 0.1];
+            let c = [1.0, 1.0];
+            assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+            assert!(k.eval(&a, &b) > k.eval(&a, &c), "covariance must decay with distance");
+            assert!(k.eval(&a, &c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn matern52_less_smooth_than_sqexp_near_origin() {
+        // At small r, SE stays closer to σ² than Matérn (it is flatter).
+        let m = Kernel::matern52(1.0, 1.0);
+        let s = Kernel::squared_exponential(1.0, 1.0);
+        let x = [0.0];
+        let y = [0.1];
+        assert!(m.eval(&x, &y) < s.eval(&x, &y));
+    }
+
+    #[test]
+    fn ard_lengthscales_weight_dimensions() {
+        let k = Kernel::with_ard(KernelFamily::Matern52, 1.0, vec![0.1, 10.0]);
+        // Moving along the short-lengthscale dimension decays covariance
+        // far faster than along the long one.
+        let o = [0.0, 0.0];
+        assert!(k.eval(&o, &[0.2, 0.0]) < k.eval(&o, &[0.0, 0.2]));
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_variance_diagonal() {
+        let k = Kernel::matern52(1.3, 0.4);
+        let xs = vec![vec![0.0, 0.1], vec![0.5, 0.5], vec![0.9, 0.2]];
+        let g = k.gram(&xs);
+        for i in 0..3 {
+            assert!((g[(i, i)] - 1.3).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be positive")]
+    fn zero_variance_panics() {
+        let _ = Kernel::matern52(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengthscale must be positive")]
+    fn zero_lengthscale_panics() {
+        let _ = Kernel::matern52(1.0, 0.0);
+    }
+
+    #[test]
+    fn family_names() {
+        assert_eq!(KernelFamily::Matern52.name(), "matern52");
+        assert_eq!(KernelFamily::Matern32.name(), "matern32");
+        assert_eq!(KernelFamily::SquaredExponential.name(), "sqexp");
+    }
+}

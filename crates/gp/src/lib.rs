@@ -1,0 +1,50 @@
+//! # clite-gp — a self-contained Gaussian-process regression stack
+//!
+//! CLITE's surrogate model is a Gaussian Process with a Matérn covariance
+//! kernel (paper Sec. 4). The available Rust BO crates are thin, so this
+//! crate implements the full stack from scratch:
+//!
+//! * [`linalg`] — dense matrices, Cholesky factorization with a jitter
+//!   ladder, and triangular solves;
+//! * [`stats`] — the standard-normal pdf/cdf (via an `erf` implementation),
+//!   needed by Expected Improvement;
+//! * [`kernel`] — Matérn 5/2, Matérn 3/2, and squared-exponential kernels
+//!   with optional per-dimension (ARD) lengthscales;
+//! * [`gp`] — GP regression: exact fit via Cholesky, predictive mean and
+//!   variance, and the log marginal likelihood;
+//! * [`hyper`] — derivative-free hyperparameter selection maximizing the
+//!   log marginal likelihood over a small grid, which is what an online,
+//!   time-constrained controller can afford.
+//!
+//! ## Example
+//!
+//! ```
+//! use clite_gp::gp::{GaussianProcess, GpConfig};
+//! use clite_gp::kernel::Kernel;
+//!
+//! let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
+//! let gp = GaussianProcess::fit(
+//!     Kernel::matern52(1.0, 0.3),
+//!     GpConfig::default(),
+//!     xs,
+//!     ys,
+//! )?;
+//! let (mean, var) = gp.predict(&[0.5]);
+//! assert!(var >= 0.0);
+//! assert!((mean - (0.5f64 * 3.0).sin()).abs() < 0.2);
+//! # Ok::<(), clite_gp::GpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gp;
+pub mod hyper;
+pub mod kernel;
+pub mod linalg;
+pub mod stats;
+
+mod error;
+
+pub use error::GpError;

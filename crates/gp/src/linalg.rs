@@ -1,0 +1,350 @@
+//! Minimal dense linear algebra: just enough for exact GP regression.
+//!
+//! A GP fit needs a symmetric positive-definite kernel matrix `K`, its
+//! Cholesky factor `L` (with a jitter ladder for numerically borderline
+//! matrices), triangular solves, and a handful of vector helpers. Keeping
+//! this in-crate avoids a heavyweight linear-algebra dependency and keeps
+//! the numerical path auditable.
+
+use crate::GpError;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix filled by `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, GpError> {
+        if x.len() != self.cols {
+            return Err(GpError::ShapeMismatch { op: "mul_vec" });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Adds `value` to every diagonal element (in place).
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix (`A = L·Lᵀ`).
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that had to be added to the diagonal for the factorization to
+    /// succeed (0.0 if none).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes `a`, retrying with exponentially growing diagonal jitter
+    /// (`1e-10 · mean-diagonal` up to `1e-2 · mean-diagonal`) if the matrix
+    /// is numerically semi-definite — standard practice for GP kernel
+    /// matrices built from near-duplicate points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] for a non-square input and
+    /// [`GpError::NotPositiveDefinite`] if the jitter ladder is exhausted.
+    pub fn decompose(a: &Matrix) -> Result<Self, GpError> {
+        if a.rows != a.cols {
+            return Err(GpError::ShapeMismatch { op: "cholesky" });
+        }
+        let n = a.rows;
+        let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64;
+        let base = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+
+        if let Some(l) = try_factor(a, 0.0) {
+            return Ok(Self { l, jitter: 0.0 });
+        }
+        let mut jitter = 1e-10 * base;
+        while jitter <= 1e-2 * base {
+            if let Some(l) = try_factor(a, jitter) {
+                return Ok(Self { l, jitter });
+            }
+            jitter *= 10.0;
+        }
+        Err(GpError::NotPositiveDefinite)
+    }
+
+    /// The lower-triangular factor.
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter added during factorization (0.0 for well-conditioned
+    /// inputs).
+    #[must_use]
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Solves `L·y = b` (forward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix order.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, GpError> {
+        let n = self.l.rows;
+        if b.len() != n {
+            return Err(GpError::ShapeMismatch { op: "solve_lower" });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * y[j];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ·x = b` (backward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix order.
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, GpError> {
+        let n = self.l.rows;
+        if b.len() != n {
+            return Err(GpError::ShapeMismatch { op: "solve_upper" });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` where `A = L·Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix order.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, GpError> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// `log|A| = 2·Σ log L_ii`, needed by the log marginal likelihood.
+    #[must_use]
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.l.rows).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
+    let n = a.rows;
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)] + if i == j { jitter } else { 0.0 };
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics (debug) if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B·Bᵀ + I for a fixed B is SPD.
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64 * 0.1 + 1.0);
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += b[(i, k)] * b[(j, k)];
+                }
+                a[(i, j)] = s;
+            }
+        }
+        a.add_diagonal(1.0);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        assert_eq!(c.jitter(), 0.0);
+        let l = c.l();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = c.solve(&b).unwrap();
+        let back = a.mul_vec(&x).unwrap();
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_identity() {
+        let c = Cholesky::decompose(&Matrix::identity(4)).unwrap();
+        assert!(c.log_determinant().abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 matrix: xxᵀ with x = (1,1): singular, needs jitter.
+        let mut a = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                a[(i, j)] = 1.0;
+            }
+        }
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+    }
+
+    #[test]
+    fn hopeless_matrix_errors() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = -5.0;
+        a[(1, 1)] = -5.0;
+        assert_eq!(Cholesky::decompose(&a).unwrap_err(), GpError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::decompose(&a), Err(GpError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_vec_shape_checked() {
+        let a = Matrix::identity(3);
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+        assert_eq!(a.mul_vec(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

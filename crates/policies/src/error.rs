@@ -1,0 +1,44 @@
+use std::fmt;
+
+use clite::CliteError;
+use clite_sim::SimError;
+
+/// Error type for co-location policies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// The CLITE controller failed.
+    Clite(CliteError),
+    /// The simulator rejected a request.
+    Sim(SimError),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Clite(e) => write!(f, "clite failure: {e}"),
+            PolicyError::Sim(e) => write!(f, "simulator failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyError::Clite(e) => Some(e),
+            PolicyError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<CliteError> for PolicyError {
+    fn from(e: CliteError) -> Self {
+        PolicyError::Clite(e)
+    }
+}
+
+impl From<SimError> for PolicyError {
+    fn from(e: SimError) -> Self {
+        PolicyError::Sim(e)
+    }
+}

@@ -1,0 +1,257 @@
+//! ORACLE — the offline brute-force upper bound (paper Sec. 5.1).
+//!
+//! "ORACLE results are obtained offline by sampling every possible
+//! configuration and selecting the best one. While this strategy is
+//! infeasible due to the need to sample thousands/millions of
+//! configurations, we use it to compare CLITE against the optimal
+//! results."
+//!
+//! Exhaustively enumerating the testbed space (hundreds of millions of
+//! configurations for 3+ jobs) is pointless busywork even offline, so this
+//! reproduction grants ORACLE two privileges no online policy has:
+//! noise-free access to the simulator's ground truth
+//! ([`Server::ground_truth`]) and an unmetered evaluation budget, spent on
+//! exhaustive-ish multi-start steepest-ascent over the unit-transfer
+//! neighbourhood with memoization. The role in every figure is identical
+//! to the paper's: an upper bound. Its reported "samples" count the
+//! ground-truth evaluations performed (thousands, matching the paper's
+//! description of ORACLE overhead in Fig. 15a).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use clite::score::score_value;
+use clite_bo::space::SearchSpace;
+use clite_sim::alloc::Partition;
+use clite_sim::server::Server;
+
+use crate::policy::{outcome_from_samples, Policy, PolicyOutcome, PolicySample};
+use crate::PolicyError;
+
+/// Configuration for the ORACLE search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleConfig {
+    /// Random restarts in addition to the deterministic seeds (equal split
+    /// and every per-job maximum).
+    pub random_restarts: usize,
+    /// Maximum steepest-ascent steps per start.
+    pub max_steps: usize,
+    /// Spaces up to this many configurations are swept *exhaustively*
+    /// (the paper's literal ORACLE); larger spaces fall back to memoized
+    /// multi-start hill climbing.
+    pub exhaustive_cap: u128,
+    /// RNG seed for the restarts.
+    pub seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self { random_restarts: 28, max_steps: 90, exhaustive_cap: 100_000, seed: 0x0AC1E }
+    }
+}
+
+/// The ORACLE policy.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    config: OracleConfig,
+}
+
+impl Oracle {
+    /// Builds ORACLE with an explicit configuration.
+    #[must_use]
+    pub fn new(config: OracleConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Self::new(OracleConfig::default())
+    }
+}
+
+impl Policy for Oracle {
+    fn name(&self) -> &'static str {
+        "ORACLE"
+    }
+
+    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+        let jobs = server.job_count();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut memo: HashMap<Partition, f64> = HashMap::new();
+        let mut evals = 0usize;
+
+        let eval = |p: &Partition, memo: &mut HashMap<Partition, f64>, evals: &mut usize| {
+            if let Some(&v) = memo.get(p) {
+                return v;
+            }
+            let v = score_value(&server.ground_truth(p));
+            memo.insert(p.clone(), v);
+            *evals += 1;
+            v
+        };
+
+        let mut best: Option<(Partition, f64)> = None;
+        let space = SearchSpace::new(*server.catalog(), jobs)
+            .expect("server construction validated the space");
+        if space.size() <= self.config.exhaustive_cap {
+            // Small space: the literal exhaustive sweep of the paper.
+            for p in space.enumerate() {
+                let v = eval(&p, &mut memo, &mut evals);
+                if best.as_ref().map_or(true, |(_, bv)| v > *bv) {
+                    best = Some((p, v));
+                }
+            }
+        } else {
+            // Start set: equal split, all extrema, random restarts.
+            let mut starts: Vec<Partition> =
+                vec![Partition::equal_share(server.catalog(), jobs)?];
+            for j in 0..jobs {
+                starts.push(Partition::max_for_job(server.catalog(), jobs, j)?);
+            }
+            for _ in 0..self.config.random_restarts {
+                starts.push(Partition::random(server.catalog(), jobs, &mut rng)?);
+            }
+
+            for start in starts {
+                let mut current = start;
+                let mut current_val = eval(&current, &mut memo, &mut evals);
+                for _ in 0..self.config.max_steps {
+                    let mut improved = false;
+                    for n in current.neighbors(None) {
+                        let v = eval(&n, &mut memo, &mut evals);
+                        if v > current_val {
+                            current = n;
+                            current_val = v;
+                            improved = true;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+                if best.as_ref().map_or(true, |(_, bv)| current_val > *bv) {
+                    best = Some((current, current_val));
+                }
+            }
+        }
+
+        let (best_partition, _) = best.expect("start set is non-empty");
+        // Record a single representative sample with the noise-free
+        // observation of the optimum, plus the evaluation count as the
+        // overhead metric (one placeholder sample per eval would be
+        // wasteful; samples_used() is overridden through `evals`).
+        let observation = server.ground_truth(&best_partition);
+        let score = score_value(&observation);
+        let samples = vec![PolicySample { index: 0, partition: best_partition, observation, score }];
+        let mut outcome = outcome_from_samples(self.name(), samples, false);
+        outcome.samples_to_qos = if outcome.qos_met { Some(evals) } else { None };
+        // Overhead bookkeeping: expose the true evaluation count by
+        // padding the index of the single stored sample.
+        outcome.samples[0].index = evals;
+        Ok(outcome)
+    }
+}
+
+impl Oracle {
+    /// The number of ground-truth evaluations a finished outcome performed
+    /// (stored in the single sample's index).
+    #[must_use]
+    pub fn evaluations(outcome: &PolicyOutcome) -> usize {
+        outcome.samples.first().map_or(0, |s| s.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::prelude::*;
+
+    fn server(jobs: Vec<JobSpec>, seed: u64) -> Server {
+        Server::new(ResourceCatalog::testbed(), jobs, seed).unwrap()
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_naive_partitions() {
+        let mut s = server(
+            vec![
+                JobSpec::latency_critical(WorkloadId::Memcached, 0.4),
+                JobSpec::latency_critical(WorkloadId::Masstree, 0.3),
+                JobSpec::background(WorkloadId::Streamcluster),
+            ],
+            1,
+        );
+        let outcome = Oracle::default().run(&mut s).unwrap();
+        let equal = Partition::equal_share(s.catalog(), 3).unwrap();
+        let equal_score = score_value(&s.ground_truth(&equal));
+        assert!(outcome.best_score >= equal_score);
+        assert!(outcome.qos_met);
+        assert!(Oracle::evaluations(&outcome) > 100, "oracle is an offline heavyweight");
+    }
+
+    #[test]
+    fn oracle_does_not_consume_online_windows() {
+        let mut s = server(
+            vec![
+                JobSpec::latency_critical(WorkloadId::Xapian, 0.3),
+                JobSpec::background(WorkloadId::Canneal),
+            ],
+            2,
+        );
+        let before = s.samples_observed();
+        Oracle::default().run(&mut s).unwrap();
+        assert_eq!(s.samples_observed(), before, "ORACLE works offline");
+    }
+
+    #[test]
+    fn hill_climb_matches_exhaustive_on_small_space() {
+        // Coarse 2-job space is exhaustively enumerable; the hill-climbing
+        // fallback must land on (or very near) the same optimum.
+        let jobs = vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.4),
+            JobSpec::background(WorkloadId::Streamcluster),
+        ];
+        let mut s1 = Server::new(ResourceCatalog::coarse(), jobs.clone(), 4).unwrap();
+        let mut s2 = Server::new(ResourceCatalog::coarse(), jobs, 4).unwrap();
+        let exhaustive = Oracle::new(OracleConfig {
+            exhaustive_cap: u128::MAX,
+            ..OracleConfig::default()
+        })
+        .run(&mut s1)
+        .unwrap();
+        let climbed = Oracle::new(OracleConfig {
+            exhaustive_cap: 0,
+            ..OracleConfig::default()
+        })
+        .run(&mut s2)
+        .unwrap();
+        assert!(
+            climbed.best_score >= exhaustive.best_score - 0.02,
+            "hill climb {:.4} vs exhaustive {:.4}",
+            climbed.best_score,
+            exhaustive.best_score
+        );
+        assert!(climbed.best_score <= exhaustive.best_score + 1e-9,
+            "nothing beats the exhaustive sweep");
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let run = || {
+            let mut s = server(
+                vec![
+                    JobSpec::latency_critical(WorkloadId::ImgDnn, 0.5),
+                    JobSpec::background(WorkloadId::Freqmine),
+                ],
+                3,
+            );
+            Oracle::default().run(&mut s).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_partition, b.best_partition);
+        assert_eq!(a.best_score, b.best_score);
+    }
+}

@@ -1,0 +1,586 @@
+//! Resource partitions: the allocation matrix over jobs × resources.
+//!
+//! A *configuration* in the paper is one assignment of every resource's
+//! units to every co-located job — e.g. "1 core and 7 cache ways to the LC
+//! job, 3 cores and 4 ways to the BG job". [`Partition`] represents one such
+//! configuration and maintains the paper's feasibility invariants (Eq. 5 and
+//! Eq. 6):
+//!
+//! 1. every job holds **at least one unit** of every resource, and
+//! 2. per-resource allocations **sum to the catalog's unit count**.
+//!
+//! The natural neighbourhood in this space is the *unit transfer*: move one
+//! unit of one resource from one job to another. Both PARTIES (explicitly)
+//! and CLITE's acquisition maximizer (as its hill-climbing move) are built
+//! on it.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::resource::{ResourceCatalog, ResourceKind, NUM_RESOURCES};
+use crate::SimError;
+
+/// Units of every resource held by a single job (one row of a [`Partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobAllocation {
+    units: [u32; NUM_RESOURCES],
+}
+
+impl JobAllocation {
+    /// Allocation holding exactly one unit of every resource (the floor the
+    /// feasibility constraints guarantee every job).
+    #[must_use]
+    pub fn floor() -> Self {
+        Self { units: [1; NUM_RESOURCES] }
+    }
+
+    /// Allocation from explicit unit counts in [`ResourceKind::ALL`] order.
+    #[must_use]
+    pub fn from_units(units: [u32; NUM_RESOURCES]) -> Self {
+        Self { units }
+    }
+
+    /// Units of one resource.
+    #[must_use]
+    pub fn units(&self, resource: ResourceKind) -> u32 {
+        self.units[resource.index()]
+    }
+
+    /// All unit counts in canonical order.
+    #[must_use]
+    pub fn all_units(&self) -> [u32; NUM_RESOURCES] {
+        self.units
+    }
+
+    /// Fraction of the catalog's units this job holds for `resource`.
+    #[must_use]
+    pub fn fraction(&self, resource: ResourceKind, catalog: &ResourceCatalog) -> f64 {
+        f64::from(self.units(resource)) / f64::from(catalog.units(resource))
+    }
+
+    fn set(&mut self, resource: ResourceKind, units: u32) {
+        self.units[resource.index()] = units;
+    }
+}
+
+impl fmt::Display for JobAllocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} cores, {} ways, {} bw, {} cap, {} disk, {} net]",
+            self.units[0],
+            self.units[1],
+            self.units[2],
+            self.units[3],
+            self.units[4],
+            self.units[5]
+        )
+    }
+}
+
+/// One feasible resource-partition configuration over all co-located jobs.
+///
+/// Invariants (checked on construction and preserved by every mutator):
+/// every job has ≥ 1 unit of each resource, and each resource's column sums
+/// to the catalog's unit count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    catalog: ResourceCatalog,
+    rows: Vec<JobAllocation>,
+}
+
+impl Partition {
+    /// Builds a partition from explicit rows, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any job has zero units of a resource
+    /// ([`SimError::BelowMinimumAllocation`]) or a column does not sum to
+    /// the catalog's unit count ([`SimError::AllocationSumMismatch`]).
+    pub fn from_rows(catalog: ResourceCatalog, rows: Vec<JobAllocation>) -> Result<Self, SimError> {
+        if rows.is_empty() {
+            return Err(SimError::NoJobs);
+        }
+        for r in ResourceKind::ALL {
+            let mut sum = 0u32;
+            for (j, row) in rows.iter().enumerate() {
+                let u = row.units(r);
+                if u == 0 {
+                    return Err(SimError::BelowMinimumAllocation { job: j, resource: r });
+                }
+                sum += u;
+            }
+            let expected = catalog.units(r);
+            if sum != expected {
+                return Err(SimError::AllocationSumMismatch { resource: r, expected, actual: sum });
+            }
+        }
+        Ok(Self { catalog, rows })
+    }
+
+    /// The paper's first bootstrapping sample: every resource divided as
+    /// equally as possible among all co-located jobs (any remainder goes to
+    /// the lowest-indexed jobs, one extra unit each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyJobs`] if some resource has fewer units
+    /// than jobs.
+    pub fn equal_share(catalog: &ResourceCatalog, jobs: usize) -> Result<Self, SimError> {
+        check_supports(catalog, jobs)?;
+        let mut rows = vec![JobAllocation::floor(); jobs];
+        for r in ResourceKind::ALL {
+            let total = catalog.units(r);
+            let base = total / jobs as u32;
+            let extra = (total % jobs as u32) as usize;
+            for (j, row) in rows.iter_mut().enumerate() {
+                row.set(r, base + u32::from(j < extra));
+            }
+        }
+        Self::from_rows(*catalog, rows)
+    }
+
+    /// The paper's second kind of bootstrapping sample: job `job` receives
+    /// the maximum possible allocation of every resource while every other
+    /// job keeps exactly one unit. These extrema seed the surrogate model
+    /// and detect jobs that cannot meet QoS even with everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::JobOutOfRange`] for a bad index or
+    /// [`SimError::TooManyJobs`] if the catalog cannot host `jobs` jobs.
+    pub fn max_for_job(catalog: &ResourceCatalog, jobs: usize, job: usize) -> Result<Self, SimError> {
+        check_supports(catalog, jobs)?;
+        if job >= jobs {
+            return Err(SimError::JobOutOfRange { job, jobs });
+        }
+        let mut rows = vec![JobAllocation::floor(); jobs];
+        for r in ResourceKind::ALL {
+            rows[job].set(r, catalog.max_for_job(r, jobs));
+        }
+        Self::from_rows(*catalog, rows)
+    }
+
+    /// A uniformly random feasible partition (used by RAND+ and as restart
+    /// points for acquisition maximization).
+    ///
+    /// Sampling is per resource: a uniformly random composition of the unit
+    /// count into `jobs` positive parts via the stars-and-bars bijection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyJobs`] if the catalog cannot host `jobs`.
+    pub fn random<R: Rng + ?Sized>(
+        catalog: &ResourceCatalog,
+        jobs: usize,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        check_supports(catalog, jobs)?;
+        let mut rows = vec![JobAllocation::floor(); jobs];
+        for r in ResourceKind::ALL {
+            let parts = random_composition(catalog.units(r), jobs, rng);
+            for (row, units) in rows.iter_mut().zip(parts) {
+                row.set(r, units);
+            }
+        }
+        Self::from_rows(*catalog, rows)
+    }
+
+    /// Number of co-located jobs (rows).
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The catalog this partition is feasible for.
+    #[must_use]
+    pub fn catalog(&self) -> &ResourceCatalog {
+        &self.catalog
+    }
+
+    /// Allocation row of one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    #[must_use]
+    pub fn job(&self, job: usize) -> &JobAllocation {
+        &self.rows[job]
+    }
+
+    /// All rows in job order.
+    #[must_use]
+    pub fn rows(&self) -> &[JobAllocation] {
+        &self.rows
+    }
+
+    /// Units of `resource` held by `job`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    #[must_use]
+    pub fn units(&self, job: usize, resource: ResourceKind) -> u32 {
+        self.rows[job].units(resource)
+    }
+
+    /// Fraction of `resource` held by `job`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    #[must_use]
+    pub fn fraction(&self, job: usize, resource: ResourceKind) -> f64 {
+        self.rows[job].fraction(resource, &self.catalog)
+    }
+
+    /// Replaces one job's row with another job's-sized row by *copying*:
+    /// used by dropout-copy, which freezes the best job's allocation. The
+    /// donor units are rebalanced from/to the remaining jobs so the simplex
+    /// constraint still holds; the remaining jobs absorb the difference
+    /// proportionally (never dropping below one unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::JobOutOfRange`] for a bad index, or
+    /// [`SimError::InvalidTransfer`] if the remaining jobs cannot absorb the
+    /// difference.
+    pub fn with_frozen_row(&self, job: usize, frozen: &JobAllocation) -> Result<Self, SimError> {
+        if job >= self.rows.len() {
+            return Err(SimError::JobOutOfRange { job, jobs: self.rows.len() });
+        }
+        let mut rows = self.rows.clone();
+        for r in ResourceKind::ALL {
+            let want = frozen.units(r);
+            let have = rows[job].units(r);
+            rows[job].set(r, want);
+            if want > have {
+                // Take (want - have) units from other jobs, richest first.
+                let mut need = want - have;
+                while need > 0 {
+                    let donor = richest_other(&rows, job, r)
+                        .ok_or(SimError::InvalidTransfer { resource: r, from: job, to: job })?;
+                    let du = rows[donor].units(r);
+                    let give = need.min(du - 1);
+                    if give == 0 {
+                        return Err(SimError::InvalidTransfer { resource: r, from: donor, to: job });
+                    }
+                    rows[donor].set(r, du - give);
+                    need -= give;
+                }
+            } else if have > want {
+                // Donate the surplus to the poorest other job.
+                let mut surplus = have - want;
+                while surplus > 0 {
+                    let recipient = poorest_other(&rows, job, r)
+                        .ok_or(SimError::InvalidTransfer { resource: r, from: job, to: job })?;
+                    let ru = rows[recipient].units(r);
+                    rows[recipient].set(r, ru + 1);
+                    surplus -= 1;
+                }
+            }
+        }
+        Self::from_rows(self.catalog, rows)
+    }
+
+    /// Moves `amount` units of `resource` from job `from` to job `to`,
+    /// returning the new partition. This is the canonical neighbourhood
+    /// move; it preserves both invariants by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTransfer`] if the donor would fall below
+    /// one unit, and [`SimError::JobOutOfRange`] for bad indices.
+    pub fn transfer(
+        &self,
+        resource: ResourceKind,
+        from: usize,
+        to: usize,
+        amount: u32,
+    ) -> Result<Self, SimError> {
+        let jobs = self.rows.len();
+        if from >= jobs {
+            return Err(SimError::JobOutOfRange { job: from, jobs });
+        }
+        if to >= jobs {
+            return Err(SimError::JobOutOfRange { job: to, jobs });
+        }
+        if from == to || amount == 0 {
+            return Err(SimError::InvalidTransfer { resource, from, to });
+        }
+        let donor = self.rows[from].units(resource);
+        if donor <= amount {
+            return Err(SimError::InvalidTransfer { resource, from, to });
+        }
+        let mut rows = self.rows.clone();
+        rows[from].set(resource, donor - amount);
+        let ru = rows[to].units(resource);
+        rows[to].set(resource, ru + amount);
+        Self::from_rows(self.catalog, rows)
+    }
+
+    /// All single-unit-transfer neighbours of this partition, optionally
+    /// keeping one job's row frozen (dropout-copy).
+    #[must_use]
+    pub fn neighbors(&self, frozen_job: Option<usize>) -> Vec<Partition> {
+        let jobs = self.rows.len();
+        let mut out = Vec::new();
+        for r in ResourceKind::ALL {
+            for from in 0..jobs {
+                if Some(from) == frozen_job || self.rows[from].units(r) <= 1 {
+                    continue;
+                }
+                for to in 0..jobs {
+                    if to == from || Some(to) == frozen_job {
+                        continue;
+                    }
+                    if let Ok(p) = self.transfer(r, from, to, 1) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Normalized feature vector (job-major fractions), the encoding the
+    /// surrogate model sees: `jobs × NUM_RESOURCES` values in `(0, 1]`.
+    #[must_use]
+    pub fn features(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.rows.len() * NUM_RESOURCES);
+        for row in &self.rows {
+            for r in ResourceKind::ALL {
+                v.push(row.fraction(r, &self.catalog));
+            }
+        }
+        v
+    }
+
+    /// Euclidean distance between the feature encodings of two partitions
+    /// (RAND+ uses this to discard near-duplicate samples).
+    #[must_use]
+    pub fn distance(&self, other: &Partition) -> f64 {
+        self.features()
+            .iter()
+            .zip(other.features())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (j, row) in self.rows.iter().enumerate() {
+            if j > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "job{j} {row}")?;
+        }
+        Ok(())
+    }
+}
+
+fn check_supports(catalog: &ResourceCatalog, jobs: usize) -> Result<(), SimError> {
+    if jobs == 0 {
+        return Err(SimError::NoJobs);
+    }
+    for r in ResourceKind::ALL {
+        if (catalog.units(r) as usize) < jobs {
+            return Err(SimError::TooManyJobs { resource: r, units: catalog.units(r), jobs });
+        }
+    }
+    Ok(())
+}
+
+fn richest_other(rows: &[JobAllocation], skip: usize, r: ResourceKind) -> Option<usize> {
+    rows.iter()
+        .enumerate()
+        .filter(|(j, row)| *j != skip && row.units(r) > 1)
+        .max_by_key(|(_, row)| row.units(r))
+        .map(|(j, _)| j)
+}
+
+fn poorest_other(rows: &[JobAllocation], skip: usize, r: ResourceKind) -> Option<usize> {
+    rows.iter()
+        .enumerate()
+        .filter(|(j, _)| *j != skip)
+        .min_by_key(|(_, row)| row.units(r))
+        .map(|(j, _)| j)
+}
+
+/// Uniformly random composition of `total` into `parts` positive integers
+/// via stars and bars: choose `parts - 1` distinct cut points among
+/// `total - 1` gaps.
+fn random_composition<R: Rng + ?Sized>(total: u32, parts: usize, rng: &mut R) -> Vec<u32> {
+    debug_assert!(total as usize >= parts && parts >= 1);
+    if parts == 1 {
+        return vec![total];
+    }
+    // Sample parts-1 distinct cut points in 1..total via partial Fisher-Yates.
+    let n = (total - 1) as usize;
+    let k = parts - 1;
+    let mut gaps: Vec<u32> = (1..total).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        gaps.swap(i, j);
+    }
+    let mut cuts: Vec<u32> = gaps[..k].to_vec();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(parts);
+    let mut prev = 0u32;
+    for c in cuts {
+        out.push(c - prev);
+        prev = c;
+    }
+    out.push(total - prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> ResourceCatalog {
+        ResourceCatalog::testbed()
+    }
+
+    #[test]
+    fn equal_share_sums_and_floors() {
+        let p = Partition::equal_share(&catalog(), 4).unwrap();
+        for r in ResourceKind::ALL {
+            let sum: u32 = (0..4).map(|j| p.units(j, r)).sum();
+            assert_eq!(sum, catalog().units(r));
+            for j in 0..4 {
+                assert!(p.units(j, r) >= 1);
+            }
+        }
+        // 11 ways over 4 jobs: 3,3,3,2 (lowest-indexed get the remainder).
+        assert_eq!(p.units(0, ResourceKind::LlcWays), 3);
+        assert_eq!(p.units(3, ResourceKind::LlcWays), 2);
+    }
+
+    #[test]
+    fn max_for_job_is_extreme() {
+        let p = Partition::max_for_job(&catalog(), 3, 1).unwrap();
+        assert_eq!(p.units(1, ResourceKind::Cores), 8);
+        assert_eq!(p.units(0, ResourceKind::Cores), 1);
+        assert_eq!(p.units(2, ResourceKind::Cores), 1);
+        assert_eq!(p.units(1, ResourceKind::LlcWays), 9);
+    }
+
+    #[test]
+    fn transfer_moves_one_unit() {
+        let p = Partition::equal_share(&catalog(), 2).unwrap();
+        let q = p.transfer(ResourceKind::Cores, 0, 1, 2).unwrap();
+        assert_eq!(q.units(0, ResourceKind::Cores), p.units(0, ResourceKind::Cores) - 2);
+        assert_eq!(q.units(1, ResourceKind::Cores), p.units(1, ResourceKind::Cores) + 2);
+    }
+
+    #[test]
+    fn transfer_cannot_empty_donor() {
+        let p = Partition::max_for_job(&catalog(), 2, 0).unwrap();
+        // Job 1 holds exactly 1 core; taking it must fail.
+        let err = p.transfer(ResourceKind::Cores, 1, 0, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTransfer { .. }));
+    }
+
+    #[test]
+    fn transfer_rejects_self_and_zero() {
+        let p = Partition::equal_share(&catalog(), 2).unwrap();
+        assert!(p.transfer(ResourceKind::Cores, 0, 0, 1).is_err());
+        assert!(p.transfer(ResourceKind::Cores, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates_sum() {
+        let rows = vec![JobAllocation::floor(), JobAllocation::floor()];
+        let err = Partition::from_rows(catalog(), rows).unwrap_err();
+        assert!(matches!(err, SimError::AllocationSumMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_validates_floor() {
+        let mut a = JobAllocation::from_units([10, 11, 10, 10, 10, 10]);
+        let b = JobAllocation::from_units([0, 0, 0, 0, 0, 0]);
+        a.set(ResourceKind::Cores, 10);
+        let err = Partition::from_rows(catalog(), vec![a, b]).unwrap_err();
+        assert!(matches!(err, SimError::BelowMinimumAllocation { .. }));
+    }
+
+    #[test]
+    fn random_partition_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for jobs in 1..=5 {
+            for _ in 0..50 {
+                let p = Partition::random(&catalog(), jobs, &mut rng).unwrap();
+                assert_eq!(p.job_count(), jobs);
+                // from_rows already validated; spot-check fractions.
+                for j in 0..jobs {
+                    for r in ResourceKind::ALL {
+                        assert!(p.fraction(j, r) > 0.0 && p.fraction(j, r) <= 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_feasible_and_respect_freeze() {
+        let p = Partition::equal_share(&catalog(), 3).unwrap();
+        let n = p.neighbors(Some(1));
+        assert!(!n.is_empty());
+        for q in &n {
+            assert_eq!(q.job(1), p.job(1), "frozen row must not change");
+        }
+        let n_all = p.neighbors(None);
+        assert!(n_all.len() > n.len());
+    }
+
+    #[test]
+    fn features_in_unit_interval() {
+        let p = Partition::max_for_job(&catalog(), 4, 2).unwrap();
+        let f = p.features();
+        assert_eq!(f.len(), 24);
+        assert!(f.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn distance_zero_iff_same() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Partition::random(&catalog(), 3, &mut rng).unwrap();
+        let q = Partition::random(&catalog(), 3, &mut rng).unwrap();
+        assert_eq!(p.distance(&p), 0.0);
+        if p != q {
+            assert!(p.distance(&q) > 0.0);
+        }
+    }
+
+    #[test]
+    fn frozen_row_copy_rebalances() {
+        let p = Partition::equal_share(&catalog(), 3).unwrap();
+        let frozen = JobAllocation::from_units([6, 7, 6, 6, 6, 6]);
+        let q = p.with_frozen_row(0, &frozen).unwrap();
+        assert_eq!(q.job(0).all_units(), frozen.all_units());
+        // Still feasible (validated by from_rows inside).
+        for r in ResourceKind::ALL {
+            let sum: u32 = (0..3).map(|j| q.units(j, r)).sum();
+            assert_eq!(sum, catalog().units(r));
+        }
+    }
+
+    #[test]
+    fn composition_covers_total() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let parts = random_composition(11, 4, &mut rng);
+            assert_eq!(parts.len(), 4);
+            assert_eq!(parts.iter().sum::<u32>(), 11);
+            assert!(parts.iter().all(|&x| x >= 1));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Synthetic per-job performance counters.
+//!
+//! The real CLITE "observes the performance of each co-located job using
+//! performance counters" (paper Sec. 4). The simulator derives a consistent
+//! set of counter readings from the performance model so that controllers
+//! (and tests) can consume counter-shaped data: CPU utilization, LLC hit
+//! rate, memory-bandwidth share consumed, and an IPC proxy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::JobAllocation;
+use crate::perf::{amdahl_speedup, llc_hit_fraction, query_time_us};
+use crate::resource::{ResourceCatalog, ResourceKind};
+use crate::workload::WorkloadProfile;
+
+/// Counter readings for one job over one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Fraction of the job's allocated cores kept busy (0–1).
+    pub cpu_utilization: f64,
+    /// LLC hit rate earned by the allocated ways (0–1).
+    pub llc_hit_rate: f64,
+    /// Fraction of the machine's memory bandwidth the job consumed (0–1).
+    pub mem_bw_used_frac: f64,
+    /// Instructions-per-cycle proxy: work per unit time normalized to the
+    /// job's best case on this machine.
+    pub ipc_proxy: f64,
+    /// Memory-capacity pressure (0 = working set fits, grows with
+    /// thrashing) — the analogue of major-page-fault rate / cgroup memory
+    /// PSI, both observable on real hardware.
+    pub capacity_pressure: f64,
+    /// Fraction of the machine's disk bandwidth the job consumed (0–1),
+    /// observable via blkio statistics.
+    pub disk_bw_used_frac: f64,
+    /// Fraction of the machine's network bandwidth the job consumed (0–1),
+    /// observable via qdisc statistics.
+    pub net_bw_used_frac: f64,
+}
+
+impl CounterSample {
+    /// Derives counters for a job running `utilization` (λ/μ for LC jobs,
+    /// 1.0 for BG jobs) under `alloc`.
+    #[must_use]
+    pub fn derive(
+        profile: &WorkloadProfile,
+        alloc: &JobAllocation,
+        catalog: &ResourceCatalog,
+        utilization: f64,
+    ) -> Self {
+        let util = utilization.clamp(0.0, 1.0);
+        let ways = f64::from(alloc.units(ResourceKind::LlcWays));
+        let hit = llc_hit_fraction(ways, profile.hit_max, profile.ways_sat);
+
+        let t = query_time_us(profile, alloc, catalog);
+        let cores = f64::from(alloc.units(ResourceKind::Cores));
+        let speedup = amdahl_speedup(cores, profile.parallel_frac);
+        // Busy fraction of allocated cores: serial regions idle the rest.
+        let cpu_utilization = (util * speedup / cores).clamp(0.0, 1.0);
+
+        // Memory traffic scales with the miss fraction and activity.
+        let bw_frac = alloc.fraction(ResourceKind::MemBandwidth, catalog);
+        let demand = profile.mem_intensity * (1.0 - hit) * util;
+        let mem_bw_used_frac = demand.min(bw_frac);
+
+        // IPC proxy: best-case time over achieved time (≤ 1).
+        let best = query_time_us(profile, &JobAllocation::from_units(catalog.all_units()), catalog);
+        let ipc_proxy = (best / t).clamp(0.0, 1.0);
+
+        let cap_frac = alloc.fraction(ResourceKind::MemCapacity, catalog);
+        let capacity_pressure = crate::perf::thrash_factor(
+            cap_frac,
+            profile.working_set_frac,
+            profile.thrash_exp,
+        ) - 1.0;
+
+        let disk_share = alloc.fraction(ResourceKind::DiskBandwidth, catalog);
+        let disk_bw_used_frac = (profile.disk_intensity * util).min(disk_share);
+        let net_share = alloc.fraction(ResourceKind::NetBandwidth, catalog);
+        let net_bw_used_frac = (profile.net_intensity * util).min(net_share);
+
+        Self {
+            cpu_utilization,
+            llc_hit_rate: hit,
+            mem_bw_used_frac,
+            ipc_proxy,
+            capacity_pressure,
+            disk_bw_used_frac,
+            net_bw_used_frac,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadId;
+
+    #[test]
+    fn counters_in_range() {
+        let catalog = ResourceCatalog::testbed();
+        for w in WorkloadId::ALL {
+            let p = w.profile();
+            let alloc = JobAllocation::from_units([3, 3, 3, 3, 3, 3]);
+            let c = CounterSample::derive(&p, &alloc, &catalog, 0.7);
+            assert!((0.0..=1.0).contains(&c.cpu_utilization));
+            assert!((0.0..=1.0).contains(&c.llc_hit_rate));
+            assert!((0.0..=1.0).contains(&c.mem_bw_used_frac));
+            assert!((0.0..=1.0).contains(&c.ipc_proxy));
+        }
+    }
+
+    #[test]
+    fn bandwidth_use_capped_by_share() {
+        let catalog = ResourceCatalog::testbed();
+        let p = WorkloadId::Canneal.profile();
+        let starved = JobAllocation::from_units([5, 2, 1, 5, 5, 5]);
+        let c = CounterSample::derive(&p, &starved, &catalog, 1.0);
+        assert!(c.mem_bw_used_frac <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn full_allocation_has_unit_ipc_proxy() {
+        let catalog = ResourceCatalog::testbed();
+        let p = WorkloadId::ImgDnn.profile();
+        let full = JobAllocation::from_units(catalog.all_units());
+        let c = CounterSample::derive(&p, &full, &catalog, 1.0);
+        assert!((c.ipc_proxy - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+use crate::resource::ResourceKind;
+
+/// Error type for simulator construction and partition manipulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A partition row count did not match the number of co-located jobs.
+    JobCountMismatch {
+        /// Number of jobs the catalog/server expects.
+        expected: usize,
+        /// Number of rows actually supplied.
+        actual: usize,
+    },
+    /// A job was allocated fewer than one unit of a resource.
+    BelowMinimumAllocation {
+        /// Index of the offending job.
+        job: usize,
+        /// Resource with the invalid allocation.
+        resource: ResourceKind,
+    },
+    /// Per-resource allocations did not sum to the catalog's unit count.
+    AllocationSumMismatch {
+        /// Resource whose column does not sum correctly.
+        resource: ResourceKind,
+        /// Expected column sum (the catalog's unit count).
+        expected: u32,
+        /// Actual column sum.
+        actual: u32,
+    },
+    /// The catalog cannot host this many jobs (fewer units than jobs).
+    TooManyJobs {
+        /// Resource that cannot give every job one unit.
+        resource: ResourceKind,
+        /// Units available for that resource.
+        units: u32,
+        /// Number of jobs requested.
+        jobs: usize,
+    },
+    /// A unit transfer would violate the feasibility constraints.
+    InvalidTransfer {
+        /// Resource being transferred.
+        resource: ResourceKind,
+        /// Donor job index.
+        from: usize,
+        /// Recipient job index.
+        to: usize,
+    },
+    /// A job index was out of range.
+    JobOutOfRange {
+        /// The offending index.
+        job: usize,
+        /// Number of jobs present.
+        jobs: usize,
+    },
+    /// A server was constructed with no jobs.
+    NoJobs,
+    /// A load fraction outside `(0, 1]` was supplied for an LC job.
+    InvalidLoad {
+        /// The offending load fraction.
+        load: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::JobCountMismatch { expected, actual } => {
+                write!(f, "partition has {actual} rows but {expected} jobs are co-located")
+            }
+            SimError::BelowMinimumAllocation { job, resource } => {
+                write!(f, "job {job} allocated zero units of {resource}")
+            }
+            SimError::AllocationSumMismatch { resource, expected, actual } => {
+                write!(f, "{resource} allocations sum to {actual}, catalog has {expected} units")
+            }
+            SimError::TooManyJobs { resource, units, jobs } => {
+                write!(f, "{resource} has {units} units, cannot give 1 to each of {jobs} jobs")
+            }
+            SimError::InvalidTransfer { resource, from, to } => {
+                write!(f, "invalid {resource} transfer from job {from} to job {to}")
+            }
+            SimError::JobOutOfRange { job, jobs } => {
+                write!(f, "job index {job} out of range for {jobs} jobs")
+            }
+            SimError::NoJobs => write!(f, "server requires at least one job"),
+            SimError::InvalidLoad { load } => {
+                write!(f, "load fraction {load} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

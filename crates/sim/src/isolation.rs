@@ -1,0 +1,114 @@
+//! The emulated isolation layer (paper Table 1).
+//!
+//! On real hardware, enforcing a new partition means invoking `taskset`,
+//! writing Intel CAT/MBA MSRs, and updating cgroup limits — the paper
+//! measures this at "less than 100 ms in most cases" and notes it can be
+//! overlapped with the previous sample's evaluation. The simulator models
+//! the same: applying a partition costs [`EnforcementReport::overhead_ms`]
+//! of simulated time and produces a per-resource action log, so overhead
+//! accounting in the experiments matches the paper's.
+
+use serde::Serialize;
+
+use crate::alloc::Partition;
+use crate::resource::ResourceKind;
+
+/// A single isolation action (one tool invocation) in an enforcement.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IsolationAction {
+    /// Resource being repartitioned.
+    pub resource: ResourceKind,
+    /// Tool that would perform it on real hardware (Table 1).
+    pub tool: &'static str,
+    /// Number of jobs whose share of this resource changed.
+    pub jobs_changed: usize,
+}
+
+/// Result of applying a partition through the isolation layer.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EnforcementReport {
+    /// Actions taken, one per resource that changed.
+    pub actions: Vec<IsolationAction>,
+    /// Simulated enforcement latency in milliseconds.
+    pub overhead_ms: f64,
+}
+
+impl EnforcementReport {
+    /// Whether the new partition differed from the old at all.
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        !self.actions.is_empty()
+    }
+}
+
+/// Per-resource enforcement cost in milliseconds. Core re-pinning is the
+/// most expensive (task migration); MSR writes are cheap.
+fn cost_ms(resource: ResourceKind) -> f64 {
+    match resource {
+        ResourceKind::Cores => 40.0,
+        ResourceKind::LlcWays => 5.0,
+        ResourceKind::MemBandwidth => 5.0,
+        ResourceKind::MemCapacity => 20.0,
+        ResourceKind::DiskBandwidth => 10.0,
+        ResourceKind::NetBandwidth => 10.0,
+    }
+}
+
+/// Computes the enforcement report for switching from `old` to `new`.
+///
+/// Only resources whose allocation actually changed incur cost; an
+/// unchanged partition is free (the layer is idempotent).
+#[must_use]
+pub fn enforce(old: &Partition, new: &Partition) -> EnforcementReport {
+    let mut actions = Vec::new();
+    let mut overhead_ms = 0.0;
+    for r in ResourceKind::ALL {
+        let jobs_changed = (0..old.job_count().min(new.job_count()))
+            .filter(|&j| old.units(j, r) != new.units(j, r))
+            .count();
+        if jobs_changed > 0 {
+            overhead_ms += cost_ms(r);
+            actions.push(IsolationAction { resource: r, tool: r.isolation_tool(), jobs_changed });
+        }
+    }
+    EnforcementReport { actions, overhead_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceCatalog;
+
+    #[test]
+    fn identical_partitions_are_free() {
+        let c = ResourceCatalog::testbed();
+        let p = Partition::equal_share(&c, 3).unwrap();
+        let r = enforce(&p, &p);
+        assert!(!r.changed());
+        assert_eq!(r.overhead_ms, 0.0);
+    }
+
+    #[test]
+    fn changed_resource_logged_with_tool() {
+        let c = ResourceCatalog::testbed();
+        let p = Partition::equal_share(&c, 2).unwrap();
+        let q = p.transfer(ResourceKind::LlcWays, 0, 1, 1).unwrap();
+        let r = enforce(&p, &q);
+        assert!(r.changed());
+        assert_eq!(r.actions.len(), 1);
+        assert_eq!(r.actions[0].resource, ResourceKind::LlcWays);
+        assert_eq!(r.actions[0].tool, "Intel CAT");
+        assert_eq!(r.actions[0].jobs_changed, 2);
+        assert!(r.overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn full_reshuffle_under_100ms() {
+        // The paper: "less than 100 ms in most cases".
+        let c = ResourceCatalog::testbed();
+        let p = Partition::equal_share(&c, 4).unwrap();
+        let q = Partition::max_for_job(&c, 4, 0).unwrap();
+        let r = enforce(&p, &q);
+        assert!(r.overhead_ms <= 100.0, "overhead {} ms", r.overhead_ms);
+    }
+}

@@ -1,0 +1,80 @@
+//! # clite-sim — a co-location server simulator
+//!
+//! This crate is the hardware/workload substrate for the CLITE (HPCA 2020)
+//! reproduction. The paper runs on a real Intel Xeon testbed, partitioning
+//! shared resources with `taskset`, Intel CAT, Intel MBA, and Linux cgroups
+//! (its Table 1), and drives Tailbench latency-critical (LC) workloads plus
+//! PARSEC background (BG) workloads against it. None of that hardware is
+//! available here, so this crate simulates the same contract:
+//!
+//! * a [`resource::ResourceCatalog`] with the same partitionable resources
+//!   and unit granularities (cores, LLC ways, memory bandwidth, memory
+//!   capacity, disk bandwidth);
+//! * [`alloc::Partition`] — an allocation matrix over jobs × resources that
+//!   enforces the paper's feasibility constraints (every job gets at least
+//!   one unit; per-resource allocations sum to the unit count);
+//! * [`workload`] — profiles for the paper's five LC and six BG workloads
+//!   with distinct resource sensitivities;
+//! * [`perf`] — an additive-bottleneck (roofline-style) performance model
+//!   that yields the paper's "resource equivalence class" behaviour;
+//! * [`queueing`] — M/M/c-style tail-latency models (processor sharing
+//!   and Erlang-C, configurable QoS quantile) producing the
+//!   hockey-stick QPS-vs-p95 curves of the paper's Fig. 6, from which QoS
+//!   targets and maximum loads are derived exactly the way the paper does
+//!   (knee of the isolation curve);
+//! * [`server::Server`] — the observable machine: apply a partition, run a
+//!   2-second observation window, read noisy per-job latency/throughput and
+//!   synthetic performance counters.
+//!
+//! Every policy in the reproduction (CLITE, PARTIES, Heracles, RAND+,
+//! GENETIC, ORACLE) interacts with the machine only through
+//! [`server::Server`], exactly as the real controllers interact with the
+//! isolation tools and performance counters of a physical node.
+//!
+//! ## Example
+//!
+//! ```
+//! use clite_sim::prelude::*;
+//!
+//! let catalog = ResourceCatalog::testbed();
+//! let jobs = vec![
+//!     JobSpec::latency_critical(WorkloadId::Memcached, 0.4),
+//!     JobSpec::background(WorkloadId::Blackscholes),
+//! ];
+//! let mut server = Server::new(catalog, jobs, 42)?;
+//! let partition = Partition::equal_share(server.catalog(), server.job_count())?;
+//! let obs = server.observe(&partition);
+//! assert_eq!(obs.jobs.len(), 2);
+//! # Ok::<(), clite_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod counters;
+pub mod isolation;
+pub mod load;
+pub mod metrics;
+pub mod noise;
+pub mod perf;
+pub mod queueing;
+pub mod resource;
+pub mod server;
+pub mod workload;
+
+mod error;
+
+pub use error::SimError;
+
+/// Convenience re-exports of the types almost every consumer needs.
+pub mod prelude {
+    pub use crate::alloc::{JobAllocation, Partition};
+    pub use crate::load::LoadSchedule;
+    pub use crate::metrics::{JobObservation, Observation};
+    pub use crate::queueing::QosSpec;
+    pub use crate::resource::{ResourceCatalog, ResourceKind, NUM_RESOURCES};
+    pub use crate::server::{JobSpec, MachineSpec, Server};
+    pub use crate::workload::{JobClass, WorkloadId, WorkloadProfile};
+    pub use crate::SimError;
+}

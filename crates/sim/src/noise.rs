@@ -1,0 +1,117 @@
+//! Measurement noise for the 2-second observation windows.
+//!
+//! On the paper's testbed, every sampled configuration is observed for two
+//! seconds and the measured tail latency / throughput carry run-to-run
+//! noise (which is why the GP models observation noise and why the paper's
+//! Fig. 11 studies run-to-run variability at all). We model that noise as
+//! multiplicative log-normal jitter applied independently per job per
+//! window.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative log-normal noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// σ of the log-normal factor applied to observed p95 latency.
+    pub latency_sigma: f64,
+    /// σ of the log-normal factor applied to observed throughput.
+    pub throughput_sigma: f64,
+}
+
+impl NoiseModel {
+    /// Default measurement noise: ~2% latency jitter, ~1% throughput jitter
+    /// (a 2-second window collects thousands of queries, so percentile
+    /// estimates are fairly stable).
+    #[must_use]
+    pub fn default_measurement() -> Self {
+        Self { latency_sigma: 0.02, throughput_sigma: 0.01 }
+    }
+
+    /// A noise-free model, used by ORACLE's privileged ground-truth access
+    /// and by deterministic tests.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { latency_sigma: 0.0, throughput_sigma: 0.0 }
+    }
+
+    /// Whether any jitter is applied at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.latency_sigma == 0.0 && self.throughput_sigma == 0.0
+    }
+
+    /// A multiplicative latency jitter factor.
+    pub fn latency_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        lognormal_factor(rng, self.latency_sigma)
+    }
+
+    /// A multiplicative throughput jitter factor.
+    pub fn throughput_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        lognormal_factor(rng, self.throughput_sigma)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::default_measurement()
+    }
+}
+
+/// A standard-normal sample via the Box–Muller transform (keeps the crate
+/// free of a distributions dependency).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+fn lognormal_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    (standard_normal(rng) * sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = NoiseModel::none();
+        assert!(m.is_none());
+        for _ in 0..10 {
+            assert_eq!(m.latency_factor(&mut rng), 1.0);
+            assert_eq!(m.throughput_factor(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_factor_positive_and_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = NoiseModel::default_measurement();
+        let n = 5_000;
+        let mean: f64 =
+            (0..n).map(|_| m.latency_factor(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
+    }
+}

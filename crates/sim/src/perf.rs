@@ -1,0 +1,262 @@
+//! The additive-bottleneck performance model.
+//!
+//! Per-query execution time under an allocation decomposes into a CPU
+//! component (scaled by an Amdahl speedup over the allocated cores for the
+//! workload's *intra-query* parallel fraction — throughput scaling with
+//! cores is handled separately by [`capacity_qps`], since queries are
+//! independent), a memory component (scaled by the LLC hit fraction earned
+//! by the allocated ways and by the allocated memory-bandwidth share), and
+//! a disk component, all multiplied by a thrashing factor when the
+//! memory-capacity share is below the working set:
+//!
+//! ```text
+//! t(a) = [ T_cpu / S(cores)
+//!        + T_mem · (1 − hit(ways)) · max(1, demand_mem / bw_frac)
+//!        + T_disk · max(1, demand_disk / disk_frac)
+//!        + T_net  · max(1, demand_net / net_frac) ] · thrash(cap_frac)
+//! ```
+//!
+//! where `demand_mem = mem_intensity · (1 − hit(ways))` — a bandwidth share
+//! only slows a job down when it is *below the job's traffic demand*, and
+//! cache hits shrink that demand (Intel MBA throttles are harmless while
+//! the share exceeds what the job actually pulls).
+//!
+//! This form reproduces the paper's two central phenomena:
+//!
+//! * **Resource equivalence classes** (Fig. 1): LLC ways and memory
+//!   bandwidth are substitutes — more ways reduce the traffic that the
+//!   bandwidth share has to carry, so "16 cores + 1 way" and "14 cores +
+//!   6 ways" can meet the same QoS.
+//! * **Cross-resource interactions** (Sec. 3.2): adding cache ways has a
+//!   visible effect only while the memory term matters, i.e. only after
+//!   bandwidth is constrained — exactly the coupling that defeats
+//!   one-dimension-at-a-time (coordinate-descent) search.
+
+use crate::alloc::JobAllocation;
+use crate::resource::{ResourceCatalog, ResourceKind};
+use crate::workload::WorkloadProfile;
+
+/// Amdahl speedup of `cores` cores for a job with parallel fraction `p`.
+#[must_use]
+pub fn amdahl_speedup(cores: f64, parallel_frac: f64) -> f64 {
+    debug_assert!(cores >= 1.0);
+    1.0 / ((1.0 - parallel_frac) + parallel_frac / cores)
+}
+
+/// LLC hit fraction earned by `ways` cache ways (exponential saturation).
+#[must_use]
+pub fn llc_hit_fraction(ways: f64, hit_max: f64, ways_sat: f64) -> f64 {
+    hit_max * (1.0 - (-ways / ways_sat).exp())
+}
+
+/// Thrashing multiplier when the capacity share is below the working set.
+#[must_use]
+pub fn thrash_factor(cap_frac: f64, working_set_frac: f64, thrash_exp: f64) -> f64 {
+    if cap_frac >= working_set_frac {
+        1.0
+    } else {
+        (working_set_frac / cap_frac).powf(thrash_exp)
+    }
+}
+
+/// Per-query execution time (µs) of `profile` under `alloc` on `catalog`,
+/// before queueing and interference.
+#[must_use]
+pub fn query_time_us(
+    profile: &WorkloadProfile,
+    alloc: &JobAllocation,
+    catalog: &ResourceCatalog,
+) -> f64 {
+    let cores = f64::from(alloc.units(ResourceKind::Cores));
+    let ways = f64::from(alloc.units(ResourceKind::LlcWays));
+    let bw_frac = alloc.fraction(ResourceKind::MemBandwidth, catalog);
+    let cap_frac = alloc.fraction(ResourceKind::MemCapacity, catalog);
+    let disk_frac = alloc.fraction(ResourceKind::DiskBandwidth, catalog);
+    let net_frac = alloc.fraction(ResourceKind::NetBandwidth, catalog);
+
+    let cpu = profile.cpu_time_us / amdahl_speedup(cores, profile.parallel_frac);
+    let hit = llc_hit_fraction(ways, profile.hit_max, profile.ways_sat);
+    let mem_demand = profile.mem_intensity * (1.0 - hit);
+    let bw_slowdown = (mem_demand / bw_frac).max(1.0);
+    let mem = profile.mem_time_us * (1.0 - hit) * bw_slowdown;
+    let disk_slowdown = (profile.disk_intensity / disk_frac).max(1.0);
+    let disk = profile.disk_time_us * disk_slowdown;
+    let net_slowdown = (profile.net_intensity / net_frac).max(1.0);
+    let net = profile.net_time_us * net_slowdown;
+    let thrash = thrash_factor(cap_frac, profile.working_set_frac, profile.thrash_exp);
+
+    (cpu + mem + disk + net) * thrash
+}
+
+/// Per-query time (µs) with the *entire machine* (isolation, the paper's
+/// `Iso-Perf` reference point).
+#[must_use]
+pub fn isolation_time_us(profile: &WorkloadProfile, catalog: &ResourceCatalog) -> f64 {
+    let full = JobAllocation::from_units(catalog.all_units());
+    query_time_us(profile, &full, catalog)
+}
+
+/// Throughput capacity in queries per second: `cores` independent queries
+/// in flight, each taking `query_time_us`.
+#[must_use]
+pub fn capacity_qps(query_time_us: f64, cores: u32) -> f64 {
+    f64::from(cores) * 1.0e6 / query_time_us
+}
+
+/// Throughput of a background job under `alloc`, normalized to its
+/// isolation throughput (`Colo-Perf / Iso-Perf` in the paper's Eq. 3):
+/// work items complete at `cores / t_q`, so both the core count and the
+/// per-item time matter.
+#[must_use]
+pub fn normalized_throughput(
+    profile: &WorkloadProfile,
+    alloc: &JobAllocation,
+    catalog: &ResourceCatalog,
+) -> f64 {
+    let t_iso = isolation_time_us(profile, catalog);
+    let t = query_time_us(profile, alloc, catalog);
+    let cores = alloc.units(ResourceKind::Cores);
+    let cores_full = catalog.units(ResourceKind::Cores);
+    capacity_qps(t, cores) / capacity_qps(t_iso, cores_full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::NUM_RESOURCES;
+    use crate::workload::WorkloadId;
+
+    fn catalog() -> ResourceCatalog {
+        ResourceCatalog::testbed()
+    }
+
+    fn alloc(units: [u32; NUM_RESOURCES]) -> JobAllocation {
+        JobAllocation::from_units(units)
+    }
+
+    #[test]
+    fn amdahl_monotone_and_bounded() {
+        let p = 0.95;
+        let mut last = 0.0;
+        for c in 1..=10 {
+            let s = amdahl_speedup(f64::from(c), p);
+            assert!(s > last);
+            assert!(s <= f64::from(c) + 1e-9);
+            last = s;
+        }
+        assert!((amdahl_speedup(1.0, p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_fraction_saturates() {
+        let h1 = llc_hit_fraction(1.0, 0.8, 3.0);
+        let h5 = llc_hit_fraction(5.0, 0.8, 3.0);
+        let h11 = llc_hit_fraction(11.0, 0.8, 3.0);
+        assert!(h1 < h5 && h5 < h11);
+        assert!(h11 < 0.8);
+        // Diminishing returns: the first ways buy more than the last.
+        assert!(h5 - h1 > h11 - h5);
+    }
+
+    #[test]
+    fn more_resources_never_slower() {
+        let profile = WorkloadId::Masstree.profile();
+        let c = catalog();
+        let small = alloc([2, 2, 2, 2, 2, 2]);
+        let big = alloc([8, 9, 8, 8, 8, 8]);
+        assert!(query_time_us(&profile, &big, &c) < query_time_us(&profile, &small, &c));
+    }
+
+    #[test]
+    fn ways_and_bandwidth_are_substitutes() {
+        // The resource-equivalence-class property: trading ways for
+        // bandwidth can keep query time roughly constant for a
+        // bandwidth-bound workload.
+        let profile = WorkloadId::Masstree.profile();
+        let c = catalog();
+        let ways_heavy = alloc([5, 9, 4, 5, 5, 5]);
+        let bw_heavy = alloc([5, 2, 7, 5, 5, 5]);
+        let t_ways = query_time_us(&profile, &ways_heavy, &c);
+        let t_bw = query_time_us(&profile, &bw_heavy, &c);
+        // The two heterogeneous allocations are closer to each other than
+        // either is to the starved configuration.
+        let starved = alloc([5, 2, 3, 5, 5, 5]);
+        let t_starved = query_time_us(&profile, &starved, &c);
+        assert!(t_starved > t_ways.max(t_bw));
+        assert!((t_ways - t_bw).abs() < 0.5 * (t_starved - t_ways.min(t_bw)));
+    }
+
+    #[test]
+    fn cache_ways_interact_with_bandwidth() {
+        // Sec. 3.2's example: extra ways matter much more when bandwidth is
+        // scarce (the memory term dominates) than when it is plentiful.
+        let profile = WorkloadId::Streamcluster.profile();
+        let c = catalog();
+        let gain = |bw: u32| {
+            let few_ways = alloc([5, 2, bw, 5, 5, 5]);
+            let many_ways = alloc([5, 9, bw, 5, 5, 5]);
+            query_time_us(&profile, &few_ways, &c) / query_time_us(&profile, &many_ways, &c)
+        };
+        assert!(gain(2) > gain(9));
+    }
+
+    #[test]
+    fn thrash_kicks_in_below_working_set() {
+        assert_eq!(thrash_factor(0.8, 0.5, 1.5), 1.0);
+        assert!(thrash_factor(0.2, 0.5, 1.5) > 1.0);
+        let p = WorkloadId::Specjbb.profile();
+        let c = catalog();
+        let starved_cap = alloc([5, 5, 5, 1, 5, 5]);
+        let fed_cap = alloc([5, 5, 5, 9, 5, 5]);
+        assert!(
+            query_time_us(&p, &starved_cap, &c) > 1.5 * query_time_us(&p, &fed_cap, &c),
+            "specjbb must be strongly capacity-sensitive"
+        );
+    }
+
+    #[test]
+    fn compute_bound_bg_ignores_bandwidth() {
+        let p = WorkloadId::Swaptions.profile();
+        let c = catalog();
+        let low_bw = alloc([5, 5, 1, 5, 5, 5]);
+        let high_bw = alloc([5, 5, 9, 5, 5, 5]);
+        let ratio = query_time_us(&p, &low_bw, &c) / query_time_us(&p, &high_bw, &c);
+        assert!(ratio < 1.15, "swaptions barely cares about bandwidth, ratio {ratio}");
+    }
+
+    #[test]
+    fn normalized_throughput_at_full_is_one() {
+        for w in WorkloadId::BACKGROUND {
+            let p = w.profile();
+            let c = catalog();
+            let full = JobAllocation::from_units(c.all_units());
+            let t = normalized_throughput(&p, &full, &c);
+            assert!((t - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_throughput_below_one_when_partitioned() {
+        let p = WorkloadId::Streamcluster.profile();
+        let c = catalog();
+        let half = alloc([5, 5, 5, 5, 5, 5]);
+        let t = normalized_throughput(&p, &half, &c);
+        assert!(t < 1.0 && t > 0.0);
+    }
+
+    #[test]
+    fn capacity_scales_with_cores() {
+        assert!((capacity_qps(100.0, 1) - 10_000.0).abs() < 1e-9);
+        assert!((capacity_qps(100.0, 10) - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bg_throughput_scales_with_cores() {
+        let p = WorkloadId::Swaptions.profile();
+        let c = catalog();
+        let few = alloc([2, 5, 5, 5, 5, 5]);
+        let many = alloc([8, 5, 5, 5, 5, 5]);
+        let ratio = normalized_throughput(&p, &many, &c) / normalized_throughput(&p, &few, &c);
+        assert!(ratio > 3.0, "pure-compute BG job should scale ~linearly, got {ratio}");
+    }
+}

@@ -1,0 +1,515 @@
+//! Tail-latency model and QoS-target derivation (paper Fig. 6).
+//!
+//! A latency-critical serving job executes independent queries: allocated
+//! cores multiply **throughput capacity** while per-query service time
+//! `t_q(a)` is set by the cache/bandwidth/capacity allocation (and mildly
+//! by intra-query parallelism). We model the job as a processor-sharing
+//! queue with capacity `μ(a) = cores / t_q(a)`:
+//!
+//! ```text
+//! p95(λ, a) = ln(20) · t_q(a) / (1 − ρ)      with ρ = λ / μ(a), ρ < 1
+//! ```
+//!
+//! which is flat near `ln(20)·t_q` at low load and blows up as `ρ → 1` —
+//! the hockey-stick QPS-vs-p95 curves of the paper's Fig. 6. Following the
+//! paper's methodology, the **QoS target** is the latency at the knee of
+//! the full-machine isolation curve and the corresponding QPS is the
+//! workload's **maximum load** (load fractions elsewhere are fractions of
+//! it).
+//!
+//! One calibration constant, [`LOAD_HEADROOM`], scales the knee QPS into
+//! the reported maximum load. On the paper's testbed, several LC jobs at
+//! moderate loads plus BG jobs are co-locatable because no benchmark's
+//! "100% load" saturates every machine resource at once; the headroom
+//! factor reproduces that frontier (loads summing to ≈130% of one machine
+//! are just barely co-locatable with ideal partitioning, matching the
+//! paper's Fig. 7 feasibility boundary).
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf::{capacity_qps, isolation_time_us};
+use crate::resource::ResourceCatalog;
+use crate::workload::{WorkloadId, WorkloadProfile};
+
+/// `ln(20)`: the 95th percentile of a unit-rate exponential.
+pub const P95_FACTOR: f64 = 2.995_732_273_553_991;
+
+/// Fraction of the knee QPS reported as the workload's maximum load.
+///
+/// Calibrated against the paper's co-location frontier: with this value,
+/// three LC jobs at 30% load plus one BG job are comfortably co-locatable
+/// with meaningful BG throughput left over (paper Fig. 13), while load
+/// combinations summing far past ~150–190% of one machine become
+/// infeasible (the `X` region of Fig. 7/8). On the paper's physical
+/// testbed the same effect comes from benchmark "max loads" being bound by
+/// a single resource each, so co-located jobs overlap less than their load
+/// percentages suggest.
+pub const LOAD_HEADROOM: f64 = 0.35;
+
+/// Latency reported for degenerate inputs (zero capacity or service time).
+pub const SATURATED_LATENCY_US: f64 = 1.0e9;
+
+/// Utilization beyond which the queueing formula switches to the linear
+/// overload regime.
+pub const RHO_SOFT_CAP: f64 = 0.95;
+
+/// Latency growth per unit of overload beyond [`RHO_SOFT_CAP`].
+pub const OVERLOAD_SLOPE: f64 = 5.0;
+
+/// Which queueing formula turns (load, capacity, service time) into a tail
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TailModel {
+    /// Processor-sharing form `ln(1/(1−q))·t_q/(1−ρ)` — the default used
+    /// throughout the reproduction (smooth, one parameter).
+    #[default]
+    ProcessorSharing,
+    /// M/M/c with Erlang-C waiting probability: queries wait only when all
+    /// servers are busy, so low-utilization latencies hug the service time
+    /// more tightly and the knee is sharper.
+    ErlangC,
+}
+
+/// Tail-latency configuration of a server: the queueing model and the QoS
+/// quantile (the paper uses the 95th percentile; PARTIES-style setups
+/// often use the 99th).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailConfig {
+    /// Queueing formula.
+    pub model: TailModel,
+    /// Tail quantile in (0, 1), e.g. `0.95`.
+    pub quantile: f64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        Self { model: TailModel::ProcessorSharing, quantile: 0.95 }
+    }
+}
+
+/// `ln(1/(1−q))`: the q-quantile of a unit-rate exponential.
+#[must_use]
+pub fn tail_factor(quantile: f64) -> f64 {
+    -(1.0 - quantile).ln()
+}
+
+/// Erlang-C waiting probability for `c` servers at offered load `a`
+/// Erlangs (`a < c`), via the numerically stable Erlang-B recursion.
+#[must_use]
+pub fn erlang_c(servers: u32, offered: f64) -> f64 {
+    debug_assert!(offered >= 0.0);
+    let c = f64::from(servers);
+    if offered >= c {
+        return 1.0;
+    }
+    let mut b = 1.0; // Erlang B for k = 0
+    for k in 1..=servers {
+        let kf = f64::from(k);
+        b = offered * b / (kf + offered * b);
+    }
+    let denom = c - offered * (1.0 - b);
+    (c * b / denom).clamp(0.0, 1.0)
+}
+
+/// Generalized tail latency (µs) under `config` for per-query service time
+/// `service_us`, capacity `mu_qps = servers/service`, offered `lambda_qps`,
+/// and `servers` parallel slots.
+///
+/// Shares the linear overload regime of [`p95_latency_us`] beyond
+/// [`RHO_SOFT_CAP`] utilization.
+#[must_use]
+pub fn tail_latency_us(
+    config: TailConfig,
+    lambda_qps: f64,
+    mu_qps: f64,
+    service_us: f64,
+    servers: u32,
+) -> f64 {
+    if mu_qps <= 0.0 || service_us <= 0.0 {
+        return SATURATED_LATENCY_US;
+    }
+    let rho = lambda_qps / mu_qps;
+    let factor = tail_factor(config.quantile);
+    if rho >= RHO_SOFT_CAP {
+        let overload = (rho - RHO_SOFT_CAP).min(100.0);
+        return factor * service_us / (1.0 - RHO_SOFT_CAP)
+            * (1.0 + OVERLOAD_SLOPE * overload);
+    }
+    match config.model {
+        TailModel::ProcessorSharing => factor * service_us / (1.0 - rho),
+        TailModel::ErlangC => {
+            // Sojourn T = S + W: S ~ Exp(1/t); W = 0 with prob 1−C, else
+            // Exp(δ) with δ = (c − a)/t. Solve ccdf(x) = 1 − q by bisection.
+            let a = lambda_qps * service_us / 1.0e6; // offered Erlangs
+            let c_wait = erlang_c(servers, a);
+            let mu_s = 1.0 / service_us;
+            let delta = (f64::from(servers) - a) / service_us;
+            let target = 1.0 - config.quantile;
+            let ccdf = |x: f64| -> f64 {
+                let s_term = (-mu_s * x).exp();
+                if (delta - mu_s).abs() < 1e-12 * mu_s {
+                    // Degenerate: equal rates => Gamma(2, mu) tail.
+                    (1.0 - c_wait) * s_term + c_wait * (1.0 + mu_s * x) * s_term
+                } else {
+                    let conv =
+                        (delta * s_term - mu_s * (-delta * x).exp()) / (delta - mu_s);
+                    (1.0 - c_wait) * s_term + c_wait * conv
+                }
+            };
+            let mut lo = 0.0;
+            let mut hi = service_us * factor;
+            while ccdf(hi) > target {
+                hi *= 2.0;
+                if hi > 1e12 {
+                    return SATURATED_LATENCY_US;
+                }
+            }
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if ccdf(mid) > target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        }
+    }
+}
+
+/// 95th-percentile latency (µs) for service time `service_us` per query,
+/// capacity `mu_qps`, and offered load `lambda_qps`.
+///
+/// Below [`RHO_SOFT_CAP`] utilization this is the processor-sharing form
+/// `ln(20)·t_q/(1−ρ)`; beyond it the latency keeps growing *linearly* in
+/// the overload ratio (continuous at the cap). An overloaded queue's real
+/// latency is unbounded, but a finite graded value keeps the paper's score
+/// function (Eq. 3) informative in the infeasible region — a flat penalty
+/// would give BO "no specific direction", exactly the failure mode the
+/// paper's score-design discussion warns about.
+#[must_use]
+pub fn p95_latency_us(lambda_qps: f64, mu_qps: f64, service_us: f64) -> f64 {
+    if mu_qps <= 0.0 || service_us <= 0.0 {
+        return SATURATED_LATENCY_US;
+    }
+    let rho = lambda_qps / mu_qps;
+    let base = P95_FACTOR * service_us;
+    if rho < RHO_SOFT_CAP {
+        base / (1.0 - rho)
+    } else {
+        let overload = (rho - RHO_SOFT_CAP).min(100.0);
+        base / (1.0 - RHO_SOFT_CAP) * (1.0 + OVERLOAD_SLOPE * overload)
+    }
+}
+
+/// QoS specification of an LC workload derived from its isolation curve:
+/// the knee latency becomes the target, the (headroom-scaled) knee QPS the
+/// maximum load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// Workload this spec belongs to.
+    pub workload: WorkloadId,
+    /// 95th-percentile latency target (µs) — the knee of the isolation curve.
+    pub target_us: f64,
+    /// QPS treated as "100% load" in every experiment.
+    pub max_qps: f64,
+    /// Zero-load p95 in isolation (µs), for reference.
+    pub unloaded_p95_us: f64,
+}
+
+impl QosSpec {
+    /// Derives the spec for `workload` on `catalog` from the isolation
+    /// QPS-vs-p95 curve, locating the knee by the maximum-distance-from-
+    /// chord ("kneedle") criterion — mirroring how the paper reads Fig. 6.
+    #[must_use]
+    pub fn derive(workload: WorkloadId, catalog: &ResourceCatalog) -> Self {
+        let profile = workload.profile();
+        Self::derive_from_profile(&profile, catalog)
+    }
+
+    /// Same as [`QosSpec::derive`] for an explicit profile.
+    #[must_use]
+    pub fn derive_from_profile(profile: &WorkloadProfile, catalog: &ResourceCatalog) -> Self {
+        Self::derive_with(profile, catalog, TailConfig::default())
+    }
+
+    /// Derives the spec under an explicit queueing model and tail
+    /// quantile, keeping the knee-utilization methodology. The knee is
+    /// located on *that model's* isolation curve: Erlang-C on many servers
+    /// stays flat far longer than processor sharing, so its knee (and
+    /// therefore its maximum load) sits at higher utilization.
+    #[must_use]
+    pub fn derive_with(
+        profile: &WorkloadProfile,
+        catalog: &ResourceCatalog,
+        config: TailConfig,
+    ) -> Self {
+        let t_iso = isolation_time_us(profile, catalog);
+        let cores = catalog.all_units()[0];
+        let mu = capacity_qps(t_iso, cores);
+        let knee_util = knee_utilization(config, t_iso, cores);
+        Self {
+            workload: profile.id,
+            target_us: tail_latency_us(config, knee_util * mu, mu, t_iso, cores),
+            max_qps: LOAD_HEADROOM * knee_util * mu,
+            unloaded_p95_us: tail_latency_us(config, 0.0, mu, t_iso, cores),
+        }
+    }
+
+    /// Arrival rate (QPS) corresponding to a load fraction of this spec's
+    /// maximum load.
+    #[must_use]
+    pub fn qps_at_load(&self, load_frac: f64) -> f64 {
+        self.max_qps * load_frac
+    }
+
+    /// Whether an observed p95 meets the target.
+    #[must_use]
+    pub fn met_by(&self, observed_p95_us: f64) -> bool {
+        observed_p95_us <= self.target_us
+    }
+}
+
+/// One point of an isolation QPS-vs-p95 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load in queries per second.
+    pub qps: f64,
+    /// Resulting 95th-percentile latency in µs.
+    pub p95_us: f64,
+}
+
+/// The isolation sweep behind Fig. 6: p95 at `points` evenly spaced loads
+/// up to `max_util` of the isolation capacity.
+#[must_use]
+pub fn isolation_sweep(
+    profile: &WorkloadProfile,
+    catalog: &ResourceCatalog,
+    points: usize,
+    max_util: f64,
+) -> Vec<SweepPoint> {
+    let t_iso = isolation_time_us(profile, catalog);
+    let mu = capacity_qps(t_iso, catalog.all_units()[0]);
+    (0..points)
+        .map(|i| {
+            let frac = max_util * (i as f64 + 1.0) / points as f64;
+            let qps = mu * frac;
+            SweepPoint { qps, p95_us: p95_latency_us(qps, mu, t_iso) }
+        })
+        .collect()
+}
+
+/// Knee utilization of the normalized `1/(1−ρ)` isolation curve on
+/// `ρ ∈ (0, 0.95]`: the point farthest below the chord between the curve's
+/// endpoints. The processor-sharing curve shape is workload-independent,
+/// so this is a constant (≈ 0.78).
+#[must_use]
+pub fn isolation_knee_utilization() -> f64 {
+    kneedle(&|u| 1.0 / (1.0 - u))
+}
+
+/// Knee utilization of an arbitrary model's isolation curve (maximum
+/// distance below the chord, the "kneedle" criterion).
+#[must_use]
+pub fn knee_utilization(config: TailConfig, service_us: f64, servers: u32) -> f64 {
+    let mu = capacity_qps(service_us, servers);
+    kneedle(&|u| tail_latency_us(config, u * mu, mu, service_us, servers))
+}
+
+fn kneedle(curve: &dyn Fn(f64) -> f64) -> f64 {
+    const N: usize = 400;
+    const MAX_UTIL: f64 = 0.95;
+    let xs: Vec<f64> = (0..N).map(|i| MAX_UTIL * (i as f64 + 1.0) / N as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|&u| curve(u)).collect();
+
+    let (x0, y0) = (xs[0], ys[0]);
+    let (x1, y1) = (xs[N - 1], ys[N - 1]);
+    let mut best = 0usize;
+    let mut best_d = f64::MIN;
+    for i in 0..N {
+        let nx = (xs[i] - x0) / (x1 - x0);
+        let ny = (ys[i] - y0) / (y1 - y0);
+        let d = nx - ny;
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    xs[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p95_flat_at_zero_load() {
+        let p = p95_latency_us(0.0, 10_000.0, 100.0);
+        assert!((p - P95_FACTOR * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p95_monotone_in_load() {
+        let mu = 5_000.0;
+        let mut last = 0.0;
+        for i in 1..100 {
+            let l = mu * f64::from(i) / 101.0;
+            let p = p95_latency_us(l, mu, 50.0);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn saturation_is_graded_and_continuous() {
+        // Deeper overload ⇒ higher latency (graded, never flat).
+        let at = p95_latency_us(5_000.0, 5_000.0, 50.0);
+        let over = p95_latency_us(10_000.0, 5_000.0, 50.0);
+        let way_over = p95_latency_us(50_000.0, 5_000.0, 50.0);
+        assert!(over > at && way_over > over);
+        // Continuous at the soft cap.
+        let just_below = p95_latency_us(5_000.0 * (RHO_SOFT_CAP - 1e-9), 5_000.0, 50.0);
+        let just_above = p95_latency_us(5_000.0 * (RHO_SOFT_CAP + 1e-9), 5_000.0, 50.0);
+        assert!((just_below - just_above).abs() / just_below < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_saturates() {
+        assert_eq!(p95_latency_us(1.0, 0.0, 100.0), SATURATED_LATENCY_US);
+    }
+
+    #[test]
+    fn knee_in_sensible_range() {
+        let u = isolation_knee_utilization();
+        assert!(u > 0.6 && u < 0.9, "knee utilization {u}");
+    }
+
+    #[test]
+    fn qos_spec_consistent() {
+        let catalog = ResourceCatalog::testbed();
+        for w in WorkloadId::LATENCY_CRITICAL {
+            let spec = QosSpec::derive(w, &catalog);
+            assert!(spec.max_qps > 0.0);
+            assert!(spec.target_us > spec.unloaded_p95_us);
+            assert!(spec.met_by(spec.target_us));
+            assert!(!spec.met_by(spec.target_us * 1.01));
+            assert!(spec.qps_at_load(0.1) < spec.max_qps);
+        }
+    }
+
+    #[test]
+    fn full_load_meets_target_in_isolation() {
+        // By construction (headroom < 1), 100% load in isolation sits below
+        // the knee and meets the target.
+        let catalog = ResourceCatalog::testbed();
+        for w in WorkloadId::LATENCY_CRITICAL {
+            let spec = QosSpec::derive(w, &catalog);
+            let profile = w.profile();
+            let t_iso = isolation_time_us(&profile, &catalog);
+            let mu = capacity_qps(t_iso, catalog.all_units()[0]);
+            let p95 = p95_latency_us(spec.qps_at_load(1.0), mu, t_iso);
+            assert!(spec.met_by(p95), "{w}: p95 {p95} target {}", spec.target_us);
+        }
+    }
+
+    #[test]
+    fn memcached_is_fastest_lc() {
+        let catalog = ResourceCatalog::testbed();
+        let mem = QosSpec::derive(WorkloadId::Memcached, &catalog);
+        for w in [WorkloadId::ImgDnn, WorkloadId::Specjbb, WorkloadId::Xapian] {
+            let other = QosSpec::derive(w, &catalog);
+            assert!(
+                mem.max_qps > other.max_qps,
+                "memcached should sustain more QPS than {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_factor_matches_p95_constant() {
+        assert!((tail_factor(0.95) - P95_FACTOR).abs() < 1e-12);
+        assert!(tail_factor(0.99) > tail_factor(0.95));
+    }
+
+    #[test]
+    fn erlang_c_limits() {
+        // Light traffic: almost never waits; saturation: always waits.
+        assert!(erlang_c(10, 0.1) < 1e-9);
+        assert!(erlang_c(10, 9.9) > 0.85);
+        assert_eq!(erlang_c(4, 4.0), 1.0);
+        // Single server: Erlang C equals utilization.
+        assert!((erlang_c(1, 0.3) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_c_tail_between_service_floor_and_ps() {
+        // At moderate utilization, M/M/c waits less than processor
+        // sharing predicts but never beats the pure-service floor.
+        let service = 100.0;
+        let servers = 8;
+        let mu = capacity_qps(service, servers);
+        let lambda = 0.6 * mu;
+        let ps = tail_latency_us(TailConfig::default(), lambda, mu, service, servers);
+        let ec = tail_latency_us(
+            TailConfig { model: TailModel::ErlangC, quantile: 0.95 },
+            lambda,
+            mu,
+            service,
+            servers,
+        );
+        let floor = tail_factor(0.95) * service;
+        assert!(ec >= floor * 0.999, "ec {ec} below service floor {floor}");
+        assert!(ec < ps, "Erlang-C {ec} should undercut PS {ps} at moderate load");
+    }
+
+    #[test]
+    fn erlang_c_tail_monotone_in_load() {
+        let service = 50.0;
+        let servers = 4;
+        let mu = capacity_qps(service, servers);
+        let cfg = TailConfig { model: TailModel::ErlangC, quantile: 0.99 };
+        let mut last = 0.0;
+        for i in 1..19 {
+            let l = mu * f64::from(i) / 20.0;
+            let t = tail_latency_us(cfg, l, mu, service, servers);
+            assert!(t >= last - 1e-9, "load step {i}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn erlang_c_knee_sits_later_than_ps_knee() {
+        let ps = isolation_knee_utilization();
+        let ec = knee_utilization(
+            TailConfig { model: TailModel::ErlangC, quantile: 0.95 },
+            100.0,
+            10,
+        );
+        assert!(ec > ps, "Erlang-C knee {ec} should exceed PS knee {ps}");
+    }
+
+    #[test]
+    fn quantile_raises_targets() {
+        let catalog = ResourceCatalog::testbed();
+        let p = WorkloadId::Memcached.profile();
+        let p95 = QosSpec::derive_with(&p, &catalog, TailConfig::default());
+        let p99 = QosSpec::derive_with(
+            &p,
+            &catalog,
+            TailConfig { model: TailModel::ProcessorSharing, quantile: 0.99 },
+        );
+        assert!(p99.target_us > p95.target_us);
+        assert!((p99.max_qps - p95.max_qps).abs() < 1e-9, "max load is quantile-free");
+    }
+
+    #[test]
+    fn sweep_shape_is_hockey_stick() {
+        let catalog = ResourceCatalog::testbed();
+        let profile = WorkloadId::ImgDnn.profile();
+        let sweep = isolation_sweep(&profile, &catalog, 20, 0.95);
+        assert_eq!(sweep.len(), 20);
+        let early = sweep[1].p95_us - sweep[0].p95_us;
+        let late = sweep[19].p95_us - sweep[18].p95_us;
+        assert!(late > 10.0 * early);
+    }
+}

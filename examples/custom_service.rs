@@ -1,0 +1,50 @@
+//! Custom workloads: model your own service instead of the paper's
+//! benchmarks, then let CLITE place it next to a standard mix.
+//!
+//! ```text
+//! cargo run --release --example custom_service
+//! ```
+
+use clite_repro::core::controller::CliteController;
+use clite_repro::sim::prelude::*;
+use clite_repro::sim::workload::WorkloadProfileBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An imaginary "session store": memcached-like interface but with a
+    // much larger working set and heavier per-query CPU (serialization).
+    let session_store = WorkloadProfileBuilder::from(WorkloadId::Memcached)
+        .cpu_time_us(400.0)
+        .working_set_frac(0.35)
+        .mem_intensity(0.55)
+        .net_intensity(0.5)
+        .build()
+        .map_err(|e| format!("invalid profile: {e}"))?;
+
+    let jobs = vec![
+        JobSpec::latency_critical(WorkloadId::Memcached, 0.4).with_profile(session_store),
+        JobSpec::latency_critical(WorkloadId::ImgDnn, 0.3),
+        JobSpec::background(WorkloadId::Freqmine),
+    ];
+    let mut server = Server::new(ResourceCatalog::testbed(), jobs, 12)?;
+
+    println!(
+        "custom session store: QoS target {:.0} us, max load {:.0} QPS",
+        server.qos(0).unwrap().target_us,
+        server.qos(0).unwrap().max_qps
+    );
+    println!(
+        "(stock memcached would be {:.0} us / {:.0} QPS)\n",
+        QosSpec::derive(WorkloadId::Memcached, server.catalog()).target_us,
+        QosSpec::derive(WorkloadId::Memcached, server.catalog()).max_qps
+    );
+
+    let outcome = CliteController::default().run(&mut server)?;
+    println!(
+        "CLITE: {} samples, score {:.4}, QoS {}",
+        outcome.samples_used(),
+        outcome.best_score,
+        if outcome.qos_met() { "met" } else { "NOT met" }
+    );
+    println!("partition: {}", outcome.best_partition);
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Dynamic load adaptation (the paper's Fig. 16 scenario): memcached's
+//! load steps up over time; CLITE's adaptive loop detects the sustained
+//! QoS violations and re-runs its search, settling on a new partition.
+//!
+//! ```text
+//! cargo run --release --example dynamic_load
+//! ```
+
+use clite_repro::core::adaptive::{run_adaptive, AdaptiveConfig, Phase};
+use clite_repro::core::controller::CliteController;
+use clite_repro::sim::load::LoadSchedule;
+use clite_repro::sim::prelude::*;
+use clite_repro::sim::resource::ResourceKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let step_s = 200.0;
+    let jobs = vec![
+        JobSpec::latency_critical_scheduled(
+            WorkloadId::Memcached,
+            LoadSchedule::Steps(vec![(0.0, 0.10), (step_s, 0.30), (2.0 * step_s, 0.60)]),
+        ),
+        JobSpec::latency_critical(WorkloadId::ImgDnn, 0.10),
+        JobSpec::latency_critical(WorkloadId::Masstree, 0.10),
+        JobSpec::background(WorkloadId::Fluidanimate),
+    ];
+    let mut server = Server::new(ResourceCatalog::testbed(), jobs, 7)?;
+
+    let trace = run_adaptive(
+        &CliteController::default(),
+        &mut server,
+        3.0 * step_s,
+        AdaptiveConfig::default(),
+    )?;
+
+    println!(
+        "memcached load: 10% -> 30% (t={step_s:.0}s) -> 60% (t={:.0}s)",
+        2.0 * step_s
+    );
+    println!("search invocations: {}", trace.invocations);
+    println!(
+        "steady-state QoS fraction: {:.0}%\n",
+        100.0 * trace.steady_qos_fraction()
+    );
+    println!(
+        "{:>7}  {:<7} {:>10} {:>8} {:>8} {:>6}",
+        "t (s)", "phase", "mem cores", "mem b/w", "BG perf", "QoS"
+    );
+    let step = (trace.points.len() / 36).max(1);
+    for (i, p) in trace.points.iter().enumerate() {
+        if i % step != 0 {
+            continue;
+        }
+        println!(
+            "{:>7.0}  {:<7} {:>10} {:>8} {:>7.0}% {:>6}",
+            p.time_s,
+            match p.phase {
+                Phase::Search => "search",
+                Phase::Steady => "steady",
+            },
+            p.partition.units(0, ResourceKind::Cores),
+            p.partition.units(0, ResourceKind::MemBandwidth),
+            100.0 * p.observation.mean_bg_perf().unwrap_or(0.0),
+            if p.observation.all_qos_met() { "met" } else { "MISS" },
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Policy face-off: run every co-location policy from the paper's
+//! evaluation (Heracles, PARTIES, RAND+, GENETIC, CLITE, ORACLE) on the
+//! same job mix and compare outcomes side by side.
+//!
+//! ```text
+//! cargo run --release --example policy_faceoff [-- <lc_load_percent>]
+//! ```
+
+use clite_repro::bench::mixes::Mix;
+use clite_repro::bench::runner::{final_eval, run_policy, PolicyKind};
+use clite_repro::sim::workload::WorkloadId;
+
+fn main() {
+    let load: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .map_or(0.3, |p| p / 100.0);
+
+    let mix = Mix::new(
+        &[
+            (WorkloadId::ImgDnn, load),
+            (WorkloadId::Memcached, load),
+            (WorkloadId::Masstree, load),
+        ],
+        &[WorkloadId::Streamcluster],
+    );
+    println!("mix: {}\n", mix.name);
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>14}",
+        "policy", "samples", "QoS met", "score", "BG throughput"
+    );
+
+    for kind in PolicyKind::ALL {
+        let outcome = run_policy(kind, &mix, 42);
+        // Evaluate the chosen partition noise-free, as an operator would
+        // measure it in steady state.
+        let obs = final_eval(&mix, &outcome, 42);
+        println!(
+            "{:<10} {:>8} {:>9} {:>12.4} {:>13.0}%",
+            kind.name(),
+            outcome.samples_used(),
+            obs.all_qos_met(),
+            outcome.best_score,
+            100.0 * obs.mean_bg_perf().unwrap_or(0.0),
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 9/13): Heracles ignores all but one LC job,\n\
+         PARTIES meets QoS but leaves the BG job starved, CLITE meets QoS *and*\n\
+         feeds the BG job, ORACLE bounds everyone."
+    );
+}

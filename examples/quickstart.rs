@@ -1,0 +1,67 @@
+//! Quickstart: co-locate two latency-critical jobs with a background job
+//! and let CLITE find a QoS-meeting, BG-friendly partition.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clite_repro::core::config::CliteConfig;
+use clite_repro::core::controller::CliteController;
+use clite_repro::sim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated Xeon Silver 4114 node (10 cores, 11 LLC ways, 10 units
+    // each of memory bandwidth / capacity / disk bandwidth).
+    let catalog = ResourceCatalog::testbed();
+
+    // Two latency-critical jobs at moderate load plus one batch job.
+    let jobs = vec![
+        JobSpec::latency_critical(WorkloadId::Memcached, 0.4),
+        JobSpec::latency_critical(WorkloadId::ImgDnn, 0.3),
+        JobSpec::background(WorkloadId::Streamcluster),
+    ];
+    let mut server = Server::new(catalog, jobs, 42)?;
+
+    // Show each LC job's QoS target (the knee of its isolation curve).
+    for j in server.lc_indices() {
+        let qos = server.qos(j).expect("LC jobs have QoS targets");
+        println!(
+            "{:<10} target p95 = {:>8.0} us at max load {:>8.0} QPS",
+            server.workload(j).name(),
+            qos.target_us,
+            qos.max_qps
+        );
+    }
+
+    // Run the CLITE controller: bootstrap -> BO search -> EI termination.
+    let controller = CliteController::new(CliteConfig::default());
+    let outcome = controller.run(&mut server)?;
+
+    println!(
+        "\nCLITE sampled {} configurations (QoS first met at sample {:?})",
+        outcome.samples_used(),
+        outcome.samples_to_qos
+    );
+    println!("best score (Eq. 3): {:.4}", outcome.best_score);
+    println!("final partition:\n  {}", outcome.best_partition);
+
+    // Inspect the winning configuration's per-job outcomes.
+    let obs = server.observe(&outcome.best_partition);
+    for j in &obs.jobs {
+        match j.qos_met {
+            Some(met) => println!(
+                "  {:<14} p95 {:>8.0} us / target {:>8.0} us -> {}",
+                j.workload.name(),
+                j.latency_p95_us,
+                j.qos_target_us.unwrap_or(f64::NAN),
+                if met { "QoS met" } else { "QoS VIOLATED" }
+            ),
+            None => println!(
+                "  {:<14} throughput at {:.0}% of isolation",
+                j.workload.name(),
+                100.0 * j.normalized_perf
+            ),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Tail-latency survey (the paper's Fig. 6 methodology): sweep each
+//! latency-critical workload's offered load in isolation, print the
+//! hockey-stick QPS-vs-p95 curve, and derive its QoS target (knee
+//! latency) and maximum load (knee QPS).
+//!
+//! ```text
+//! cargo run --release --example tail_latency_survey
+//! ```
+
+use clite_repro::sim::prelude::*;
+use clite_repro::sim::queueing::isolation_sweep;
+
+fn main() {
+    let catalog = ResourceCatalog::testbed();
+    for w in WorkloadId::LATENCY_CRITICAL {
+        let spec = QosSpec::derive(w, &catalog);
+        println!(
+            "\n{} — QoS target {:.0} us, max load {:.0} QPS (unloaded p95 {:.0} us)",
+            w.name(),
+            spec.target_us,
+            spec.max_qps,
+            spec.unloaded_p95_us
+        );
+        let sweep = isolation_sweep(&w.profile(), &catalog, 14, 0.95);
+        let max_p95 = sweep.last().map_or(1.0, |p| p.p95_us);
+        for point in sweep {
+            let bar = "#".repeat(((point.p95_us / max_p95) * 50.0).ceil() as usize);
+            println!("{:>10.0} QPS | {:<50} {:>9.0} us", point.qps, bar, point.p95_us);
+        }
+    }
+}

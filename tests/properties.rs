@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use clite_repro::bo::acquisition::Acquisition;
+use clite_repro::bo::space::SearchSpace;
+use clite_repro::core::score::score_observation;
+use clite_repro::gp::gp::{GaussianProcess, GpConfig};
+use clite_repro::gp::kernel::Kernel;
+use clite_repro::gp::stats::{geometric_mean, norm_cdf};
+use clite_repro::sim::perf::query_time_us;
+use clite_repro::sim::prelude::*;
+use clite_repro::sim::queueing::p95_latency_us;
+use clite_repro::sim::resource::{ResourceKind, NUM_RESOURCES};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_catalog() -> impl Strategy<Value = ResourceCatalog> {
+    (4u32..=12, 4u32..=12, 4u32..=12, 4u32..=12, 4u32..=12, 4u32..=12)
+        .prop_map(|(a, b, c, d, e, f)| ResourceCatalog::new([a, b, c, d, e, f]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random partitions always satisfy both feasibility invariants.
+    #[test]
+    fn random_partitions_feasible(catalog in arb_catalog(), jobs in 1usize..=4, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Partition::random(&catalog, jobs, &mut rng).unwrap();
+        for r in ResourceKind::ALL {
+            let sum: u32 = (0..jobs).map(|j| p.units(j, r)).sum();
+            prop_assert_eq!(sum, catalog.units(r));
+            for j in 0..jobs {
+                prop_assert!(p.units(j, r) >= 1);
+            }
+        }
+    }
+
+    /// Every single-unit-transfer neighbour is feasible and exactly one
+    /// move away (feature-space L1 distance of two changed cells).
+    #[test]
+    fn neighbors_are_one_transfer_away(seed: u64, jobs in 2usize..=4) {
+        let catalog = ResourceCatalog::testbed();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Partition::random(&catalog, jobs, &mut rng).unwrap();
+        for n in p.neighbors(None) {
+            let mut changed = 0;
+            for j in 0..jobs {
+                for r in ResourceKind::ALL {
+                    let d = i64::from(p.units(j, r)) - i64::from(n.units(j, r));
+                    prop_assert!(d.abs() <= 1);
+                    if d != 0 { changed += 1; }
+                }
+            }
+            prop_assert_eq!(changed, 2, "one donor cell and one recipient cell");
+        }
+    }
+
+    /// The performance model is monotone: strictly more of every resource
+    /// never increases per-query time.
+    #[test]
+    fn query_time_monotone(seed: u64) {
+        let catalog = ResourceCatalog::testbed();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Partition::random(&catalog, 2, &mut rng).unwrap();
+        let small = p.job(0);
+        let full = JobAllocation::from_units(catalog.all_units());
+        for w in WorkloadId::ALL {
+            let profile = w.profile();
+            prop_assert!(
+                query_time_us(&profile, &full, &catalog)
+                    <= query_time_us(&profile, small, &catalog) + 1e-9
+            );
+        }
+    }
+
+    /// Tail latency is monotone in offered load and never below the
+    /// zero-load floor.
+    #[test]
+    fn p95_monotone_in_lambda(mu in 100.0f64..1e6, service in 1.0f64..1e5, frac in 0.0f64..3.0) {
+        let low = p95_latency_us(mu * frac * 0.5, mu, service);
+        let high = p95_latency_us(mu * frac, mu, service);
+        prop_assert!(high >= low - 1e-9);
+        prop_assert!(low >= service * 2.9957 - 1e-6);
+    }
+
+    /// Eq. 3 scores are always within [0, 1], and the 0.5 boundary
+    /// separates the two modes.
+    #[test]
+    fn score_bounded_and_mode_consistent(seed: u64, jobs in 2usize..=5) {
+        let catalog = ResourceCatalog::testbed();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs: Vec<JobSpec> = (0..jobs)
+            .map(|i| {
+                if i % 2 == 0 {
+                    JobSpec::latency_critical(WorkloadId::LATENCY_CRITICAL[i % 5], 0.4)
+                } else {
+                    JobSpec::background(WorkloadId::BACKGROUND[i % 6])
+                }
+            })
+            .collect();
+        let server = Server::new(catalog, specs, seed).unwrap();
+        let p = Partition::random(&catalog, jobs, &mut rng).unwrap();
+        let obs = server.ground_truth(&p);
+        let sb = score_observation(&obs);
+        prop_assert!((0.0..=1.0).contains(&sb.value), "score {}", sb.value);
+        if obs.all_qos_met() {
+            prop_assert!(sb.value >= 0.5);
+        } else {
+            prop_assert!(sb.value <= 0.5);
+        }
+    }
+
+    /// Expected improvement is non-negative and zero at zero uncertainty.
+    #[test]
+    fn ei_nonnegative(mean in -2.0f64..2.0, std in 0.0f64..2.0, best in -2.0f64..2.0) {
+        let acq = Acquisition::paper_default();
+        let v = acq.score(mean, std, best);
+        prop_assert!(v >= 0.0);
+        if std == 0.0 {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    /// The normal CDF is a CDF: bounded, monotone.
+    #[test]
+    fn cdf_is_a_cdf(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&norm_cdf(a)));
+    }
+
+    /// Geometric mean lies between min and max of positive inputs.
+    #[test]
+    fn geometric_mean_between_extremes(xs in prop::collection::vec(1e-6f64..1e3, 1..8)) {
+        let g = geometric_mean(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    /// GP predictions at training points approach the targets, and
+    /// predictive variance is non-negative everywhere.
+    #[test]
+    fn gp_sane_on_random_data(seed: u64, n in 3usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = ResourceCatalog::testbed();
+        let space = SearchSpace::new(catalog, 2).unwrap();
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| space.encode(&space.random(&mut rng))).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() / x.len() as f64).collect();
+        let gp = GaussianProcess::fit(
+            Kernel::matern52(0.05, 0.5),
+            GpConfig::default(),
+            xs.clone(),
+            ys.clone(),
+        )
+        .unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            prop_assert!(v >= 0.0);
+            // Duplicated random points make exact interpolation impossible;
+            // allow a loose tolerance.
+            prop_assert!((m - y).abs() < 0.5, "mean {m} target {y}");
+        }
+    }
+
+    /// Feature encodings always have N_jobs × N_res entries in (0, 1].
+    #[test]
+    fn features_shape_and_range(seed: u64, jobs in 1usize..=5) {
+        let catalog = ResourceCatalog::testbed();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Partition::random(&catalog, jobs, &mut rng).unwrap();
+        let f = p.features();
+        prop_assert_eq!(f.len(), jobs * NUM_RESOURCES);
+        prop_assert!(f.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+}
