@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 test suite.
+#
+#   ./ci.sh          # everything below
+#   ./ci.sh quick    # skip the release build (lints + tests only)
+#
+# Must stay green before every commit. The tier-1 gate (ROADMAP.md) is
+# `cargo build --release && cargo test -q`; the fmt and clippy steps keep
+# the tree warning-free so regressions stand out.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --all --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    step "cargo build --release"
+    cargo build --release
+fi
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+printf '\nCI green.\n'

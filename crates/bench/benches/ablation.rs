@@ -13,10 +13,7 @@ use clite_gp::kernel::KernelFamily;
 
 fn run_with(config: CliteConfig, seed: u64) -> f64 {
     let mut server = fig15b_mix().server(seed);
-    CliteController::new(config.with_seed(seed))
-        .run(&mut server)
-        .expect("run succeeds")
-        .best_score
+    CliteController::new(config.with_seed(seed)).run(&mut server).expect("run succeeds").best_score
 }
 
 fn bench_ablations(c: &mut Criterion) {

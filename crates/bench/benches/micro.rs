@@ -14,6 +14,7 @@ use clite_bo::space::SearchSpace;
 use clite_gp::gp::{GaussianProcess, GpConfig};
 use clite_gp::kernel::Kernel;
 use clite_sim::prelude::*;
+use clite_telemetry::{Event, MemoryRecorder, Phase, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,12 +40,10 @@ fn bench_gp(c: &mut Criterion) {
             .unwrap()
         })
     });
-    let gp = GaussianProcess::fit(Kernel::matern52(0.04, 0.3), GpConfig::default(), xs, ys)
-        .unwrap();
+    let gp =
+        GaussianProcess::fit(Kernel::matern52(0.04, 0.3), GpConfig::default(), xs, ys).unwrap();
     let query = vec![0.3; dims];
-    c.bench_function("gp_predict_n30", |b| {
-        b.iter(|| gp.predict(black_box(&query)))
-    });
+    c.bench_function("gp_predict_n30", |b| b.iter(|| gp.predict(black_box(&query))));
 }
 
 fn bench_acquisition(c: &mut Criterion) {
@@ -54,8 +53,8 @@ fn bench_acquisition(c: &mut Criterion) {
     });
 
     let (xs, ys) = training_data(30, 3);
-    let gp = GaussianProcess::fit(Kernel::matern52(0.04, 0.3), GpConfig::default(), xs, ys)
-        .unwrap();
+    let gp =
+        GaussianProcess::fit(Kernel::matern52(0.04, 0.3), GpConfig::default(), xs, ys).unwrap();
     let space = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
     c.bench_function("acquisition_maximize_3jobs", |b| {
         b.iter_batched(
@@ -95,5 +94,47 @@ fn bench_simulator(c: &mut Criterion) {
     c.bench_function("partition_neighbors_3jobs", |b| b.iter(|| black_box(&p).neighbors(None)));
 }
 
-criterion_group!(benches, bench_gp, bench_acquisition, bench_simulator);
+/// Telemetry overhead on the hot path. The disabled (Noop) context must
+/// cost essentially nothing over the bare computation: `emit` through the
+/// noop recorder is an inlined empty call, and `time` adds only two
+/// `Instant::now` reads per span. Compare the three `score_eq3*` rows —
+/// bare vs noop should be indistinguishable, while the memory recorder
+/// pays for event construction and storage.
+fn bench_telemetry(c: &mut Criterion) {
+    let jobs = vec![
+        JobSpec::latency_critical(WorkloadId::Memcached, 0.3),
+        JobSpec::background(WorkloadId::Streamcluster),
+    ];
+    let mut server = Server::new(ResourceCatalog::testbed(), jobs, 1).unwrap();
+    let p = Partition::equal_share(server.catalog(), 2).unwrap();
+    let obs = server.observe(&p);
+
+    c.bench_function("score_eq3_bare", |b| b.iter(|| score_value(black_box(&obs))));
+
+    let disabled = Telemetry::disabled();
+    c.bench_function("score_eq3_noop_span", |b| {
+        b.iter(|| disabled.time(Phase::Score, || score_value(black_box(&obs))))
+    });
+
+    let sink = MemoryRecorder::new();
+    let recording = Telemetry::new(&sink);
+    c.bench_function("score_eq3_memory_span", |b| {
+        b.iter(|| recording.time(Phase::Score, || score_value(black_box(&obs))))
+    });
+
+    c.bench_function("emit_noop", |b| {
+        b.iter(|| {
+            disabled
+                .emit(black_box(Event::CandidateChosen { sample: 3, expected_improvement: 0.01 }))
+        })
+    });
+    c.bench_function("emit_memory", |b| {
+        b.iter(|| {
+            recording
+                .emit(black_box(Event::CandidateChosen { sample: 3, expected_improvement: 0.01 }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gp, bench_acquisition, bench_simulator, bench_telemetry);
 criterion_main!(benches);

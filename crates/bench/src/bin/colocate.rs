@@ -8,14 +8,16 @@
 //! colocate qos
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use clite_bench::cli::{parse, usage, Command};
 use clite_bench::mixes::Mix;
 use clite_bench::render::{pct, Table};
-use clite_bench::runner::{final_eval, run_policy};
+use clite_bench::runner::{final_eval, run_policy, run_policy_with};
 use clite_sim::prelude::*;
 use clite_sim::resource::ResourceKind;
+use clite_telemetry::{JsonlRecorder, OverheadReport, Telemetry};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,10 +73,27 @@ fn main() -> ExitCode {
             println!("{}", t.render());
             ExitCode::SUCCESS
         }
-        Command::Run { policy, seed, jobs } => {
+        Command::Run { policy, seed, telemetry_out, jobs } => {
             let mix = mix_from(jobs);
             println!("mix: {}  policy: {}  seed: {seed}\n", mix.name, policy.name());
-            let outcome = run_policy(policy, &mix, seed);
+            let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
+                None => None,
+                Some(Ok(r)) => Some(r),
+                Some(Err(e)) => {
+                    eprintln!("error: cannot open telemetry output: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut overhead: Option<OverheadReport> = None;
+            let outcome = match &recorder {
+                Some(sink) => {
+                    let telemetry = Telemetry::new(sink);
+                    let outcome = run_policy_with(policy, &mix, seed, &telemetry);
+                    overhead = Some(telemetry.report());
+                    outcome
+                }
+                None => run_policy(policy, &mix, seed),
+            };
             let obs = final_eval(&mix, &outcome, seed);
             println!(
                 "samples: {}   score: {:.4}   QoS: {}\n",
@@ -112,16 +131,36 @@ fn main() -> ExitCode {
                 ]);
             }
             println!("{}", t.render());
+            if let (Some(sink), Some(report)) = (&recorder, &overhead) {
+                let path = telemetry_out.as_deref().expect("recorder implies a path");
+                print_telemetry(sink, Some(report), path);
+            }
             ExitCode::SUCCESS
         }
-        Command::Sweep { policy, seed, swept, fixed } => {
+        Command::Sweep { policy, seed, telemetry_out, swept, fixed } => {
+            let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
+                None => None,
+                Some(Ok(r)) => Some(r),
+                Some(Err(e)) => {
+                    eprintln!("error: cannot open telemetry output: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let mut t = Table::new(vec!["swept load", "QoS", "score", "samples", "BG perf"]);
             for step in 1..=9 {
                 let load = f64::from(step) / 10.0;
                 let mut jobs = vec![JobSpec::latency_critical(swept.workload, load)];
                 jobs.extend(fixed.iter().cloned());
                 let mix = mix_from(jobs);
-                let outcome = run_policy(policy, &mix, seed.wrapping_add(step as u64));
+                let outcome = match &recorder {
+                    Some(sink) => run_policy_with(
+                        policy,
+                        &mix,
+                        seed.wrapping_add(step as u64),
+                        &Telemetry::new(sink),
+                    ),
+                    None => run_policy(policy, &mix, seed.wrapping_add(step as u64)),
+                };
                 let obs = final_eval(&mix, &outcome, seed.wrapping_add(step as u64));
                 t.row(vec![
                     pct(load),
@@ -138,8 +177,41 @@ fn main() -> ExitCode {
                 policy.name(),
                 t.render()
             );
+            if let Some(sink) = &recorder {
+                let path = telemetry_out.as_deref().expect("recorder implies a path");
+                print_telemetry(sink, None, path);
+            }
             ExitCode::SUCCESS
         }
+    }
+}
+
+/// Prints the per-run overhead report (when a single run produced one) and
+/// the Prometheus metrics snapshot, then flushes the JSONL sink.
+fn print_telemetry(sink: &JsonlRecorder, overhead: Option<&OverheadReport>, path: &Path) {
+    if let Some(report) = overhead {
+        let mut t = Table::new(vec!["phase", "total (ms)", "sections", "% of wall"]);
+        for cost in &report.phases {
+            t.row(vec![
+                cost.phase.name().to_owned(),
+                format!("{:.3}", cost.total_seconds * 1e3),
+                cost.count.to_string(),
+                format!("{:.1}%", 100.0 * cost.total_seconds / report.wall_seconds),
+            ]);
+        }
+        println!(
+            "search-phase overhead (Fig. 15b): wall {:.3} ms, profiled {:.3} ms, coverage {:.1}%\n\n{}",
+            report.wall_seconds * 1e3,
+            report.profiled_seconds() * 1e3,
+            100.0 * report.coverage,
+            t.render()
+        );
+    }
+    println!("metrics snapshot:\n\n{}", sink.metrics().to_prometheus());
+    if let Err(e) = sink.flush() {
+        eprintln!("warning: telemetry flush failed: {e}");
+    } else {
+        println!("telemetry events written to {}", path.display());
     }
 }
 
@@ -149,10 +221,7 @@ fn mix_from(jobs: Vec<JobSpec>) -> Mix {
         .filter(|j| j.class() == JobClass::LatencyCritical)
         .map(|j| (j.workload, j.load.at(0.0)))
         .collect();
-    let bg: Vec<WorkloadId> = jobs
-        .iter()
-        .filter(|j| j.class() == JobClass::Background)
-        .map(|j| j.workload)
-        .collect();
+    let bg: Vec<WorkloadId> =
+        jobs.iter().filter(|j| j.class() == JobClass::Background).map(|j| j.workload).collect();
     Mix::new(&lc, &bg)
 }

@@ -7,6 +7,7 @@
 //! experiments all --full          # paper-sized grids (slower)
 //! experiments all --seed 7        # re-seed every stochastic component
 //! experiments --list              # list experiment ids
+//! experiments fig7 --telemetry-out events.jsonl   # stream run telemetry
 //! ```
 
 use std::process::ExitCode;
@@ -14,6 +15,7 @@ use std::time::Instant;
 
 use clite_bench::experiments::{registry, run_by_id};
 use clite_bench::export::save_reports;
+use clite_bench::runner::{ambient_sink, install_jsonl_sink};
 use clite_bench::ExpOptions;
 
 fn main() -> ExitCode {
@@ -40,6 +42,18 @@ fn main() -> ExitCode {
                 Some(d) => save_dir = Some(std::path::PathBuf::from(d)),
                 None => {
                     eprintln!("--save requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--telemetry-out" => match it.next() {
+                Some(p) => {
+                    if let Err(e) = install_jsonl_sink(&p) {
+                        eprintln!("cannot open telemetry output {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    eprintln!("--telemetry-out requires a path argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -92,12 +106,19 @@ fn main() -> ExitCode {
         }
         eprintln!("[saved {} reports to {}]", reports.len(), dir.display());
     }
+    if let Some(sink) = ambient_sink() {
+        println!("metrics snapshot:\n\n{}", sink.metrics().to_prometheus());
+        if let Err(e) = sink.flush() {
+            eprintln!("warning: telemetry flush failed: {e}");
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <id>... | all [--full] [--seed N] [--save DIR] [--list]\n\
+        "usage: experiments <id>... | all [--full] [--seed N] [--save DIR] \
+         [--telemetry-out PATH] [--list]\n\
          ids: table1 table2 table3 fig1 fig2 fig6 fig7 fig8 fig9a fig9b fig10\n\
          \x20     fig11 fig12 fig13 fig14 fig15a fig15b fig16 summary ablations"
     );

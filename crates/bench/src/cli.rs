@@ -4,13 +4,15 @@
 //! Grammar:
 //!
 //! ```text
-//! colocate run   [--policy NAME] [--seed N] JOB...
-//! colocate sweep [--policy NAME] [--seed N] --sweep JOB JOB...
+//! colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] JOB...
+//! colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] --sweep JOB JOB...
 //! colocate qos   [WORKLOAD...]
 //! JOB := <workload>[:<load-percent>]       e.g. memcached:40, blackscholes
 //! ```
 //!
 //! A job with a load is latency-critical; one without is background.
+
+use std::path::PathBuf;
 
 use clite_sim::prelude::*;
 
@@ -25,6 +27,8 @@ pub enum Command {
         policy: PolicyKind,
         /// RNG seed.
         seed: u64,
+        /// JSONL telemetry destination, if requested.
+        telemetry_out: Option<PathBuf>,
         /// The co-located jobs.
         jobs: Vec<JobSpec>,
     },
@@ -34,6 +38,8 @@ pub enum Command {
         policy: PolicyKind,
         /// RNG seed.
         seed: u64,
+        /// JSONL telemetry destination, if requested.
+        telemetry_out: Option<PathBuf>,
         /// The swept job (its parsed load is ignored).
         swept: JobSpec,
         /// The fixed jobs.
@@ -70,9 +76,8 @@ impl std::error::Error for ParseError {}
 pub fn parse_job(token: &str) -> Result<JobSpec, ParseError> {
     let (name, load) = match token.split_once(':') {
         Some((n, l)) => {
-            let pct: f64 = l
-                .parse()
-                .map_err(|_| ParseError(format!("bad load '{l}' in '{token}'")))?;
+            let pct: f64 =
+                l.parse().map_err(|_| ParseError(format!("bad load '{l}' in '{token}'")))?;
             if !(pct > 0.0 && pct <= 100.0) {
                 return Err(ParseError(format!("load {pct}% outside (0, 100] in '{token}'")));
             }
@@ -88,9 +93,9 @@ pub fn parse_job(token: &str) -> Result<JobSpec, ParseError> {
             "latency-critical workload '{name}' needs a load, e.g. '{name}:40'"
         ))),
         (JobClass::Background, None) => Ok(JobSpec::background(workload)),
-        (JobClass::Background, Some(_)) => Err(ParseError(format!(
-            "background workload '{name}' takes no load"
-        ))),
+        (JobClass::Background, Some(_)) => {
+            Err(ParseError(format!("background workload '{name}' takes no load")))
+        }
     }
 }
 
@@ -100,15 +105,12 @@ pub fn parse_job(token: &str) -> Result<JobSpec, ParseError> {
 ///
 /// Returns [`ParseError`] for unknown policies.
 pub fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
-    PolicyKind::ALL
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            ParseError(format!(
-                "unknown policy '{name}' (expected one of: {})",
-                PolicyKind::ALL.map(|k| k.name()).join(", ")
-            ))
-        })
+    PolicyKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        ParseError(format!(
+            "unknown policy '{name}' (expected one of: {})",
+            PolicyKind::ALL.map(|k| k.name()).join(", ")
+        ))
+    })
 }
 
 /// Parses the full argument list (without the program name).
@@ -136,28 +138,33 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "run" | "sweep" => {
             let mut policy = PolicyKind::Clite;
             let mut seed = 42u64;
+            let mut telemetry_out: Option<PathBuf> = None;
             let mut jobs: Vec<JobSpec> = Vec::new();
             let mut swept: Option<JobSpec> = None;
             while let Some(tok) = it.next() {
                 match tok.as_str() {
+                    "--telemetry-out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--telemetry-out requires a path".into()))?;
+                        telemetry_out = Some(PathBuf::from(v));
+                    }
                     "--policy" => {
-                        let v = it.next().ok_or_else(|| {
-                            ParseError("--policy requires a value".into())
-                        })?;
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--policy requires a value".into()))?;
                         policy = parse_policy(v)?;
                     }
                     "--seed" => {
                         let v = it
                             .next()
                             .ok_or_else(|| ParseError("--seed requires a value".into()))?;
-                        seed = v
-                            .parse()
-                            .map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                        seed = v.parse().map_err(|_| ParseError(format!("bad seed '{v}'")))?;
                     }
                     "--sweep" => {
-                        let v = it.next().ok_or_else(|| {
-                            ParseError("--sweep requires a job token".into())
-                        })?;
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--sweep requires a job token".into()))?;
                         swept = Some(parse_job(v)?);
                     }
                     other if other.starts_with('-') => {
@@ -170,12 +177,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 if jobs.is_empty() {
                     return Err(ParseError("run needs at least one job".into()));
                 }
-                Ok(Command::Run { policy, seed, jobs })
+                Ok(Command::Run { policy, seed, telemetry_out, jobs })
             } else {
-                let swept = swept.ok_or_else(|| {
-                    ParseError("sweep needs --sweep <workload>:<load>".into())
-                })?;
-                Ok(Command::Sweep { policy, seed, swept, fixed: jobs })
+                let swept = swept
+                    .ok_or_else(|| ParseError("sweep needs --sweep <workload>:<load>".into()))?;
+                Ok(Command::Sweep { policy, seed, telemetry_out, swept, fixed: jobs })
             }
         }
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
@@ -188,8 +194,8 @@ pub fn usage() -> &'static str {
     "colocate — co-locate jobs on a simulated server with a scheduling policy
 
 USAGE:
-  colocate run   [--policy NAME] [--seed N] JOB...
-  colocate sweep [--policy NAME] [--seed N] --sweep JOB JOB...
+  colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] JOB...
+  colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] --sweep JOB JOB...
   colocate qos   [WORKLOAD...]
 
 JOB:
@@ -199,9 +205,14 @@ JOB:
 POLICIES:
   Heracles, PARTIES, RAND+, GENETIC, CLITE (default), ORACLE
 
+TELEMETRY:
+  --telemetry-out PATH writes one JSON event per line to PATH and prints a
+  Prometheus metrics snapshot plus a search-phase overhead report on exit.
+
 EXAMPLES:
   colocate run memcached:40 img-dnn:30 streamcluster
   colocate run --policy PARTIES memcached:40 img-dnn:30 streamcluster
+  colocate run --telemetry-out /tmp/run.jsonl memcached:40 img-dnn:30 streamcluster
   colocate sweep --sweep memcached:0 masstree:30 img-dnn:30
   colocate qos memcached xapian"
 }
@@ -243,14 +254,42 @@ mod tests {
 
     #[test]
     fn parses_run_command() {
-        let cmd = parse(&v(&["run", "--policy", "PARTIES", "--seed", "7", "memcached:40",
-            "swaptions"]))
-        .unwrap();
+        let cmd =
+            parse(&v(&["run", "--policy", "PARTIES", "--seed", "7", "memcached:40", "swaptions"]))
+                .unwrap();
         match cmd {
-            Command::Run { policy, seed, jobs } => {
+            Command::Run { policy, seed, telemetry_out, jobs } => {
                 assert_eq!(policy, PolicyKind::Parties);
                 assert_eq!(seed, 7);
+                assert_eq!(telemetry_out, None);
                 assert_eq!(jobs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_telemetry_out_flag() {
+        let cmd = parse(&v(&["run", "--telemetry-out", "/tmp/run.jsonl", "memcached:40"])).unwrap();
+        match cmd {
+            Command::Run { telemetry_out, .. } => {
+                assert_eq!(telemetry_out, Some(PathBuf::from("/tmp/run.jsonl")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["run", "--telemetry-out"])).is_err(), "flag needs a path");
+        let sweep = parse(&v(&[
+            "sweep",
+            "--telemetry-out",
+            "t.jsonl",
+            "--sweep",
+            "memcached:10",
+            "masstree:30",
+        ]))
+        .unwrap();
+        match sweep {
+            Command::Sweep { telemetry_out, .. } => {
+                assert_eq!(telemetry_out, Some(PathBuf::from("t.jsonl")));
             }
             other => panic!("unexpected {other:?}"),
         }

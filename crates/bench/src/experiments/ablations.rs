@@ -59,17 +59,14 @@ fn variants() -> Vec<Variant> {
         Variant { name: "no dropout-copy", config: base.clone().without_dropout() },
         Variant {
             name: "loose termination (0.5%)",
-            config: base.clone().with_termination(Termination {
-                ei_threshold: 0.005,
-                ..Termination::default()
-            }),
+            config: base
+                .clone()
+                .with_termination(Termination { ei_threshold: 0.005, ..Termination::default() }),
         },
         Variant {
             name: "tight termination (15%)",
-            config: base.with_termination(Termination {
-                ei_threshold: 0.15,
-                ..Termination::default()
-            }),
+            config: base
+                .with_termination(Termination { ei_threshold: 0.15, ..Termination::default() }),
         },
     ]
 }
@@ -132,11 +129,7 @@ pub fn run(opts: &ExpOptions) -> Report {
                 met += 1;
             }
         }
-        t2.row(vec![
-            name.to_owned(),
-            format!("{:.4}", mean(&scores)),
-            format!("{met}/{repeats}"),
-        ]);
+        t2.row(vec![name.to_owned(), format!("{:.4}", mean(&scores)), format!("{met}/{repeats}")]);
     }
     body.push_str("\nsimulator latency-model sensitivity:\n");
     body.push_str(&t2.render());

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::render::{pct, Table};
+use crate::runner::ambient_telemetry;
 use crate::{ExpOptions, Report};
 
 /// A deterministic arrival sequence: two LC jobs per BG job, loads 10–60%.
@@ -58,8 +59,9 @@ pub fn run(opts: &ExpOptions) -> Report {
             opts.seed,
         )
         .expect("non-empty cluster");
+        let telemetry = ambient_telemetry();
         for spec in stream.clone() {
-            cluster.submit(spec).expect("scheduler healthy");
+            cluster.submit_with(spec, &telemetry).expect("scheduler healthy");
         }
         let stats = cluster.stats();
         let qos_ok = stats.nodes.iter().filter(|n| n.qos_met).count();
@@ -74,7 +76,8 @@ pub fn run(opts: &ExpOptions) -> Report {
             samples.to_string(),
         ]);
     }
-    let mut body = format!("{jobs} arrivals onto {nodes} nodes (admission = CLITE feasibility)\n\n");
+    let mut body =
+        format!("{jobs} arrivals onto {nodes} nodes (admission = CLITE feasibility)\n\n");
     body.push_str(&t.render());
     body.push_str(
         "\nReading: bin-packing (most-loaded) frees whole machines at equal\n\

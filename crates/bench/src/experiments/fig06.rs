@@ -18,12 +18,8 @@ pub fn run(opts: &ExpOptions) -> Report {
     let points = if opts.quick { 10 } else { 20 };
     let mut body = String::new();
 
-    let mut summary = Table::new(vec![
-        "Workload",
-        "Unloaded p95 (us)",
-        "QoS target (us)",
-        "Max load (QPS)",
-    ]);
+    let mut summary =
+        Table::new(vec!["Workload", "Unloaded p95 (us)", "QoS target (us)", "Max load (QPS)"]);
     for w in WorkloadId::LATENCY_CRITICAL {
         let spec = QosSpec::derive(w, &catalog);
         summary.row(vec![

@@ -25,9 +25,7 @@ pub fn policy_grid(kind: PolicyKind, loads: &[f64], seed: u64) -> Vec<Vec<Option
         .map(|&img| {
             loads
                 .iter()
-                .map(|&mas| {
-                    max_supported_load(kind, loads, seed, |mem| fig7_mix(mem, mas, img))
-                })
+                .map(|&mas| max_supported_load(kind, loads, seed, |mem| fig7_mix(mem, mas, img)))
                 .collect()
         })
         .collect()

@@ -11,8 +11,7 @@ use crate::runner::{load_grid, max_supported_load, PolicyKind};
 use crate::{ExpOptions, Report};
 
 /// The policies Fig. 8 compares.
-pub const POLICIES: [PolicyKind; 3] =
-    [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
+pub const POLICIES: [PolicyKind; 3] = [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
 
 /// Computes the heatmap for one policy (`grid[imgdnn][masstree]`).
 #[must_use]
@@ -22,9 +21,7 @@ pub fn policy_grid(kind: PolicyKind, loads: &[f64], seed: u64) -> Vec<Vec<Option
         .map(|&img| {
             loads
                 .iter()
-                .map(|&mas| {
-                    max_supported_load(kind, loads, seed, |mem| fig8_mix(mem, mas, img))
-                })
+                .map(|&mas| max_supported_load(kind, loads, seed, |mem| fig8_mix(mem, mas, img)))
                 .collect()
         })
         .collect()
@@ -36,9 +33,7 @@ pub fn run(opts: &ExpOptions) -> Report {
     let loads = if opts.quick { load_grid(0.4) } else { load_grid(0.2) };
     let ticks: Vec<String> = loads.iter().map(|&l| pct(l)).collect();
     let mut body = String::new();
-    body.push_str(
-        "3 LC jobs + blackscholes (BG); value = max memcached load with all QoS met\n",
-    );
+    body.push_str("3 LC jobs + blackscholes (BG); value = max memcached load with all QoS met\n");
     for kind in POLICIES {
         let grid = policy_grid(kind, &loads, opts.seed);
         body.push_str(&format!("\n{}:\n", kind.name()));

@@ -41,11 +41,7 @@ fn allocation_table(outcome: &PolicyOutcome, job_names: &[&str]) -> String {
 #[must_use]
 pub fn fig9b_mix() -> Mix {
     Mix::new(
-        &[
-            (WorkloadId::ImgDnn, 0.7),
-            (WorkloadId::Memcached, 0.2),
-            (WorkloadId::Masstree, 0.4),
-        ],
+        &[(WorkloadId::ImgDnn, 0.7), (WorkloadId::Memcached, 0.2), (WorkloadId::Masstree, 0.4)],
         &[WorkloadId::Blackscholes],
     )
 }
@@ -99,7 +95,14 @@ pub fn run_b(opts: &ExpOptions) -> Report {
             outcome.gave_up,
             outcome.samples_to_qos,
         ));
-        let mut t = Table::new(vec!["sample", "img-dnn cores", "memcached cores", "masstree cores", "BG cores", "QoS met"]);
+        let mut t = Table::new(vec![
+            "sample",
+            "img-dnn cores",
+            "memcached cores",
+            "masstree cores",
+            "BG cores",
+            "QoS met",
+        ]);
         let step = (outcome.samples_used() / 12).max(1);
         for s in outcome.samples.iter().step_by(step) {
             t.row(vec![

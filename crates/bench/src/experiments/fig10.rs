@@ -52,11 +52,7 @@ pub fn run(opts: &ExpOptions) -> Report {
     body.push_str(&sweep(fig10_mix_a, &loads, opts.seed).render());
     body.push_str("\nmix B: specjbb@10% + masstree@10% + xapian@swept:\n");
     body.push_str(&sweep(fig10_mix_b, &loads, opts.seed ^ 0xB).render());
-    Report {
-        id: "fig10",
-        title: "LC performance normalized to ORACLE vs load".into(),
-        body,
-    }
+    Report { id: "fig10", title: "LC performance normalized to ORACLE vs load".into(), body }
 }
 
 #[cfg(test)]

@@ -75,7 +75,8 @@ pub fn run(opts: &ExpOptions) -> Report {
         }
         t.row(row);
     }
-    let mut body = format!("std dev as % of mean over {trials} re-seeded runs (lower is better)\n\n");
+    let mut body =
+        format!("std dev as % of mean over {trials} re-seeded runs (lower is better)\n\n");
     body.push_str(&t.render());
     Report { id: "fig11", title: "Run-to-run variability of chosen configurations".into(), body }
 }

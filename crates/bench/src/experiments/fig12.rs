@@ -13,8 +13,7 @@ use crate::runner::{load_grid, run_and_eval, PolicyKind};
 use crate::{ExpOptions, Report};
 
 /// The policies Fig. 12 compares.
-pub const POLICIES: [PolicyKind; 3] =
-    [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
+pub const POLICIES: [PolicyKind; 3] = [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle];
 
 /// BG performance grid (`grid[memcached][xapian]`); `None` where the
 /// policy could not meet both QoS targets.

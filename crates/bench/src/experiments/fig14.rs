@@ -35,8 +35,7 @@ pub fn run(opts: &ExpOptions) -> Report {
         // (ORACLE's hill climb can be locally suboptimal in 30 dimensions;
         // the paper's exhaustive ORACLE is by definition at least as good
         // as anything an online policy finds).
-        let mut oracle_perfs: Vec<f64> =
-            oracle_obs.bg_jobs().map(|j| j.normalized_perf).collect();
+        let mut oracle_perfs: Vec<f64> = oracle_obs.bg_jobs().map(|j| j.normalized_perf).collect();
         for kind in PolicyKind::ONLINE_COMPARED {
             let outcome = run_policy(kind, &mix, seed);
             let obs = final_eval(&mix, &outcome, seed);

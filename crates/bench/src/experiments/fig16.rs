@@ -34,13 +34,9 @@ pub fn run(opts: &ExpOptions) -> Report {
         JobSpec::background(WorkloadId::Fluidanimate),
     ];
     let mut server = Server::new(ResourceCatalog::testbed(), jobs, opts.seed).unwrap();
-    let trace = run_adaptive(
-        &CliteController::default(),
-        &mut server,
-        duration,
-        AdaptiveConfig::default(),
-    )
-    .expect("adaptive run succeeds");
+    let trace =
+        run_adaptive(&CliteController::default(), &mut server, duration, AdaptiveConfig::default())
+            .expect("adaptive run succeeds");
 
     let mut body = format!(
         "memcached load: 10% -> 20% (t={step_s:.0}s) -> 30% (t={:.0}s); invocations: {}\n\n",
@@ -77,10 +73,7 @@ pub fn run(opts: &ExpOptions) -> Report {
         ]);
     }
     body.push_str(&t.render());
-    body.push_str(&format!(
-        "\nsteady-state QoS fraction: {}\n",
-        pct(trace.steady_qos_fraction())
-    ));
+    body.push_str(&format!("\nsteady-state QoS fraction: {}\n", pct(trace.steady_qos_fraction())));
     Report { id: "fig16", title: "Adaptation to dynamic memcached load steps".into(), body }
 }
 

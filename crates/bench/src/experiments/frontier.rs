@@ -21,18 +21,14 @@ const TRIO: [WorkloadId; 3] = [WorkloadId::Memcached, WorkloadId::Masstree, Work
 fn mix(total_load: f64, with_bg: bool) -> Mix {
     let per_job = total_load / 3.0;
     let lc: Vec<(WorkloadId, f64)> = TRIO.iter().map(|&w| (w, per_job)).collect();
-    let bg: &[WorkloadId] =
-        if with_bg { &[WorkloadId::Blackscholes] } else { &[] };
+    let bg: &[WorkloadId] = if with_bg { &[WorkloadId::Blackscholes] } else { &[] };
     Mix::new(&lc, bg)
 }
 
 /// Whether `kind` co-locates the trio at `total_load` (majority over
 /// `seeds` re-seeded runs).
 fn feasible(kind: PolicyKind, total_load: f64, with_bg: bool, seeds: &[u64]) -> bool {
-    let ok = seeds
-        .iter()
-        .filter(|&&s| run_and_eval(kind, &mix(total_load, with_bg), s).0)
-        .count();
+    let ok = seeds.iter().filter(|&&s| run_and_eval(kind, &mix(total_load, with_bg), s).0).count();
     ok * 2 > seeds.len()
 }
 
@@ -44,16 +40,11 @@ pub fn run(opts: &ExpOptions) -> Report {
     } else {
         vec![opts.seed, opts.seed + 101, opts.seed + 202]
     };
-    let budgets: Vec<f64> =
-        (3..=10).map(|i| f64::from(i) * 0.3).collect(); // 90% .. 300% total
+    let budgets: Vec<f64> = (3..=10).map(|i| f64::from(i) * 0.3).collect(); // 90% .. 300% total
 
     let mut body = String::new();
     for with_bg in [false, true] {
-        body.push_str(if with_bg {
-            "\nwith blackscholes (BG):\n"
-        } else {
-            "\nLC jobs only:\n"
-        });
+        body.push_str(if with_bg { "\nwith blackscholes (BG):\n" } else { "\nLC jobs only:\n" });
         let mut t = Table::new(vec!["total LC load", "PARTIES", "CLITE", "ORACLE"]);
         for &b in &budgets {
             let mut row = vec![pct(b)];

@@ -21,11 +21,14 @@ pub mod tables;
 
 use crate::{ExpOptions, Report};
 
+/// An experiment entry point.
+pub type ExperimentFn = fn(&ExpOptions) -> Report;
+
 /// All experiments: `(id, runner)` in presentation order.
 #[must_use]
-pub fn registry() -> Vec<(&'static str, fn(&ExpOptions) -> Report)> {
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("table1", tables::table1 as fn(&ExpOptions) -> Report),
+        ("table1", tables::table1 as ExperimentFn),
         ("table2", tables::table2),
         ("table3", tables::table3),
         ("fig1", fig01::run),

@@ -74,14 +74,10 @@ pub fn run(opts: &ExpOptions) -> Report {
     // (both LC mixes, three BG workloads each).
     let mut clite_bg_ratios = Vec::new();
     let mut parties_bg_ratios = Vec::new();
-    for (_mi, (_, lc)) in fig13_lc_mixes().iter().enumerate() {
-        for (bi, bg) in [
-            WorkloadId::Blackscholes,
-            WorkloadId::Streamcluster,
-            WorkloadId::Canneal,
-        ]
-        .into_iter()
-        .enumerate()
+    for (_, lc) in fig13_lc_mixes().iter() {
+        for (bi, bg) in [WorkloadId::Blackscholes, WorkloadId::Streamcluster, WorkloadId::Canneal]
+            .into_iter()
+            .enumerate()
         {
             let mix = Mix::new(lc, &[bg]);
             // Same seeding as the fig13 experiment so the summary row is a

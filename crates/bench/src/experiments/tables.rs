@@ -73,7 +73,11 @@ pub fn table3(_opts: &ExpOptions) -> Report {
             sens[0].0.to_owned(),
         ]);
     }
-    Report { id: "table3", title: "LC and BG workloads driving the evaluation".into(), body: t.render() }
+    Report {
+        id: "table3",
+        title: "LC and BG workloads driving the evaluation".into(),
+        body: t.render(),
+    }
 }
 
 #[cfg(test)]

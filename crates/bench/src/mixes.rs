@@ -18,10 +18,8 @@ impl Mix {
         let mut name_parts: Vec<String> =
             lc.iter().map(|(w, l)| format!("{}@{:.0}%", w.name(), l * 100.0)).collect();
         if !bg.is_empty() {
-            name_parts.push(format!(
-                "/ {}",
-                bg.iter().map(|w| w.name()).collect::<Vec<_>>().join("+")
-            ));
+            name_parts
+                .push(format!("/ {}", bg.iter().map(|w| w.name()).collect::<Vec<_>>().join("+")));
         }
         let jobs = lc
             .iter()
@@ -86,11 +84,7 @@ pub fn fig8_mix(memcached_load: f64, masstree_load: f64, imgdnn_load: f64) -> Mi
 #[must_use]
 pub fn fig9a_mix() -> Mix {
     Mix::new(
-        &[
-            (WorkloadId::ImgDnn, 0.3),
-            (WorkloadId::Memcached, 0.3),
-            (WorkloadId::Masstree, 0.3),
-        ],
+        &[(WorkloadId::ImgDnn, 0.3), (WorkloadId::Memcached, 0.3), (WorkloadId::Masstree, 0.3)],
         &[WorkloadId::Streamcluster],
     )
 }
@@ -179,19 +173,11 @@ pub fn fig15_mixes() -> Vec<Mix> {
             &[WorkloadId::Blackscholes],
         ),
         Mix::new(
-            &[
-                (WorkloadId::Memcached, 0.3),
-                (WorkloadId::ImgDnn, 0.3),
-                (WorkloadId::Masstree, 0.3),
-            ],
+            &[(WorkloadId::Memcached, 0.3), (WorkloadId::ImgDnn, 0.3), (WorkloadId::Masstree, 0.3)],
             &[WorkloadId::Fluidanimate],
         ),
         Mix::new(
-            &[
-                (WorkloadId::Memcached, 0.3),
-                (WorkloadId::ImgDnn, 0.3),
-                (WorkloadId::Masstree, 0.3),
-            ],
+            &[(WorkloadId::Memcached, 0.3), (WorkloadId::ImgDnn, 0.3), (WorkloadId::Masstree, 0.3)],
             &[WorkloadId::Fluidanimate, WorkloadId::Swaptions],
         ),
     ]
@@ -201,11 +187,7 @@ pub fn fig15_mixes() -> Vec<Mix> {
 #[must_use]
 pub fn fig15b_mix() -> Mix {
     Mix::new(
-        &[
-            (WorkloadId::ImgDnn, 0.2),
-            (WorkloadId::Memcached, 0.2),
-            (WorkloadId::Masstree, 0.2),
-        ],
+        &[(WorkloadId::ImgDnn, 0.2), (WorkloadId::Memcached, 0.2), (WorkloadId::Masstree, 0.2)],
         &[WorkloadId::Fluidanimate],
     )
 }

@@ -35,10 +35,7 @@ impl Table {
     /// Renders the table with padded columns.
     #[must_use]
     pub fn render(&self) -> String {
-        let cols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -104,7 +101,11 @@ pub fn heatmap(
         out.push_str(&format!(" {t:>cell_w$}"));
     }
     out.push('\n');
-    out.push_str(&format!("{}-+-{}\n", "-".repeat(ylab_w), "-".repeat((cell_w + 1) * x_ticks.len())));
+    out.push_str(&format!(
+        "{}-+-{}\n",
+        "-".repeat(ylab_w),
+        "-".repeat((cell_w + 1) * x_ticks.len())
+    ));
     for (yi, row) in values.iter().enumerate() {
         let unlabeled = String::new();
         let ytick = y_ticks.get(yi).unwrap_or(&unlabeled);

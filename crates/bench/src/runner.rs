@@ -1,5 +1,9 @@
 //! Shared experiment-execution helpers.
 
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
 use clite::config::CliteConfig;
 use clite_policies::clite_policy::ClitePolicy;
 use clite_policies::genetic::Genetic;
@@ -8,8 +12,47 @@ use clite_policies::oracle::Oracle;
 use clite_policies::parties::Parties;
 use clite_policies::policy::{Policy, PolicyOutcome};
 use clite_policies::random_plus::RandomPlus;
+use clite_telemetry::{JsonlRecorder, Telemetry};
 
 use crate::mixes::Mix;
+
+/// Process-wide JSONL sink, installed once by `--telemetry-out`. Every
+/// [`run_policy`] call then streams its events here; explicit callers can
+/// still pass their own recorder through [`run_policy_with`].
+static AMBIENT_SINK: OnceLock<JsonlRecorder> = OnceLock::new();
+
+/// Installs a process-wide JSONL telemetry sink at `path` (truncating).
+/// Subsequent [`run_policy`] calls stream their events to it. Idempotent
+/// only in the sense that a second install is rejected.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be created, or
+/// [`io::ErrorKind::AlreadyExists`] if a sink was installed before.
+pub fn install_jsonl_sink(path: impl AsRef<Path>) -> io::Result<()> {
+    let recorder = JsonlRecorder::create(path)?;
+    AMBIENT_SINK
+        .set(recorder)
+        .map_err(|_| io::Error::new(io::ErrorKind::AlreadyExists, "telemetry sink already set"))
+}
+
+/// The process-wide sink, if [`install_jsonl_sink`] has run.
+#[must_use]
+pub fn ambient_sink() -> Option<&'static JsonlRecorder> {
+    AMBIENT_SINK.get()
+}
+
+/// A fresh telemetry context over the ambient sink — disabled when no
+/// sink is installed. Experiments that drive instrumented APIs directly
+/// (rather than through [`run_policy`]) use this to stay observable
+/// under `--telemetry-out`.
+#[must_use]
+pub fn ambient_telemetry() -> Telemetry<'static> {
+    match ambient_sink() {
+        Some(sink) => Telemetry::new(sink),
+        None => Telemetry::disabled(),
+    }
+}
 
 /// The policies an experiment can request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,9 +107,7 @@ impl PolicyKind {
             PolicyKind::Parties => Box::new(Parties::default().with_seed(seed)),
             PolicyKind::RandomPlus => Box::new(RandomPlus::default().with_seed(seed)),
             PolicyKind::Genetic => Box::new(Genetic::default().with_seed(seed)),
-            PolicyKind::Clite => {
-                Box::new(ClitePolicy::new(CliteConfig::default().with_seed(seed)))
-            }
+            PolicyKind::Clite => Box::new(ClitePolicy::new(CliteConfig::default().with_seed(seed))),
             PolicyKind::Oracle => Box::new(Oracle::default()),
         }
     }
@@ -74,14 +115,33 @@ impl PolicyKind {
 
 /// Runs `kind` on a fresh server hosting `mix`.
 ///
+/// Streams telemetry to the ambient sink when one is installed (see
+/// [`install_jsonl_sink`]); each call gets a fresh phase timer, so phase
+/// timings stay per-run while counters accumulate across runs.
+///
 /// # Panics
 ///
 /// Panics on internal policy failures (experiments treat those as bugs).
 #[must_use]
 pub fn run_policy(kind: PolicyKind, mix: &Mix, seed: u64) -> PolicyOutcome {
+    run_policy_with(kind, mix, seed, &ambient_telemetry())
+}
+
+/// [`run_policy`] with an explicit telemetry context.
+///
+/// # Panics
+///
+/// Panics on internal policy failures (experiments treat those as bugs).
+#[must_use]
+pub fn run_policy_with(
+    kind: PolicyKind,
+    mix: &Mix,
+    seed: u64,
+    telemetry: &Telemetry<'_>,
+) -> PolicyOutcome {
     let mut server = mix.server(seed);
     kind.build(seed ^ 0x9E37_79B9)
-        .run(&mut server)
+        .run_with(&mut server, telemetry)
         .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.name(), mix.name))
 }
 
@@ -90,7 +150,11 @@ pub fn run_policy(kind: PolicyKind, mix: &Mix, seed: u64) -> PolicyOutcome {
 /// would measure after the controller settles, free of the winner's-curse
 /// bias of selecting by noisy samples.
 #[must_use]
-pub fn final_eval(mix: &Mix, outcome: &PolicyOutcome, seed: u64) -> clite_sim::metrics::Observation {
+pub fn final_eval(
+    mix: &Mix,
+    outcome: &PolicyOutcome,
+    seed: u64,
+) -> clite_sim::metrics::Observation {
     let server = mix.server(seed);
     server.ground_truth(&outcome.best_partition)
 }
@@ -151,6 +215,21 @@ mod tests {
     }
 
     #[test]
+    fn run_policy_with_streams_events() {
+        use clite_telemetry::MemoryRecorder;
+
+        let sink = MemoryRecorder::new();
+        let telemetry = Telemetry::new(&sink);
+        let mix = fig7_mix(0.2, 0.2, 0.2);
+        let outcome = run_policy_with(PolicyKind::Clite, &mix, 3, &telemetry);
+        assert!(outcome.samples_used() > 0);
+        assert!(sink.count_kind("bootstrap_sample") > 0);
+        assert_eq!(sink.count_kind("terminated"), 1);
+        let report = telemetry.report();
+        assert!(report.profiled_seconds() <= report.wall_seconds);
+    }
+
+    #[test]
     fn policies_build_and_name() {
         for k in PolicyKind::ALL {
             assert!(!k.name().is_empty());
@@ -162,9 +241,7 @@ mod tests {
     fn max_supported_load_descends() {
         // ORACLE on an easy pair of fixed loads: highest feasible probe
         // load should be found.
-        let max = max_supported_load(PolicyKind::Oracle, &[0.1, 0.5], 1, |l| {
-            fig7_mix(l, 0.1, 0.1)
-        });
+        let max = max_supported_load(PolicyKind::Oracle, &[0.1, 0.5], 1, |l| fig7_mix(l, 0.1, 0.1));
         assert!(max.is_some());
     }
 }

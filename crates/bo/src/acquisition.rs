@@ -101,9 +101,7 @@ mod tests {
 
     #[test]
     fn ei_nonnegative() {
-        for &(m, s, b) in
-            &[(0.0, 1.0, 5.0), (5.0, 1.0, 0.0), (0.5, 0.01, 0.5), (-3.0, 2.0, 4.0)]
-        {
+        for &(m, s, b) in &[(0.0, 1.0, 5.0), (5.0, 1.0, 0.0), (0.5, 0.01, 0.5), (-3.0, 2.0, 4.0)] {
             assert!(EI.score(m, s, b) >= 0.0, "EI({m},{s},{b})");
         }
     }

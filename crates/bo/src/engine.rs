@@ -24,6 +24,7 @@ use clite_gp::gp::{GaussianProcess, GpConfig};
 use clite_gp::hyper::{fit_best, HyperGrid};
 use clite_gp::kernel::{Kernel, KernelFamily};
 use clite_sim::alloc::{JobAllocation, Partition};
+use clite_telemetry::{Event, Phase, Telemetry};
 
 use crate::acquisition::Acquisition;
 use crate::bootstrap::bootstrap_partitions;
@@ -148,16 +149,16 @@ impl BoEngine {
     /// Best recorded `(partition, score)` so far.
     #[must_use]
     pub fn best(&self) -> Option<(&Partition, f64)> {
-        self.history
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(p, s)| (p, *s))
+        self.history.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(p, s)| (p, *s))
     }
 
     /// Best recorded score among configurations where `keep` holds (used by
     /// dropout-copy to find a job's best row).
     #[must_use]
-    pub fn best_where(&self, mut keep: impl FnMut(&Partition, f64) -> bool) -> Option<(&Partition, f64)> {
+    pub fn best_where(
+        &self,
+        mut keep: impl FnMut(&Partition, f64) -> bool,
+    ) -> Option<(&Partition, f64)> {
         self.history
             .iter()
             .filter(|(p, s)| keep(p, *s))
@@ -178,7 +179,22 @@ impl BoEngine {
         &mut self,
         frozen: Option<(usize, JobAllocation)>,
     ) -> Result<Suggestion, BoError> {
-        let gp = self.fit_surrogate()?;
+        self.suggest_with(frozen, &Telemetry::disabled())
+    }
+
+    /// [`suggest`](BoEngine::suggest) with telemetry: the GP fit and the
+    /// acquisition maximization are timed as their Fig. 15b phases, and
+    /// hyper-grid refreshes emit [`Event::GpRefit`].
+    ///
+    /// # Errors
+    ///
+    /// See [`BoEngine::suggest`].
+    pub fn suggest_with(
+        &mut self,
+        frozen: Option<(usize, JobAllocation)>,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Suggestion, BoError> {
+        let gp = self.fit_surrogate_with(telemetry)?;
 
         let best_score = self.best().map(|(_, s)| s).unwrap_or(0.0);
         let acquisition = self.config.acquisition;
@@ -199,16 +215,19 @@ impl BoEngine {
             }
         }
 
-        let (partition, ei) = maximize_acquisition(
-            &self.space,
-            self.config.optimizer,
-            acq,
-            &seeds,
-            frozen,
-            &self.visited,
-            &mut self.rng,
-        )
-        .ok_or(BoError::NoCandidate)?;
+        let (partition, ei) = telemetry
+            .time(Phase::Acquisition, || {
+                maximize_acquisition(
+                    &self.space,
+                    self.config.optimizer,
+                    acq,
+                    &seeds,
+                    frozen,
+                    &self.visited,
+                    &mut self.rng,
+                )
+            })
+            .ok_or(BoError::NoCandidate)?;
 
         let (posterior_mean, posterior_std) = gp.predict_std(&self.space.encode(&partition));
         Ok(Suggestion { partition, expected_improvement: ei, posterior_mean, posterior_std })
@@ -231,7 +250,20 @@ impl BoEngine {
         &mut self,
         candidates: &[Partition],
     ) -> Result<Option<Suggestion>, BoError> {
-        let gp = self.fit_surrogate()?;
+        self.suggest_among_with(candidates, &Telemetry::disabled())
+    }
+
+    /// [`suggest_among`](BoEngine::suggest_among) with telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`BoEngine::suggest_among`].
+    pub fn suggest_among_with(
+        &mut self,
+        candidates: &[Partition],
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<Suggestion>, BoError> {
+        let gp = self.fit_surrogate_with(telemetry)?;
         let best_score = self.best().map(|(_, s)| s).ok_or(BoError::NoHistory)?;
         let mut best: Option<(Partition, f64, f64)> = None;
         for n in candidates {
@@ -239,7 +271,7 @@ impl BoEngine {
                 continue;
             }
             let (mean, std) = gp.predict_std(&self.space.encode(n));
-            if best.as_ref().map_or(true, |(_, m, _)| mean > *m) {
+            if best.as_ref().is_none_or(|(_, m, _)| mean > *m) {
                 best = Some((n.clone(), mean, std));
             }
         }
@@ -265,10 +297,23 @@ impl BoEngine {
         &mut self,
         candidates: &[Partition],
     ) -> Result<Option<Suggestion>, BoError> {
+        self.suggest_ordered_with(candidates, &Telemetry::disabled())
+    }
+
+    /// [`suggest_ordered`](BoEngine::suggest_ordered) with telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`BoEngine::suggest_ordered`].
+    pub fn suggest_ordered_with(
+        &mut self,
+        candidates: &[Partition],
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<Suggestion>, BoError> {
         let Some(partition) = candidates.iter().find(|p| !self.visited.contains(*p)) else {
             return Ok(None);
         };
-        let gp = self.fit_surrogate()?;
+        let gp = self.fit_surrogate_with(telemetry)?;
         let best_score = self.best().map(|(_, s)| s).ok_or(BoError::NoHistory)?;
         let (posterior_mean, posterior_std) = gp.predict_std(&self.space.encode(partition));
         Ok(Some(Suggestion {
@@ -289,17 +334,35 @@ impl BoEngine {
         &mut self,
         frozen: Option<(usize, JobAllocation)>,
     ) -> Result<Option<Suggestion>, BoError> {
+        self.suggest_polish_with(frozen, &Telemetry::disabled())
+    }
+
+    /// [`suggest_polish`](BoEngine::suggest_polish) with telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`BoEngine::suggest_among`].
+    pub fn suggest_polish_with(
+        &mut self,
+        frozen: Option<(usize, JobAllocation)>,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<Suggestion>, BoError> {
         let incumbent = self.best().ok_or(BoError::NoHistory)?.0.clone();
         let frozen_job = match &frozen {
             Some((j, row)) if incumbent.job(*j) == row => Some(*j),
             _ => None,
         };
         let candidates = incumbent.neighbors(frozen_job);
-        self.suggest_among(&candidates)
+        self.suggest_among_with(&candidates, telemetry)
     }
 
-    /// Fits (or refreshes) the GP surrogate on the recorded history.
-    fn fit_surrogate(&mut self) -> Result<GaussianProcess, BoError> {
+    /// Fits (or refreshes) the GP surrogate on the recorded history,
+    /// attributing the time to [`Phase::GpFit`] and emitting
+    /// [`Event::GpRefit`] whenever the hyper-grid is re-scanned.
+    fn fit_surrogate_with(
+        &mut self,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<GaussianProcess, BoError> {
         if self.history.is_empty() {
             return Err(BoError::NoHistory);
         }
@@ -307,17 +370,26 @@ impl BoEngine {
         let ys: Vec<f64> = self.history.iter().map(|(_, s)| *s).collect();
         let gp_config = GpConfig { noise_variance: self.config.gp_noise };
 
-        let refresh = self.kernel.is_none()
-            || self.records_since_refresh >= self.config.hyper_refresh_every;
+        let refresh =
+            self.kernel.is_none() || self.records_since_refresh >= self.config.hyper_refresh_every;
         if refresh {
             let template = Kernel::new(self.config.kernel_family, 1.0, 1.0);
-            let fitted = fit_best(&template, gp_config, &self.config.hyper_grid, &xs, &ys)?;
+            let fitted = telemetry.time(Phase::GpFit, || {
+                fit_best(&template, gp_config, &self.config.hyper_grid, &xs, &ys)
+            })?;
             self.kernel = Some(fitted.kernel().clone());
             self.records_since_refresh = 0;
+            let summary = fitted.fit_summary();
+            telemetry.emit(Event::GpRefit {
+                observations: summary.observations,
+                lengthscale: summary.lengthscale,
+                signal_variance: summary.signal_variance,
+                log_marginal: summary.log_marginal,
+            });
             Ok(fitted)
         } else {
             let kernel = self.kernel.clone().expect("kernel cached when not refreshing");
-            Ok(GaussianProcess::fit(kernel, gp_config, xs, ys)?)
+            Ok(telemetry.time(Phase::GpFit, || GaussianProcess::fit(kernel, gp_config, xs, ys))?)
         }
     }
 }
@@ -438,9 +510,7 @@ mod tests {
             e.record(p, y);
         }
         let all_best = e.best().unwrap().1;
-        let constrained = e
-            .best_where(|p, _| p.units(0, ResourceKind::Cores) <= 2)
-            .map(|(_, s)| s);
+        let constrained = e.best_where(|p, _| p.units(0, ResourceKind::Cores) <= 2).map(|(_, s)| s);
         if let Some(c) = constrained {
             assert!(c <= all_best);
         }

@@ -99,9 +99,7 @@ pub fn maximize_acquisition(
             }
         }
 
-        if !tabu.contains(&current)
-            && best.as_ref().map_or(true, |(_, bv)| current_val > *bv)
-        {
+        if !tabu.contains(&current) && best.as_ref().is_none_or(|(_, bv)| current_val > *bv) {
             best = Some((current, current_val));
         } else if tabu.contains(&current) {
             // The climb ended on a sampled point; take its best non-tabu
@@ -112,12 +110,12 @@ pub fn maximize_acquisition(
                     continue;
                 }
                 let v = acq(&n);
-                if alt.as_ref().map_or(true, |(_, av)| v > *av) {
+                if alt.as_ref().is_none_or(|(_, av)| v > *av) {
                     alt = Some((n, v));
                 }
             }
             if let Some((p, v)) = alt {
-                if best.as_ref().map_or(true, |(_, bv)| v > *bv) {
+                if best.as_ref().is_none_or(|(_, bv)| v > *bv) {
                     best = Some((p, v));
                 }
             }
@@ -187,7 +185,9 @@ mod tests {
         .unwrap();
         assert_eq!(best.job(1), &frozen_row, "frozen job's row must be untouched");
         // Job 0 still maximized its ways subject to the freeze.
-        assert!(best.units(0, ResourceKind::LlcWays) > s.equal_share().units(0, ResourceKind::LlcWays));
+        assert!(
+            best.units(0, ResourceKind::LlcWays) > s.equal_share().units(0, ResourceKind::LlcWays)
+        );
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl SearchSpace {
             .collect();
 
         let mut out = Vec::new();
-        let mut indices = vec![0usize; NUM_RESOURCES];
+        let mut indices = [0usize; NUM_RESOURCES];
         'outer: loop {
             let rows: Vec<clite_sim::alloc::JobAllocation> = (0..self.jobs)
                 .map(|j| {

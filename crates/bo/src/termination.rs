@@ -79,8 +79,7 @@ impl TerminationState {
         let bar = self.threshold * reference;
 
         let w = self.config.window.min(self.best_history.len());
-        let window_gain =
-            best_score - self.best_history[self.best_history.len() - w];
+        let window_gain = best_score - self.best_history[self.best_history.len() - w];
 
         if max_ei < bar && window_gain < bar {
             self.below_count += 1;

@@ -4,6 +4,7 @@ use clite::config::CliteConfig;
 use clite::controller::CliteController;
 use clite::trace::CliteOutcome;
 use clite_sim::prelude::*;
+use clite_telemetry::Telemetry;
 
 use crate::ClusterError;
 
@@ -109,14 +110,33 @@ impl Node {
     /// # Errors
     ///
     /// Propagates controller/simulator failures.
-    pub fn try_admit(&mut self, job: PlacedJob, config: &CliteConfig) -> Result<bool, ClusterError> {
+    pub fn try_admit(
+        &mut self,
+        job: PlacedJob,
+        config: &CliteConfig,
+    ) -> Result<bool, ClusterError> {
+        self.try_admit_with(job, config, &Telemetry::disabled())
+    }
+
+    /// [`try_admit`](Node::try_admit) with telemetry forwarded to the
+    /// admission search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller/simulator failures.
+    pub fn try_admit_with(
+        &mut self,
+        job: PlacedJob,
+        config: &CliteConfig,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<bool, ClusterError> {
         if !self.catalog.supports_jobs(self.jobs.len() + 1) {
             return Ok(false);
         }
         let mut tentative: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
         tentative.push(job.spec.clone());
 
-        let outcome = self.run_search(tentative, config)?;
+        let outcome = self.run_search(tentative, config, telemetry)?;
         let feasible = outcome.qos_met();
         if feasible {
             self.jobs.push(job);
@@ -131,6 +151,21 @@ impl Node {
     ///
     /// Returns [`ClusterError::UnknownJob`] if the id is not on this node.
     pub fn remove(&mut self, job_id: u64, config: &CliteConfig) -> Result<(), ClusterError> {
+        self.remove_with(job_id, config, &Telemetry::disabled())
+    }
+
+    /// [`remove`](Node::remove) with telemetry forwarded to the
+    /// re-partitioning search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if the id is not on this node.
+    pub fn remove_with(
+        &mut self,
+        job_id: u64,
+        config: &CliteConfig,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<(), ClusterError> {
         let idx = self
             .jobs
             .iter()
@@ -142,7 +177,7 @@ impl Node {
             return Ok(());
         }
         let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
-        let outcome = self.run_search(specs, config)?;
+        let outcome = self.run_search(specs, config, telemetry)?;
         self.last_outcome = Some(outcome);
         Ok(())
     }
@@ -151,12 +186,13 @@ impl Node {
         &mut self,
         specs: Vec<JobSpec>,
         config: &CliteConfig,
+        telemetry: &Telemetry<'_>,
     ) -> Result<CliteOutcome, ClusterError> {
         self.searches_run += 1;
         let seed = self.seed.wrapping_add(self.searches_run as u64);
         let mut server = Server::new(self.catalog, specs, seed)?;
         let controller = CliteController::new(config.clone().with_seed(seed));
-        let outcome = controller.run(&mut server)?;
+        let outcome = controller.run_with(&mut server, telemetry)?;
         self.samples_spent += outcome.samples_used() as u64;
         Ok(outcome)
     }
@@ -215,10 +251,7 @@ mod tests {
     #[test]
     fn remove_unknown_job_errors() {
         let mut n = node();
-        assert!(matches!(
-            n.remove(42, &quick_config()),
-            Err(ClusterError::UnknownJob { job: 42 })
-        ));
+        assert!(matches!(n.remove(42, &quick_config()), Err(ClusterError::UnknownJob { job: 42 })));
     }
 
     #[test]

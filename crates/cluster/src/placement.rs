@@ -36,11 +36,8 @@ impl PlacementPolicy {
     /// capacity for one more job.
     #[must_use]
     pub fn candidate_order(self, nodes: &[Node]) -> Vec<usize> {
-        let mut ids: Vec<usize> = nodes
-            .iter()
-            .filter(|n| n.has_capacity_for_one_more())
-            .map(Node::id)
-            .collect();
+        let mut ids: Vec<usize> =
+            nodes.iter().filter(|n| n.has_capacity_for_one_more()).map(Node::id).collect();
         match self {
             PlacementPolicy::FirstFit => {}
             PlacementPolicy::LeastLoaded => {

@@ -3,6 +3,7 @@
 use clite::config::CliteConfig;
 use clite_bo::termination::Termination;
 use clite_sim::prelude::*;
+use clite_telemetry::{Event, Telemetry};
 
 use crate::node::{Node, PlacedJob};
 use crate::placement::PlacementPolicy;
@@ -25,10 +26,8 @@ impl Default for SchedulerConfig {
     fn default() -> Self {
         Self {
             placement: PlacementPolicy::default(),
-            clite: CliteConfig::default().with_termination(Termination {
-                max_iterations: 30,
-                ..Termination::default()
-            }),
+            clite: CliteConfig::default()
+                .with_termination(Termination { max_iterations: 30, ..Termination::default() }),
         }
     }
 }
@@ -89,11 +88,28 @@ impl ClusterScheduler {
     ///
     /// Propagates controller/simulator failures.
     pub fn submit(&mut self, spec: JobSpec) -> Result<Option<Placement>, ClusterError> {
+        self.submit_with(spec, &Telemetry::disabled())
+    }
+
+    /// [`submit`](ClusterScheduler::submit) with telemetry: a successful
+    /// commit emits [`Event::Placement`], and the admission searches'
+    /// events and phase timings flow through `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller/simulator failures.
+    pub fn submit_with(
+        &mut self,
+        spec: JobSpec,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<Placement>, ClusterError> {
         let job_id = self.next_job_id;
         self.next_job_id += 1;
         for node_id in self.config.placement.candidate_order(&self.nodes) {
             let job = PlacedJob { id: job_id, spec: spec.clone() };
-            if self.nodes[node_id].try_admit(job, &self.config.clite)? {
+            if self.nodes[node_id].try_admit_with(job, &self.config.clite, telemetry)? {
+                telemetry
+                    .emit(Event::Placement { node: node_id, job: spec.workload.name().to_owned() });
                 return Ok(Some(Placement { job_id, node: node_id }));
             }
         }
@@ -107,9 +123,27 @@ impl ClusterScheduler {
     ///
     /// Returns [`ClusterError::UnknownJob`] if no node hosts `job_id`.
     pub fn remove(&mut self, job_id: u64) -> Result<(), ClusterError> {
+        self.remove_with(job_id, &Telemetry::disabled())
+    }
+
+    /// [`remove`](ClusterScheduler::remove) with telemetry: the departure
+    /// emits [`Event::Eviction`] before the node re-partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if no node hosts `job_id`.
+    pub fn remove_with(
+        &mut self,
+        job_id: u64,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<(), ClusterError> {
         for node in &mut self.nodes {
-            if node.jobs().iter().any(|j| j.id == job_id) {
-                return node.remove(job_id, &self.config.clite);
+            if let Some(job) = node.jobs().iter().find(|j| j.id == job_id) {
+                telemetry.emit(Event::Eviction {
+                    node: node.id(),
+                    job: job.spec.workload.name().to_owned(),
+                });
+                return node.remove_with(job_id, &self.config.clite, telemetry);
             }
         }
         Err(ClusterError::UnknownJob { job: job_id })
@@ -209,5 +243,23 @@ mod tests {
     fn remove_unknown_job_errors() {
         let mut c = scheduler(1, PlacementPolicy::FirstFit);
         assert!(matches!(c.remove(7), Err(ClusterError::UnknownJob { job: 7 })));
+    }
+
+    #[test]
+    fn placements_and_evictions_emit_events() {
+        use clite_telemetry::MemoryRecorder;
+
+        let sink = MemoryRecorder::new();
+        let telemetry = Telemetry::new(&sink);
+        let mut c = scheduler(1, PlacementPolicy::FirstFit);
+        let placed = c
+            .submit_with(JobSpec::latency_critical(WorkloadId::Memcached, 0.2), &telemetry)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sink.count_kind("placement"), 1);
+        // The admission search's own events flow through the same sink.
+        assert!(sink.count_kind("bootstrap_sample") > 0);
+        c.remove_with(placed.job_id, &telemetry).unwrap();
+        assert_eq!(sink.count_kind("eviction"), 1);
     }
 }

@@ -63,7 +63,7 @@ impl ClusterStats {
                         .count(),
                     lc_load: n.committed_lc_load(),
                     bg_perf: best.and_then(|s| s.observation.mean_bg_perf()),
-                    qos_met: n.last_outcome().map_or(true, |o| o.qos_met()),
+                    qos_met: n.last_outcome().is_none_or(|o| o.qos_met()),
                     samples_spent: n.samples_spent(),
                 }
             })

@@ -197,7 +197,11 @@ mod tests {
             trace.points.iter().rev().filter(|p| p.phase == Phase::Steady).take(10).collect();
         assert!(!last_steady.is_empty());
         let met = last_steady.iter().filter(|p| p.observation.all_qos_met()).count();
-        assert!(met * 10 >= last_steady.len() * 3, "{met}/{} final steady windows met", last_steady.len());
+        assert!(
+            met * 10 >= last_steady.len() * 3,
+            "{met}/{} final steady windows met",
+            last_steady.len()
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl Default for CliteConfig {
             bo: BoConfig::default(),
             termination: Termination::default(),
             dropout: DropoutPolicy::paper_default(),
-            seed: 0x0C11_7E,
+            seed: 0x000C_117E,
         }
     }
 }

@@ -23,8 +23,10 @@ use clite_bo::engine::BoEngine;
 use clite_bo::space::SearchSpace;
 use clite_bo::BoError;
 use clite_sim::alloc::{JobAllocation, Partition};
+use clite_sim::metrics::Observation;
 use clite_sim::server::Server;
 use clite_sim::workload::JobClass;
+use clite_telemetry::{Event, Phase, StopReason, Telemetry};
 
 use crate::config::{CliteConfig, DropoutPolicy};
 use crate::score::score_observation;
@@ -61,6 +63,23 @@ impl CliteController {
     /// produce a candidate, and [`CliteError::Sim`] for simulator
     /// rejections.
     pub fn run(&self, server: &mut Server) -> Result<CliteOutcome, CliteError> {
+        self.run_with(server, &Telemetry::disabled())
+    }
+
+    /// [`run`](CliteController::run) with telemetry: every bootstrap
+    /// sample, QoS violation, dropout freeze, chosen candidate, GP refit,
+    /// and the termination reason are emitted as structured events, and
+    /// the observe/score/GP-fit/acquisition phases are stopwatch-profiled
+    /// into [`CliteOutcome::overhead`] (the paper's Fig. 15b breakdown).
+    ///
+    /// # Errors
+    ///
+    /// See [`CliteController::run`].
+    pub fn run_with(
+        &self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<CliteOutcome, CliteError> {
         let jobs = server.job_count();
         let space = SearchSpace::new(*server.catalog(), jobs)?;
         let mut engine = BoEngine::new(space, self.config.bo.clone(), self.config.seed);
@@ -72,8 +91,14 @@ impl CliteController {
 
         // ── Phase 1: bootstrap ────────────────────────────────────────────
         for (k, partition) in engine.bootstrap_samples()?.into_iter().enumerate() {
-            let observation = server.observe(&partition);
-            let score = score_observation(&observation);
+            let observation = telemetry.time(Phase::Observe, || server.observe(&partition));
+            let score = telemetry.time(Phase::Score, || score_observation(&observation));
+            telemetry.emit(Event::BootstrapSample {
+                sample: samples.len(),
+                score: score.value,
+                qos_met: observation.all_qos_met(),
+            });
+            emit_qos_violations(telemetry, samples.len(), &observation);
             if observation.all_qos_met() && samples_to_qos.is_none() {
                 samples_to_qos = Some(samples.len());
             }
@@ -102,6 +127,14 @@ impl CliteController {
         if !infeasible.is_empty() {
             let (best_partition, best_score) =
                 engine.best().map(|(p, s)| (p.clone(), s)).expect("bootstrap recorded samples");
+            for &job in &infeasible {
+                telemetry.emit(Event::InfeasibleJob { job });
+            }
+            telemetry.emit(Event::Terminated {
+                reason: StopReason::Infeasible,
+                samples: samples.len(),
+                best_score,
+            });
             return Ok(CliteOutcome {
                 best_partition,
                 best_score,
@@ -109,6 +142,7 @@ impl CliteController {
                 converged: false,
                 infeasible_jobs: infeasible,
                 samples_to_qos,
+                overhead: Some(telemetry.report()),
             });
         }
 
@@ -125,172 +159,184 @@ impl CliteController {
         let mut converged = false;
         let mut resumptions = 0usize;
         let (best_partition, best_score) = 'outer: loop {
-        loop {
-            let frozen = self.select_dropout(server, &samples, &mut rng);
-            let best_before = engine.best().map(|(_, s)| s).unwrap_or(0.0);
-            // A frozen search can dead-end (everything reachable was
-            // sampled); retry unconstrained. If even the unconstrained
-            // search has no unsampled candidate, the space is exhausted
-            // (e.g. a single co-located job has exactly one partition) --
-            // that is convergence, not an error.
-            let maybe_suggestion = match engine.suggest(frozen) {
-                Ok(s) => Some(s),
-                Err(BoError::NoCandidate) => match engine.suggest(None) {
+            loop {
+                let frozen = self.select_dropout(server, &samples, &mut rng);
+                if let Some((job, _)) = frozen {
+                    telemetry.emit(Event::DropoutFrozen { sample: samples.len(), job });
+                }
+                let best_before = engine.best().map(|(_, s)| s).unwrap_or(0.0);
+                // A frozen search can dead-end (everything reachable was
+                // sampled); retry unconstrained. If even the unconstrained
+                // search has no unsampled candidate, the space is exhausted
+                // (e.g. a single co-located job has exactly one partition) --
+                // that is convergence, not an error.
+                let maybe_suggestion = match engine.suggest_with(frozen, telemetry) {
                     Ok(s) => Some(s),
-                    Err(BoError::NoCandidate) => None,
+                    Err(BoError::NoCandidate) => match engine.suggest_with(None, telemetry) {
+                        Ok(s) => Some(s),
+                        Err(BoError::NoCandidate) => None,
+                        Err(e) => return Err(e.into()),
+                    },
                     Err(e) => return Err(e.into()),
-                },
-                Err(e) => return Err(e.into()),
-            };
-            let Some(mut suggestion) = maybe_suggestion else {
-                converged = true;
-                break;
-            };
-
-            // Local donation moves complement the global acquisition:
-            //
-            // * while some LC job still violates QoS, every other sample
-            //   is a *repair* move — route resources from comfortable jobs
-            //   to the worst-violating one (interleaved with global EI so
-            //   the surrogate keeps exploring);
-            // * once QoS is met and the global EI dries up, switch to
-            //   *polish* moves — a globally smooth surrogate can report
-            //   near-zero EI while genuine gains hide one unit-transfer
-            //   from the incumbent.
-            //
-            // Both ignore the dropout freeze on purpose: the frozen
-            // "best-performing" job is usually the very donor whose
-            // surplus should move.
-            let threshold = self.config.termination.scaled_threshold(jobs)
-                * best_before.abs().max(0.1);
-            let want_local = if samples_to_qos.is_some() {
-                suggestion.expected_improvement < threshold
-            } else {
-                // While violating, interleave counter-guided repair with
-                // global exploration (two repair moves per global sample);
-                // the fruitless-streak escape below hands control back to
-                // the global acquisition whenever repair stops paying off.
-                samples.len() % 3 != 0
-            };
-            // A streak of fruitless local moves means the incumbent's
-            // neighbourhood is tapped out; hand the next sample back to
-            // the global acquisition.
-            let mut is_local = false;
-            if want_local && fruitless_local_moves < 3 {
-                let candidates = donation_candidates(&samples);
-                let polish = match engine.suggest_ordered(&candidates)? {
-                    Some(p) => Some(p),
-                    None => engine.suggest_polish(None)?,
                 };
-                if let Some(polish) = polish {
-                    suggestion = polish;
-                    is_local = true;
-                }
-            }
+                let Some(mut suggestion) = maybe_suggestion else {
+                    converged = true;
+                    break;
+                };
 
-            let observation = server.observe(&suggestion.partition);
-            let score = score_observation(&observation);
-            if observation.all_qos_met() && samples_to_qos.is_none() {
-                samples_to_qos = Some(samples.len());
-            }
-            let sample_score = score.value;
-            engine.record(suggestion.partition.clone(), sample_score);
-            samples.push(SampleRecord {
-                index: samples.len(),
-                bootstrap: false,
-                partition: suggestion.partition,
-                observation,
-                score,
-                expected_improvement: Some(suggestion.expected_improvement),
-                frozen_job: frozen.map(|(j, _)| j),
-            });
-
-            let best = engine.best().map(|(_, s)| s).unwrap_or(0.0);
-            // EI-based convergence only applies once QoS has been met at
-            // least once (performance mode): while jobs still violate,
-            // CLITE keeps searching up to the iteration cap rather than
-            // declaring a low-EI violating configuration "converged".
-            // Observed improvement counts alongside model EI, so the
-            // search never stops while polish moves keep paying off.
-            let actual_improvement = (sample_score - best_before).max(0.0);
-            if is_local {
-                if actual_improvement > 0.0 {
-                    fruitless_local_moves = 0;
+                // Local donation moves complement the global acquisition:
+                //
+                // * while some LC job still violates QoS, every other sample
+                //   is a *repair* move — route resources from comfortable jobs
+                //   to the worst-violating one (interleaved with global EI so
+                //   the surrogate keeps exploring);
+                // * once QoS is met and the global EI dries up, switch to
+                //   *polish* moves — a globally smooth surrogate can report
+                //   near-zero EI while genuine gains hide one unit-transfer
+                //   from the incumbent.
+                //
+                // Both ignore the dropout freeze on purpose: the frozen
+                // "best-performing" job is usually the very donor whose
+                // surplus should move.
+                let threshold =
+                    self.config.termination.scaled_threshold(jobs) * best_before.abs().max(0.1);
+                let want_local = if samples_to_qos.is_some() {
+                    suggestion.expected_improvement < threshold
                 } else {
-                    fruitless_local_moves += 1;
+                    // While violating, interleave counter-guided repair with
+                    // global exploration (two repair moves per global sample);
+                    // the fruitless-streak escape below hands control back to
+                    // the global acquisition whenever repair stops paying off.
+                    !samples.len().is_multiple_of(3)
+                };
+                // A streak of fruitless local moves means the incumbent's
+                // neighbourhood is tapped out; hand the next sample back to
+                // the global acquisition.
+                let mut is_local = false;
+                if want_local && fruitless_local_moves < 3 {
+                    let candidates = donation_candidates(&samples);
+                    let polish = match engine.suggest_ordered_with(&candidates, telemetry)? {
+                        Some(p) => Some(p),
+                        None => engine.suggest_polish_with(None, telemetry)?,
+                    };
+                    if let Some(polish) = polish {
+                        suggestion = polish;
+                        is_local = true;
+                    }
                 }
-            } else {
-                fruitless_local_moves = 0;
-            }
-            let effective_ei = if samples_to_qos.is_some() {
-                suggestion.expected_improvement.max(actual_improvement)
-            } else {
-                f64::INFINITY
-            };
-            if term.record(effective_ei, best) {
-                converged = term.stopped_by_threshold();
-                break;
-            }
-        }
+                telemetry.emit(Event::CandidateChosen {
+                    sample: samples.len(),
+                    expected_improvement: suggestion.expected_improvement,
+                });
 
-        // ── Phase 3: confirmation ─────────────────────────────────────────
-        let mut top: Vec<(Partition, f64)> = engine
-            .history()
-            .iter()
-            .map(|(p, s)| (p.clone(), *s))
-            .collect();
-        top.sort_by(|a, b| b.1.total_cmp(&a.1));
-        top.dedup_by(|a, b| a.0 == b.0);
-        let mut best_partition = top[0].0.clone();
-        let mut best_score = f64::MIN;
-        let mut best_margin_ok = false;
-        for (p, _) in top.into_iter().take(3) {
-            let observation = server.observe(&p);
-            let score = score_observation(&observation);
-            if observation.all_qos_met() && samples_to_qos.is_none() {
-                samples_to_qos = Some(samples.len());
-            }
-            // Prefer candidates that clear every QoS target with a small
-            // margin (re-observed min LC slack >= 1.03): a configuration
-            // sitting exactly on the boundary flips with measurement noise
-            // and is a poor thing to commit to.
-            let margin_ok = observation
-                .lc_jobs()
-                .map(|j| j.qos_slack().unwrap_or(0.0))
-                .fold(f64::INFINITY, f64::min)
-                >= 1.03;
-            let better = match (margin_ok, best_margin_ok) {
-                (true, false) => true,
-                (false, true) => false,
-                _ => score.value > best_score,
-            };
-            if better {
-                best_score = score.value;
-                best_partition = p.clone();
-                best_margin_ok = margin_ok;
-            }
-            // Feed the corrected evidence back to the surrogate: the same
-            // point with a second (independent) noisy measurement.
-            engine.record(p.clone(), score.value);
-            samples.push(SampleRecord {
-                index: samples.len(),
-                bootstrap: false,
-                partition: p,
-                observation,
-                score,
-                expected_improvement: None,
-                frozen_job: None,
-            });
-        }
+                let observation =
+                    telemetry.time(Phase::Observe, || server.observe(&suggestion.partition));
+                let score = telemetry.time(Phase::Score, || score_observation(&observation));
+                emit_qos_violations(telemetry, samples.len(), &observation);
+                if observation.all_qos_met() && samples_to_qos.is_none() {
+                    samples_to_qos = Some(samples.len());
+                }
+                let sample_score = score.value;
+                engine.record(suggestion.partition.clone(), sample_score);
+                samples.push(SampleRecord {
+                    index: samples.len(),
+                    bootstrap: false,
+                    partition: suggestion.partition,
+                    observation,
+                    score,
+                    expected_improvement: Some(suggestion.expected_improvement),
+                    frozen_job: frozen.map(|(j, _)| j),
+                });
 
-        if best_score >= 0.5 || resumptions >= 1 {
-            break 'outer (best_partition, best_score);
-        }
-        resumptions += 1;
-        term = self.config.termination.start(jobs);
-        fruitless_local_moves = 0;
+                let best = engine.best().map(|(_, s)| s).unwrap_or(0.0);
+                // EI-based convergence only applies once QoS has been met at
+                // least once (performance mode): while jobs still violate,
+                // CLITE keeps searching up to the iteration cap rather than
+                // declaring a low-EI violating configuration "converged".
+                // Observed improvement counts alongside model EI, so the
+                // search never stops while polish moves keep paying off.
+                let actual_improvement = (sample_score - best_before).max(0.0);
+                if is_local {
+                    if actual_improvement > 0.0 {
+                        fruitless_local_moves = 0;
+                    } else {
+                        fruitless_local_moves += 1;
+                    }
+                } else {
+                    fruitless_local_moves = 0;
+                }
+                let effective_ei = if samples_to_qos.is_some() {
+                    suggestion.expected_improvement.max(actual_improvement)
+                } else {
+                    f64::INFINITY
+                };
+                if term.record(effective_ei, best) {
+                    converged = term.stopped_by_threshold();
+                    break;
+                }
+            }
+
+            // ── Phase 3: confirmation ─────────────────────────────────────────
+            let mut top: Vec<(Partition, f64)> =
+                engine.history().iter().map(|(p, s)| (p.clone(), *s)).collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1));
+            top.dedup_by(|a, b| a.0 == b.0);
+            let mut best_partition = top[0].0.clone();
+            let mut best_score = f64::MIN;
+            let mut best_margin_ok = false;
+            for (p, _) in top.into_iter().take(3) {
+                let observation = telemetry.time(Phase::Observe, || server.observe(&p));
+                let score = telemetry.time(Phase::Score, || score_observation(&observation));
+                emit_qos_violations(telemetry, samples.len(), &observation);
+                if observation.all_qos_met() && samples_to_qos.is_none() {
+                    samples_to_qos = Some(samples.len());
+                }
+                // Prefer candidates that clear every QoS target with a small
+                // margin (re-observed min LC slack >= 1.03): a configuration
+                // sitting exactly on the boundary flips with measurement noise
+                // and is a poor thing to commit to.
+                let margin_ok = observation
+                    .lc_jobs()
+                    .map(|j| j.qos_slack().unwrap_or(0.0))
+                    .fold(f64::INFINITY, f64::min)
+                    >= 1.03;
+                let better = match (margin_ok, best_margin_ok) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => score.value > best_score,
+                };
+                if better {
+                    best_score = score.value;
+                    best_partition = p.clone();
+                    best_margin_ok = margin_ok;
+                }
+                // Feed the corrected evidence back to the surrogate: the same
+                // point with a second (independent) noisy measurement.
+                engine.record(p.clone(), score.value);
+                samples.push(SampleRecord {
+                    index: samples.len(),
+                    bootstrap: false,
+                    partition: p,
+                    observation,
+                    score,
+                    expected_improvement: None,
+                    frozen_job: None,
+                });
+            }
+
+            if best_score >= 0.5 || resumptions >= 1 {
+                break 'outer (best_partition, best_score);
+            }
+            resumptions += 1;
+            term = self.config.termination.start(jobs);
+            fruitless_local_moves = 0;
         };
 
+        telemetry.emit(Event::Terminated {
+            reason: if converged { StopReason::EiConverged } else { StopReason::BudgetExhausted },
+            samples: samples.len(),
+            best_score,
+        });
         Ok(CliteOutcome {
             best_partition,
             best_score,
@@ -298,6 +344,7 @@ impl CliteController {
             converged,
             infeasible_jobs: infeasible,
             samples_to_qos,
+            overhead: Some(telemetry.report()),
         })
     }
 
@@ -356,6 +403,20 @@ impl CliteController {
     }
 }
 
+/// Emits one [`Event::QosViolation`] per LC job missing its target in
+/// `observation`.
+fn emit_qos_violations(telemetry: &Telemetry<'_>, sample: usize, observation: &Observation) {
+    for (job, obs) in observation.jobs.iter().enumerate() {
+        if obs.qos_met == Some(false) {
+            telemetry.emit(Event::QosViolation {
+                sample,
+                job,
+                ratio: obs.qos_slack().unwrap_or(0.0),
+            });
+        }
+    }
+}
+
 /// Per-job scalar performance used by dropout selection.
 fn job_metric(obs: &clite_sim::metrics::JobObservation) -> f64 {
     match obs.qos_slack() {
@@ -381,8 +442,7 @@ fn job_metric(obs: &clite_sim::metrics::JobObservation) -> f64 {
 fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
     use clite_sim::resource::ResourceKind;
 
-    let Some(best) = samples.iter().max_by(|a, b| a.score.value.total_cmp(&b.score.value))
-    else {
+    let Some(best) = samples.iter().max_by(|a, b| a.score.value.total_cmp(&b.score.value)) else {
         return Vec::new();
     };
     let obs = &best.observation;
@@ -402,9 +462,7 @@ fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
         .min_by(|(a, _), (b, _)| metrics[*a].total_cmp(&metrics[*b]))
         .map(|(i, _)| i);
     let recipient = violating_lc.unwrap_or_else(|| {
-        (0..jobs)
-            .min_by(|&a, &b| metrics[a].total_cmp(&metrics[b]))
-            .expect("at least two jobs")
+        (0..jobs).min_by(|&a, &b| metrics[a].total_cmp(&metrics[b])).expect("at least two jobs")
     });
 
     // Per-resource utility for the recipient, from its counters.
@@ -423,8 +481,7 @@ fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
             ResourceKind::LlcWays => 2.0 * (1.0 - rc.llc_hit_rate),
             ResourceKind::Cores => 1.5,
             ResourceKind::DiskBandwidth => {
-                let disk_share =
-                    best.partition.fraction(recipient, ResourceKind::DiskBandwidth);
+                let disk_share = best.partition.fraction(recipient, ResourceKind::DiskBandwidth);
                 if rc.disk_bw_used_frac >= 0.9 * disk_share {
                     3.0
                 } else {
@@ -432,8 +489,7 @@ fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
                 }
             }
             ResourceKind::NetBandwidth => {
-                let net_share =
-                    best.partition.fraction(recipient, ResourceKind::NetBandwidth);
+                let net_share = best.partition.fraction(recipient, ResourceKind::NetBandwidth);
                 if rc.net_bw_used_frac >= 0.9 * net_share {
                     3.0
                 } else {
@@ -548,8 +604,7 @@ mod tests {
         let mut s = server(easy_mix(), 4);
         let outcome = CliteController::default().run(&mut s).unwrap();
         let first_qos_sample = outcome.samples_to_qos.unwrap();
-        let first_qos_bg =
-            outcome.samples[first_qos_sample].observation.mean_bg_perf().unwrap();
+        let first_qos_bg = outcome.samples[first_qos_sample].observation.mean_bg_perf().unwrap();
         let best_bg = outcome.best_bg_perf().unwrap();
         assert!(
             best_bg >= first_qos_bg,
@@ -562,11 +617,8 @@ mod tests {
     fn dropout_freezes_rows_in_search_samples() {
         let mut s = server(easy_mix(), 5);
         let outcome = CliteController::default().run(&mut s).unwrap();
-        let frozen_used = outcome
-            .samples
-            .iter()
-            .filter(|r| !r.bootstrap)
-            .any(|r| r.frozen_job.is_some());
+        let frozen_used =
+            outcome.samples.iter().filter(|r| !r.bootstrap).any(|r| r.frozen_job.is_some());
         assert!(frozen_used, "dropout-copy should engage with 3 co-located jobs");
     }
 

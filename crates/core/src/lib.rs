@@ -14,7 +14,7 @@
 //!
 //! * [`score`] — the paper's two-mode normalized score function (Eq. 3);
 //! * [`config::CliteConfig`] — ζ, termination threshold, dropout policy,
-//!    sample budget, all with the paper's defaults;
+//!   sample budget, all with the paper's defaults;
 //! * [`controller::CliteController`] — bootstrap → BO search loop with
 //!   dropout-copy → EI-based termination, plus infeasible-job ejection;
 //! * [`adaptive`] — steady-state monitoring and re-invocation on load

@@ -79,18 +79,12 @@ pub fn score_observation(obs: &Observation) -> ScoreBreakdown {
     // Performance mode: BG jobs if present, else the LC jobs' own
     // isolation-relative performance (N_BG → N_LC substitution).
     let perf = if bg_ratios.is_empty() {
-        let lc_perf: Vec<f64> =
-            obs.lc_jobs().map(|j| j.normalized_perf.min(1.0)).collect();
+        let lc_perf: Vec<f64> = obs.lc_jobs().map(|j| j.normalized_perf.min(1.0)).collect();
         geometric_mean(&lc_perf)
     } else {
         geometric_mean(&bg_ratios)
     };
-    ScoreBreakdown {
-        value: 0.5 + 0.5 * perf,
-        mode: ScoreMode::QosMet,
-        lc_ratios,
-        bg_ratios,
-    }
+    ScoreBreakdown { value: 0.5 + 0.5 * perf, mode: ScoreMode::QosMet, lc_ratios, bg_ratios }
 }
 
 /// Convenience wrapper returning only the scalar score.
@@ -188,12 +182,9 @@ mod tests {
     fn geometric_mean_punishes_worst_job() {
         // Two jobs at ratios (0.9, 0.1) score lower than two at (0.5, 0.5):
         // the geometric mean favors balanced progress.
-        let unbalanced = score_value(&obs(vec![
-            lc(100.0 / 0.9, 100.0, 50.0),
-            lc(1000.0, 100.0, 50.0),
-        ]));
-        let balanced =
-            score_value(&obs(vec![lc(200.0, 100.0, 50.0), lc(200.0, 100.0, 50.0)]));
+        let unbalanced =
+            score_value(&obs(vec![lc(100.0 / 0.9, 100.0, 50.0), lc(1000.0, 100.0, 50.0)]));
+        let balanced = score_value(&obs(vec![lc(200.0, 100.0, 50.0), lc(200.0, 100.0, 50.0)]));
         assert!(balanced > unbalanced);
     }
 
@@ -221,6 +212,104 @@ mod tests {
             for perf in [0.0, 0.3, 1.0, 1.5] {
                 let v = score_value(&obs(vec![lc(lat, 100.0, 10.0), bg(perf)]));
                 assert!((0.0..=1.0).contains(&v), "score {v} for lat {lat} perf {perf}");
+            }
+        }
+    }
+
+    mod boundary_props {
+        //! Property tests pinning Eq. 3's behaviour around the 0.5
+        //! boundary that separates QoS mode from performance mode.
+
+        use proptest::prelude::*;
+
+        use super::*;
+
+        /// An LC job whose latency is `ratio`× its QoS target.
+        fn arb_lc() -> impl Strategy<Value = JobObservation> {
+            (50.0f64..5000.0, 0.3f64..3.0)
+                .prop_map(|(target, ratio)| lc(target * ratio, target, target * 0.4))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The boundary itself: the score falls below ½ exactly when
+            /// some LC job misses its QoS target, and the reported mode
+            /// agrees with the side of the boundary.
+            #[test]
+            fn below_half_iff_some_lc_misses(
+                lcs in prop::collection::vec(arb_lc(), 1..4),
+                bg_perfs in prop::collection::vec(0.0f64..1.5, 0..3),
+            ) {
+                let any_miss = lcs.iter().any(|j| j.qos_met == Some(false));
+                let mut jobs = lcs;
+                jobs.extend(bg_perfs.into_iter().map(bg));
+                let s = score_observation(&obs(jobs));
+                prop_assert_eq!(s.value < 0.5, any_miss);
+                prop_assert_eq!(s.mode == ScoreMode::QosViolated, any_miss);
+            }
+
+            /// Ordering across the boundary: a QoS-met observation always
+            /// outscores a QoS-violating one, no matter how the BG jobs
+            /// fare on either side.
+            #[test]
+            fn met_always_outscores_violated(
+                target in 50.0f64..5000.0,
+                excess in 1e-6f64..2.0,
+                slack in 0.01f64..0.999,
+                bad_bg in 0.0f64..1.0,
+                good_bg in 0.0f64..1.0,
+            ) {
+                let violated = score_value(&obs(vec![
+                    lc(target * (1.0 + excess), target, target * 0.4),
+                    bg(good_bg),
+                ]));
+                let met = score_value(&obs(vec![
+                    lc(target * slack, target, target * 0.4),
+                    bg(bad_bg),
+                ]));
+                prop_assert!(met > violated);
+            }
+
+            /// Continuity from below: as the violation shrinks, the score
+            /// approaches ½ with a gap bounded by the relative excess
+            /// latency — no cliff that would starve BO of gradient.
+            #[test]
+            fn violation_score_approaches_half(
+                target in 50.0f64..5000.0,
+                excess in 1e-9f64..1.0,
+            ) {
+                let s = score_observation(&obs(vec![lc(
+                    target * (1.0 + excess),
+                    target,
+                    target * 0.4,
+                )]));
+                prop_assert_eq!(s.mode, ScoreMode::QosViolated);
+                prop_assert!(s.value < 0.5);
+                prop_assert!(0.5 - s.value <= 0.5 * excess + 1e-12);
+            }
+
+            /// Ordering inside QoS mode: uniformly shrinking every LC
+            /// job's latency (while still violating) never lowers the
+            /// score.
+            #[test]
+            fn qos_mode_monotone_in_latency(
+                targets in prop::collection::vec(50.0f64..5000.0, 1..4),
+                ratio in 1.01f64..3.0,
+                shrink in 0.5f64..0.999,
+            ) {
+                let worse: Vec<JobObservation> = targets
+                    .iter()
+                    .map(|&t| lc(t * ratio, t, t * 0.4))
+                    .collect();
+                let better: Vec<JobObservation> = targets
+                    .iter()
+                    .map(|&t| lc((t * ratio * shrink).max(t * 1.001), t, t * 0.4))
+                    .collect();
+                let worse_score = score_value(&obs(worse));
+                let better_score = score_value(&obs(better));
+                prop_assert!(better_score >= worse_score);
+                prop_assert!(better_score < 0.5, "both sides stay in QoS mode");
             }
         }
     }

@@ -6,6 +6,7 @@ use serde::Serialize;
 
 use clite_sim::alloc::Partition;
 use clite_sim::metrics::Observation;
+use clite_telemetry::OverheadReport;
 
 use crate::score::ScoreBreakdown;
 
@@ -47,6 +48,9 @@ pub struct CliteOutcome {
     /// 0-based index of the first sample where every LC job met QoS
     /// (`None` if never).
     pub samples_to_qos: Option<usize>,
+    /// Phase-timing profile of the run (the paper's Fig. 15b breakdown);
+    /// populated by [`CliteController::run_with`](crate::controller::CliteController::run_with).
+    pub overhead: Option<OverheadReport>,
 }
 
 impl CliteOutcome {
@@ -64,11 +68,126 @@ impl CliteOutcome {
     }
 
     /// Mean BG performance of the best sample (`None` if no BG jobs).
+    ///
+    /// "Best" means the sample whose partition is [`best_partition`]
+    /// (re-observed samples of the same partition use the highest-scoring
+    /// window), so this always describes the configuration the run
+    /// actually commits to — not merely the highest-scoring sample, which
+    /// can be a different partition when the confirmation pass demotes a
+    /// lucky incumbent.
+    ///
+    /// [`best_partition`]: CliteOutcome::best_partition
     #[must_use]
     pub fn best_bg_perf(&self) -> Option<f64> {
         self.samples
             .iter()
+            .filter(|s| s.partition == self.best_partition)
             .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+            .or_else(|| {
+                // Defensive: an outcome assembled with a best_partition
+                // absent from its trace falls back to the best sample.
+                self.samples.iter().max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+            })
             .and_then(|s| s.observation.mean_bg_perf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{ScoreBreakdown, ScoreMode};
+    use clite_sim::counters::CounterSample;
+    use clite_sim::metrics::JobObservation;
+    use clite_sim::resource::ResourceCatalog;
+    use clite_sim::workload::{JobClass, WorkloadId};
+
+    fn bg_observation(perf: f64) -> Observation {
+        Observation {
+            time_s: 0.0,
+            window_s: 2.0,
+            jobs: vec![JobObservation {
+                workload: WorkloadId::Blackscholes,
+                class: JobClass::Background,
+                latency_p95_us: 100.0,
+                offered_qps: 0.0,
+                normalized_perf: perf,
+                qos_met: None,
+                qos_target_us: None,
+                iso_latency_p95_us: None,
+                counters: CounterSample {
+                    cpu_utilization: 0.5,
+                    llc_hit_rate: 0.5,
+                    mem_bw_used_frac: 0.2,
+                    ipc_proxy: 0.8,
+                    capacity_pressure: 0.0,
+                    disk_bw_used_frac: 0.0,
+                    net_bw_used_frac: 0.0,
+                },
+            }],
+        }
+    }
+
+    fn record(index: usize, partition: Partition, score: f64, bg_perf: f64) -> SampleRecord {
+        SampleRecord {
+            index,
+            bootstrap: false,
+            partition,
+            observation: bg_observation(bg_perf),
+            score: ScoreBreakdown {
+                value: score,
+                mode: ScoreMode::QosMet,
+                lc_ratios: vec![],
+                bg_ratios: vec![bg_perf],
+            },
+            expected_improvement: None,
+            frozen_job: None,
+        }
+    }
+
+    /// Regression: two samples tie on score but hold different partitions.
+    /// `best_bg_perf` must describe the sample matching `best_partition`,
+    /// not whichever tied sample a max-scan happens to return.
+    #[test]
+    fn best_bg_perf_follows_best_partition_on_score_ties() {
+        let catalog = ResourceCatalog::testbed();
+        let committed = Partition::equal_share(&catalog, 2).unwrap();
+        let other = Partition::max_for_job(&catalog, 2, 0).unwrap();
+        assert_ne!(committed, other);
+
+        // The non-committed partition ties on score (and is listed first,
+        // which is where a plain max-scan would stop) but has different
+        // BG performance.
+        let outcome = CliteOutcome {
+            best_partition: committed.clone(),
+            best_score: 0.8,
+            samples: vec![record(0, other, 0.8, 0.9), record(1, committed, 0.8, 0.6)],
+            converged: true,
+            infeasible_jobs: vec![],
+            samples_to_qos: Some(0),
+            overhead: None,
+        };
+        let bg = outcome.best_bg_perf().unwrap();
+        assert!(
+            (bg - 0.6).abs() < 1e-12,
+            "must report the committed partition's BG perf, got {bg}"
+        );
+    }
+
+    /// Among several observations of the committed partition, the
+    /// highest-scoring window wins.
+    #[test]
+    fn best_bg_perf_picks_best_window_of_committed_partition() {
+        let catalog = ResourceCatalog::testbed();
+        let committed = Partition::equal_share(&catalog, 2).unwrap();
+        let outcome = CliteOutcome {
+            best_partition: committed.clone(),
+            best_score: 0.85,
+            samples: vec![record(0, committed.clone(), 0.7, 0.4), record(1, committed, 0.85, 0.7)],
+            converged: true,
+            infeasible_jobs: vec![],
+            samples_to_qos: Some(0),
+            overhead: None,
+        };
+        assert!((outcome.best_bg_perf().unwrap() - 0.7).abs() < 1e-12);
     }
 }

@@ -32,6 +32,24 @@ impl Default for GpConfig {
     }
 }
 
+/// Telemetry-friendly summary of one GP fit: what was fitted, with which
+/// hyper-parameters, and how well.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitSummary {
+    /// Number of training points.
+    pub observations: usize,
+    /// Input dimensionality.
+    pub dim: usize,
+    /// Kernel family name.
+    pub family: &'static str,
+    /// Kernel signal variance `σ²`.
+    pub signal_variance: f64,
+    /// Representative kernel lengthscale (geometric mean under ARD).
+    pub lengthscale: f64,
+    /// Log marginal likelihood of the fit.
+    pub log_marginal: f64,
+}
+
 /// A fitted Gaussian process.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
@@ -131,6 +149,19 @@ impl GaussianProcess {
         self.log_marginal
     }
 
+    /// One-line summary of this fit for telemetry sinks.
+    #[must_use]
+    pub fn fit_summary(&self) -> FitSummary {
+        FitSummary {
+            observations: self.len(),
+            dim: self.dim(),
+            family: self.kernel.family().name(),
+            signal_variance: self.kernel.variance(),
+            lengthscale: self.kernel.mean_lengthscale(),
+            log_marginal: self.log_marginal,
+        }
+    }
+
     /// Posterior predictive mean and variance at `x`.
     ///
     /// The variance is clamped at zero to absorb round-off.
@@ -144,10 +175,8 @@ impl GaussianProcess {
         let k_star = self.kernel.cross(x, &self.xs);
         let mean = self.mean_y + dot(&k_star, &self.alpha);
         // v = L⁻¹ k*; σ² = k(x,x) − vᵀv.
-        let v = self
-            .chol
-            .solve_lower(&k_star)
-            .expect("cross-covariance length matches training size");
+        let v =
+            self.chol.solve_lower(&k_star).expect("cross-covariance length matches training size");
         let var = self.kernel.eval(x, x) - dot(&v, &v);
         (mean, var.max(0.0))
     }
@@ -224,13 +253,8 @@ mod tests {
             GpError::LengthMismatch { .. }
         ));
         assert!(matches!(
-            GaussianProcess::fit(
-                k.clone(),
-                cfg,
-                vec![vec![0.0], vec![0.0, 1.0]],
-                vec![1.0, 2.0]
-            )
-            .unwrap_err(),
+            GaussianProcess::fit(k.clone(), cfg, vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, 2.0])
+                .unwrap_err(),
             GpError::DimensionMismatch { .. }
         ));
         assert_eq!(
@@ -266,13 +290,8 @@ mod tests {
             ys.clone(),
         )
         .unwrap();
-        let bad = GaussianProcess::fit(
-            Kernel::matern52(1.0, 1e4),
-            GpConfig::default(),
-            xs,
-            ys,
-        )
-        .unwrap();
+        let bad =
+            GaussianProcess::fit(Kernel::matern52(1.0, 1e4), GpConfig::default(), xs, ys).unwrap();
         assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
     }
 

@@ -31,10 +31,7 @@ impl HyperGrid {
     /// a short-lengthscale GP degenerates into white noise.
     #[must_use]
     pub fn default_unit() -> Self {
-        Self {
-            variances: vec![0.01, 0.04, 0.09],
-            lengthscales: vec![0.2, 0.4, 0.8, 1.6, 3.2],
-        }
+        Self { variances: vec![0.01, 0.04, 0.09], lengthscales: vec![0.2, 0.4, 0.8, 1.6, 3.2] }
     }
 
     /// Number of candidate fits the grid will try.
@@ -80,7 +77,7 @@ pub fn fit_best(
                 Ok(gp) => {
                     let better = best
                         .as_ref()
-                        .map_or(true, |b| gp.log_marginal_likelihood() > b.log_marginal_likelihood());
+                        .is_none_or(|b| gp.log_marginal_likelihood() > b.log_marginal_likelihood());
                     if better {
                         best = Some(gp);
                     }
@@ -103,35 +100,18 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i) / 11.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
         let grid = HyperGrid::default_unit();
-        let gp = fit_best(
-            &Kernel::matern52(1.0, 1.0),
-            GpConfig::default(),
-            &grid,
-            &xs,
-            &ys,
-        )
-        .unwrap();
+        let gp =
+            fit_best(&Kernel::matern52(1.0, 1.0), GpConfig::default(), &grid, &xs, &ys).unwrap();
         // The selected fit must beat the worst grid candidate.
-        let worst = GaussianProcess::fit(
-            Kernel::matern52(0.01, 0.1),
-            GpConfig::default(),
-            xs,
-            ys,
-        )
-        .unwrap();
+        let worst =
+            GaussianProcess::fit(Kernel::matern52(0.01, 0.1), GpConfig::default(), xs, ys).unwrap();
         assert!(gp.log_marginal_likelihood() >= worst.log_marginal_likelihood());
     }
 
     #[test]
     fn empty_data_propagates_error() {
         let grid = HyperGrid::default_unit();
-        let err = fit_best(
-            &Kernel::matern52(1.0, 1.0),
-            GpConfig::default(),
-            &grid,
-            &[],
-            &[],
-        );
+        let err = fit_best(&Kernel::matern52(1.0, 1.0), GpConfig::default(), &grid, &[], &[]);
         assert!(err.is_err());
     }
 

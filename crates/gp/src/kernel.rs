@@ -120,6 +120,20 @@ impl Kernel {
         self.variance
     }
 
+    /// Representative lengthscale: the isotropic value, or the geometric
+    /// mean of the ARD lengthscales. Used by telemetry to summarize a
+    /// fitted kernel in one number.
+    #[must_use]
+    pub fn mean_lengthscale(&self) -> f64 {
+        match &self.lengthscales {
+            LengthScales::Isotropic(l) => *l,
+            LengthScales::Ard(ls) => {
+                let log_sum: f64 = ls.iter().map(|l| l.ln()).sum();
+                (log_sum / ls.len() as f64).exp()
+            }
+        }
+    }
+
     /// Returns a copy with a different variance and isotropic lengthscale
     /// (used by grid hyperparameter search).
     ///

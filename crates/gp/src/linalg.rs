@@ -67,6 +67,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`GpError::ShapeMismatch`] if `x.len() != cols`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, GpError> {
         if x.len() != self.cols {
             return Err(GpError::ShapeMismatch { op: "mul_vec" });
@@ -164,6 +165,7 @@ impl Cholesky {
     ///
     /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
     /// matrix order.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, GpError> {
         let n = self.l.rows;
         if b.len() != n {
@@ -186,6 +188,7 @@ impl Cholesky {
     ///
     /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
     /// matrix order.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, GpError> {
         let n = self.l.rows;
         if b.len() != n {

@@ -4,6 +4,7 @@ use clite::config::CliteConfig;
 use clite::controller::CliteController;
 
 use clite_sim::server::Server;
+use clite_telemetry::Telemetry;
 
 use crate::policy::{Policy, PolicyOutcome, PolicySample};
 use crate::PolicyError;
@@ -33,8 +34,12 @@ impl Policy for ClitePolicy {
         "CLITE"
     }
 
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
-        let outcome = self.controller.run(server)?;
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError> {
+        let outcome = self.controller.run_with(server, telemetry)?;
         let samples: Vec<PolicySample> = outcome
             .samples
             .iter()

@@ -22,7 +22,11 @@ use clite_sim::alloc::{JobAllocation, Partition};
 use clite_sim::resource::{ResourceKind, NUM_RESOURCES};
 use clite_sim::server::Server;
 
-use crate::policy::{observe_and_record, outcome_from_samples, Policy, PolicyOutcome, PolicySample};
+use clite_telemetry::Telemetry;
+
+use crate::policy::{
+    observe_and_record_with, outcome_from_samples, Policy, PolicyOutcome, PolicySample,
+};
 use crate::PolicyError;
 
 /// Configuration for the GENETIC baseline.
@@ -77,7 +81,11 @@ impl Policy for Genetic {
         "GENETIC"
     }
 
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut samples: Vec<PolicySample> = Vec::new();
@@ -85,11 +93,11 @@ impl Policy for Genetic {
         // Initial population: equal share + random partitions.
         let mut scored: Vec<(Partition, f64)> = Vec::new();
         let equal = Partition::equal_share(server.catalog(), jobs)?;
-        let idx = observe_and_record(server, &equal, &mut samples);
+        let idx = observe_and_record_with(server, &equal, &mut samples, telemetry);
         scored.push((equal, samples[idx].score));
         while scored.len() < self.config.population && samples.len() < self.config.budget {
             let p = Partition::random(server.catalog(), jobs, &mut rng)?;
-            let idx = observe_and_record(server, &p, &mut samples);
+            let idx = observe_and_record_with(server, &p, &mut samples, telemetry);
             scored.push((p, samples[idx].score));
         }
 
@@ -102,7 +110,7 @@ impl Policy for Genetic {
         let parent_b = scored.get(1).map_or_else(|| scored[0].0.clone(), |p| p.0.clone());
         while samples.len() < self.config.budget {
             let child = mutate(&crossover(&parent_a, &parent_b, &mut rng), &mut rng);
-            observe_and_record(server, &child, &mut samples);
+            observe_and_record_with(server, &child, &mut samples, telemetry);
         }
         Ok(outcome_from_samples(self.name(), samples, false))
     }
@@ -112,8 +120,7 @@ impl Policy for Genetic {
 /// from one parent, preserving the simplex constraint.
 fn crossover(a: &Partition, b: &Partition, rng: &mut StdRng) -> Partition {
     let jobs = a.job_count();
-    let mut rows: Vec<[u32; NUM_RESOURCES]> =
-        (0..jobs).map(|j| a.job(j).all_units()).collect();
+    let mut rows: Vec<[u32; NUM_RESOURCES]> = (0..jobs).map(|j| a.job(j).all_units()).collect();
     for r in ResourceKind::ALL {
         if rng.gen_bool(0.5) {
             for (j, row) in rows.iter_mut().enumerate() {

@@ -18,7 +18,11 @@ use clite_sim::alloc::Partition;
 use clite_sim::resource::{ResourceKind, NUM_RESOURCES};
 use clite_sim::server::Server;
 
-use crate::policy::{observe_and_record, outcome_from_samples, Policy, PolicyOutcome, PolicySample};
+use clite_telemetry::Telemetry;
+
+use crate::policy::{
+    observe_and_record_with, outcome_from_samples, Policy, PolicyOutcome, PolicySample,
+};
 use crate::PolicyError;
 
 /// Configuration for the Heracles baseline.
@@ -56,12 +60,16 @@ impl Policy for Heracles {
         "Heracles"
     }
 
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
         let protected = server.lc_indices().first().copied();
         let mut samples: Vec<PolicySample> = Vec::new();
         let mut current = Partition::equal_share(server.catalog(), jobs)?;
-        observe_and_record(server, &current, &mut samples);
+        observe_and_record_with(server, &current, &mut samples, telemetry);
 
         let Some(protected) = protected else {
             // No LC job at all: Heracles has nothing to protect.
@@ -97,12 +105,8 @@ impl Policy for Heracles {
             current = current
                 .transfer(resource, donor, protected, 1)
                 .expect("donor validated to hold more than one unit");
-            observe_and_record(server, &current, &mut samples);
-            let after_slack = samples
-                .last()
-                .expect("just recorded")
-                .observation
-                .jobs[protected]
+            observe_and_record_with(server, &current, &mut samples, telemetry);
+            let after_slack = samples.last().expect("just recorded").observation.jobs[protected]
                 .qos_slack()
                 .unwrap_or(0.0);
             if after_slack <= before_slack * (1.0 + self.config.improvement_epsilon) {

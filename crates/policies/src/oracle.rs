@@ -27,6 +27,8 @@ use clite_bo::space::SearchSpace;
 use clite_sim::alloc::Partition;
 use clite_sim::server::Server;
 
+use clite_telemetry::Telemetry;
+
 use crate::policy::{outcome_from_samples, Policy, PolicyOutcome, PolicySample};
 use crate::PolicyError;
 
@@ -77,7 +79,11 @@ impl Policy for Oracle {
         "ORACLE"
     }
 
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        _telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut memo: HashMap<Partition, f64> = HashMap::new();
@@ -100,14 +106,13 @@ impl Policy for Oracle {
             // Small space: the literal exhaustive sweep of the paper.
             for p in space.enumerate() {
                 let v = eval(&p, &mut memo, &mut evals);
-                if best.as_ref().map_or(true, |(_, bv)| v > *bv) {
+                if best.as_ref().is_none_or(|(_, bv)| v > *bv) {
                     best = Some((p, v));
                 }
             }
         } else {
             // Start set: equal split, all extrema, random restarts.
-            let mut starts: Vec<Partition> =
-                vec![Partition::equal_share(server.catalog(), jobs)?];
+            let mut starts: Vec<Partition> = vec![Partition::equal_share(server.catalog(), jobs)?];
             for j in 0..jobs {
                 starts.push(Partition::max_for_job(server.catalog(), jobs, j)?);
             }
@@ -132,7 +137,7 @@ impl Policy for Oracle {
                         break;
                     }
                 }
-                if best.as_ref().map_or(true, |(_, bv)| current_val > *bv) {
+                if best.as_ref().is_none_or(|(_, bv)| current_val > *bv) {
                     best = Some((current, current_val));
                 }
             }
@@ -145,7 +150,8 @@ impl Policy for Oracle {
         // wasteful; samples_used() is overridden through `evals`).
         let observation = server.ground_truth(&best_partition);
         let score = score_value(&observation);
-        let samples = vec![PolicySample { index: 0, partition: best_partition, observation, score }];
+        let samples =
+            vec![PolicySample { index: 0, partition: best_partition, observation, score }];
         let mut outcome = outcome_from_samples(self.name(), samples, false);
         outcome.samples_to_qos = if outcome.qos_met { Some(evals) } else { None };
         // Overhead bookkeeping: expose the true evaluation count by
@@ -215,26 +221,23 @@ mod tests {
         ];
         let mut s1 = Server::new(ResourceCatalog::coarse(), jobs.clone(), 4).unwrap();
         let mut s2 = Server::new(ResourceCatalog::coarse(), jobs, 4).unwrap();
-        let exhaustive = Oracle::new(OracleConfig {
-            exhaustive_cap: u128::MAX,
-            ..OracleConfig::default()
-        })
-        .run(&mut s1)
-        .unwrap();
-        let climbed = Oracle::new(OracleConfig {
-            exhaustive_cap: 0,
-            ..OracleConfig::default()
-        })
-        .run(&mut s2)
-        .unwrap();
+        let exhaustive =
+            Oracle::new(OracleConfig { exhaustive_cap: u128::MAX, ..OracleConfig::default() })
+                .run(&mut s1)
+                .unwrap();
+        let climbed = Oracle::new(OracleConfig { exhaustive_cap: 0, ..OracleConfig::default() })
+            .run(&mut s2)
+            .unwrap();
         assert!(
             climbed.best_score >= exhaustive.best_score - 0.02,
             "hill climb {:.4} vs exhaustive {:.4}",
             climbed.best_score,
             exhaustive.best_score
         );
-        assert!(climbed.best_score <= exhaustive.best_score + 1e-9,
-            "nothing beats the exhaustive sweep");
+        assert!(
+            climbed.best_score <= exhaustive.best_score + 1e-9,
+            "nothing beats the exhaustive sweep"
+        );
     }
 
     #[test]

@@ -21,12 +21,16 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use clite_sim::alloc::Partition;
 use clite_sim::resource::{ResourceKind, NUM_RESOURCES};
 use clite_sim::server::Server;
 use clite_sim::workload::JobClass;
-use clite_sim::alloc::Partition;
 
-use crate::policy::{observe_and_record, outcome_from_samples, Policy, PolicyOutcome, PolicySample};
+use clite_telemetry::Telemetry;
+
+use crate::policy::{
+    observe_and_record_with, outcome_from_samples, Policy, PolicyOutcome, PolicySample,
+};
 use crate::PolicyError;
 
 /// Configuration for the PARTIES baseline.
@@ -78,11 +82,15 @@ impl Policy for Parties {
         "PARTIES"
     }
 
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
         let mut samples: Vec<PolicySample> = Vec::new();
         let mut current = Partition::equal_share(server.catalog(), jobs)?;
-        observe_and_record(server, &current, &mut samples);
+        observe_and_record_with(server, &current, &mut samples, telemetry);
 
         // Per-job FSM position in the resource cycle; the starting
         // resource is randomized per run (trial-and-error path dependence).
@@ -108,7 +116,9 @@ impl Policy for Parties {
             let mut adjusted = None;
             for _ in 0..NUM_RESOURCES {
                 let resource = ResourceKind::from_index(fsm[job] % NUM_RESOURCES);
-                if let Some(donor) = pick_donor(server, &current, &last_obs, resource, job, &mut rng) {
+                if let Some(donor) =
+                    pick_donor(server, &current, &last_obs, resource, job, &mut rng)
+                {
                     adjusted = Some((resource, donor));
                     break;
                 }
@@ -123,7 +133,7 @@ impl Policy for Parties {
             let candidate = current
                 .transfer(resource, donor, job, 1)
                 .expect("donor validated to have more than one unit");
-            observe_and_record(server, &candidate, &mut samples);
+            observe_and_record_with(server, &candidate, &mut samples, telemetry);
             let after = samples.last().expect("just recorded");
             let after_slack = after.observation.jobs[job].qos_slack().unwrap_or(0.0);
 
@@ -168,7 +178,7 @@ impl Policy for Parties {
                 let candidate = current
                     .transfer(resource, job, recipient, 1)
                     .expect("shrink candidate validated");
-                observe_and_record(server, &candidate, &mut samples);
+                observe_and_record_with(server, &candidate, &mut samples, telemetry);
                 let after = samples.last().expect("just recorded");
                 // PARTIES returns leftovers conservatively: the donor must
                 // stay comfortably above its target (slack >= 1.45), not
@@ -181,7 +191,7 @@ impl Policy for Parties {
                     // Revert (the revert re-observation is counted too:
                     // PARTIES pays for its trial-and-error).
                     blocked[job][resource.index()] = true;
-                    observe_and_record(server, &current, &mut samples);
+                    observe_and_record_with(server, &current, &mut samples, telemetry);
                 }
             }
         }
@@ -381,7 +391,7 @@ mod tests {
         // masstree-starved partition.
         let p = Partition::max_for_job(s.catalog(), 2, 1).unwrap();
         let mut samples = Vec::new();
-        observe_and_record(&mut s, &p, &mut samples);
+        crate::policy::observe_and_record(&mut s, &p, &mut samples);
         assert_eq!(worst_violator(&samples[0]), Some(0));
     }
 }

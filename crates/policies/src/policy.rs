@@ -6,6 +6,7 @@ use clite::score::score_value;
 use clite_sim::alloc::Partition;
 use clite_sim::metrics::Observation;
 use clite_sim::server::Server;
+use clite_telemetry::{Event, Phase, Telemetry};
 
 use crate::PolicyError;
 
@@ -83,7 +84,22 @@ pub trait Policy {
     /// # Errors
     ///
     /// Returns [`PolicyError`] on simulator or internal failures.
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError>;
+    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+        self.run_with(server, &Telemetry::disabled())
+    }
+
+    /// [`run`](Policy::run) with telemetry: policies emit structured
+    /// events (QoS violations at minimum) and attribute observe/score time
+    /// to the profiling phases. The default-telemetry `run` discards both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] on simulator or internal failures.
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError>;
 }
 
 /// Shared helper: observe `partition` on `server`, score it, and append a
@@ -93,9 +109,30 @@ pub fn observe_and_record(
     partition: &Partition,
     samples: &mut Vec<PolicySample>,
 ) -> usize {
-    let observation = server.observe(partition);
-    let score = score_value(&observation);
+    observe_and_record_with(server, partition, samples, &Telemetry::disabled())
+}
+
+/// [`observe_and_record`] with telemetry: times the observation window and
+/// the scoring as their profiling phases and emits one
+/// [`Event::QosViolation`] per LC job missing its target.
+pub fn observe_and_record_with(
+    server: &mut Server,
+    partition: &Partition,
+    samples: &mut Vec<PolicySample>,
+    telemetry: &Telemetry<'_>,
+) -> usize {
+    let observation = telemetry.time(Phase::Observe, || server.observe(partition));
+    let score = telemetry.time(Phase::Score, || score_value(&observation));
     let index = samples.len();
+    for (job, obs) in observation.jobs.iter().enumerate() {
+        if obs.qos_met == Some(false) {
+            telemetry.emit(Event::QosViolation {
+                sample: index,
+                job,
+                ratio: obs.qos_slack().unwrap_or(0.0),
+            });
+        }
+    }
     samples.push(PolicySample { index, partition: partition.clone(), observation, score });
     index
 }

@@ -14,7 +14,11 @@ use rand::SeedableRng;
 use clite_sim::alloc::Partition;
 use clite_sim::server::Server;
 
-use crate::policy::{observe_and_record, outcome_from_samples, Policy, PolicyOutcome, PolicySample};
+use clite_telemetry::Telemetry;
+
+use crate::policy::{
+    observe_and_record_with, outcome_from_samples, Policy, PolicyOutcome, PolicySample,
+};
 use crate::PolicyError;
 
 /// Configuration for RAND+.
@@ -33,7 +37,7 @@ pub struct RandomPlusConfig {
 
 impl Default for RandomPlusConfig {
     fn default() -> Self {
-        Self { budget: 80, min_distance: 0.15, max_rejects: 25, seed: 0x052_41_4E_44 }
+        Self { budget: 80, min_distance: 0.15, max_rejects: 25, seed: 0x5241_4E44 }
     }
 }
 
@@ -69,7 +73,11 @@ impl Policy for RandomPlus {
         "RAND+"
     }
 
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+    fn run_with(
+        &mut self,
+        server: &mut Server,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut samples: Vec<PolicySample> = Vec::new();
@@ -85,7 +93,7 @@ impl Policy for RandomPlus {
                 }
                 candidate = Partition::random(server.catalog(), jobs, &mut rng)?;
             }
-            observe_and_record(server, &candidate, &mut samples);
+            observe_and_record_with(server, &candidate, &mut samples, telemetry);
             kept.push(candidate);
         }
         Ok(outcome_from_samples(self.name(), samples, false))
@@ -104,10 +112,8 @@ mod tests {
             JobSpec::background(WorkloadId::Canneal),
         ];
         let mut s = Server::new(ResourceCatalog::testbed(), jobs, 1).unwrap();
-        let mut policy = RandomPlus::new(RandomPlusConfig {
-            budget: 20,
-            ..RandomPlusConfig::default()
-        });
+        let mut policy =
+            RandomPlus::new(RandomPlusConfig { budget: 20, ..RandomPlusConfig::default() });
         let outcome = policy.run(&mut s).unwrap();
         assert_eq!(outcome.samples_used(), 20);
         assert!(!outcome.gave_up);

@@ -151,7 +151,11 @@ impl Partition {
     ///
     /// Returns [`SimError::JobOutOfRange`] for a bad index or
     /// [`SimError::TooManyJobs`] if the catalog cannot host `jobs` jobs.
-    pub fn max_for_job(catalog: &ResourceCatalog, jobs: usize, job: usize) -> Result<Self, SimError> {
+    pub fn max_for_job(
+        catalog: &ResourceCatalog,
+        jobs: usize,
+        job: usize,
+    ) -> Result<Self, SimError> {
         check_supports(catalog, jobs)?;
         if job >= jobs {
             return Err(SimError::JobOutOfRange { job, jobs });
@@ -260,12 +264,19 @@ impl Partition {
                 // Take (want - have) units from other jobs, richest first.
                 let mut need = want - have;
                 while need > 0 {
-                    let donor = richest_other(&rows, job, r)
-                        .ok_or(SimError::InvalidTransfer { resource: r, from: job, to: job })?;
+                    let donor = richest_other(&rows, job, r).ok_or(SimError::InvalidTransfer {
+                        resource: r,
+                        from: job,
+                        to: job,
+                    })?;
                     let du = rows[donor].units(r);
                     let give = need.min(du - 1);
                     if give == 0 {
-                        return Err(SimError::InvalidTransfer { resource: r, from: donor, to: job });
+                        return Err(SimError::InvalidTransfer {
+                            resource: r,
+                            from: donor,
+                            to: job,
+                        });
                     }
                     rows[donor].set(r, du - give);
                     need -= give;

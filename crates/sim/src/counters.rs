@@ -67,11 +67,9 @@ impl CounterSample {
         let ipc_proxy = (best / t).clamp(0.0, 1.0);
 
         let cap_frac = alloc.fraction(ResourceKind::MemCapacity, catalog);
-        let capacity_pressure = crate::perf::thrash_factor(
-            cap_frac,
-            profile.working_set_frac,
-            profile.thrash_exp,
-        ) - 1.0;
+        let capacity_pressure =
+            crate::perf::thrash_factor(cap_frac, profile.working_set_frac, profile.thrash_exp)
+                - 1.0;
 
         let disk_share = alloc.fraction(ResourceKind::DiskBandwidth, catalog);
         let disk_bw_used_frac = (profile.disk_intensity * util).min(disk_share);

@@ -104,9 +104,7 @@ impl LoadSchedule {
             LoadSchedule::Steps(phases) => phases.len() > 1,
             LoadSchedule::Ramp { from, to, .. } => from != to,
             LoadSchedule::Diurnal { amplitude, .. } => *amplitude != 0.0,
-            LoadSchedule::Trace(points) => {
-                points.windows(2).any(|w| w[0].1 != w[1].1)
-            }
+            LoadSchedule::Trace(points) => points.windows(2).any(|w| w[0].1 != w[1].1),
         }
     }
 }

@@ -110,8 +110,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = NoiseModel::default_measurement();
         let n = 5_000;
-        let mean: f64 =
-            (0..n).map(|_| m.latency_factor(&mut rng)).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n).map(|_| m.latency_factor(&mut rng)).sum::<f64>() / f64::from(n);
         assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
     }
 }

@@ -132,8 +132,7 @@ pub fn tail_latency_us(
     let factor = tail_factor(config.quantile);
     if rho >= RHO_SOFT_CAP {
         let overload = (rho - RHO_SOFT_CAP).min(100.0);
-        return factor * service_us / (1.0 - RHO_SOFT_CAP)
-            * (1.0 + OVERLOAD_SLOPE * overload);
+        return factor * service_us / (1.0 - RHO_SOFT_CAP) * (1.0 + OVERLOAD_SLOPE * overload);
     }
     match config.model {
         TailModel::ProcessorSharing => factor * service_us / (1.0 - rho),
@@ -151,8 +150,7 @@ pub fn tail_latency_us(
                     // Degenerate: equal rates => Gamma(2, mu) tail.
                     (1.0 - c_wait) * s_term + c_wait * (1.0 + mu_s * x) * s_term
                 } else {
-                    let conv =
-                        (delta * s_term - mu_s * (-delta * x).exp()) / (delta - mu_s);
+                    let conv = (delta * s_term - mu_s * (-delta * x).exp()) / (delta - mu_s);
                     (1.0 - c_wait) * s_term + c_wait * conv
                 }
             };
@@ -418,10 +416,7 @@ mod tests {
         let mem = QosSpec::derive(WorkloadId::Memcached, &catalog);
         for w in [WorkloadId::ImgDnn, WorkloadId::Specjbb, WorkloadId::Xapian] {
             let other = QosSpec::derive(w, &catalog);
-            assert!(
-                mem.max_qps > other.max_qps,
-                "memcached should sustain more QPS than {w}"
-            );
+            assert!(mem.max_qps > other.max_qps, "memcached should sustain more QPS than {w}");
         }
     }
 
@@ -480,11 +475,8 @@ mod tests {
     #[test]
     fn erlang_c_knee_sits_later_than_ps_knee() {
         let ps = isolation_knee_utilization();
-        let ec = knee_utilization(
-            TailConfig { model: TailModel::ErlangC, quantile: 0.95 },
-            100.0,
-            10,
-        );
+        let ec =
+            knee_utilization(TailConfig { model: TailModel::ErlangC, quantile: 0.95 }, 100.0, 10);
         assert!(ec > ps, "Erlang-C knee {ec} should exceed PS knee {ps}");
     }
 

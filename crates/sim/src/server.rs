@@ -26,8 +26,8 @@ use crate::metrics::{JobObservation, Observation};
 use crate::noise::NoiseModel;
 use crate::perf::{capacity_qps, isolation_time_us, query_time_us};
 use crate::queueing::{tail_factor, tail_latency_us, QosSpec, TailConfig};
-use crate::resource::ResourceKind;
 use crate::resource::ResourceCatalog;
+use crate::resource::ResourceKind;
 use crate::workload::{JobClass, WorkloadId, WorkloadProfile};
 use crate::SimError;
 
@@ -605,8 +605,13 @@ mod tests {
         .unwrap();
         let generous = Partition::max_for_job(s.catalog(), 2, 0).unwrap();
         let obs = s.ground_truth(&generous);
-        assert_eq!(obs.jobs[0].qos_met, Some(true), "p95 {} target {:?}",
-            obs.jobs[0].latency_p95_us, obs.jobs[0].qos_target_us);
+        assert_eq!(
+            obs.jobs[0].qos_met,
+            Some(true),
+            "p95 {} target {:?}",
+            obs.jobs[0].latency_p95_us,
+            obs.jobs[0].qos_target_us
+        );
     }
 
     #[test]
@@ -674,10 +679,8 @@ mod tests {
     fn profile_override_changes_behavior() {
         use crate::workload::WorkloadProfileBuilder;
         // A memcached with 10x the CPU cost per query sustains far less.
-        let heavy = WorkloadProfileBuilder::from(WorkloadId::Memcached)
-            .cpu_time_us(900.0)
-            .build()
-            .unwrap();
+        let heavy =
+            WorkloadProfileBuilder::from(WorkloadId::Memcached).cpu_time_us(900.0).build().unwrap();
         let plain = Server::new(
             ResourceCatalog::testbed(),
             vec![JobSpec::latency_critical(WorkloadId::Memcached, 0.5)],

@@ -536,6 +536,7 @@ impl WorkloadProfileBuilder {
     /// Returns a message naming the first out-of-range constant: times
     /// must be non-negative with positive CPU time; fractions and
     /// intensities must be in their documented ranges.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` also rejects NaN
     pub fn build(self) -> Result<WorkloadProfile, String> {
         let p = &self.profile;
         if !(p.cpu_time_us > 0.0) {
@@ -650,10 +651,7 @@ mod tests {
             .mem_intensity(2.0)
             .build()
             .is_err());
-        assert!(WorkloadProfileBuilder::from(WorkloadId::Xapian)
-            .thrash_exp(0.5)
-            .build()
-            .is_err());
+        assert!(WorkloadProfileBuilder::from(WorkloadId::Xapian).thrash_exp(0.5).build().is_err());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! The structured event vocabulary emitted by the controller, the BO
+//! engine, the policies, and the cluster scheduler.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::Phase;
+
+/// Why a CLITE search run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Expected improvement fell below the termination threshold.
+    EiConverged,
+    /// The sampling budget was exhausted.
+    BudgetExhausted,
+    /// Every feasible job combination was ruled out.
+    Infeasible,
+}
+
+/// One structured telemetry event.
+///
+/// Serialized externally tagged (`{"BootstrapSample": {...}}`), one event
+/// per line in the JSONL sink. `sample` fields index into the run's
+/// sample trace where applicable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A Phase-1 bootstrap configuration was evaluated.
+    BootstrapSample {
+        /// Index of the sample in the run trace.
+        sample: usize,
+        /// Eq. 3 score of the observation.
+        score: f64,
+        /// Whether every LC job met QoS under this partition.
+        qos_met: bool,
+    },
+    /// The dropout policy froze one job's allocation for this iteration.
+    DropoutFrozen {
+        /// Index of the sample about to be proposed.
+        sample: usize,
+        /// Index of the frozen job.
+        job: usize,
+    },
+    /// The acquisition maximizer chose the next candidate.
+    CandidateChosen {
+        /// Index of the sample in the run trace.
+        sample: usize,
+        /// Expected improvement of the chosen candidate.
+        expected_improvement: f64,
+    },
+    /// GP hyper-parameters were refit over the hyper grid.
+    GpRefit {
+        /// Number of observations the surrogate was fit on.
+        observations: usize,
+        /// Selected kernel length-scale.
+        lengthscale: f64,
+        /// Selected signal variance.
+        signal_variance: f64,
+        /// Log marginal likelihood at the selected hypers.
+        log_marginal: f64,
+    },
+    /// The run terminated.
+    Terminated {
+        /// Why the search stopped.
+        reason: StopReason,
+        /// Total samples evaluated.
+        samples: usize,
+        /// Best Eq. 3 score reached.
+        best_score: f64,
+    },
+    /// An LC job missed its QoS target in an evaluated sample.
+    QosViolation {
+        /// Index of the sample in the run trace.
+        sample: usize,
+        /// Index of the violating job.
+        job: usize,
+        /// `target / latency` ratio (< 1 means violation).
+        ratio: f64,
+    },
+    /// A job was ruled infeasible and ejected from the co-location.
+    InfeasibleJob {
+        /// Index of the ejected job.
+        job: usize,
+    },
+    /// The cluster scheduler placed a job on a node.
+    Placement {
+        /// Node index in the cluster.
+        node: usize,
+        /// Workload name of the placed job.
+        job: String,
+    },
+    /// The cluster scheduler evicted/removed a job from a node.
+    Eviction {
+        /// Node index in the cluster.
+        node: usize,
+        /// Workload name of the removed job.
+        job: String,
+    },
+    /// A profiled search phase completed one timed section.
+    PhaseTiming {
+        /// Which phase was timed.
+        phase: Phase,
+        /// Elapsed wall-clock nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case kind name, used as the `kind` metric label.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::BootstrapSample { .. } => "bootstrap_sample",
+            Event::DropoutFrozen { .. } => "dropout_frozen",
+            Event::CandidateChosen { .. } => "candidate_chosen",
+            Event::GpRefit { .. } => "gp_refit",
+            Event::Terminated { .. } => "terminated",
+            Event::QosViolation { .. } => "qos_violation",
+            Event::InfeasibleJob { .. } => "infeasible_job",
+            Event::Placement { .. } => "placement",
+            Event::Eviction { .. } => "eviction",
+            Event::PhaseTiming { .. } => "phase_timing",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::BootstrapSample { sample: 0, score: 0.41, qos_met: false },
+            Event::DropoutFrozen { sample: 9, job: 2 },
+            Event::CandidateChosen { sample: 9, expected_improvement: 1.5e-3 },
+            Event::GpRefit {
+                observations: 12,
+                lengthscale: 0.25,
+                signal_variance: 0.5,
+                log_marginal: -3.75,
+            },
+            Event::Terminated { reason: StopReason::EiConverged, samples: 23, best_score: 0.81 },
+            Event::QosViolation { sample: 3, job: 0, ratio: 0.87 },
+            Event::InfeasibleJob { job: 1 },
+            Event::Placement { node: 4, job: "memcached".to_owned() },
+            Event::Eviction { node: 4, job: "memcached".to_owned() },
+            Event::PhaseTiming { phase: Phase::GpFit, nanos: 420_000 },
+        ];
+        for event in events {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(event, back, "round-trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Event::InfeasibleJob { job: 0 }.kind(), "infeasible_job");
+        assert_eq!(
+            Event::Terminated { reason: StopReason::BudgetExhausted, samples: 1, best_score: 0.0 }
+                .kind(),
+            "terminated"
+        );
+    }
+}

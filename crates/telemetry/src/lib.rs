@@ -1,0 +1,14 @@
+//! Observability for the CLITE reproduction: a structured event bus, a
+//! metrics registry, and span-style search-phase profiling.
+
+pub mod context;
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+
+pub use context::Telemetry;
+pub use event::{Event, StopReason};
+pub use metrics::MetricsRegistry;
+pub use profile::{OverheadReport, Phase, PhaseCost, PhaseTimer};
+pub use recorder::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};

@@ -1,0 +1,190 @@
+//! Span-style stopwatch profiling for the search phases the paper's
+//! Fig. 15b breaks down: GP fit, acquisition maximization, sample
+//! observation, and scoring.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// A profiled search phase (the Fig. 15b cost components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Fitting the GP surrogate (including hyper-grid refits).
+    GpFit,
+    /// Maximizing the acquisition function over candidates.
+    Acquisition,
+    /// Evaluating a partition on the server/simulator.
+    Observe,
+    /// Computing the Eq. 3 score from an observation.
+    Score,
+}
+
+impl Phase {
+    /// All phases, in report order.
+    pub const ALL: [Phase; 4] = [Phase::GpFit, Phase::Acquisition, Phase::Observe, Phase::Score];
+
+    /// Stable snake_case name, used as the `phase` metric label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::GpFit => "gp_fit",
+            Phase::Acquisition => "acquisition",
+            Phase::Observe => "observe",
+            Phase::Score => "score",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::GpFit => 0,
+            Phase::Acquisition => 1,
+            Phase::Observe => 2,
+            Phase::Score => 3,
+        }
+    }
+}
+
+/// Accumulated cost of one phase across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Which phase.
+    pub phase: Phase,
+    /// Total wall-clock seconds spent in the phase.
+    pub total_seconds: f64,
+    /// Number of timed sections.
+    pub count: u64,
+}
+
+/// Per-run profiling summary: phase totals against the run's wall-clock
+/// search time (the shape of the paper's Fig. 15b bars).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Cost of each phase, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseCost>,
+    /// Wall-clock seconds of the whole search run.
+    pub wall_seconds: f64,
+    /// Fraction of wall time covered by the profiled phases.
+    pub coverage: f64,
+}
+
+impl OverheadReport {
+    /// Total profiled seconds across all phases.
+    #[must_use]
+    pub fn profiled_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_seconds).sum()
+    }
+
+    /// Cost entry for `phase`.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> &PhaseCost {
+        &self.phases[phase.index()]
+    }
+}
+
+/// Accumulating stopwatch over the search phases.
+#[derive(Debug, Clone)]
+pub struct PhaseTimer {
+    totals: [Duration; Phase::ALL.len()],
+    counts: [u64; Phase::ALL.len()],
+    started: Instant,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// A fresh timer; wall-clock measurement starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            totals: [Duration::ZERO; Phase::ALL.len()],
+            counts: [0; Phase::ALL.len()],
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds an already-measured span to `phase`.
+    pub fn add(&mut self, phase: Phase, elapsed: Duration) {
+        self.totals[phase.index()] += elapsed;
+        self.counts[phase.index()] += 1;
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `phase`.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Total accumulated time in `phase`.
+    #[must_use]
+    pub fn total(&self, phase: Phase) -> Duration {
+        self.totals[phase.index()]
+    }
+
+    /// Finalizes the report against wall time since construction.
+    #[must_use]
+    pub fn report(&self) -> OverheadReport {
+        let wall = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        let phases: Vec<PhaseCost> = Phase::ALL
+            .iter()
+            .map(|&phase| PhaseCost {
+                phase,
+                total_seconds: self.totals[phase.index()].as_secs_f64(),
+                count: self.counts[phase.index()],
+            })
+            .collect();
+        let profiled: f64 = phases.iter().map(|p| p.total_seconds).sum();
+        OverheadReport { phases, wall_seconds: wall, coverage: profiled / wall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_accumulates_per_phase() {
+        let mut t = PhaseTimer::new();
+        let v = t.time(Phase::GpFit, || {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(v, 7);
+        t.add(Phase::GpFit, Duration::from_millis(1));
+        t.add(Phase::Score, Duration::from_micros(10));
+        assert!(t.total(Phase::GpFit) >= Duration::from_millis(3));
+        let report = t.report();
+        assert_eq!(report.phase(Phase::GpFit).count, 2);
+        assert_eq!(report.phase(Phase::Score).count, 1);
+        assert_eq!(report.phase(Phase::Observe).count, 0);
+        // Synthetic `add`s can exceed wall time; coverage just has to be
+        // consistent with the totals.
+        assert!(report.coverage > 0.0);
+        assert!((report.profiled_seconds() / report.wall_seconds - report.coverage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_bounded_when_only_timing_real_spans() {
+        let mut t = PhaseTimer::new();
+        for _ in 0..3 {
+            t.time(Phase::Observe, || std::thread::sleep(Duration::from_millis(1)));
+        }
+        let report = t.report();
+        assert!(report.coverage > 0.0 && report.coverage <= 1.0 + 1e-9, "{}", report.coverage);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut t = PhaseTimer::new();
+        t.add(Phase::Acquisition, Duration::from_millis(5));
+        let report = t.report();
+        let text = serde_json::to_string(&report).unwrap();
+        let back: OverheadReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,236 @@
+//! Event sinks: the [`Recorder`] trait, the zero-cost [`NoopRecorder`],
+//! the [`JsonlRecorder`] file sink, and the in-memory [`MemoryRecorder`]
+//! used by tests.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::metrics::MetricsRegistry;
+
+/// A sink for structured telemetry events.
+///
+/// Implementations must never panic or otherwise fail the run: telemetry
+/// is observational, so sinks swallow their own I/O errors (counting
+/// drops where they can).
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+}
+
+/// The default sink: discards everything.
+///
+/// `record` is an empty inlinable body, so instrumented code paths cost
+/// nothing beyond constructing the event argument.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn record(&self, _event: &Event) {}
+}
+
+/// Folds an event into the standard metric families (`clite_*`).
+pub fn apply_event(metrics: &MetricsRegistry, event: &Event) {
+    metrics.inc_counter("clite_events_total", &[("kind", event.kind())], 1);
+    match event {
+        Event::BootstrapSample { score, .. } => {
+            metrics.observe("clite_score", &[], *score);
+        }
+        Event::DropoutFrozen { .. } => {
+            metrics.inc_counter("clite_dropout_freezes_total", &[], 1);
+        }
+        Event::CandidateChosen { expected_improvement, .. } => {
+            metrics.observe("clite_ei", &[], *expected_improvement);
+        }
+        Event::GpRefit { log_marginal, .. } => {
+            metrics.inc_counter("clite_gp_refits_total", &[], 1);
+            metrics.set_gauge("clite_gp_log_marginal", &[], *log_marginal);
+        }
+        Event::Terminated { samples, best_score, .. } => {
+            metrics.inc_counter("clite_runs_total", &[], 1);
+            metrics.set_gauge("clite_best_score", &[], *best_score);
+            metrics.set_gauge("clite_samples_last_run", &[], *samples as f64);
+        }
+        Event::QosViolation { .. } => {
+            metrics.inc_counter("clite_qos_violations_total", &[], 1);
+        }
+        Event::InfeasibleJob { .. } => {
+            metrics.inc_counter("clite_infeasible_jobs_total", &[], 1);
+        }
+        Event::Placement { .. } => {
+            metrics.inc_counter("clite_placements_total", &[], 1);
+        }
+        Event::Eviction { .. } => {
+            metrics.inc_counter("clite_evictions_total", &[], 1);
+        }
+        Event::PhaseTiming { phase, nanos } => {
+            metrics.observe("clite_phase_seconds", &[("phase", phase.name())], *nanos as f64 / 1e9);
+        }
+    }
+}
+
+/// A sink that appends one JSON document per event to a writer and keeps
+/// the standard metric families up to date.
+pub struct JsonlRecorder {
+    writer: Mutex<Box<dyn Write + Send>>,
+    metrics: MetricsRegistry,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(BufWriter::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (used by tests with `Vec<u8>` sinks).
+    pub fn from_writer(writer: impl Write + Send + 'static) -> Self {
+        Self { writer: Mutex::new(Box::new(writer)), metrics: MetricsRegistry::new() }
+    }
+
+    /// The metrics derived from every event recorded so far.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("jsonl writer lock").flush()
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        apply_event(&self.metrics, event);
+        let line = match serde_json::to_string(event) {
+            Ok(line) => line,
+            Err(_) => {
+                self.metrics.inc_counter("clite_telemetry_dropped_total", &[], 1);
+                return;
+            }
+        };
+        let mut writer = self.writer.lock().expect("jsonl writer lock");
+        if writeln!(writer, "{line}").is_err() {
+            self.metrics.inc_counter("clite_telemetry_dropped_total", &[], 1);
+        }
+    }
+}
+
+/// A sink that retains every event in memory; for tests and inspection.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty in-memory sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory recorder lock").clone()
+    }
+
+    /// Number of recorded events whose kind name is `kind`.
+    #[must_use]
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events
+            .lock()
+            .expect("memory recorder lock")
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .count()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("memory recorder lock").push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StopReason;
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_event_and_derives_metrics() {
+        let recorder = JsonlRecorder::from_writer(SharedBuf::default());
+        recorder.record(&Event::BootstrapSample { sample: 0, score: 0.3, qos_met: false });
+        recorder.record(&Event::CandidateChosen { sample: 1, expected_improvement: 0.01 });
+        recorder.record(&Event::Terminated {
+            reason: StopReason::EiConverged,
+            samples: 2,
+            best_score: 0.6,
+        });
+        assert_eq!(
+            recorder.metrics().counter_value("clite_events_total", &[("kind", "terminated")]),
+            Some(1)
+        );
+        assert_eq!(recorder.metrics().gauge_value("clite_best_score", &[]), Some(0.6));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back_into_events() {
+        let buf = SharedBuf::default();
+        let recorder = JsonlRecorder::from_writer(buf.clone());
+        let sent = vec![
+            Event::Placement { node: 0, job: "xapian".to_owned() },
+            Event::Eviction { node: 0, job: "xapian".to_owned() },
+        ];
+        for e in &sent {
+            recorder.record(e);
+        }
+        recorder.flush().unwrap();
+        let text = buf.contents();
+        let parsed: Vec<Event> = text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(parsed, sent);
+    }
+
+    #[test]
+    fn memory_recorder_counts_kinds() {
+        let recorder = MemoryRecorder::new();
+        recorder.record(&Event::InfeasibleJob { job: 3 });
+        recorder.record(&Event::InfeasibleJob { job: 4 });
+        assert_eq!(recorder.count_kind("infeasible_job"), 2);
+        assert_eq!(recorder.events().len(), 2);
+    }
+
+    /// A clonable in-memory writer for asserting on JSONL output.
+    #[derive(Debug, Default, Clone)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+}

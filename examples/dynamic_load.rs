@@ -32,15 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AdaptiveConfig::default(),
     )?;
 
-    println!(
-        "memcached load: 10% -> 30% (t={step_s:.0}s) -> 60% (t={:.0}s)",
-        2.0 * step_s
-    );
+    println!("memcached load: 10% -> 30% (t={step_s:.0}s) -> 60% (t={:.0}s)", 2.0 * step_s);
     println!("search invocations: {}", trace.invocations);
-    println!(
-        "steady-state QoS fraction: {:.0}%\n",
-        100.0 * trace.steady_qos_fraction()
-    );
+    println!("steady-state QoS fraction: {:.0}%\n", 100.0 * trace.steady_qos_fraction());
     println!(
         "{:>7}  {:<7} {:>10} {:>8} {:>8} {:>6}",
         "t (s)", "phase", "mem cores", "mem b/w", "BG perf", "QoS"

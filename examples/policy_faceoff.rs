@@ -11,17 +11,11 @@ use clite_repro::bench::runner::{final_eval, run_policy, PolicyKind};
 use clite_repro::sim::workload::WorkloadId;
 
 fn main() {
-    let load: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse::<f64>().ok())
-        .map_or(0.3, |p| p / 100.0);
+    let load: f64 =
+        std::env::args().nth(1).and_then(|a| a.parse::<f64>().ok()).map_or(0.3, |p| p / 100.0);
 
     let mix = Mix::new(
-        &[
-            (WorkloadId::ImgDnn, load),
-            (WorkloadId::Memcached, load),
-            (WorkloadId::Masstree, load),
-        ],
+        &[(WorkloadId::ImgDnn, load), (WorkloadId::Memcached, load), (WorkloadId::Masstree, load)],
         &[WorkloadId::Streamcluster],
     );
     println!("mix: {}\n", mix.name);

@@ -18,8 +18,8 @@
 
 pub use clite as core;
 pub use clite_bench as bench;
-pub use clite_cluster as cluster;
 pub use clite_bo as bo;
+pub use clite_cluster as cluster;
 pub use clite_gp as gp;
 pub use clite_policies as policies;
 pub use clite_sim as sim;

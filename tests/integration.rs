@@ -56,10 +56,8 @@ fn clite_beats_parties_on_bg_performance() {
 
     // Hard mix (paper Fig. 13's second set + blackscholes): CLITE wins
     // decisively or PARTIES fails QoS outright.
-    let hard = Mix::new(
-        &[(W::Specjbb, 0.3), (W::Masstree, 0.3), (W::Xapian, 0.3)],
-        &[W::Blackscholes],
-    );
+    let hard =
+        Mix::new(&[(W::Specjbb, 0.3), (W::Masstree, 0.3), (W::Xapian, 0.3)], &[W::Blackscholes]);
     let mut clite_wins = 0;
     for seed in [3u64, 13, 23] {
         let clite = run_policy(PolicyKind::Clite, &hard, seed);
@@ -81,7 +79,8 @@ fn oracle_bounds_every_online_policy() {
     let oracle = run_policy(PolicyKind::Oracle, &mix, 5);
     let oracle_obs = final_eval(&mix, &oracle, 5);
     let oracle_score = score_observation(&oracle_obs).value;
-    for kind in [PolicyKind::Parties, PolicyKind::RandomPlus, PolicyKind::Genetic, PolicyKind::Clite]
+    for kind in
+        [PolicyKind::Parties, PolicyKind::RandomPlus, PolicyKind::Genetic, PolicyKind::Clite]
     {
         let outcome = run_policy(kind, &mix, 5);
         let obs = final_eval(&mix, &outcome, 5);
@@ -97,10 +96,7 @@ fn oracle_bounds_every_online_policy() {
 #[test]
 fn score_mode_transitions_match_qos_state() {
     let s = server(
-        vec![
-            JobSpec::latency_critical(W::Memcached, 0.3),
-            JobSpec::background(W::Swaptions),
-        ],
+        vec![JobSpec::latency_critical(W::Memcached, 0.3), JobSpec::background(W::Swaptions)],
         7,
     );
     // Starving the LC job => violation mode; feeding it => performance mode.
@@ -115,10 +111,7 @@ fn bo_engine_on_real_server_objective() {
     // Drive the generic BO engine directly against the simulator's score,
     // the way the CLITE controller does, and verify it improves.
     let mut srv = server(
-        vec![
-            JobSpec::latency_critical(W::ImgDnn, 0.4),
-            JobSpec::background(W::Blackscholes),
-        ],
+        vec![JobSpec::latency_critical(W::ImgDnn, 0.4), JobSpec::background(W::Blackscholes)],
         11,
     );
     let space = SearchSpace::new(*srv.catalog(), 2).unwrap();
@@ -163,10 +156,7 @@ fn controller_ejects_individually_infeasible_jobs() {
 #[test]
 fn enforcement_overhead_accumulates_only_on_changes() {
     let mut srv = server(
-        vec![
-            JobSpec::latency_critical(W::Memcached, 0.2),
-            JobSpec::background(W::Freqmine),
-        ],
+        vec![JobSpec::latency_critical(W::Memcached, 0.2), JobSpec::background(W::Freqmine)],
         17,
     );
     let p = Partition::equal_share(srv.catalog(), 2).unwrap();

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`criterion_group!`]/[`criterion_main!`], [`black_box`] — over a plain
+//! wall-clock harness: each benchmark is calibrated to a batch size that
+//! takes a measurable slice of time, then sampled repeatedly, and the
+//! median/min/max per-iteration times are printed. No statistics engine,
+//! no HTML reports, no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; accepted for API
+/// compatibility, measurement always times the routine per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group whose benches share configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), sample_size: None }
+    }
+
+    /// Runs one benchmark with the default configuration.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&format!("{}/{name}", self.name), samples, f);
+        self
+    }
+
+    /// Ends the group. A no-op here; upstream finalises reports.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { sample_size: sample_size.max(2), samples: Vec::new() };
+    f(&mut bencher);
+    let mut per_iter = bencher.samples;
+    if per_iter.is_empty() {
+        println!("{name:<40} (no measurement)");
+        return;
+    }
+    per_iter.sort();
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        format_duration(lo),
+        format_duration(median),
+        format_duration(hi)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Target duration for one calibrated sample; long enough that timer
+/// resolution is negligible, short enough that suites stay fast.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Measures a single benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in calibrated batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: double the batch size until one batch reaches the
+        // target duration (or the cap, for extremely fast routines).
+        let mut iters: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                self.samples.push(elapsed / iters);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Setup cost is unbounded (it may clone large state), so batches
+        // are fixed at one routine call and the sample count is trusted
+        // to average out timer noise.
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_expected_sample_count() {
+        let mut b = Bencher { sample_size: 5, samples: Vec::new() };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().sum::<Duration>() > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { sample_size: 4, samples: Vec::new() };
+        b.iter_batched(|| vec![1u64; 8], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,456 @@
+//! Offline stand-in for `proptest` (API-compatible subset).
+//!
+//! Supports the grammar this workspace uses: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, parameters written either as
+//! `name in strategy` or `name: Type`, range and tuple strategies,
+//! [`Strategy::prop_map`], `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion forms.
+//!
+//! Differences from upstream: input generation is deterministic (fixed
+//! seed, so failures reproduce across runs), and there is no shrinking —
+//! a failing case reports the exact generated inputs instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+pub mod test_runner {
+    //! The deterministic RNG driving input generation.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Test-case RNG; a thin wrapper over the vendored [`StdRng`].
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// A deterministic RNG with a fixed seed, so failing cases
+        /// reproduce run to run.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            Self(StdRng::seed_from_u64(0x70726f70_74657374))
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property case; produced by `prop_assert!`/`prop_assert_eq!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+// ── strategies ──────────────────────────────────────────────────────────
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// Types with a default generation strategy (used by `name: Type` params
+/// and [`any`]).
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<f32>()
+    }
+}
+
+/// The default strategy for `T` (what a bare `name: Type` parameter uses).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use std::fmt;
+    use std::ops::Range;
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length range for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Alias module so `prop::collection::vec` resolves after a prelude
+    /// glob import.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ── macros ──────────────────────────────────────────────────────────────
+
+/// Declares property tests. Each `fn` becomes a `#[test]` that draws
+/// `config.cases` deterministic inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(@munch $cfg; () () ($($params)*) $body);
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `name in strategy, …`
+    (@munch $cfg:expr; ($($n:ident)*) ($($s:expr;)*) ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(@munch $cfg; ($($n)* $name) ($($s;)* $strat;) ($($rest)*) $body)
+    };
+    // `name in strategy` (final parameter)
+    (@munch $cfg:expr; ($($n:ident)*) ($($s:expr;)*) ($name:ident in $strat:expr) $body:block) => {
+        $crate::__proptest_case!(@munch $cfg; ($($n)* $name) ($($s;)* $strat;) () $body)
+    };
+    // `name: Type, …`
+    (@munch $cfg:expr; ($($n:ident)*) ($($s:expr;)*) ($name:ident: $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(@munch $cfg; ($($n)* $name) ($($s;)* $crate::any::<$ty>();) ($($rest)*) $body)
+    };
+    // `name: Type` (final parameter)
+    (@munch $cfg:expr; ($($n:ident)*) ($($s:expr;)*) ($name:ident: $ty:ty) $body:block) => {
+        $crate::__proptest_case!(@munch $cfg; ($($n)* $name) ($($s;)* $crate::any::<$ty>();) () $body)
+    };
+    // all parameters consumed: run the cases
+    (@munch $cfg:expr; ($($n:ident)*) ($($s:expr;)*) () $body:block) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        let strategy = ($($s,)*);
+        let mut rng = $crate::test_runner::TestRng::deterministic();
+        for case_index in 0..config.cases {
+            let ($($n,)*) = $crate::Strategy::generate(&strategy, &mut rng);
+            let parts: ::std::vec::Vec<::std::string::String> =
+                ::std::vec![$(format!(concat!(stringify!($n), " = {:?}"), &$n)),*];
+            let inputs = parts.join(", ");
+            let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            if let ::std::result::Result::Err(err) = outcome {
+                panic!(
+                    "property failed on case {}/{}: {}\n    inputs: {}",
+                    case_index + 1,
+                    config.cases,
+                    err,
+                    inputs
+                );
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case is
+/// reported with its generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..=9, b in -5i64..5, x in 0.25f64..0.75) {
+            prop_assert!((3..=9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x), "x = {}", x);
+        }
+
+        #[test]
+        fn typed_params_and_vecs(seed: u64, xs in prop::collection::vec(0.0f64..1.0, 1..6)) {
+            let _ = seed;
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strategy = (1u32..=4, 1u32..=4).prop_map(|(a, b)| a + b);
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..64 {
+            let v = crate::Strategy::generate(&strategy, &mut rng);
+            assert!((2..=8).contains(&v));
+        }
+    }
+}

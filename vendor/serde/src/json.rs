@@ -1,0 +1,187 @@
+//! The in-memory JSON tree shared by the `serde` and `serde_json`
+//! stand-ins.
+//!
+//! Objects preserve insertion order (a `Vec` of pairs), so structs render
+//! their fields in declaration order exactly like streaming serde would.
+
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// This number as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// This number as `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+
+    /// This number as `i64` if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered key/value pairs (duplicate keys keep
+    /// the last occurrence on lookup, like `serde_json`'s map).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup for objects: the value under `key` (last occurrence
+    /// wins), or `None` for missing keys and non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as `bool`, if boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as `f64`, if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// This value as `u64`, if a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// This value as `i64`, if an in-range integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// This value as `&str`, if a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value's array items, if an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages ("object", "number", …).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A deserialization failure: the tree's shape did not match the target
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// A type-mismatch error: wanted `expected`, found `got`.
+    #[must_use]
+    pub fn expected(expected: &str, got: &Value) -> Self {
+        Self { message: format!("expected {expected}, found {}", got.kind()) }
+    }
+
+    /// A missing-field error for struct deserialization.
+    #[must_use]
+    pub fn missing_field(field: &str) -> Self {
+        Self { message: format!("missing field `{field}`") }
+    }
+
+    /// An unknown-enum-variant error.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Self { message: format!("unknown variant `{variant}` for enum `{ty}`") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,369 @@
+//! Offline stand-in for `serde` (API-compatible subset).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the surface it uses: `#[derive(Serialize, Deserialize)]` plus the
+//! [`Serialize`]/[`Deserialize`] traits. Instead of serde's streaming
+//! data model, values convert to and from the in-memory JSON tree in
+//! [`json`]; the sibling `serde_json` stand-in renders and parses that
+//! tree. Enum representation follows serde's externally-tagged default
+//! (`"Variant"`, `{"Variant": …}`), and structs serialize their fields in
+//! declaration order, so output is byte-stable across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+use json::{DeError, Number, Value};
+
+/// Conversion into the JSON value model.
+pub trait Serialize {
+    /// This value as a JSON tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Conversion from the JSON value model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape does not match `Self`.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ── primitives ──────────────────────────────────────────────────────────
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let n = v.as_u64().ok_or_else(|| DeError::expected("usize", v))?;
+        usize::try_from(n).map_err(|_| DeError::expected("usize", v))
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_json_value(&self) -> Value {
+        (*self as i64).to_json_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let n = v.as_i64().ok_or_else(|| DeError::expected("isize", v))?;
+        isize::try_from(n).map_err(|_| DeError::expected("isize", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // serde_json cannot represent non-finite floats; `Value::from`
+            // maps them to null and we follow that behaviour.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        f64::from(*self).to_json_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::expected("f32", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("char", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+// ── references and smart pointers ───────────────────────────────────────
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+// ── option ──────────────────────────────────────────────────────────────
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+// ── sequences ───────────────────────────────────────────────────────────
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, DeError> =
+                    items.iter().map(T::from_json_value).collect();
+                parsed.map(|v| v.try_into().expect("length checked above"))
+            }
+            other => Err(DeError::expected("fixed-size array", other)),
+        }
+    }
+}
+
+// ── tuples ──────────────────────────────────────────────────────────────
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let len = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == len => {
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+// ── maps ────────────────────────────────────────────────────────────────
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort for deterministic output: HashMap iteration order varies.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,414 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the deriving item directly from the proc-macro token stream (no
+//! `syn`/`quote`, which are unavailable offline) and generates
+//! externally-tagged JSON conversions matching serde's defaults:
+//!
+//! * named struct  → object with fields in declaration order;
+//! * tuple struct  → array (single-field tuple structs stay newtype-style
+//!   arrays for simplicity);
+//! * unit variant  → `"Variant"`;
+//! * newtype variant → `{"Variant": value}`;
+//! * tuple variant → `{"Variant": [a, b]}`;
+//! * struct variant → `{"Variant": {..}}`.
+//!
+//! Generic types are rejected with a compile error — the workspace only
+//! derives on concrete types, and supporting generics without `syn` would
+//! buy complexity for nothing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives the stand-in `serde::Serialize` (JSON-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the stand-in `serde::Deserialize` (JSON-tree conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ── parsing ─────────────────────────────────────────────────────────────
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "#[derive(Serialize/Deserialize)] stand-in does not support generics on `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<`…`>` as nesting
+/// (generic arguments contain commas at the token level; delimited groups
+/// are already atomic trees).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("explicit discriminants unsupported (variant `{name}`)"));
+            }
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ── code generation ─────────────────────────────────────────────────────
+
+const VALUE: &str = "::serde::json::Value";
+const DE_ERROR: &str = "::serde::json::DeError";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{VALUE}::Null"),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_json_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("{VALUE}::Object(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> {VALUE} {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => {VALUE}::String(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => {VALUE}::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => {VALUE}::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              {VALUE}::Object(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> {VALUE} {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Generates the field-extraction expressions for a named-field object at
+/// `src` (an expression of type `&Value`).
+fn named_field_inits(fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json_value({src}.get({f:?})\
+                 .ok_or_else(|| {DE_ERROR}::missing_field({f:?}))?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match v {{\n\
+                     {VALUE}::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err({DE_ERROR}::expected(\"null\", other)),\n\
+                 }}"
+            ),
+            Fields::Named(names) => {
+                let inits = named_field_inits(names, "v");
+                format!(
+                    "match v {{\n\
+                         {VALUE}::Object(_) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                         other => ::std::result::Result::Err({DE_ERROR}::expected(\"object\", other)),\n\
+                     }}"
+                )
+            }
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         {VALUE}::Array(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         other => ::std::result::Result::Err({DE_ERROR}::expected(\"array of {n}\", other)),\n\
+                     }}",
+                    inits.join(" ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => unreachable!("filtered above"),
+                    Fields::Tuple(n) if *n == 1 => format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_json_value(payload)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&items[{i}])?,")
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => match payload {{\n\
+                                 {VALUE}::Array(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 other => ::std::result::Result::Err(\
+                                     {DE_ERROR}::expected(\"array of {n}\", other)),\n\
+                             }},",
+                            inits.join(" ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let inits = named_field_inits(fields, "payload");
+                        format!(
+                            "{v:?} => match payload {{\n\
+                                 {VALUE}::Object(_) => \
+                                     ::std::result::Result::Ok({name}::{v} {{ {inits} }}),\n\
+                                 other => ::std::result::Result::Err(\
+                                     {DE_ERROR}::expected(\"object\", other)),\n\
+                             }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     {VALUE}::String(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(\
+                             {DE_ERROR}::unknown_variant(other, {name:?})),\n\
+                     }},\n\
+                     {VALUE}::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(\
+                                 {DE_ERROR}::unknown_variant(other, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         {DE_ERROR}::expected(\"enum representation\", other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &{VALUE}) -> ::std::result::Result<Self, {DE_ERROR}> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
