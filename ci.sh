@@ -19,6 +19,11 @@ cargo fmt --all --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+step "cargo doc --no-deps (warnings denied, own crates only)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p clite-sim -p clite-gp -p clite-bo -p clite -p clite-telemetry \
+    -p clite-policies -p clite-cluster -p clite-bench -p clite-repro
+
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo build --release"
     cargo build --release
@@ -29,5 +34,13 @@ cargo test -q
 
 step "cargo test --workspace -q"
 cargo test --workspace -q
+
+if [[ "${1:-}" != "quick" ]]; then
+    # The workspace run above already covers this in debug; re-run the
+    # serial == threaded admission equivalence under release optimizations,
+    # where thread interleavings differ most.
+    step "cargo test -p clite-cluster --test threaded --release -q"
+    cargo test -p clite-cluster --test threaded --release -q
+fi
 
 printf '\nCI green.\n'

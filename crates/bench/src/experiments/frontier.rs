@@ -7,10 +7,13 @@
 //! policy's frontier is the utilization left on the table by that
 //! policy's search.
 
+use std::sync::{Arc, Mutex};
+
 use crate::mixes::Mix;
 use crate::render::{pct, Table};
-use crate::runner::{run_and_eval, PolicyKind};
+use crate::runner::{final_eval, run_and_eval, run_policy_memoized, PolicyKind};
 use crate::{ExpOptions, Report};
+use clite_sim::testbed::ObservationCache;
 use clite_sim::workload::WorkloadId;
 
 /// The LC trio whose total load is swept.
@@ -27,8 +30,33 @@ fn mix(total_load: f64, with_bg: bool) -> Mix {
 
 /// Whether `kind` co-locates the trio at `total_load` (majority over
 /// `seeds` re-seeded runs).
-fn feasible(kind: PolicyKind, total_load: f64, with_bg: bool, seeds: &[u64]) -> bool {
-    let ok = seeds.iter().filter(|&&s| run_and_eval(kind, &mix(total_load, with_bg), s).0).count();
+///
+/// `oracle_cache`, when given, routes runs through a shared
+/// [`ObservationCache`]: ORACLE's exhaustive ground-truth sweeps revisit
+/// the same (workloads, loads, partition) keys across budgets, BG
+/// settings and seeds, so one cache serves the whole experiment. Only
+/// ground-truth-driven policies may share it — replaying cached *noisy*
+/// observations across seeds would collapse the majority vote.
+fn feasible(
+    kind: PolicyKind,
+    total_load: f64,
+    with_bg: bool,
+    seeds: &[u64],
+    oracle_cache: Option<&Arc<Mutex<ObservationCache>>>,
+) -> bool {
+    let ok = seeds
+        .iter()
+        .filter(|&&s| {
+            let mix = mix(total_load, with_bg);
+            match oracle_cache {
+                Some(cache) => {
+                    let outcome = run_policy_memoized(kind, &mix, s, cache);
+                    final_eval(&mix, &outcome, s).all_qos_met()
+                }
+                None => run_and_eval(kind, &mix, s).0,
+            }
+        })
+        .count();
     ok * 2 > seeds.len()
 }
 
@@ -42,6 +70,10 @@ pub fn run(opts: &ExpOptions) -> Report {
     };
     let budgets: Vec<f64> = (3..=10).map(|i| f64::from(i) * 0.3).collect(); // 90% .. 300% total
 
+    // One ground-truth cache for every ORACLE cell: the `ObsKey` embeds
+    // workloads and per-job loads, so budgets / BG variants never collide.
+    let oracle_cache = ObservationCache::shared();
+
     let mut body = String::new();
     for with_bg in [false, true] {
         body.push_str(if with_bg { "\nwith blackscholes (BG):\n" } else { "\nLC jobs only:\n" });
@@ -49,7 +81,8 @@ pub fn run(opts: &ExpOptions) -> Report {
         for &b in &budgets {
             let mut row = vec![pct(b)];
             for kind in [PolicyKind::Parties, PolicyKind::Clite, PolicyKind::Oracle] {
-                row.push(if feasible(kind, b, with_bg, &seeds) {
+                let cache = if kind == PolicyKind::Oracle { Some(&oracle_cache) } else { None };
+                row.push(if feasible(kind, b, with_bg, &seeds, cache) {
                     "yes".to_owned()
                 } else {
                     "X".to_owned()
@@ -64,6 +97,14 @@ pub fn run(opts: &ExpOptions) -> Report {
          ORACLE's frontier is utilization the policy leaves on the table; adding\n\
          a BG job pulls every frontier in.\n",
     );
+    {
+        let cache = oracle_cache.lock().expect("oracle cache lock");
+        body.push_str(&format!(
+            "\nORACLE memoization: {} ground-truth evaluations replayed, {} simulated\n",
+            cache.hits(),
+            cache.misses()
+        ));
+    }
     Report { id: "frontier", title: "Co-location feasibility frontier (extension)".into(), body }
 }
 
@@ -75,15 +116,30 @@ mod tests {
     fn oracle_frontier_is_monotone_boundary() {
         // If ORACLE can host 1.8 total load, it can host 0.9.
         let seeds = [5u64];
-        if feasible(PolicyKind::Oracle, 1.8, false, &seeds) {
-            assert!(feasible(PolicyKind::Oracle, 0.9, false, &seeds));
+        let cache = ObservationCache::shared();
+        if feasible(PolicyKind::Oracle, 1.8, false, &seeds, Some(&cache)) {
+            assert!(feasible(PolicyKind::Oracle, 0.9, false, &seeds, Some(&cache)));
         }
     }
 
     #[test]
     fn low_budget_feasible_high_budget_not() {
         let seeds = [5u64];
-        assert!(feasible(PolicyKind::Oracle, 0.9, false, &seeds));
-        assert!(!feasible(PolicyKind::Oracle, 3.0, false, &seeds));
+        assert!(feasible(PolicyKind::Oracle, 0.9, false, &seeds, None));
+        assert!(!feasible(PolicyKind::Oracle, 3.0, false, &seeds, None));
+    }
+
+    #[test]
+    fn memoized_and_plain_oracle_agree() {
+        let seeds = [5u64];
+        let cache = ObservationCache::shared();
+        for budget in [0.9, 3.0] {
+            assert_eq!(
+                feasible(PolicyKind::Oracle, budget, false, &seeds, Some(&cache)),
+                feasible(PolicyKind::Oracle, budget, false, &seeds, None),
+                "memoization must not change the ORACLE verdict at {budget}"
+            );
+        }
+        assert!(cache.lock().unwrap().misses() > 0);
     }
 }

@@ -2,7 +2,7 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use clite::config::CliteConfig;
 use clite_policies::clite_policy::ClitePolicy;
@@ -12,6 +12,7 @@ use clite_policies::oracle::Oracle;
 use clite_policies::parties::Parties;
 use clite_policies::policy::{Policy, PolicyOutcome};
 use clite_policies::random_plus::RandomPlus;
+use clite_sim::testbed::{MemoizedTestbed, ObservationCache, OracleTestbed};
 use clite_telemetry::{JsonlRecorder, Telemetry};
 
 use crate::mixes::Mix;
@@ -99,9 +100,11 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates the policy, seeded deterministically.
+    /// Instantiates the policy, seeded deterministically, for any testbed
+    /// backend (the [`OracleTestbed`] bound comes from ORACLE's need for
+    /// ground-truth access).
     #[must_use]
-    pub fn build(self, seed: u64) -> Box<dyn Policy> {
+    pub fn build<T: OracleTestbed + 'static>(self, seed: u64) -> Box<dyn Policy<T>> {
         match self {
             PolicyKind::Heracles => Box::new(Heracles::default()),
             PolicyKind::Parties => Box::new(Parties::default().with_seed(seed)),
@@ -142,6 +145,32 @@ pub fn run_policy_with(
     let mut server = mix.server(seed);
     kind.build(seed ^ 0x9E37_79B9)
         .run_with(&mut server, telemetry)
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.name(), mix.name))
+}
+
+/// [`run_policy`] on a [`MemoizedTestbed`] sharing `cache` with other
+/// runs: observations of a (job set, load, partition) combination already
+/// in the cache are replayed instead of re-simulated.
+///
+/// Sharing replayed *noisy* observations across runs freezes the noise
+/// they were first drawn with, so a shared cache is only sound for
+/// sweeps whose runs are meant to agree on ground truth — ORACLE sweeps
+/// being the canonical case (its evaluations are noise-free, so caching
+/// loses nothing). Pass a fresh cache per run when independence matters.
+///
+/// # Panics
+///
+/// Panics on internal policy failures (experiments treat those as bugs).
+#[must_use]
+pub fn run_policy_memoized(
+    kind: PolicyKind,
+    mix: &Mix,
+    seed: u64,
+    cache: &Arc<Mutex<ObservationCache>>,
+) -> PolicyOutcome {
+    let mut testbed = MemoizedTestbed::with_shared_cache(mix.server(seed), Arc::clone(cache));
+    kind.build(seed ^ 0x9E37_79B9)
+        .run_with(&mut testbed, &ambient_telemetry())
         .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.name(), mix.name))
 }
 
@@ -233,8 +262,25 @@ mod tests {
     fn policies_build_and_name() {
         for k in PolicyKind::ALL {
             assert!(!k.name().is_empty());
-            let _ = k.build(1);
+            let _ = k.build::<clite_sim::server::Server>(1);
         }
+    }
+
+    #[test]
+    fn memoized_rerun_reuses_observations() {
+        let mix = fig7_mix(0.2, 0.2, 0.2);
+        let cache = ObservationCache::shared();
+        let a = run_policy_memoized(PolicyKind::Oracle, &mix, 3, &cache);
+        let misses_after_first = cache.lock().unwrap().misses();
+        let b = run_policy_memoized(PolicyKind::Oracle, &mix, 4, &cache);
+        assert_eq!(a.best_partition, b.best_partition, "ORACLE ignores server noise");
+        let guard = cache.lock().unwrap();
+        assert_eq!(
+            guard.misses(),
+            misses_after_first,
+            "second ORACLE sweep must be answered entirely from the cache"
+        );
+        assert!(guard.hits() > 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::BoError;
 /// happen for a space that passed construction checks).
 pub fn bootstrap_partitions(space: &SearchSpace) -> Result<Vec<Partition>, BoError> {
     let mut out = Vec::with_capacity(space.jobs() + 1);
-    out.push(space.equal_share());
+    out.push(space.equal_share()?);
     for j in 0..space.jobs() {
         out.push(space.max_for_job(j)?);
     }
@@ -47,7 +47,7 @@ mod tests {
     fn first_is_equal_share_rest_are_extrema() {
         let space = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
         let b = bootstrap_partitions(&space).unwrap();
-        assert_eq!(b[0], space.equal_share());
+        assert_eq!(b[0], space.equal_share().unwrap());
         for (j, p) in b[1..].iter().enumerate() {
             assert_eq!(
                 p.units(j, ResourceKind::Cores),

@@ -226,7 +226,7 @@ impl BoEngine {
                     &self.visited,
                     &mut self.rng,
                 )
-            })
+            })?
             .ok_or(BoError::NoCandidate)?;
 
         let (posterior_mean, posterior_std) = gp.predict_std(&self.space.encode(&partition));
@@ -388,7 +388,7 @@ impl BoEngine {
             });
             Ok(fitted)
         } else {
-            let kernel = self.kernel.clone().expect("kernel cached when not refreshing");
+            let kernel = self.kernel.clone().ok_or(BoError::KernelMissing)?;
             Ok(telemetry.time(Phase::GpFit, || GaussianProcess::fit(kernel, gp_config, xs, ys))?)
         }
     }
@@ -460,7 +460,7 @@ mod tests {
             let y = objective(&p);
             e.record(p, y);
         }
-        let frozen_row = *e.space().equal_share().job(2);
+        let frozen_row = *e.space().equal_share().unwrap().job(2);
         for _ in 0..5 {
             let s = e.suggest(Some((2, frozen_row))).unwrap();
             assert_eq!(s.partition.job(2), &frozen_row);

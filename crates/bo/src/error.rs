@@ -16,6 +16,10 @@ pub enum BoError {
     /// The acquisition maximizer found no feasible candidate (e.g. every
     /// candidate was already sampled and no neighbour is feasible).
     NoCandidate,
+    /// The cached surrogate kernel was missing when a fit skipped the
+    /// hyper-parameter refresh (an engine state bug surfaced as an error
+    /// rather than a fleet-aborting panic).
+    KernelMissing,
 }
 
 impl fmt::Display for BoError {
@@ -25,6 +29,7 @@ impl fmt::Display for BoError {
             BoError::Surrogate(e) => write!(f, "surrogate model failure: {e}"),
             BoError::Space(e) => write!(f, "search-space failure: {e}"),
             BoError::NoCandidate => write!(f, "acquisition maximizer found no candidate"),
+            BoError::KernelMissing => write!(f, "surrogate kernel cache missing"),
         }
     }
 }

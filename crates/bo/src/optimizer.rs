@@ -43,8 +43,13 @@ impl Default for OptimizerConfig {
 ///   answers (their acquisition is typically zero anyway, but observation
 ///   noise can make re-sampling look attractive).
 ///
-/// Returns the best candidate found and its acquisition value, or `None`
-/// if every reachable candidate is tabu.
+/// Returns `Ok(Some(_))` with the best candidate found and its acquisition
+/// value, or `Ok(None)` if every reachable candidate is tabu.
+///
+/// # Errors
+///
+/// Returns [`BoError::Space`](crate::BoError::Space) if a random restart
+/// point cannot be generated (an internal space inconsistency).
 pub fn maximize_acquisition(
     space: &SearchSpace,
     config: OptimizerConfig,
@@ -53,13 +58,13 @@ pub fn maximize_acquisition(
     frozen: Option<(usize, JobAllocation)>,
     tabu: &HashSet<Partition>,
     rng: &mut StdRng,
-) -> Option<(Partition, f64)> {
+) -> Result<Option<(Partition, f64)>, crate::BoError> {
     let frozen_job = frozen.as_ref().map(|(j, _)| *j);
 
     let mut starts: Vec<Partition> = Vec::with_capacity(seeds.len() + config.random_restarts);
     starts.extend_from_slice(seeds);
     for _ in 0..config.random_restarts {
-        starts.push(space.random(rng));
+        starts.push(space.random(rng)?);
     }
     // Jitter half the seeds with a couple of random transfers so warm
     // starts don't all climb the same hill.
@@ -121,7 +126,7 @@ pub fn maximize_acquisition(
             }
         }
     }
-    best
+    Ok(best)
 }
 
 /// Applies 1–3 random feasible unit transfers to diversify a start point.
@@ -158,11 +163,12 @@ mod tests {
             &s,
             OptimizerConfig::default(),
             |p| p.fraction(0, ResourceKind::Cores),
-            &[s.equal_share()],
+            &[s.equal_share().unwrap()],
             None,
             &HashSet::new(),
             &mut rng,
         )
+        .unwrap()
         .unwrap();
         assert_eq!(best.units(0, ResourceKind::Cores), 9);
         assert!((val - 0.9).abs() < 1e-12);
@@ -172,21 +178,23 @@ mod tests {
     fn respects_frozen_row() {
         let s = space(3);
         let mut rng = StdRng::seed_from_u64(2);
-        let frozen_row = *s.equal_share().job(1);
+        let frozen_row = *s.equal_share().unwrap().job(1);
         let (best, _) = maximize_acquisition(
             &s,
             OptimizerConfig::default(),
             |p| p.fraction(0, ResourceKind::LlcWays),
-            &[s.equal_share()],
+            &[s.equal_share().unwrap()],
             Some((1, frozen_row)),
             &HashSet::new(),
             &mut rng,
         )
+        .unwrap()
         .unwrap();
         assert_eq!(best.job(1), &frozen_row, "frozen job's row must be untouched");
         // Job 0 still maximized its ways subject to the freeze.
         assert!(
-            best.units(0, ResourceKind::LlcWays) > s.equal_share().units(0, ResourceKind::LlcWays)
+            best.units(0, ResourceKind::LlcWays)
+                > s.equal_share().unwrap().units(0, ResourceKind::LlcWays)
         );
     }
 
@@ -203,12 +211,12 @@ mod tests {
             &s,
             OptimizerConfig::default(),
             |p| p.features().iter().take(5).sum::<f64>(),
-            &[s.equal_share()],
+            &[s.equal_share().unwrap()],
             None,
             &tabu,
             &mut rng,
         );
-        let (best, _) = found.unwrap();
+        let (best, _) = found.unwrap().unwrap();
         assert_ne!(best, optimum);
     }
 
@@ -235,6 +243,7 @@ mod tests {
             &HashSet::new(),
             &mut rng,
         )
+        .unwrap()
         .unwrap();
         // The better optimum (job 1 maxed) should win despite the seed.
         assert_eq!(best, s.max_for_job(1).unwrap());

@@ -66,12 +66,13 @@ impl SearchSpace {
 
     /// The equal-division partition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Never panics: feasibility was checked at construction.
-    #[must_use]
-    pub fn equal_share(&self) -> Partition {
-        Partition::equal_share(&self.catalog, self.jobs).expect("space checked at construction")
+    /// Returns [`BoError::Space`] if the partition cannot be built; with a
+    /// space validated at construction this indicates an internal
+    /// inconsistency, surfaced as an error instead of a panic.
+    pub fn equal_share(&self) -> Result<Partition, BoError> {
+        Ok(Partition::equal_share(&self.catalog, self.jobs)?)
     }
 
     /// The extremum partition giving `job` everything possible.
@@ -84,8 +85,13 @@ impl SearchSpace {
     }
 
     /// A uniformly random feasible partition.
-    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Partition {
-        Partition::random(&self.catalog, self.jobs, rng).expect("space checked at construction")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::Space`] if the partition cannot be built (see
+    /// [`SearchSpace::equal_share`]).
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Partition, BoError> {
+        Ok(Partition::random(&self.catalog, self.jobs, rng)?)
     }
 
     /// GP feature encoding of a partition (normalized fractions).
@@ -99,8 +105,12 @@ impl SearchSpace {
     /// (the literal version of the paper's ORACLE sweep). The count is
     /// [`SearchSpace::size`]; callers should check it first — the testbed
     /// space for 3+ jobs runs into the hundreds of millions.
-    #[must_use]
-    pub fn enumerate(&self) -> Vec<Partition> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::Space`] if an enumerated composition fails the
+    /// partition feasibility checks (an internal inconsistency).
+    pub fn enumerate(&self) -> Result<Vec<Partition>, BoError> {
         // Per-resource: all compositions of units(r) into `jobs` positive
         // parts; the space is their Cartesian product.
         let per_resource: Vec<Vec<Vec<u32>>> = ResourceKind::ALL
@@ -120,10 +130,7 @@ impl SearchSpace {
                     clite_sim::alloc::JobAllocation::from_units(units)
                 })
                 .collect();
-            out.push(
-                Partition::from_rows(self.catalog, rows)
-                    .expect("enumerated compositions are feasible by construction"),
-            );
+            out.push(Partition::from_rows(self.catalog, rows)?);
             // Odometer increment.
             for ri in 0..NUM_RESOURCES {
                 indices[ri] += 1;
@@ -134,7 +141,7 @@ impl SearchSpace {
             }
             break;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -183,7 +190,7 @@ mod tests {
     fn enumeration_matches_size_formula() {
         let catalog = ResourceCatalog::new([4, 3, 3, 3, 3, 3]).unwrap();
         let s = SearchSpace::new(catalog, 2).unwrap();
-        let all = s.enumerate();
+        let all = s.enumerate().unwrap();
         assert_eq!(all.len() as u128, s.size());
         // All distinct.
         let set: std::collections::HashSet<_> = all.iter().cloned().collect();
@@ -194,17 +201,17 @@ mod tests {
     fn single_job_space_has_one_partition() {
         let s = SearchSpace::new(ResourceCatalog::testbed(), 1).unwrap();
         assert_eq!(s.size(), 1);
-        assert_eq!(s.enumerate().len(), 1);
+        assert_eq!(s.enumerate().unwrap().len(), 1);
     }
 
     #[test]
     fn generators_produce_right_shape() {
         let s = SearchSpace::new(ResourceCatalog::testbed(), 3).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(s.equal_share().job_count(), 3);
+        assert_eq!(s.equal_share().unwrap().job_count(), 3);
         assert_eq!(s.max_for_job(2).unwrap().job_count(), 3);
         assert!(s.max_for_job(3).is_err());
-        let p = s.random(&mut rng);
+        let p = s.random(&mut rng).unwrap();
         assert_eq!(s.encode(&p).len(), 18);
     }
 }

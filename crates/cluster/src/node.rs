@@ -4,6 +4,7 @@ use clite::config::CliteConfig;
 use clite::controller::CliteController;
 use clite::trace::CliteOutcome;
 use clite_sim::prelude::*;
+use clite_sim::testbed::{ServerFactory, TestbedFactory};
 use clite_telemetry::Telemetry;
 
 use crate::ClusterError;
@@ -17,31 +18,82 @@ pub struct PlacedJob {
     pub spec: JobSpec,
 }
 
+/// The result of probing one node for a tentative admission: the job and
+/// the CLITE search outcome on the node's committed set plus that job.
+///
+/// A plan is *speculative*: producing one ([`Node::plan_admission`]) does
+/// not change the node. The scheduler decides which plans count against a
+/// node's bookkeeping ([`Node::record_probe`]) and which single plan, if
+/// any, is committed ([`Node::commit_admission`]) — the split that lets
+/// threaded admission probe many nodes concurrently and still commit the
+/// exact placements a serial scan would.
+#[derive(Debug, Clone)]
+pub struct AdmissionPlan {
+    job: PlacedJob,
+    outcome: CliteOutcome,
+}
+
+impl AdmissionPlan {
+    /// Whether the search found a partition meeting every LC job's QoS.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.outcome.qos_met()
+    }
+
+    /// The job this plan would admit.
+    #[must_use]
+    pub fn job(&self) -> &PlacedJob {
+        &self.job
+    }
+
+    /// The admission search's outcome.
+    #[must_use]
+    pub fn outcome(&self) -> &CliteOutcome {
+        &self.outcome
+    }
+}
+
 /// One server of the fleet with its committed jobs and the most recent
 /// CLITE outcome for that job set.
+///
+/// Generic over the [`TestbedFactory`] used to build the per-search
+/// testbed; the default [`ServerFactory`] builds the in-process simulator.
 #[derive(Debug)]
-pub struct Node {
+pub struct Node<F: TestbedFactory = ServerFactory> {
     id: usize,
     catalog: ResourceCatalog,
     seed: u64,
+    factory: F,
     jobs: Vec<PlacedJob>,
     last_outcome: Option<CliteOutcome>,
     searches_run: usize,
     samples_spent: u64,
+    commits: u64,
 }
 
 impl Node {
-    /// Creates an empty node.
+    /// Creates an empty node backed by the simulated [`Server`].
     #[must_use]
     pub fn new(id: usize, catalog: ResourceCatalog, seed: u64) -> Self {
+        Self::with_factory(id, catalog, seed, ServerFactory)
+    }
+}
+
+impl<F: TestbedFactory> Node<F> {
+    /// Creates an empty node whose admission searches run on testbeds
+    /// built by `factory`.
+    #[must_use]
+    pub fn with_factory(id: usize, catalog: ResourceCatalog, seed: u64, factory: F) -> Self {
         Self {
             id,
             catalog,
             seed,
+            factory,
             jobs: Vec::new(),
             last_outcome: None,
             searches_run: 0,
             samples_spent: 0,
+            commits: 0,
         }
     }
 
@@ -77,7 +129,8 @@ impl Node {
         self.last_outcome.as_ref()
     }
 
-    /// Number of CLITE searches this node has run (admissions + removals).
+    /// Number of CLITE searches this node has been charged for
+    /// (admission probes + removals).
     #[must_use]
     pub fn searches_run(&self) -> usize {
         self.searches_run
@@ -89,6 +142,12 @@ impl Node {
         self.samples_spent
     }
 
+    /// Committed state changes (admissions + removals) so far.
+    #[must_use]
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
     /// Sum of the committed LC jobs' load fractions — a quick headroom
     /// proxy used by placement policies.
     #[must_use]
@@ -98,6 +157,55 @@ impl Node {
             .filter(|j| j.spec.class() == JobClass::LatencyCritical)
             .map(|j| j.spec.load.at(0.0))
             .sum()
+    }
+
+    /// Seed for the next search. A pure function of *committed* state, so
+    /// speculative probes — however many, in whatever order — never shift
+    /// the seeds of later searches. This is what makes threaded admission
+    /// bit-identical to serial.
+    fn search_seed(&self) -> u64 {
+        self.seed.wrapping_add(self.commits + 1)
+    }
+
+    /// Runs the admission search for `job` on the node's committed set
+    /// plus `job` *without changing the node*. Returns `Ok(None)` when the
+    /// node lacks physical capacity for one more job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller/simulator failures.
+    pub fn plan_admission(
+        &self,
+        job: PlacedJob,
+        config: &CliteConfig,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<AdmissionPlan>, ClusterError> {
+        if !self.catalog.supports_jobs(self.jobs.len() + 1) {
+            return Ok(None);
+        }
+        let mut tentative: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
+        tentative.push(job.spec.clone());
+        let seed = self.search_seed();
+        let mut testbed = self.factory.build(self.catalog, tentative, seed)?;
+        let controller = CliteController::new(config.clone().with_seed(seed));
+        let outcome = controller.run_with(&mut testbed, telemetry)?;
+        Ok(Some(AdmissionPlan { job, outcome }))
+    }
+
+    /// Charges a produced plan against this node's search/sample
+    /// bookkeeping. The scheduler calls this exactly for the probes a
+    /// serial scan would have paid for.
+    pub fn record_probe(&mut self, plan: &AdmissionPlan) {
+        self.searches_run += 1;
+        self.samples_spent += plan.outcome.samples_used() as u64;
+    }
+
+    /// Commits a feasible plan: the job joins the node and the plan's
+    /// partition becomes the committed outcome.
+    pub fn commit_admission(&mut self, plan: AdmissionPlan) {
+        self.jobs.push(plan.job);
+        self.last_outcome = Some(plan.outcome);
+        self.commits += 1;
     }
 
     /// Tries to admit `job`: runs a CLITE search on the tentative job set
@@ -130,17 +238,13 @@ impl Node {
         config: &CliteConfig,
         telemetry: &Telemetry<'_>,
     ) -> Result<bool, ClusterError> {
-        if !self.catalog.supports_jobs(self.jobs.len() + 1) {
+        let Some(plan) = self.plan_admission(job, config, telemetry)? else {
             return Ok(false);
-        }
-        let mut tentative: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
-        tentative.push(job.spec.clone());
-
-        let outcome = self.run_search(tentative, config, telemetry)?;
-        let feasible = outcome.qos_met();
+        };
+        self.record_probe(&plan);
+        let feasible = plan.feasible();
         if feasible {
-            self.jobs.push(job);
-            self.last_outcome = Some(outcome);
+            self.commit_admission(plan);
         }
         Ok(feasible)
     }
@@ -172,29 +276,20 @@ impl Node {
             .position(|j| j.id == job_id)
             .ok_or(ClusterError::UnknownJob { job: job_id })?;
         self.jobs.remove(idx);
+        self.commits += 1;
         if self.jobs.is_empty() {
             self.last_outcome = None;
             return Ok(());
         }
         let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
-        let outcome = self.run_search(specs, config, telemetry)?;
+        let seed = self.search_seed();
+        let mut testbed = self.factory.build(self.catalog, specs, seed)?;
+        let controller = CliteController::new(config.clone().with_seed(seed));
+        let outcome = controller.run_with(&mut testbed, telemetry)?;
+        self.searches_run += 1;
+        self.samples_spent += outcome.samples_used() as u64;
         self.last_outcome = Some(outcome);
         Ok(())
-    }
-
-    fn run_search(
-        &mut self,
-        specs: Vec<JobSpec>,
-        config: &CliteConfig,
-        telemetry: &Telemetry<'_>,
-    ) -> Result<CliteOutcome, ClusterError> {
-        self.searches_run += 1;
-        let seed = self.seed.wrapping_add(self.searches_run as u64);
-        let mut server = Server::new(self.catalog, specs, seed)?;
-        let controller = CliteController::new(config.clone().with_seed(seed));
-        let outcome = controller.run_with(&mut server, telemetry)?;
-        self.samples_spent += outcome.samples_used() as u64;
-        Ok(outcome)
     }
 }
 
@@ -223,6 +318,7 @@ mod tests {
         assert_eq!(n.job_count(), 1);
         assert!(n.last_outcome().is_some());
         assert!(n.searches_run() >= 1);
+        assert_eq!(n.commits(), 1);
     }
 
     #[test]
@@ -246,6 +342,45 @@ mod tests {
             .unwrap();
         assert!(!admitted);
         assert_eq!(n.job_count(), before, "rejected job must not linger");
+        assert_eq!(n.commits(), 2, "failed probes are not commits");
+    }
+
+    #[test]
+    fn plan_admission_leaves_node_untouched() {
+        let n = node();
+        let plan = n
+            .plan_admission(
+                PlacedJob { id: 7, spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.2) },
+                &quick_config(),
+                &Telemetry::disabled(),
+            )
+            .unwrap()
+            .unwrap();
+        assert!(plan.feasible());
+        assert_eq!(plan.job().id, 7);
+        assert_eq!(n.job_count(), 0);
+        assert_eq!(n.searches_run(), 0);
+        assert_eq!(n.samples_spent(), 0);
+    }
+
+    #[test]
+    fn plans_are_deterministic_for_committed_state() {
+        // Probing is pure: the same committed state yields byte-identical
+        // plans no matter how many times (or on which thread) it runs.
+        let n = node();
+        let probe = || {
+            n.plan_admission(
+                PlacedJob { id: 3, spec: JobSpec::latency_critical(WorkloadId::Xapian, 0.3) },
+                &quick_config(),
+                &Telemetry::disabled(),
+            )
+            .unwrap()
+            .unwrap()
+        };
+        let a = probe();
+        let b = probe();
+        assert_eq!(a.outcome().best_partition, b.outcome().best_partition);
+        assert_eq!(a.outcome().samples_used(), b.outcome().samples_used());
     }
 
     #[test]

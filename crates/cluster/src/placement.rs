@@ -2,6 +2,8 @@
 
 use serde::Serialize;
 
+use clite_sim::testbed::TestbedFactory;
+
 use crate::node::Node;
 
 /// In which order candidate nodes are tried for a new job.
@@ -35,9 +37,9 @@ impl PlacementPolicy {
     /// Candidate node ids in try-order, excluding nodes without physical
     /// capacity for one more job.
     #[must_use]
-    pub fn candidate_order(self, nodes: &[Node]) -> Vec<usize> {
+    pub fn candidate_order<F: TestbedFactory>(self, nodes: &[Node<F>]) -> Vec<usize> {
         let mut ids: Vec<usize> =
-            nodes.iter().filter(|n| n.has_capacity_for_one_more()).map(Node::id).collect();
+            nodes.iter().filter(|n| n.has_capacity_for_one_more()).map(|n| n.id()).collect();
         match self {
             PlacementPolicy::FirstFit => {}
             PlacementPolicy::LeastLoaded => {

@@ -3,18 +3,40 @@
 use clite::config::CliteConfig;
 use clite_bo::termination::Termination;
 use clite_sim::prelude::*;
+use clite_sim::testbed::{ServerFactory, TestbedFactory};
 use clite_telemetry::{Event, Telemetry};
 
-use crate::node::{Node, PlacedJob};
+use crate::node::{AdmissionPlan, Node, PlacedJob};
 use crate::placement::PlacementPolicy;
 use crate::stats::ClusterStats;
 use crate::ClusterError;
+
+/// How a submission's admission searches run across candidate nodes.
+///
+/// Both modes commit identical placements under a fixed seed: probe seeds
+/// are a pure function of each node's committed state, candidates are
+/// resolved in placement order, and only the probes a serial scan would
+/// have paid for are charged to node statistics. Threaded mode merely
+/// overlaps the (independent, speculative) per-node searches on
+/// `std::thread::scope` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Probe candidate nodes one at a time, stopping at the first
+    /// feasible one.
+    #[default]
+    Serial,
+    /// Probe every candidate node concurrently, then commit the first
+    /// feasible plan in placement order.
+    Threaded,
+}
 
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
     /// Node try-order policy.
     pub placement: PlacementPolicy,
+    /// Serial or threaded admission probing.
+    pub admission: AdmissionMode,
     /// CLITE configuration used for admission searches. The default uses
     /// a tighter iteration cap than a standalone run: admission needs a
     /// feasibility answer quickly, and the committed partition keeps
@@ -26,6 +48,7 @@ impl Default for SchedulerConfig {
     fn default() -> Self {
         Self {
             placement: PlacementPolicy::default(),
+            admission: AdmissionMode::default(),
             clite: CliteConfig::default()
                 .with_termination(Termination { max_iterations: 30, ..Termination::default() }),
         }
@@ -43,9 +66,13 @@ pub struct Placement {
 
 /// The fleet scheduler: submits jobs to nodes, testing QoS feasibility
 /// with a per-node CLITE search before committing.
+///
+/// Generic over the [`TestbedFactory`] its nodes probe with; the `Sync`
+/// bound lets threaded admission share the fleet across worker threads
+/// (factories are cheap stateless builders, so this costs nothing).
 #[derive(Debug)]
-pub struct ClusterScheduler {
-    nodes: Vec<Node>,
+pub struct ClusterScheduler<F: TestbedFactory = ServerFactory> {
+    nodes: Vec<Node<F>>,
     config: SchedulerConfig,
     next_job_id: u64,
     rejected: u64,
@@ -58,18 +85,45 @@ impl ClusterScheduler {
     ///
     /// Returns [`ClusterError::EmptyCluster`] for zero nodes.
     pub fn new(nodes: usize, config: SchedulerConfig, seed: u64) -> Result<Self, ClusterError> {
+        Self::with_factory(nodes, config, seed, ServerFactory)
+    }
+}
+
+impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
+    /// Builds a cluster of `nodes` identical machines whose admission
+    /// searches run on testbeds built by `factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] for zero nodes.
+    pub fn with_factory(
+        nodes: usize,
+        config: SchedulerConfig,
+        seed: u64,
+        factory: F,
+    ) -> Result<Self, ClusterError>
+    where
+        F: Clone,
+    {
         if nodes == 0 {
             return Err(ClusterError::EmptyCluster);
         }
         let nodes = (0..nodes)
-            .map(|i| Node::new(i, ResourceCatalog::testbed(), seed.wrapping_add(1000 * i as u64)))
+            .map(|i| {
+                Node::with_factory(
+                    i,
+                    ResourceCatalog::testbed(),
+                    seed.wrapping_add(1000 * i as u64),
+                    factory.clone(),
+                )
+            })
             .collect();
         Ok(Self { nodes, config, next_job_id: 0, rejected: 0 })
     }
 
     /// The fleet.
     #[must_use]
-    pub fn nodes(&self) -> &[Node] {
+    pub fn nodes(&self) -> &[Node<F>] {
         &self.nodes
     }
 
@@ -105,15 +159,85 @@ impl ClusterScheduler {
     ) -> Result<Option<Placement>, ClusterError> {
         let job_id = self.next_job_id;
         self.next_job_id += 1;
-        for node_id in self.config.placement.candidate_order(&self.nodes) {
-            let job = PlacedJob { id: job_id, spec: spec.clone() };
-            if self.nodes[node_id].try_admit_with(job, &self.config.clite, telemetry)? {
+        let order = self.config.placement.candidate_order(&self.nodes);
+        let winner = match self.config.admission {
+            AdmissionMode::Serial => self.admit_serial(&order, job_id, &spec, telemetry)?,
+            AdmissionMode::Threaded => self.admit_threaded(&order, job_id, &spec, telemetry)?,
+        };
+        match winner {
+            Some(node_id) => {
                 telemetry
                     .emit(Event::Placement { node: node_id, job: spec.workload.name().to_owned() });
-                return Ok(Some(Placement { job_id, node: node_id }));
+                Ok(Some(Placement { job_id, node: node_id }))
+            }
+            None => {
+                self.rejected += 1;
+                Ok(None)
             }
         }
-        self.rejected += 1;
+    }
+
+    /// Serial admission: probe candidates one at a time, committing to
+    /// the first feasible node.
+    fn admit_serial(
+        &mut self,
+        order: &[usize],
+        job_id: u64,
+        spec: &JobSpec,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<usize>, ClusterError> {
+        for &node_id in order {
+            let job = PlacedJob { id: job_id, spec: spec.clone() };
+            if self.nodes[node_id].try_admit_with(job, &self.config.clite, telemetry)? {
+                return Ok(Some(node_id));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Threaded admission: probe every candidate concurrently, then walk
+    /// the plans in placement order, charging each probed node and
+    /// committing the first feasible plan. Plans past the winner are
+    /// discarded *unrecorded* — a serial scan would never have run them —
+    /// so serial and threaded runs produce identical fleets and identical
+    /// statistics under a fixed seed.
+    fn admit_threaded(
+        &mut self,
+        order: &[usize],
+        job_id: u64,
+        spec: &JobSpec,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<usize>, ClusterError> {
+        let recorder = telemetry.recorder();
+        let config = &self.config.clite;
+        let nodes = &self.nodes;
+        let plans: Vec<Option<AdmissionPlan>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = order
+                .iter()
+                .map(|&node_id| {
+                    let job = PlacedJob { id: job_id, spec: spec.clone() };
+                    scope.spawn(move || {
+                        // Telemetry contexts are single-threaded (interior
+                        // phase-timer state), so each worker wraps the
+                        // shared thread-safe recorder in its own.
+                        let local = Telemetry::new(recorder);
+                        nodes[node_id].plan_admission(job, config, &local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .collect::<Result<Vec<_>, ClusterError>>()
+        })?;
+        for (plan, &node_id) in plans.into_iter().zip(order) {
+            let Some(plan) = plan else { continue };
+            self.nodes[node_id].record_probe(&plan);
+            if plan.feasible() {
+                self.nodes[node_id].commit_admission(plan);
+                return Ok(Some(node_id));
+            }
+        }
         Ok(None)
     }
 

@@ -2,6 +2,7 @@
 
 use serde::Serialize;
 
+use clite_sim::testbed::TestbedFactory;
 use clite_sim::workload::JobClass;
 
 use crate::node::Node;
@@ -43,7 +44,7 @@ pub struct ClusterStats {
 impl ClusterStats {
     /// Collects statistics from the fleet.
     #[must_use]
-    pub fn collect(nodes: &[Node], rejected: u64) -> Self {
+    pub fn collect<F: TestbedFactory>(nodes: &[Node<F>], rejected: u64) -> Self {
         let node_stats: Vec<NodeStats> = nodes
             .iter()
             .map(|n| {

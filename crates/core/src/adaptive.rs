@@ -14,7 +14,7 @@ use serde::Serialize;
 
 use clite_sim::alloc::Partition;
 use clite_sim::metrics::Observation;
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 
 use crate::controller::CliteController;
 use crate::score::{score_observation, ScoreBreakdown};
@@ -78,16 +78,16 @@ impl AdaptiveTrace {
     }
 }
 
-/// Runs CLITE adaptively on `server` until simulated time reaches
-/// `duration_s`: search → enforce best → monitor → re-invoke on sustained
-/// violation.
+/// Runs CLITE adaptively on `server` (any [`Testbed`] backend) until
+/// simulated time reaches `duration_s`: search → enforce best → monitor →
+/// re-invoke on sustained violation.
 ///
 /// # Errors
 ///
 /// Propagates controller errors ([`CliteError`]).
-pub fn run_adaptive(
+pub fn run_adaptive<T: Testbed>(
     controller: &CliteController,
-    server: &mut Server,
+    server: &mut T,
     duration_s: f64,
     config: AdaptiveConfig,
 ) -> Result<AdaptiveTrace, CliteError> {

@@ -24,7 +24,7 @@ use clite_bo::space::SearchSpace;
 use clite_bo::BoError;
 use clite_sim::alloc::{JobAllocation, Partition};
 use clite_sim::metrics::Observation;
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 use clite_sim::workload::JobClass;
 use clite_telemetry::{Event, Phase, StopReason, Telemetry};
 
@@ -52,18 +52,19 @@ impl CliteController {
         &self.config
     }
 
-    /// Runs one full search on `server` and returns the outcome. The
-    /// server is left with the last *sampled* partition enforced; callers
-    /// should enforce [`CliteOutcome::best_partition`] afterwards (the
-    /// adaptive runner does).
+    /// Runs one full search on `testbed` (any [`Testbed`] backend) and
+    /// returns the outcome. The testbed is left with the last *sampled*
+    /// partition enforced; callers should enforce
+    /// [`CliteOutcome::best_partition`] afterwards (the adaptive runner
+    /// does).
     ///
     /// # Errors
     ///
     /// Returns [`CliteError::Bo`] if the engine cannot fit a surrogate or
     /// produce a candidate, and [`CliteError::Sim`] for simulator
     /// rejections.
-    pub fn run(&self, server: &mut Server) -> Result<CliteOutcome, CliteError> {
-        self.run_with(server, &Telemetry::disabled())
+    pub fn run<T: Testbed>(&self, testbed: &mut T) -> Result<CliteOutcome, CliteError> {
+        self.run_with(testbed, &Telemetry::disabled())
     }
 
     /// [`run`](CliteController::run) with telemetry: every bootstrap
@@ -75,9 +76,9 @@ impl CliteController {
     /// # Errors
     ///
     /// See [`CliteController::run`].
-    pub fn run_with(
+    pub fn run_with<T: Testbed>(
         &self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<CliteOutcome, CliteError> {
         let jobs = server.job_count();
@@ -360,9 +361,9 @@ impl CliteController {
     /// extremum would starve everyone else). Dropout needs at least three
     /// co-located jobs: with two, freezing one row pins the whole
     /// partition.
-    fn select_dropout(
+    fn select_dropout<T: Testbed>(
         &self,
-        server: &Server,
+        server: &T,
         samples: &[SampleRecord],
         rng: &mut StdRng,
     ) -> Option<(usize, JobAllocation)> {
@@ -530,7 +531,10 @@ fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
 
 /// Returns the partition a run should leave enforced: the outcome's best.
 /// Small helper shared by the adaptive runner and experiments.
-pub fn enforce_best(server: &mut Server, best: &Partition) -> clite_sim::metrics::Observation {
+pub fn enforce_best<T: Testbed>(
+    server: &mut T,
+    best: &Partition,
+) -> clite_sim::metrics::Observation {
     server.observe(best)
 }
 

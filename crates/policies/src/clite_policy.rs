@@ -3,7 +3,7 @@
 use clite::config::CliteConfig;
 use clite::controller::CliteController;
 
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 use clite_telemetry::Telemetry;
 
 use crate::policy::{Policy, PolicyOutcome, PolicySample};
@@ -29,14 +29,14 @@ impl ClitePolicy {
     }
 }
 
-impl Policy for ClitePolicy {
+impl<T: Testbed> Policy<T> for ClitePolicy {
     fn name(&self) -> &'static str {
         "CLITE"
     }
 
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError> {
         let outcome = self.controller.run_with(server, telemetry)?;
@@ -51,7 +51,7 @@ impl Policy for ClitePolicy {
             })
             .collect();
         Ok(PolicyOutcome {
-            policy: self.name().to_owned(),
+            policy: Policy::<T>::name(self).to_owned(),
             best_partition: outcome.best_partition.clone(),
             best_score: outcome.best_score,
             qos_met: outcome.qos_met(),

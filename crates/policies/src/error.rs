@@ -42,3 +42,9 @@ impl From<SimError> for PolicyError {
         PolicyError::Sim(e)
     }
 }
+
+impl From<clite_bo::BoError> for PolicyError {
+    fn from(e: clite_bo::BoError) -> Self {
+        PolicyError::Clite(CliteError::from(e))
+    }
+}

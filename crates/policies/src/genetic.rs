@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use clite_sim::alloc::{JobAllocation, Partition};
 use clite_sim::resource::{ResourceKind, NUM_RESOURCES};
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 
 use clite_telemetry::Telemetry;
 
@@ -76,14 +76,14 @@ impl Default for Genetic {
     }
 }
 
-impl Policy for Genetic {
+impl<T: Testbed> Policy<T> for Genetic {
     fn name(&self) -> &'static str {
         "GENETIC"
     }
 
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
@@ -112,7 +112,7 @@ impl Policy for Genetic {
             let child = mutate(&crossover(&parent_a, &parent_b, &mut rng), &mut rng);
             observe_and_record_with(server, &child, &mut samples, telemetry);
         }
-        Ok(outcome_from_samples(self.name(), samples, false))
+        Ok(outcome_from_samples(Policy::<T>::name(self), samples, false))
     }
 }
 

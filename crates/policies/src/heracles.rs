@@ -16,7 +16,7 @@
 
 use clite_sim::alloc::Partition;
 use clite_sim::resource::{ResourceKind, NUM_RESOURCES};
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 
 use clite_telemetry::Telemetry;
 
@@ -55,14 +55,14 @@ impl Heracles {
     }
 }
 
-impl Policy for Heracles {
+impl<T: Testbed> Policy<T> for Heracles {
     fn name(&self) -> &'static str {
         "Heracles"
     }
 
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
@@ -73,7 +73,7 @@ impl Policy for Heracles {
 
         let Some(protected) = protected else {
             // No LC job at all: Heracles has nothing to protect.
-            return Ok(outcome_from_samples(self.name(), samples, false));
+            return Ok(outcome_from_samples(Policy::<T>::name(self), samples, false));
         };
 
         let mut resource_idx = 0usize;
@@ -124,7 +124,7 @@ impl Policy for Heracles {
             .last()
             .map(|s| s.observation.jobs[protected].qos_met == Some(false))
             .unwrap_or(true);
-        Ok(outcome_from_samples(self.name(), samples, gave_up))
+        Ok(outcome_from_samples(Policy::<T>::name(self), samples, gave_up))
     }
 }
 

@@ -9,8 +9,8 @@
 //! Exhaustively enumerating the testbed space (hundreds of millions of
 //! configurations for 3+ jobs) is pointless busywork even offline, so this
 //! reproduction grants ORACLE two privileges no online policy has:
-//! noise-free access to the simulator's ground truth
-//! ([`Server::ground_truth`]) and an unmetered evaluation budget, spent on
+//! noise-free access to the testbed's ground truth
+//! ([`OracleTestbed::ground_truth`]) and an unmetered evaluation budget, spent on
 //! exhaustive-ish multi-start steepest-ascent over the unit-transfer
 //! neighbourhood with memoization. The role in every figure is identical
 //! to the paper's: an upper bound. Its reported "samples" count the
@@ -25,7 +25,7 @@ use rand::SeedableRng;
 use clite::score::score_value;
 use clite_bo::space::SearchSpace;
 use clite_sim::alloc::Partition;
-use clite_sim::server::Server;
+use clite_sim::testbed::OracleTestbed;
 
 use clite_telemetry::Telemetry;
 
@@ -74,14 +74,14 @@ impl Default for Oracle {
     }
 }
 
-impl Policy for Oracle {
+impl<T: OracleTestbed> Policy<T> for Oracle {
     fn name(&self) -> &'static str {
         "ORACLE"
     }
 
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         _telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
@@ -100,11 +100,10 @@ impl Policy for Oracle {
         };
 
         let mut best: Option<(Partition, f64)> = None;
-        let space = SearchSpace::new(*server.catalog(), jobs)
-            .expect("server construction validated the space");
+        let space = SearchSpace::new(*server.catalog(), jobs)?;
         if space.size() <= self.config.exhaustive_cap {
             // Small space: the literal exhaustive sweep of the paper.
-            for p in space.enumerate() {
+            for p in space.enumerate()? {
                 let v = eval(&p, &mut memo, &mut evals);
                 if best.as_ref().is_none_or(|(_, bv)| v > *bv) {
                     best = Some((p, v));
@@ -152,7 +151,7 @@ impl Policy for Oracle {
         let score = score_value(&observation);
         let samples =
             vec![PolicySample { index: 0, partition: best_partition, observation, score }];
-        let mut outcome = outcome_from_samples(self.name(), samples, false);
+        let mut outcome = outcome_from_samples(Policy::<T>::name(self), samples, false);
         outcome.samples_to_qos = if outcome.qos_met { Some(evals) } else { None };
         // Overhead bookkeeping: expose the true evaluation count by
         // padding the index of the single stored sample.

@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use clite_sim::alloc::Partition;
 use clite_sim::resource::{ResourceKind, NUM_RESOURCES};
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 use clite_sim::workload::JobClass;
 
 use clite_telemetry::Telemetry;
@@ -77,14 +77,14 @@ impl Parties {
     }
 }
 
-impl Policy for Parties {
+impl<T: Testbed> Policy<T> for Parties {
     fn name(&self) -> &'static str {
         "PARTIES"
     }
 
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
@@ -201,7 +201,7 @@ impl Policy for Parties {
         {
             gave_up = true;
         }
-        Ok(outcome_from_samples(self.name(), samples, gave_up))
+        Ok(outcome_from_samples(Policy::<T>::name(self), samples, gave_up))
     }
 }
 
@@ -225,8 +225,8 @@ fn worst_violator(sample: &PolicySample) -> Option<usize> {
 /// Stealing from a job that barely meets (or misses) its own target just
 /// ping-pongs the violation between jobs — the FSM cycling the paper's
 /// Fig. 9b illustrates. Donors must keep one unit.
-fn pick_donor(
-    server: &Server,
+fn pick_donor<T: Testbed>(
+    server: &T,
     partition: &Partition,
     last_obs: &clite_sim::metrics::Observation,
     resource: ResourceKind,
@@ -263,8 +263,8 @@ fn pick_donor(
 /// donates one unit of the next non-blocked resource it holds to the BG
 /// job with the fewest units of it. `None` when there are no BG jobs or
 /// nothing is shrinkable.
-fn pick_shrink(
-    server: &Server,
+fn pick_shrink<T: Testbed>(
+    server: &T,
     partition: &Partition,
     last: &PolicySample,
     blocked: &[[bool; NUM_RESOURCES]],

@@ -5,7 +5,7 @@ use serde::Serialize;
 use clite::score::score_value;
 use clite_sim::alloc::Partition;
 use clite_sim::metrics::Observation;
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 use clite_telemetry::{Event, Phase, Telemetry};
 
 use crate::PolicyError;
@@ -75,7 +75,15 @@ impl PolicyOutcome {
 
 /// A co-location scheduling policy: partitions `server`'s resources until
 /// its own stopping rule fires, and reports everything it sampled.
-pub trait Policy {
+///
+/// Policies are generic over the [`Testbed`] backend they drive, so the
+/// same implementation runs against the noisy simulator, a memoized
+/// wrapper, or any future hardware adapter. Online policies bound `T` by
+/// plain [`Testbed`]; only ORACLE demands
+/// [`OracleTestbed`](clite_sim::testbed::OracleTestbed) (noise-free ground
+/// truth), which keeps the privileged channel out of reach of everything
+/// that is supposed to learn from measurements.
+pub trait Policy<T: Testbed> {
     /// The paper's name for this policy.
     fn name(&self) -> &'static str;
 
@@ -84,7 +92,7 @@ pub trait Policy {
     /// # Errors
     ///
     /// Returns [`PolicyError`] on simulator or internal failures.
-    fn run(&mut self, server: &mut Server) -> Result<PolicyOutcome, PolicyError> {
+    fn run(&mut self, server: &mut T) -> Result<PolicyOutcome, PolicyError> {
         self.run_with(server, &Telemetry::disabled())
     }
 
@@ -97,15 +105,15 @@ pub trait Policy {
     /// Returns [`PolicyError`] on simulator or internal failures.
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError>;
 }
 
 /// Shared helper: observe `partition` on `server`, score it, and append a
 /// [`PolicySample`]. Returns the sample's index.
-pub fn observe_and_record(
-    server: &mut Server,
+pub fn observe_and_record<T: Testbed>(
+    server: &mut T,
     partition: &Partition,
     samples: &mut Vec<PolicySample>,
 ) -> usize {
@@ -115,8 +123,8 @@ pub fn observe_and_record(
 /// [`observe_and_record`] with telemetry: times the observation window and
 /// the scoring as their profiling phases and emits one
 /// [`Event::QosViolation`] per LC job missing its target.
-pub fn observe_and_record_with(
-    server: &mut Server,
+pub fn observe_and_record_with<T: Testbed>(
+    server: &mut T,
     partition: &Partition,
     samples: &mut Vec<PolicySample>,
     telemetry: &Telemetry<'_>,

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use clite_sim::alloc::Partition;
-use clite_sim::server::Server;
+use clite_sim::testbed::Testbed;
 
 use clite_telemetry::Telemetry;
 
@@ -68,14 +68,14 @@ impl Default for RandomPlus {
     }
 }
 
-impl Policy for RandomPlus {
+impl<T: Testbed> Policy<T> for RandomPlus {
     fn name(&self) -> &'static str {
         "RAND+"
     }
 
     fn run_with(
         &mut self,
-        server: &mut Server,
+        server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<PolicyOutcome, PolicyError> {
         let jobs = server.job_count();
@@ -96,7 +96,7 @@ impl Policy for RandomPlus {
             observe_and_record_with(server, &candidate, &mut samples, telemetry);
             kept.push(candidate);
         }
-        Ok(outcome_from_samples(self.name(), samples, false))
+        Ok(outcome_from_samples(Policy::<T>::name(self), samples, false))
     }
 }
 

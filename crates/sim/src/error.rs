@@ -54,6 +54,9 @@ pub enum SimError {
         /// Number of jobs present.
         jobs: usize,
     },
+    /// A partition was built against a different resource catalog than the
+    /// machine it is being applied to.
+    CatalogMismatch,
     /// A server was constructed with no jobs.
     NoJobs,
     /// A load fraction outside `(0, 1]` was supplied for an LC job.
@@ -83,6 +86,9 @@ impl fmt::Display for SimError {
             }
             SimError::JobOutOfRange { job, jobs } => {
                 write!(f, "job index {job} out of range for {jobs} jobs")
+            }
+            SimError::CatalogMismatch => {
+                write!(f, "partition was built against a different resource catalog")
             }
             SimError::NoJobs => write!(f, "server requires at least one job"),
             SimError::InvalidLoad { load } => {

@@ -24,12 +24,18 @@
 //!   (knee of the isolation curve);
 //! * [`server::Server`] — the observable machine: apply a partition, run a
 //!   2-second observation window, read noisy per-job latency/throughput and
-//!   synthetic performance counters.
+//!   synthetic performance counters;
+//! * [`testbed`] — the [`testbed::Testbed`] trait abstracting that
+//!   enforce/observe contract, with [`server::Server`] as one adapter, a
+//!   caching [`testbed::MemoizedTestbed`] backend, and factories for
+//!   deferred (per-cluster-node) construction.
 //!
 //! Every policy in the reproduction (CLITE, PARTIES, Heracles, RAND+,
-//! GENETIC, ORACLE) interacts with the machine only through
-//! [`server::Server`], exactly as the real controllers interact with the
-//! isolation tools and performance counters of a physical node.
+//! GENETIC, ORACLE) interacts with the machine only through the
+//! [`testbed::Testbed`] trait, exactly as the real controllers interact
+//! with the isolation tools and performance counters of a physical node.
+//! Ground truth (noise-free evaluation) is fenced off behind
+//! [`testbed::OracleTestbed`] so only offline schemes can reach it.
 //!
 //! ## Example
 //!
@@ -61,6 +67,7 @@ pub mod perf;
 pub mod queueing;
 pub mod resource;
 pub mod server;
+pub mod testbed;
 pub mod workload;
 
 mod error;
@@ -75,6 +82,9 @@ pub mod prelude {
     pub use crate::queueing::QosSpec;
     pub use crate::resource::{ResourceCatalog, ResourceKind, NUM_RESOURCES};
     pub use crate::server::{JobSpec, MachineSpec, Server};
+    pub use crate::testbed::{
+        MemoizedTestbed, ObservationCache, OracleTestbed, ServerFactory, Testbed, TestbedFactory,
+    };
     pub use crate::workload::{JobClass, WorkloadId, WorkloadProfile};
     pub use crate::SimError;
 }

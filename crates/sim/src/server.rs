@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::alloc::Partition;
 use crate::counters::CounterSample;
-use crate::isolation::{enforce, EnforcementReport};
+use crate::isolation::{enforce as isolation_enforce, EnforcementReport};
 use crate::load::LoadSchedule;
 use crate::metrics::{JobObservation, Observation};
 use crate::noise::NoiseModel;
@@ -399,29 +399,61 @@ impl Server {
         self.jobs[job].spec.load.at(self.time_s)
     }
 
+    /// Applies `partition` through the isolation layer, making it the
+    /// current partition. Simulated time advances by the enforcement
+    /// overhead (re-applying the current partition is free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::JobCountMismatch`] if `partition` does not have
+    /// one row per co-located job, or [`SimError::CatalogMismatch`] if it
+    /// was built against a different catalog.
+    pub fn enforce(&mut self, partition: &Partition) -> Result<(), SimError> {
+        if partition.job_count() != self.jobs.len() {
+            return Err(SimError::JobCountMismatch {
+                expected: self.jobs.len(),
+                actual: partition.job_count(),
+            });
+        }
+        if *partition.catalog() != self.catalog {
+            return Err(SimError::CatalogMismatch);
+        }
+        let report: EnforcementReport = isolation_enforce(&self.current, partition);
+        self.enforcement_overhead_ms += report.overhead_ms;
+        self.time_s += report.overhead_ms / 1000.0;
+        self.current = partition.clone();
+        Ok(())
+    }
+
+    /// Runs one observation window under the currently enforced partition,
+    /// returning noisy per-job measurements. Simulated time advances by the
+    /// window length and the sample counter increments.
+    pub fn observe_window(&mut self) -> Observation {
+        let current = self.current.clone();
+        let obs = self.measure(&current, true);
+        self.time_s += self.window_s;
+        self.samples_observed += 1;
+        obs
+    }
+
+    /// Advances simulated time by one window length without measuring
+    /// (used by caching backends that skip a redundant window).
+    pub fn advance_window(&mut self) {
+        self.time_s += self.window_s;
+    }
+
     /// Applies `partition` through the isolation layer and runs one
     /// observation window, returning noisy per-job measurements. Simulated
     /// time advances by the window length plus the enforcement overhead.
     ///
     /// # Panics
     ///
-    /// Panics if `partition` does not have one row per co-located job
-    /// (a controller bug, not a runtime condition).
+    /// Panics if `partition` does not have one row per co-located job or
+    /// was built against a different catalog (a controller bug, not a
+    /// runtime condition).
     pub fn observe(&mut self, partition: &Partition) -> Observation {
-        assert_eq!(
-            partition.job_count(),
-            self.jobs.len(),
-            "partition rows must match co-located job count"
-        );
-        let report: EnforcementReport = enforce(&self.current, partition);
-        self.enforcement_overhead_ms += report.overhead_ms;
-        self.time_s += report.overhead_ms / 1000.0;
-        self.current = partition.clone();
-
-        let obs = self.measure(partition, true);
-        self.time_s += self.window_s;
-        self.samples_observed += 1;
-        obs
+        self.enforce(partition).expect("partition rows must match co-located job count");
+        self.observe_window()
     }
 
     /// Noise-free, time-free evaluation of `partition` — the privileged

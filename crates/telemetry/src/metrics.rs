@@ -20,7 +20,8 @@ const BUCKETS: usize = 21;
 /// A log-bucketed histogram with cumulative export.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSnapshot {
-    /// Per-bucket (non-cumulative) counts; parallel to [`bucket_bounds`],
+    /// Per-bucket (non-cumulative) counts; parallel to the log-spaced
+    /// bucket bounds (powers of two from 2^-30 to 2^30, step 2^3),
     /// with one extra overflow bucket at the end.
     pub counts: Vec<u64>,
     /// Number of observations.

@@ -15,7 +15,12 @@ use crate::metrics::MetricsRegistry;
 /// Implementations must never panic or otherwise fail the run: telemetry
 /// is observational, so sinks swallow their own I/O errors (counting
 /// drops where they can).
-pub trait Recorder {
+///
+/// Recorders are `Send + Sync` so one sink can be shared by concurrent
+/// admission searches (each worker thread wraps the shared recorder in
+/// its own thread-local [`Telemetry`](crate::Telemetry) context); the
+/// standard sinks already serialize internally through mutexes.
+pub trait Recorder: Send + Sync {
     /// Consumes one event.
     fn record(&self, event: &Event);
 }

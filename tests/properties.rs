@@ -149,7 +149,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let catalog = ResourceCatalog::testbed();
         let space = SearchSpace::new(catalog, 2).unwrap();
-        let xs: Vec<Vec<f64>> = (0..n).map(|_| space.encode(&space.random(&mut rng))).collect();
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|_| space.encode(&space.random(&mut rng).unwrap())).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() / x.len() as f64).collect();
         let gp = GaussianProcess::fit(
             Kernel::matern52(0.05, 0.5),
