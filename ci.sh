@@ -36,11 +36,22 @@ step "cargo test --workspace -q"
 cargo test --workspace -q
 
 if [[ "${1:-}" != "quick" ]]; then
-    # The workspace run above already covers this in debug; re-run the
-    # serial == threaded admission equivalence under release optimizations,
-    # where thread interleavings differ most.
+    # The workspace run above already covers these in debug; re-run the
+    # serial == threaded / incremental == scratch equivalences under
+    # release optimizations, where thread interleavings and float codegen
+    # differ most.
     step "cargo test -p clite-cluster --test threaded --release -q"
     cargo test -p clite-cluster --test threaded --release -q
+
+    step "cargo test -p clite-gp --test incremental --release -q"
+    cargo test -p clite-gp --test incremental --release -q
+
+    step "cargo test -p clite-bo --test parallel_determinism --release -q"
+    cargo test -p clite-bo --test parallel_determinism --release -q
+
+    # Benches must at least keep compiling (they are the perf record).
+    step "cargo bench --no-run"
+    cargo bench --no-run
 fi
 
 printf '\nCI green.\n'

@@ -9,15 +9,18 @@ use std::hint::black_box;
 
 use clite::score::score_value;
 use clite_bo::acquisition::Acquisition;
-use clite_bo::optimizer::{maximize_acquisition, OptimizerConfig};
+use clite_bo::engine::{BoConfig, BoEngine};
+use clite_bo::optimizer::{maximize_acquisition, EvalScratch, OptimizerConfig};
 use clite_bo::space::SearchSpace;
 use clite_gp::gp::{GaussianProcess, GpConfig};
 use clite_gp::kernel::Kernel;
+use clite_sim::alloc::Partition;
 use clite_sim::prelude::*;
+use clite_sim::resource::ResourceKind;
 use clite_sim::testbed::{MemoizedTestbed, Testbed};
 use clite_telemetry::{Event, MemoryRecorder, Phase, Telemetry};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn training_data(n: usize, jobs: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let space = SearchSpace::new(ResourceCatalog::testbed(), jobs).unwrap();
@@ -65,8 +68,9 @@ fn bench_acquisition(c: &mut Criterion) {
                 maximize_acquisition(
                     &space,
                     OptimizerConfig::default(),
-                    |p| {
-                        let (m, s) = gp.predict_std(&space.encode(p));
+                    |p: &Partition, scratch: &mut EvalScratch| {
+                        space.encode_into(p, &mut scratch.features);
+                        let (m, s) = gp.predict_std_into(&scratch.features, &mut scratch.gp);
                         acq.score(m, s, 0.7)
                     },
                     &[space.equal_share().unwrap()],
@@ -78,6 +82,204 @@ fn bench_acquisition(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+}
+
+/// Deterministic synthetic objective for the end-to-end `suggest()`
+/// benchmarks (the same family the engine tests climb).
+fn suggest_objective(p: &Partition) -> f64 {
+    let jobs = p.job_count();
+    0.6 * p.fraction(0, ResourceKind::Cores) + 0.4 * p.fraction(jobs - 1, ResourceKind::LlcWays)
+}
+
+/// An engine driven through a real bootstrap + suggest/record loop until
+/// it holds `n` observations. With the default `hyper_refresh_every = 5`
+/// and the `jobs + 1` bootstrap, none of the benchmarked sizes lands on a
+/// refresh round, so the cloned engine's next `suggest` measures the
+/// steady-state fast path (cached rank-1-extended surrogate, visitor
+/// climb).
+fn prepared_engine(jobs: usize, n: usize) -> BoEngine {
+    let space = SearchSpace::new(ResourceCatalog::testbed(), jobs).unwrap();
+    let mut engine = BoEngine::new(space, BoConfig::default(), 11);
+    for p in engine.bootstrap_samples().unwrap() {
+        let y = suggest_objective(&p);
+        engine.record(p, y);
+    }
+    while engine.len() < n {
+        let s = engine.suggest(None).unwrap();
+        let y = suggest_objective(&s.partition);
+        engine.record(s.partition, y);
+    }
+    engine
+}
+
+/// The pre-optimization GP, reconstructed from the public linear-algebra
+/// pieces: training points kept unscaled, so every covariance pays a
+/// division per coordinate per training pair (`Kernel::eval`), and every
+/// prediction allocates its `k_star` and solve vectors.
+struct BaselineGp {
+    kernel: Kernel,
+    xs: Vec<Vec<f64>>,
+    mean_y: f64,
+    alpha: Vec<f64>,
+    chol: clite_gp::linalg::Cholesky,
+}
+
+impl BaselineGp {
+    fn fit(kernel: Kernel, noise: f64, xs: Vec<Vec<f64>>, ys: &[f64]) -> Self {
+        let mut gram = kernel.gram(&xs);
+        gram.add_diagonal(noise);
+        let chol = clite_gp::linalg::Cholesky::decompose(&gram).unwrap();
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
+        let alpha = chol.solve(&centered).unwrap();
+        Self { kernel, xs, mean_y, alpha, chol }
+    }
+
+    fn predict_std(&self, x: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = self.mean_y + clite_gp::linalg::dot(&k_star, &self.alpha);
+        let v = self.chol.solve_lower(&k_star).unwrap();
+        let var = self.kernel.variance() - clite_gp::linalg::dot(&v, &v);
+        (mean, var.max(0.0).sqrt())
+    }
+}
+
+/// The pre-optimization `suggest()` hot path, reconstructed for
+/// comparison: every call re-encodes the history, refits the GP from
+/// scratch under the cached kernel (O(n³)), and hill-climbs over
+/// *materialized* neighbour lists with an allocating encode + predict per
+/// candidate. Start construction (incumbent + last + 4 random restarts +
+/// coin-flip jitter) mirrors the maximizer so the search effort matches,
+/// and the kernel is the engine's own grid-refresh winner so both sides
+/// climb the same EI landscape.
+fn baseline_suggest(
+    space: &SearchSpace,
+    history: &[(Partition, f64)],
+    visited: &HashSet<Partition>,
+    kernel: Kernel,
+    rng: &mut StdRng,
+) -> (Partition, f64) {
+    let xs: Vec<Vec<f64>> = history.iter().map(|(p, _)| space.encode(p)).collect();
+    let ys: Vec<f64> = history.iter().map(|(_, s)| *s).collect();
+    let best_score = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let gp = BaselineGp::fit(kernel, 1e-4, xs, &ys);
+    let acq = Acquisition::paper_default();
+    let eval = |p: &Partition| {
+        let f = space.encode(p);
+        let (m, s) = gp.predict_std(&f);
+        acq.score(m, s, best_score)
+    };
+
+    let best_p = history
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(p, _)| p.clone())
+        .expect("non-empty history");
+    let mut starts = vec![best_p, history.last().unwrap().0.clone()];
+    for _ in 0..4 {
+        starts.push(space.random(rng).unwrap());
+    }
+    let mut jittered = Vec::new();
+    for p in &starts {
+        if rng.gen_bool(0.5) {
+            let mut q = p.clone();
+            for _ in 0..rng.gen_range(1..=3) {
+                let neighbors = q.neighbors(None);
+                q = neighbors[rng.gen_range(0..neighbors.len())].clone();
+            }
+            jittered.push(q);
+        }
+    }
+    starts.extend(jittered);
+
+    let mut best: Option<(Partition, f64)> = None;
+    for start in starts {
+        let mut current = start;
+        let mut current_val = eval(&current);
+        for _ in 0..25 {
+            let neighbors = current.neighbors(None);
+            let mut moved = false;
+            for n in neighbors {
+                let v = eval(&n);
+                if v > current_val {
+                    current_val = v;
+                    current = n;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        if visited.contains(&current) {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(_, bv)| current_val > *bv) {
+            best = Some((current, current_val));
+        }
+    }
+    best.expect("baseline found a candidate")
+}
+
+/// End-to-end `suggest()` at growing history sizes on a small and a
+/// paper-sized job mix: the maintained-surrogate fast path against the
+/// reconstructed pre-optimization path. The acceptance bar for this PR is
+/// `suggest_new_5jobs_n60` at least 3x faster than
+/// `suggest_baseline_5jobs_n60`.
+fn bench_suggest(c: &mut Criterion) {
+    for &jobs in &[2usize, 5] {
+        for &n in &[10usize, 30, 60] {
+            let engine = prepared_engine(jobs, n);
+            c.bench_function(&format!("suggest_new_{jobs}jobs_n{n}"), |b| {
+                b.iter_batched(
+                    || engine.clone(),
+                    |mut e| e.suggest(None).unwrap(),
+                    BatchSize::SmallInput,
+                )
+            });
+
+            let space = SearchSpace::new(ResourceCatalog::testbed(), jobs).unwrap();
+            let history = engine.history().to_vec();
+            let visited: HashSet<Partition> = history.iter().map(|(p, _)| p.clone()).collect();
+            let kernel = engine.current_kernel().expect("refreshed engine").clone();
+            c.bench_function(&format!("suggest_baseline_{jobs}jobs_n{n}"), |b| {
+                b.iter_batched(
+                    || StdRng::seed_from_u64(23),
+                    |mut rng| {
+                        baseline_suggest(&space, &history, &visited, kernel.clone(), &mut rng)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+
+    // The record-time cost of growing the surrogate by one observation:
+    // rank-1 Cholesky extension (O(n²)) against the from-scratch refit
+    // (O(n³)) it replaces.
+    let engine = prepared_engine(5, 60);
+    let space = SearchSpace::new(ResourceCatalog::testbed(), 5).unwrap();
+    let xs: Vec<Vec<f64>> = engine.history().iter().map(|(p, _)| space.encode(p)).collect();
+    let ys: Vec<f64> = engine.history().iter().map(|(_, s)| *s).collect();
+    let kernel = Kernel::matern52(0.04, 0.3);
+    let config = GpConfig { noise_variance: 1e-4 };
+    let base =
+        GaussianProcess::fit(kernel.clone(), config, xs[..59].to_vec(), ys[..59].to_vec()).unwrap();
+    let (new_x, new_y) = (xs[59].clone(), ys[59]);
+    c.bench_function("gp_extend_rank1_n60", |b| {
+        b.iter(|| base.extended(black_box(new_x.clone()), black_box(new_y)).unwrap())
+    });
+    c.bench_function("gp_fit_scratch_n60", |b| {
+        b.iter(|| {
+            GaussianProcess::fit(
+                kernel.clone(),
+                config,
+                black_box(xs.clone()),
+                black_box(ys.clone()),
+            )
+            .unwrap()
+        })
     });
 }
 
@@ -168,5 +370,12 @@ fn bench_telemetry(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gp, bench_acquisition, bench_simulator, bench_telemetry);
+criterion_group!(
+    benches,
+    bench_gp,
+    bench_acquisition,
+    bench_suggest,
+    bench_simulator,
+    bench_telemetry
+);
 criterion_main!(benches);

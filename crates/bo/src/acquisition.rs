@@ -80,6 +80,26 @@ impl Acquisition {
             Acquisition::UpperConfidenceBound { beta } => mean + beta * std - best,
         }
     }
+
+    /// Upper bound on [`Acquisition::score`] given the exact posterior
+    /// mean and an *upper bound* `std_upper ≥ std` on the posterior
+    /// standard deviation. Gated hill-climbs use this to discard
+    /// candidates whose optimistic score cannot beat the incumbent step
+    /// value without paying for the exact variance.
+    ///
+    /// EI and UCB are non-decreasing in `std` (for EI, ∂EI/∂σ = φ(z) ≥ 0),
+    /// so scoring at `std_upper` bounds the score. PI is *not* monotone in
+    /// `std` when `mean > best + ζ` (shrinking σ drives it toward 1), so
+    /// that branch returns PI's global maximum of 1.
+    #[must_use]
+    pub fn score_upper_bound(&self, mean: f64, std_upper: f64, best: f64) -> f64 {
+        if let Acquisition::ProbabilityOfImprovement { zeta } = *self {
+            if mean > best + zeta {
+                return 1.0;
+            }
+        }
+        self.score(mean, std_upper, best)
+    }
 }
 
 impl Default for Acquisition {

@@ -20,15 +20,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use clite_gp::gp::{GaussianProcess, GpConfig};
-use clite_gp::hyper::{fit_best, HyperGrid};
+use clite_gp::gp::{GaussianProcess, GpConfig, PredictScratch};
+use clite_gp::hyper::{fit_best_threaded, HyperGrid};
 use clite_gp::kernel::{Kernel, KernelFamily};
 use clite_sim::alloc::{JobAllocation, Partition};
+use clite_sim::resource::NUM_RESOURCES;
 use clite_telemetry::{Event, Phase, Telemetry};
 
 use crate::acquisition::Acquisition;
 use crate::bootstrap::bootstrap_partitions;
-use crate::optimizer::{maximize_acquisition, OptimizerConfig};
+use crate::optimizer::{maximize_acquisition, AcquisitionEval, EvalScratch, OptimizerConfig};
 use crate::space::SearchSpace;
 use crate::BoError;
 
@@ -48,8 +49,12 @@ pub struct BoConfig {
     pub optimizer: OptimizerConfig,
     /// Re-run the hyperparameter grid every this many new observations
     /// (between refreshes the previous kernel is reused — hyperparameters
-    /// drift slowly).
+    /// drift slowly, and the surrogate is extended incrementally via a
+    /// rank-1 Cholesky update instead of refitted).
     pub hyper_refresh_every: usize,
+    /// Worker threads for the hyper-grid scan on refresh (1 = serial;
+    /// results are byte-identical for any value).
+    pub hyper_threads: usize,
 }
 
 impl Default for BoConfig {
@@ -61,7 +66,20 @@ impl Default for BoConfig {
             acquisition: Acquisition::paper_default(),
             optimizer: OptimizerConfig::default(),
             hyper_refresh_every: 5,
+            hyper_threads: 1,
         }
+    }
+}
+
+impl BoConfig {
+    /// Returns a copy with both parallel paths — the hyper-grid scan and
+    /// the acquisition multi-start climbs — using up to `threads` workers.
+    /// Suggestions are byte-identical for any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.hyper_threads = threads;
+        self.optimizer.threads = threads;
+        self
     }
 }
 
@@ -79,8 +97,128 @@ pub struct Suggestion {
     pub posterior_std: f64,
 }
 
+/// The engine's acquisition surface: GP posterior fed into the configured
+/// acquisition function, with the structural fast paths the hill climb
+/// exposes through [`AcquisitionEval::best_neighbor`]:
+///
+/// * **Transfer-incremental distances** — a climb step's neighbours each
+///   differ from the step base in exactly two feature coordinates (the
+///   donor's and recipient's fraction of the transferred resource), so the
+///   step caches the base's squared distances to every training point once
+///   and shifts them in O(n) per neighbour instead of recomputing O(n·d).
+/// * **Bound-gated variance** — the exact posterior mean is O(n); only the
+///   variance needs the O(n²) triangular solve. A cheap upper bound on the
+///   posterior std ([`GaussianProcess::gate_append`]) bounds the
+///   acquisition from above ([`Acquisition::score_upper_bound`]); a
+///   candidate whose optimistic score cannot beat the step's entry value
+///   (the floor never decreases within a step) is dropped without a solve.
+/// * **Batched variance solves** — steepest ascent needs every surviving
+///   neighbour's exact variance anyway, so the step resolves them all in
+///   one blocked multi-RHS forward substitution
+///   ([`GaussianProcess::batch_stds`]). A single candidate's solve is
+///   latency-bound on its own dependency chain; blocking four independent
+///   chains per pass is what breaks that bound.
+///
+/// All three leave climb trajectories — and therefore suggestions —
+/// unchanged: gated-out candidates provably could not have won, and the
+/// final argmax replays the serial visitor's first-strictly-better
+/// tie-breaking over enumeration order.
+struct SurrogateAcq<'a> {
+    gp: &'a GaussianProcess,
+    space: SearchSpace,
+    acquisition: Acquisition,
+    best_score: f64,
+}
+
+impl AcquisitionEval for SurrogateAcq<'_> {
+    fn eval(&self, p: &Partition, scratch: &mut EvalScratch) -> f64 {
+        self.space.encode_into(p, &mut scratch.features);
+        let (mean, std) = self.gp.predict_std_into(&scratch.features, &mut scratch.gp);
+        self.acquisition.score(mean, std, self.best_score)
+    }
+
+    fn best_neighbor(
+        &self,
+        current: &Partition,
+        frozen_job: Option<usize>,
+        floor: f64,
+        scratch: &mut EvalScratch,
+    ) -> Option<(Partition, f64)> {
+        let kernel = self.gp.kernel();
+        self.space.encode_into(current, &mut scratch.features);
+        self.gp.scaled_sq_dists_into(
+            &scratch.features,
+            &mut scratch.base_scaled,
+            &mut scratch.base_sq_dists,
+        );
+
+        // Pass 1 — per neighbour: shift the base distances, compute the
+        // exact mean and the optimistic score; keep only candidates the
+        // bound cannot rule out. Gating against the *entry* floor is sound
+        // because the running best within a step only rises above it.
+        scratch.kstar_flat.clear();
+        scratch.cand_means.clear();
+        scratch.cand_idx.clear();
+        let mut enum_idx = 0usize;
+        current.for_each_neighbor_transfer(frozen_job, |n, transfer| {
+            let idx = enum_idx;
+            enum_idx += 1;
+            let ri = transfer.resource.index();
+            let col_from = transfer.from * NUM_RESOURCES + ri;
+            let col_to = transfer.to * NUM_RESOURCES + ri;
+            let changes = [
+                (
+                    col_from,
+                    scratch.base_scaled[col_from],
+                    kernel.scaled_coord(col_from, n.fraction(transfer.from, transfer.resource)),
+                ),
+                (
+                    col_to,
+                    scratch.base_scaled[col_to],
+                    kernel.scaled_coord(col_to, n.fraction(transfer.to, transfer.resource)),
+                ),
+            ];
+            self.gp.shift_sq_dists(&scratch.base_sq_dists, changes, &mut scratch.neighbor_sq_dists);
+            let before = scratch.kstar_flat.len();
+            let gated = self.gp.gate_append(&scratch.neighbor_sq_dists, &mut scratch.kstar_flat);
+            let upper =
+                self.acquisition.score_upper_bound(gated.mean, gated.std_upper, self.best_score);
+            if upper <= floor {
+                scratch.kstar_flat.truncate(before);
+            } else {
+                scratch.cand_means.push(gated.mean);
+                scratch.cand_idx.push(idx);
+            }
+        });
+        if scratch.cand_idx.is_empty() {
+            return None;
+        }
+
+        // Pass 2 — all survivors' exact variances in one blocked solve.
+        self.gp.batch_stds(&scratch.kstar_flat, &mut scratch.v_flat, &mut scratch.cand_stds);
+
+        // Argmax with the serial visitor's semantics: first strictly-better
+        // candidate in enumeration order wins, seeded at `floor`.
+        let mut best: Option<usize> = None;
+        let mut best_val = floor;
+        for (i, (&mean, &std)) in scratch.cand_means.iter().zip(&scratch.cand_stds).enumerate() {
+            let v = self.acquisition.score(mean, std, self.best_score);
+            if v > best_val {
+                best_val = v;
+                best = Some(i);
+            }
+        }
+        best.map(|i| {
+            let n = current
+                .nth_neighbor(frozen_job, scratch.cand_idx[i])
+                .expect("index enumerated by for_each_neighbor_transfer");
+            (n, best_val)
+        })
+    }
+}
+
 /// The Bayesian-optimization engine over a partition search space.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BoEngine {
     space: SearchSpace,
     config: BoConfig,
@@ -89,6 +227,10 @@ pub struct BoEngine {
     rng: StdRng,
     kernel: Option<Kernel>,
     records_since_refresh: usize,
+    /// The maintained surrogate between hyper refreshes: kept in sync with
+    /// `history` by O(n²) rank-1 extensions in `record`, so `suggest` only
+    /// refits from scratch when the hyper grid is re-scanned.
+    surrogate: Option<GaussianProcess>,
 }
 
 impl BoEngine {
@@ -103,6 +245,7 @@ impl BoEngine {
             rng: StdRng::seed_from_u64(seed),
             kernel: None,
             records_since_refresh: 0,
+            surrogate: None,
         }
     }
 
@@ -110,6 +253,14 @@ impl BoEngine {
     #[must_use]
     pub fn space(&self) -> &SearchSpace {
         &self.space
+    }
+
+    /// The kernel chosen by the most recent hyper-grid refresh, if any
+    /// (diagnostics; also lets benchmarks pit alternative surrogate
+    /// implementations against the engine on the same EI landscape).
+    #[must_use]
+    pub fn current_kernel(&self) -> Option<&Kernel> {
+        self.kernel.as_ref()
     }
 
     /// The paper's informed bootstrap set for this space.
@@ -123,6 +274,29 @@ impl BoEngine {
 
     /// Records one evaluated configuration.
     pub fn record(&mut self, partition: Partition, score: f64) {
+        self.record_with(partition, score, &Telemetry::disabled());
+    }
+
+    /// [`record`](BoEngine::record) with telemetry: when a surrogate is
+    /// maintained and the next suggestion will not re-scan the hyper grid
+    /// anyway, the surrogate is extended in place by a rank-1 Cholesky
+    /// update (O(n²), timed as [`Phase::GpExtend`]) instead of being
+    /// refitted from scratch (O(n³)) on the next `suggest`.
+    pub fn record_with(&mut self, partition: Partition, score: f64, telemetry: &Telemetry<'_>) {
+        let refresh_next = self.kernel.is_none()
+            || self.records_since_refresh + 1 >= self.config.hyper_refresh_every;
+        if refresh_next {
+            // The next suggest refits from scratch; keeping the stale
+            // surrogate would only risk serving it by accident.
+            self.surrogate = None;
+        } else if let Some(gp) = self.surrogate.take() {
+            if gp.len() == self.history.len() {
+                let x = self.space.encode(&partition);
+                // A failed extension (and the fallback refit inside it)
+                // just drops the surrogate; the next suggest refits.
+                self.surrogate = telemetry.time(Phase::GpExtend, || gp.extended(x, score)).ok();
+            }
+        }
         self.visited.insert(partition.clone());
         self.history.push((partition, score));
         self.records_since_refresh += 1;
@@ -197,11 +371,11 @@ impl BoEngine {
         let gp = self.fit_surrogate_with(telemetry)?;
 
         let best_score = self.best().map(|(_, s)| s).unwrap_or(0.0);
-        let acquisition = self.config.acquisition;
-        let space = self.space;
-        let acq = |p: &Partition| {
-            let (mean, std) = gp.predict_std(&space.encode(p));
-            acquisition.score(mean, std, best_score)
+        let acq = SurrogateAcq {
+            gp: &gp,
+            space: self.space,
+            acquisition: self.config.acquisition,
+            best_score,
         };
 
         // Warm starts: the incumbent best and the most recent sample.
@@ -265,12 +439,15 @@ impl BoEngine {
     ) -> Result<Option<Suggestion>, BoError> {
         let gp = self.fit_surrogate_with(telemetry)?;
         let best_score = self.best().map(|(_, s)| s).ok_or(BoError::NoHistory)?;
+        let mut features = Vec::new();
+        let mut scratch = PredictScratch::default();
         let mut best: Option<(Partition, f64, f64)> = None;
         for n in candidates {
             if self.visited.contains(n) {
                 continue;
             }
-            let (mean, std) = gp.predict_std(&self.space.encode(n));
+            self.space.encode_into(n, &mut features);
+            let (mean, std) = gp.predict_std_into(&features, &mut scratch);
             if best.as_ref().is_none_or(|(_, m, _)| mean > *m) {
                 best = Some((n.clone(), mean, std));
             }
@@ -356,9 +533,18 @@ impl BoEngine {
         self.suggest_among_with(&candidates, telemetry)
     }
 
-    /// Fits (or refreshes) the GP surrogate on the recorded history,
-    /// attributing the time to [`Phase::GpFit`] and emitting
-    /// [`Event::GpRefit`] whenever the hyper-grid is re-scanned.
+    /// Fits (or refreshes) the GP surrogate on the recorded history.
+    ///
+    /// Three paths, cheapest first:
+    /// 1. between refreshes, the surrogate maintained by
+    ///    [`record_with`](BoEngine::record_with)'s rank-1 extensions is
+    ///    served directly (no linear algebra at all);
+    /// 2. if that surrogate was lost (extension failure, deserialized
+    ///    state), the history is refitted under the cached kernel
+    ///    (one O(n³) factorization, timed as [`Phase::GpFit`]);
+    /// 3. on hyper refresh, the full grid is re-scanned over a shared
+    ///    pairwise-distance matrix ([`fit_best_threaded`]), timed as
+    ///    [`Phase::GpFit`] and emitting [`Event::GpRefit`].
     fn fit_surrogate_with(
         &mut self,
         telemetry: &Telemetry<'_>,
@@ -366,16 +552,32 @@ impl BoEngine {
         if self.history.is_empty() {
             return Err(BoError::NoHistory);
         }
-        let xs: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| self.space.encode(p)).collect();
-        let ys: Vec<f64> = self.history.iter().map(|(_, s)| *s).collect();
         let gp_config = GpConfig { noise_variance: self.config.gp_noise };
 
         let refresh =
             self.kernel.is_none() || self.records_since_refresh >= self.config.hyper_refresh_every;
-        if refresh {
+        if !refresh {
+            if let Some(gp) = &self.surrogate {
+                if gp.len() == self.history.len() {
+                    return Ok(gp.clone());
+                }
+            }
+        }
+
+        let xs: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| self.space.encode(p)).collect();
+        let ys: Vec<f64> = self.history.iter().map(|(_, s)| *s).collect();
+
+        let fitted = if refresh {
             let template = Kernel::new(self.config.kernel_family, 1.0, 1.0);
             let fitted = telemetry.time(Phase::GpFit, || {
-                fit_best(&template, gp_config, &self.config.hyper_grid, &xs, &ys)
+                fit_best_threaded(
+                    &template,
+                    gp_config,
+                    &self.config.hyper_grid,
+                    &xs,
+                    &ys,
+                    self.config.hyper_threads,
+                )
             })?;
             self.kernel = Some(fitted.kernel().clone());
             self.records_since_refresh = 0;
@@ -386,11 +588,13 @@ impl BoEngine {
                 signal_variance: summary.signal_variance,
                 log_marginal: summary.log_marginal,
             });
-            Ok(fitted)
+            fitted
         } else {
             let kernel = self.kernel.clone().ok_or(BoError::KernelMissing)?;
-            Ok(telemetry.time(Phase::GpFit, || GaussianProcess::fit(kernel, gp_config, xs, ys))?)
-        }
+            telemetry.time(Phase::GpFit, || GaussianProcess::fit(kernel, gp_config, xs, ys))?
+        };
+        self.surrogate = Some(fitted.clone());
+        Ok(fitted)
     }
 }
 

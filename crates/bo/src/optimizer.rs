@@ -9,11 +9,12 @@
 //! set of seeds (incumbent-derived plus random restarts), optionally with
 //! one job's row frozen (dropout-copy, Sec. 4).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use clite_gp::gp::PredictScratch;
 use clite_sim::alloc::{JobAllocation, Partition};
 
 use crate::space::SearchSpace;
@@ -25,11 +26,121 @@ pub struct OptimizerConfig {
     pub random_restarts: usize,
     /// Maximum steepest-ascent steps per start point.
     pub max_steps: usize,
+    /// Worker threads for the independent hill-climb starts (1 = in-line
+    /// serial; results are byte-identical either way).
+    pub threads: usize,
 }
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
-        Self { random_restarts: 4, max_steps: 25 }
+        Self { random_restarts: 4, max_steps: 25, threads: 1 }
+    }
+}
+
+/// Reusable per-worker buffers threaded through every acquisition
+/// evaluation: the candidate's feature encoding plus the GP prediction
+/// scratch. One hill climb evaluates thousands of neighbours; with this
+/// scratch the whole climb allocates nothing per candidate.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Feature-encoding buffer (see `SearchSpace::encode_into`).
+    pub features: Vec<f64>,
+    /// GP prediction buffers.
+    pub gp: PredictScratch,
+    /// Scaled feature encoding of the current climb step's base partition
+    /// (batched evaluators only).
+    pub base_scaled: Vec<f64>,
+    /// Squared scaled distances from the step base to every training
+    /// point (batched evaluators only).
+    pub base_sq_dists: Vec<f64>,
+    /// Per-neighbour shifted squared distances (batched evaluators only).
+    pub neighbor_sq_dists: Vec<f64>,
+    /// Cross-covariance rows of every candidate that survived the bound
+    /// gate this step, concatenated (batched evaluators only).
+    pub kstar_flat: Vec<f64>,
+    /// Posterior means of the surviving candidates, same order as
+    /// `kstar_flat` rows.
+    pub cand_means: Vec<f64>,
+    /// Neighbour-enumeration indices of the surviving candidates.
+    pub cand_idx: Vec<usize>,
+    /// Exact posterior standard deviations of the surviving candidates
+    /// (filled by the batched solve).
+    pub cand_stds: Vec<f64>,
+    /// Batched triangular-solve scratch.
+    pub v_flat: Vec<f64>,
+    /// Memoized climb steps, keyed by the step's base partition. Multiple
+    /// starts converge to the same optima and replay identical neighbour
+    /// sweeps; each cache hit skips a full `best_neighbor` pass. Lives as
+    /// long as the scratch (one `maximize_acquisition` call), over which
+    /// the acquisition surface is fixed.
+    pub step_cache: HashMap<Partition, StepOutcome>,
+}
+
+/// A memoized [`AcquisitionEval::best_neighbor`] result.
+///
+/// Caching across differing floors is sound because the result is
+/// floor-independent whenever a winner exists: the running max returns the
+/// first enumeration-order argmax of the *whole* neighbourhood and its
+/// exact value (candidates at or below the floor can never tie a winner,
+/// whose value strictly exceeds the floor). A `None` result only certifies
+/// "no neighbour above this floor", so it is recorded with the floor it
+/// was computed at and replayed only for floors at least as high.
+#[derive(Debug, Clone)]
+pub enum StepOutcome {
+    /// The neighbourhood's first argmax and its value (floor-independent).
+    Best(Partition, f64),
+    /// No neighbour strictly exceeded the recorded floor.
+    NoneAtFloor(f64),
+}
+
+/// An acquisition surface a hill climb can evaluate, with an optional
+/// whole-step batched fast path.
+///
+/// The plain entry point is [`AcquisitionEval::eval`]; any
+/// `Fn(&Partition, &mut EvalScratch) -> f64 + Sync` closure implements the
+/// trait through it. Evaluators that can exploit the climb's structure
+/// (every candidate of a step differs from the step base by one unit
+/// transfer, and steepest ascent needs only the step's argmax) override
+/// [`AcquisitionEval::best_neighbor`].
+pub trait AcquisitionEval: Sync {
+    /// Exact acquisition value at `p`.
+    fn eval(&self, p: &Partition, scratch: &mut EvalScratch) -> f64;
+
+    /// Returns the neighbour of `current` (with `frozen_job` untouched)
+    /// whose acquisition value is highest, together with that value — or
+    /// `None` if no neighbour's value strictly exceeds `floor`.
+    ///
+    /// Ties must resolve to the *first* strictly-better neighbour in
+    /// [`Partition::for_each_neighbor_transfer`] enumeration order, i.e.
+    /// exactly what the default implementation (a running max seeded at
+    /// `floor`) produces. Implementations may evaluate candidates lazily
+    /// or in bulk as long as the returned pair is identical.
+    fn best_neighbor(
+        &self,
+        current: &Partition,
+        frozen_job: Option<usize>,
+        floor: f64,
+        scratch: &mut EvalScratch,
+    ) -> Option<(Partition, f64)> {
+        let mut best: Option<Partition> = None;
+        let mut best_val = floor;
+        current.for_each_neighbor(frozen_job, |n| {
+            let v = self.eval(n, scratch);
+            if v > best_val {
+                best_val = v;
+                best = Some(n.clone());
+            }
+        });
+        best.map(|p| (p, best_val))
+    }
+}
+
+impl<F> AcquisitionEval for F
+where
+    F: Fn(&Partition, &mut EvalScratch) -> f64 + Sync,
+{
+    fn eval(&self, p: &Partition, scratch: &mut EvalScratch) -> f64 {
+        self(p, scratch)
     }
 }
 
@@ -46,6 +157,14 @@ impl Default for OptimizerConfig {
 /// Returns `Ok(Some(_))` with the best candidate found and its acquisition
 /// value, or `Ok(None)` if every reachable candidate is tabu.
 ///
+/// The randomness (restart points, seed jitter) is consumed from `rng`
+/// serially up front; the climbs themselves are deterministic, so with
+/// `config.threads > 1` the independent starts run on `std::thread::scope`
+/// workers and an index-ordered reduction keeps the result **byte-identical
+/// to the serial path** (each start's outcome is a pure function of its
+/// start point, and the reduction replays the serial loop's first-strictly-
+/// better tie-breaking).
+///
 /// # Errors
 ///
 /// Returns [`BoError::Space`](crate::BoError::Space) if a random restart
@@ -53,7 +172,7 @@ impl Default for OptimizerConfig {
 pub fn maximize_acquisition(
     space: &SearchSpace,
     config: OptimizerConfig,
-    acq: impl Fn(&Partition) -> f64,
+    acq: impl AcquisitionEval,
     seeds: &[Partition],
     frozen: Option<(usize, JobAllocation)>,
     tabu: &HashSet<Partition>,
@@ -76,69 +195,123 @@ pub fn maximize_acquisition(
     }
     starts.extend(jittered);
 
-    let mut best: Option<(Partition, f64)> = None;
-    for start in starts {
-        // Apply the frozen row; skip starts that cannot host it.
-        let start = match &frozen {
-            Some((job, row)) => match start.with_frozen_row(*job, row) {
-                Ok(p) => p,
-                Err(_) => continue,
-            },
-            None => start,
-        };
+    // Apply the frozen row up front; skip starts that cannot host it.
+    let starts: Vec<Partition> = starts
+        .into_iter()
+        .filter_map(|start| match &frozen {
+            Some((job, row)) => start.with_frozen_row(*job, row).ok(),
+            None => Some(start),
+        })
+        .collect();
 
-        let mut current = start;
-        let mut current_val = acq(&current);
+    // Each start's candidate is independent of every other start: climb to
+    // a local optimum, then (only if it is tabu) fall back to its best
+    // non-tabu neighbour so the engine always gets fresh information.
+    let per_start = |start: &Partition, scratch: &mut EvalScratch| -> Option<(Partition, f64)> {
+        let mut current = start.clone();
+        let mut current_val = acq.eval(&current, scratch);
         for _ in 0..config.max_steps {
-            let mut improved = false;
-            for n in current.neighbors(frozen_job) {
-                let v = acq(&n);
-                if v > current_val {
+            let cached: Option<Option<(Partition, f64)>> = match scratch.step_cache.get(&current) {
+                Some(StepOutcome::Best(p, v)) => {
+                    Some(if *v > current_val { Some((p.clone(), *v)) } else { None })
+                }
+                Some(StepOutcome::NoneAtFloor(f)) if current_val >= *f => Some(None),
+                _ => None,
+            };
+            let step = match cached {
+                Some(step) => step,
+                None => {
+                    let step = acq.best_neighbor(&current, frozen_job, current_val, scratch);
+                    let outcome = match &step {
+                        Some((p, v)) => StepOutcome::Best(p.clone(), *v),
+                        None => StepOutcome::NoneAtFloor(current_val),
+                    };
+                    scratch.step_cache.insert(current.clone(), outcome);
+                    step
+                }
+            };
+            match step {
+                Some((n, v)) => {
                     current = n;
                     current_val = v;
-                    improved = true;
                 }
-            }
-            if !improved {
-                break;
+                None => break,
             }
         }
 
-        if !tabu.contains(&current) && best.as_ref().is_none_or(|(_, bv)| current_val > *bv) {
-            best = Some((current, current_val));
-        } else if tabu.contains(&current) {
-            // The climb ended on a sampled point; take its best non-tabu
-            // neighbour instead so the engine always gets fresh information.
-            let mut alt: Option<(Partition, f64)> = None;
-            for n in current.neighbors(frozen_job) {
-                if tabu.contains(&n) {
-                    continue;
-                }
-                let v = acq(&n);
-                if alt.as_ref().is_none_or(|(_, av)| v > *av) {
-                    alt = Some((n, v));
-                }
+        if !tabu.contains(&current) {
+            return Some((current, current_val));
+        }
+        // The tabu fallback is a once-per-climb corner case, so it takes
+        // the exact (unbatched) path.
+        let mut alt: Option<(Partition, f64)> = None;
+        current.for_each_neighbor(frozen_job, |n| {
+            if tabu.contains(n) {
+                return;
             }
-            if let Some((p, v)) = alt {
-                if best.as_ref().is_none_or(|(_, bv)| v > *bv) {
-                    best = Some((p, v));
-                }
+            let v = acq.eval(n, scratch);
+            if alt.as_ref().is_none_or(|(_, av)| v > *av) {
+                alt = Some((n.clone(), v));
             }
+        });
+        alt
+    };
+
+    let threads = config.threads.max(1).min(starts.len().max(1));
+    let candidates: Vec<Option<(Partition, f64)>> = if threads == 1 {
+        let mut scratch = EvalScratch::default();
+        starts.iter().map(|s| per_start(s, &mut scratch)).collect()
+    } else {
+        let mut indexed: Vec<(usize, Option<(Partition, f64)>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let per_start = &per_start;
+                    let starts = &starts;
+                    scope.spawn(move || {
+                        let mut scratch = EvalScratch::default();
+                        starts
+                            .iter()
+                            .enumerate()
+                            .skip(worker)
+                            .step_by(threads)
+                            .map(|(idx, s)| (idx, per_start(s, &mut scratch)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("climb worker must not panic"))
+                .collect()
+        });
+        indexed.sort_by_key(|(idx, _)| *idx);
+        indexed.into_iter().map(|(_, c)| c).collect()
+    };
+
+    let mut best: Option<(Partition, f64)> = None;
+    for (partition, value) in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(_, bv)| value > *bv) {
+            best = Some((partition, value));
         }
     }
     Ok(best)
 }
 
 /// Applies 1–3 random feasible unit transfers to diversify a start point.
+/// Each transfer is sampled directly by index ([`Partition::nth_neighbor`])
+/// instead of materializing the full neighbour list; the RNG draw sequence
+/// (`1..=3`, then one index per move) matches the old materializing
+/// implementation, so jittered starts are unchanged.
 fn jitter(p: &Partition, frozen_job: Option<usize>, rng: &mut StdRng) -> Partition {
     let mut out = p.clone();
     let moves = rng.gen_range(1..=3);
     for _ in 0..moves {
-        let neighbors = out.neighbors(frozen_job);
-        if neighbors.is_empty() {
+        let count = out.neighbor_count(frozen_job);
+        if count == 0 {
             break;
         }
-        out = neighbors[rng.gen_range(0..neighbors.len())].clone();
+        let index = rng.gen_range(0..count);
+        out = out.nth_neighbor(frozen_job, index).expect("index < neighbor_count");
     }
     out
 }
@@ -162,7 +335,7 @@ mod tests {
         let (best, val) = maximize_acquisition(
             &s,
             OptimizerConfig::default(),
-            |p| p.fraction(0, ResourceKind::Cores),
+            |p: &Partition, _: &mut EvalScratch| p.fraction(0, ResourceKind::Cores),
             &[s.equal_share().unwrap()],
             None,
             &HashSet::new(),
@@ -182,7 +355,7 @@ mod tests {
         let (best, _) = maximize_acquisition(
             &s,
             OptimizerConfig::default(),
-            |p| p.fraction(0, ResourceKind::LlcWays),
+            |p: &Partition, _: &mut EvalScratch| p.fraction(0, ResourceKind::LlcWays),
             &[s.equal_share().unwrap()],
             Some((1, frozen_row)),
             &HashSet::new(),
@@ -210,7 +383,7 @@ mod tests {
         let found = maximize_acquisition(
             &s,
             OptimizerConfig::default(),
-            |p| p.features().iter().take(5).sum::<f64>(),
+            |p: &Partition, _: &mut EvalScratch| p.features().iter().take(5).sum::<f64>(),
             &[s.equal_share().unwrap()],
             None,
             &tabu,
@@ -228,15 +401,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let target_a = s.max_for_job(0).unwrap().features();
         let target_b = s.max_for_job(1).unwrap().features();
-        let acq = |p: &Partition| {
-            let f = p.features();
+        let acq = |p: &Partition, scratch: &mut EvalScratch| {
+            p.features_into(&mut scratch.features);
+            let f = &scratch.features;
             let da: f64 = f.iter().zip(&target_a).map(|(x, t)| (x - t).abs()).sum();
             let db: f64 = f.iter().zip(&target_b).map(|(x, t)| (x - t).abs()).sum();
             (-da).exp() + 1.5 * (-db).exp()
         };
         let (best, _) = maximize_acquisition(
             &s,
-            OptimizerConfig { random_restarts: 8, max_steps: 40 },
+            OptimizerConfig { random_restarts: 8, max_steps: 40, threads: 1 },
             acq,
             &[s.max_for_job(0).unwrap()],
             None,
@@ -247,5 +421,66 @@ mod tests {
         .unwrap();
         // The better optimum (job 1 maxed) should win despite the seed.
         assert_eq!(best, s.max_for_job(1).unwrap());
+    }
+
+    #[test]
+    fn parallel_starts_byte_identical_to_serial() {
+        let s = space(3);
+        let target = s.max_for_job(1).unwrap().features();
+        let acq = |p: &Partition, scratch: &mut EvalScratch| {
+            p.features_into(&mut scratch.features);
+            let d: f64 = scratch.features.iter().zip(&target).map(|(x, t)| (x - t).abs()).sum();
+            (-d).exp()
+        };
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            maximize_acquisition(
+                &s,
+                OptimizerConfig { random_restarts: 6, max_steps: 30, threads },
+                acq,
+                &[s.equal_share().unwrap()],
+                None,
+                &HashSet::new(),
+                &mut rng,
+            )
+            .unwrap()
+            .unwrap()
+        };
+        let (serial_p, serial_v) = run(1);
+        for threads in [2, 4, 16] {
+            let (p, v) = run(threads);
+            assert_eq!(serial_p, p, "threads={threads}");
+            assert_eq!(serial_v.to_bits(), v.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tabu_climb_endpoint_falls_back_identically_in_parallel() {
+        // Constant acquisition: every climb ends where it starts, and the
+        // equal-share seed is tabu — forcing the alt-neighbour path on
+        // every thread count.
+        let s = space(2);
+        let seed = s.equal_share().unwrap();
+        let mut tabu = HashSet::new();
+        tabu.insert(seed.clone());
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(12);
+            maximize_acquisition(
+                &s,
+                OptimizerConfig { random_restarts: 2, max_steps: 5, threads },
+                |_: &Partition, _: &mut EvalScratch| 1.0,
+                std::slice::from_ref(&seed),
+                None,
+                &tabu,
+                &mut rng,
+            )
+            .unwrap()
+            .unwrap()
+        };
+        let serial = run(1);
+        assert_ne!(serial.0, seed, "tabu point must not be returned");
+        for threads in [2, 8] {
+            assert_eq!(serial, run(threads));
+        }
     }
 }

@@ -101,6 +101,13 @@ impl SearchSpace {
         partition.features()
     }
 
+    /// [`SearchSpace::encode`] into a caller-provided buffer — the
+    /// allocation-free twin for the acquisition hot loop.
+    pub fn encode_into(&self, partition: &Partition, out: &mut Vec<f64>) {
+        debug_assert_eq!(partition.job_count(), self.jobs);
+        partition.features_into(out);
+    }
+
     /// Exhaustively enumerates **every** feasible partition of this space
     /// (the literal version of the paper's ORACLE sweep). The count is
     /// [`SearchSpace::size`]; callers should check it first — the testbed

@@ -113,7 +113,7 @@ impl CliteController {
                     infeasible.push(j);
                 }
             }
-            engine.record(partition.clone(), score.value);
+            engine.record_with(partition.clone(), score.value, telemetry);
             samples.push(SampleRecord {
                 index: samples.len(),
                 bootstrap: true,
@@ -238,7 +238,7 @@ impl CliteController {
                     samples_to_qos = Some(samples.len());
                 }
                 let sample_score = score.value;
-                engine.record(suggestion.partition.clone(), sample_score);
+                engine.record_with(suggestion.partition.clone(), sample_score, telemetry);
                 samples.push(SampleRecord {
                     index: samples.len(),
                     bootstrap: false,
@@ -313,7 +313,7 @@ impl CliteController {
                 }
                 // Feed the corrected evidence back to the surrogate: the same
                 // point with a second (independent) noisy measurement.
-                engine.record(p.clone(), score.value);
+                engine.record_with(p.clone(), score.value, telemetry);
                 samples.push(SampleRecord {
                     index: samples.len(),
                     bootstrap: false,

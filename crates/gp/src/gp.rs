@@ -15,8 +15,10 @@
 //! "mitigates this overhead by carefully limiting the number of sampled
 //! data points").
 
+use std::sync::Arc;
+
 use crate::kernel::Kernel;
-use crate::linalg::{dot, Cholesky};
+use crate::linalg::{dot, Cholesky, Matrix};
 use crate::GpError;
 
 /// Non-kernel GP configuration.
@@ -50,16 +52,77 @@ pub struct FitSummary {
     pub log_marginal: f64,
 }
 
+/// Reusable scratch buffers for [`GaussianProcess::predict_into`].
+///
+/// Acquisition maximization performs tens of thousands of predictions per
+/// `suggest()`; routing them through one scratch value makes the hot path
+/// allocation-free after the first call.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    k_star: Vec<f64>,
+    v: Vec<f64>,
+    scaled: Vec<f64>,
+}
+
+/// Posterior mean plus a cheap *upper bound* on the posterior standard
+/// deviation, produced by [`GaussianProcess::gate_append`] without
+/// the O(n²) triangular solve. Acquisition climbs use the bound to skip
+/// the solve for candidates that provably cannot beat the incumbent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatedPrediction {
+    /// Exact posterior mean.
+    pub mean: f64,
+    /// Upper bound on the posterior standard deviation (`std <= std_upper`
+    /// always; equality is not approached in general).
+    pub std_upper: f64,
+}
+
 /// A fitted Gaussian process.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
     kernel: Kernel,
     config: GpConfig,
-    xs: Vec<Vec<f64>>,
+    xs: Arc<Vec<Vec<f64>>>,
+    ys: Arc<Vec<f64>>,
+    /// Training inputs pre-divided by the kernel lengthscales, so each
+    /// prediction scales its query once and computes every cross-covariance
+    /// with multiply/adds only.
+    scaled_xs: Vec<Vec<f64>>,
+    /// Row sums of `K + σₙ²I` (all entries of a stationary kernel matrix
+    /// are positive, so these are also the absolute row sums). Their max
+    /// bounds `λ_max`, which powers the variance bound in
+    /// [`GaussianProcess::gate_append`]; kept as a vector so
+    /// [`GaussianProcess::extended`] can update them in O(n).
+    row_sums: Vec<f64>,
+    /// `max(row_sums)`, precomputed so the gate pays zero per-candidate
+    /// reduction cost.
+    inf_norm: f64,
     mean_y: f64,
     alpha: Vec<f64>,
     chol: Cholesky,
     log_marginal: f64,
+}
+
+fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<usize, GpError> {
+    if xs.is_empty() {
+        return Err(GpError::EmptyTrainingSet);
+    }
+    if xs.len() != ys.len() {
+        return Err(GpError::LengthMismatch { inputs: xs.len(), targets: ys.len() });
+    }
+    let dim = xs[0].len();
+    for x in xs {
+        if x.len() != dim {
+            return Err(GpError::DimensionMismatch { expected: dim, actual: x.len() });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteValue);
+        }
+    }
+    if ys.iter().any(|v| !v.is_finite()) {
+        return Err(GpError::NonFiniteValue);
+    }
+    Ok(dim)
 }
 
 impl GaussianProcess {
@@ -77,40 +140,149 @@ impl GaussianProcess {
         xs: Vec<Vec<f64>>,
         ys: Vec<f64>,
     ) -> Result<Self, GpError> {
-        if xs.is_empty() {
-            return Err(GpError::EmptyTrainingSet);
-        }
-        if xs.len() != ys.len() {
-            return Err(GpError::LengthMismatch { inputs: xs.len(), targets: ys.len() });
-        }
-        let dim = xs[0].len();
-        for x in &xs {
-            if x.len() != dim {
-                return Err(GpError::DimensionMismatch { expected: dim, actual: x.len() });
-            }
-            if x.iter().any(|v| !v.is_finite()) {
-                return Err(GpError::NonFiniteValue);
-            }
-        }
-        if ys.iter().any(|v| !v.is_finite()) {
-            return Err(GpError::NonFiniteValue);
+        Self::fit_shared(kernel, config, Arc::new(xs), Arc::new(ys))
+    }
+
+    /// Like [`GaussianProcess::fit`] but shares the training data instead
+    /// of owning a private copy — hyper-parameter grid search fits the same
+    /// `(X, y)` under many kernels and should not clone it per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GaussianProcess::fit`].
+    pub fn fit_shared(
+        kernel: Kernel,
+        config: GpConfig,
+        xs: Arc<Vec<Vec<f64>>>,
+        ys: Arc<Vec<f64>>,
+    ) -> Result<Self, GpError> {
+        validate(&xs, &ys)?;
+        let gram = kernel.gram(&xs);
+        Self::fit_with_gram(kernel, config, xs, ys, gram)
+    }
+
+    /// Fits from a precomputed noise-free Gram matrix `K = k(X, X)`. This
+    /// is the shared-distance grid-search entry point: the caller builds
+    /// `K` per grid point from one pairwise-distance matrix
+    /// ([`Kernel::gram_from_distances`]) and this constructor only pays for
+    /// the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GaussianProcess::fit`], plus
+    /// [`GpError::ShapeMismatch`] if `gram` is not `n × n`.
+    pub fn fit_with_gram(
+        kernel: Kernel,
+        config: GpConfig,
+        xs: Arc<Vec<Vec<f64>>>,
+        ys: Arc<Vec<f64>>,
+        mut gram: Matrix,
+    ) -> Result<Self, GpError> {
+        validate(&xs, &ys)?;
+        let n = xs.len();
+        if gram.rows() != n || gram.cols() != n {
+            return Err(GpError::ShapeMismatch { op: "fit_with_gram" });
         }
 
-        let n = xs.len();
         let mean_y = ys.iter().sum::<f64>() / n as f64;
         let centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
 
-        let mut k = kernel.gram(&xs);
-        k.add_diagonal(config.noise_variance.max(0.0));
-        let chol = Cholesky::decompose(&k)?;
+        gram.add_diagonal(config.noise_variance.max(0.0));
+        let row_sums: Vec<f64> =
+            (0..n).map(|i| (0..n).map(|j| gram[(i, j)]).sum::<f64>()).collect();
+        let inf_norm = row_sums.iter().fold(0.0_f64, |m, &s| m.max(s));
+        let chol = Cholesky::decompose(&gram)?;
         let alpha = chol.solve(&centered)?;
+        let log_marginal = log_marginal(&centered, &alpha, &chol);
+        let scaled_xs = scale_all(&kernel, &xs);
 
-        // log p(y|X) = −½ yᵀα − ½ log|K| − (n/2) log 2π
-        let log_marginal = -0.5 * dot(&centered, &alpha)
-            - 0.5 * chol.log_determinant()
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok(Self {
+            kernel,
+            config,
+            xs,
+            ys,
+            scaled_xs,
+            row_sums,
+            inf_norm,
+            mean_y,
+            alpha,
+            chol,
+            log_marginal,
+        })
+    }
 
-        Ok(Self { kernel, config, xs, mean_y, alpha, chol, log_marginal })
+    /// Returns a new GP with one extra observation `(x, y)`, reusing this
+    /// fit's Cholesky factor via a rank-1 border extension — O(n²) instead
+    /// of the O(n³) from-scratch refactorization, which is what makes
+    /// recording between hyper refreshes cheap. Falls back to a full refit
+    /// (same kernel) if the extended factor is numerically not positive
+    /// definite, so the result matches a from-scratch fit to working
+    /// precision either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] / [`GpError::NonFiniteValue`]
+    /// for malformed input and [`GpError::NotPositiveDefinite`] if even the
+    /// fallback refit fails.
+    pub fn extended(&self, x: Vec<f64>, y: f64) -> Result<Self, GpError> {
+        if x.len() != self.dim() {
+            return Err(GpError::DimensionMismatch { expected: self.dim(), actual: x.len() });
+        }
+        if x.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err(GpError::NonFiniteValue);
+        }
+
+        let k = self.kernel.cross(&x, &self.xs);
+        let diag = self.kernel.variance() + self.config.noise_variance.max(0.0);
+
+        let mut xs: Vec<Vec<f64>> = Vec::clone(&self.xs);
+        let mut ys: Vec<f64> = Vec::clone(&self.ys);
+        xs.push(x);
+        ys.push(y);
+        let (xs, ys) = (Arc::new(xs), Arc::new(ys));
+
+        let chol = match self.chol.extend(&k, diag) {
+            Ok(c) => c,
+            // The jitter ladder in `decompose` can rescue borderline cases
+            // a fixed-jitter border extension cannot.
+            Err(GpError::NotPositiveDefinite) => {
+                return Self::fit_shared(self.kernel.clone(), self.config, xs, ys);
+            }
+            Err(e) => return Err(e),
+        };
+
+        // The empirical mean shifts with the new target, so α must be
+        // re-solved against the extended factor — still O(n²).
+        let n = ys.len();
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|v| v - mean_y).collect();
+        let alpha = chol.solve(&centered)?;
+        let log_marginal = log_marginal(&centered, &alpha, &chol);
+
+        let mut scaled_xs = self.scaled_xs.clone();
+        let mut scaled = Vec::new();
+        self.kernel.scale_into(xs.last().expect("just pushed"), &mut scaled);
+        scaled_xs.push(scaled);
+
+        // Bordering `K + σₙ²I` with the cross-covariance row updates every
+        // row sum by one entry and appends the new row's own sum.
+        let mut row_sums: Vec<f64> = self.row_sums.iter().zip(&k).map(|(s, ki)| s + ki).collect();
+        row_sums.push(k.iter().sum::<f64>() + diag);
+        let inf_norm = row_sums.iter().fold(0.0_f64, |m, &s| m.max(s));
+
+        Ok(Self {
+            kernel: self.kernel.clone(),
+            config: self.config,
+            xs,
+            ys,
+            scaled_xs,
+            row_sums,
+            inf_norm,
+            mean_y,
+            alpha,
+            chol,
+            log_marginal,
+        })
     }
 
     /// Number of training points.
@@ -164,20 +336,45 @@ impl GaussianProcess {
 
     /// Posterior predictive mean and variance at `x`.
     ///
-    /// The variance is clamped at zero to absorb round-off.
+    /// The variance is clamped at zero to absorb round-off. Allocates
+    /// per call — hot paths should hold a [`PredictScratch`] and use
+    /// [`GaussianProcess::predict_into`].
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the training dimensionality.
     #[must_use]
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        self.predict_into(x, &mut PredictScratch::default())
+    }
+
+    /// [`predict`](GaussianProcess::predict) through caller-owned scratch
+    /// buffers: zero allocations once the scratch has warmed up, and the
+    /// query is divided by the lengthscales once instead of once per
+    /// training point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict_into(&self, x: &[f64], scratch: &mut PredictScratch) -> (f64, f64) {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
-        let k_star = self.kernel.cross(x, &self.xs);
-        let mean = self.mean_y + dot(&k_star, &self.alpha);
-        // v = L⁻¹ k*; σ² = k(x,x) − vᵀv.
-        let v =
-            self.chol.solve_lower(&k_star).expect("cross-covariance length matches training size");
-        let var = self.kernel.eval(x, x) - dot(&v, &v);
+        self.kernel.scale_into(x, &mut scratch.scaled);
+        scratch.k_star.clear();
+        scratch.k_star.extend(self.scaled_xs.iter().map(|sx| {
+            let mut r2 = 0.0;
+            for (a, b) in scratch.scaled.iter().zip(sx) {
+                let d = a - b;
+                r2 += d * d;
+            }
+            self.kernel.eval_scaled_sq(r2)
+        }));
+        let mean = self.mean_y + dot(&scratch.k_star, &self.alpha);
+        // v = L⁻¹ k*; σ² = k(x,x) − vᵀv, and k(x,x) is exactly σ² for a
+        // stationary kernel (corr(0) = 1).
+        self.chol
+            .solve_lower_into(&scratch.k_star, &mut scratch.v)
+            .expect("cross-covariance length matches training size");
+        let var = self.kernel.variance() - dot(&scratch.v, &scratch.v);
         (mean, var.max(0.0))
     }
 
@@ -191,6 +388,152 @@ impl GaussianProcess {
         let (m, v) = self.predict(x);
         (m, v.sqrt())
     }
+
+    /// [`predict_std`](GaussianProcess::predict_std) through caller-owned
+    /// scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict_std_into(&self, x: &[f64], scratch: &mut PredictScratch) -> (f64, f64) {
+        let (m, v) = self.predict_into(x, scratch);
+        (m, v.sqrt())
+    }
+
+    /// Writes the squared scaled distance from `x` to every training point
+    /// into `r2_out`, scaling `x` once through `scaled_out`. These are the
+    /// inputs [`GaussianProcess::gate_append`] and
+    /// [`GaussianProcess::shift_sq_dists`] operate on: a hill-climb
+    /// computes them once per step for the current partition and derives
+    /// each neighbor's vector with two-coordinate shifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn scaled_sq_dists_into(
+        &self,
+        x: &[f64],
+        scaled_out: &mut Vec<f64>,
+        r2_out: &mut Vec<f64>,
+    ) {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        self.kernel.scale_into(x, scaled_out);
+        r2_out.clear();
+        r2_out.extend(self.scaled_xs.iter().map(|sx| {
+            let mut r2 = 0.0;
+            for (a, b) in scaled_out.iter().zip(sx) {
+                let d = a - b;
+                r2 += d * d;
+            }
+            r2
+        }));
+    }
+
+    /// Derives a neighbor's squared-distance vector from `base` when the
+    /// neighbor differs from the base query in exactly two scaled
+    /// coordinates: each `(dim, old, new)` change replaces the `(old −
+    /// xᵢ[dim])²` term with `(new − xᵢ[dim])²`. O(n) per neighbor instead
+    /// of the O(n·d) of [`GaussianProcess::scaled_sq_dists_into`]. The
+    /// result is clamped at zero to absorb cancellation round-off; the
+    /// base is recomputed fresh each climb step, so error never
+    /// accumulates across steps.
+    pub fn shift_sq_dists(
+        &self,
+        base: &[f64],
+        changes: [(usize, f64, f64); 2],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(base.iter().zip(&self.scaled_xs).map(|(r2, sx)| {
+            let mut shifted = *r2;
+            for (dim, old, new) in changes {
+                let t = sx[dim];
+                let (d_old, d_new) = (old - t, new - t);
+                shifted += d_new * d_new - d_old * d_old;
+            }
+            shifted.max(0.0)
+        }));
+    }
+
+    /// Exact posterior mean plus an upper bound on the posterior standard
+    /// deviation, from a squared-distance vector — O(n), no triangular
+    /// solve. The cross-covariance row `k*` computed along the way is
+    /// **appended** to `k_star_all` (callers batch surviving candidates
+    /// and resolve their exact variances together with
+    /// [`GaussianProcess::batch_stds`]; a caller that discards this
+    /// candidate truncates `k_star_all` back).
+    ///
+    /// The bound: `σ²(x) = σ² − vᵀv` with `v = L⁻¹k*`, and `vᵀv =
+    /// k*ᵀ(K+σₙ²I)⁻¹k*` admits two cheap lower bounds — `‖k*‖² / λ_max`
+    /// with `λ_max ≤ max_i Σ_j |K+σₙ²I|_ij` (row-sum bound; every entry of
+    /// a stationary-kernel Gram matrix is positive), and `max_i k*ᵢ² /
+    /// (σ²+σₙ²)` from Cauchy–Schwarz in the `(K+σₙ²I)⁻¹` inner product.
+    /// Subtracting the larger from `σ²` upper-bounds the variance. Any
+    /// factorization jitter is added to both denominators so the bound
+    /// stays sound for rescued borderline fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r2.len()` differs from the number of training points.
+    pub fn gate_append(&self, r2: &[f64], k_star_all: &mut Vec<f64>) -> GatedPrediction {
+        assert_eq!(r2.len(), self.len(), "distance vector length mismatch");
+        let start = k_star_all.len();
+        self.kernel.eval_scaled_sq_append(r2, k_star_all);
+        let k_star = &k_star_all[start..];
+        let mean = self.mean_y + dot(k_star, &self.alpha);
+
+        let (mut norm_sq, mut max_sq) = (0.0_f64, 0.0_f64);
+        for &k in k_star {
+            let k2 = k * k;
+            norm_sq += k2;
+            max_sq = max_sq.max(k2);
+        }
+        let jitter = self.chol.jitter();
+        let inf_norm = self.inf_norm + jitter;
+        let diag = self.kernel.variance() + self.config.noise_variance.max(0.0) + jitter;
+        let vtv_lb = (norm_sq / inf_norm).max(max_sq / diag);
+        let var_ub = self.kernel.variance() - vtv_lb;
+        GatedPrediction { mean, std_upper: var_ub.max(0.0).sqrt() }
+    }
+
+    /// Exact posterior standard deviations for a batch of cross-covariance
+    /// rows (`m` consecutive length-`n` rows in `k_star_all`, as built by
+    /// [`GaussianProcess::gate_append`]), written to `stds` in order.
+    ///
+    /// One climb step resolves all its surviving neighbours here in a
+    /// single blocked multi-RHS forward substitution
+    /// ([`Cholesky::solve_lower_batch`]) — the per-candidate solve is
+    /// latency-bound on its own dependency chain, while four-wide blocking
+    /// runs four independent chains per pass. `v_all` is solver scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_star_all.len()` is not a multiple of the training size.
+    pub fn batch_stds(&self, k_star_all: &[f64], v_all: &mut Vec<f64>, stds: &mut Vec<f64>) {
+        self.chol
+            .solve_lower_batch(k_star_all, v_all)
+            .expect("cross-covariance batch length matches training size");
+        let variance = self.kernel.variance();
+        stds.clear();
+        stds.extend(v_all.chunks_exact(self.len()).map(|v| (variance - dot(v, v)).max(0.0).sqrt()));
+    }
+}
+
+/// `log p(y|X) = −½ yᵀα − ½ log|K| − (n/2) log 2π`.
+fn log_marginal(centered: &[f64], alpha: &[f64], chol: &Cholesky) -> f64 {
+    -0.5 * dot(centered, alpha)
+        - 0.5 * chol.log_determinant()
+        - 0.5 * centered.len() as f64 * (2.0 * std::f64::consts::PI).ln()
+}
+
+fn scale_all(kernel: &Kernel, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    xs.iter()
+        .map(|x| {
+            let mut s = Vec::new();
+            kernel.scale_into(x, &mut s);
+            s
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -293,6 +636,79 @@ mod tests {
         let bad =
             GaussianProcess::fit(Kernel::matern52(1.0, 1e4), GpConfig::default(), xs, ys).unwrap();
         assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn predict_into_matches_predict_and_reuses_buffers() {
+        let gp = fit_toy();
+        let mut scratch = PredictScratch::default();
+        for i in 0..20 {
+            let x = [f64::from(i) / 10.0 - 0.5];
+            let (m0, v0) = gp.predict(&x);
+            let (m1, v1) = gp.predict_into(&x, &mut scratch);
+            assert_eq!(m0.to_bits(), m1.to_bits());
+            assert_eq!(v0.to_bits(), v1.to_bits());
+        }
+    }
+
+    #[test]
+    fn extended_matches_from_scratch_fit() {
+        let (xs, ys) = toy_data();
+        let base = GaussianProcess::fit(
+            Kernel::matern52(1.0, 0.3),
+            GpConfig::default(),
+            xs[..9].to_vec(),
+            ys[..9].to_vec(),
+        )
+        .unwrap();
+        let inc = base.extended(xs[9].clone(), ys[9]).unwrap();
+        let full =
+            GaussianProcess::fit(Kernel::matern52(1.0, 0.3), GpConfig::default(), xs, ys).unwrap();
+        assert_eq!(inc.len(), full.len());
+        assert!(
+            (inc.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-9,
+            "log-marginal drift: {} vs {}",
+            inc.log_marginal_likelihood(),
+            full.log_marginal_likelihood()
+        );
+        for i in 0..30 {
+            let x = [f64::from(i) / 29.0 * 2.0 - 0.5];
+            let (mi, vi) = inc.predict(&x);
+            let (mf, vf) = full.predict(&x);
+            assert!((mi - mf).abs() < 1e-9, "mean drift at {x:?}: {mi} vs {mf}");
+            assert!((vi - vf).abs() < 1e-9, "variance drift at {x:?}: {vi} vs {vf}");
+        }
+    }
+
+    #[test]
+    fn extended_rejects_malformed_points() {
+        let gp = fit_toy();
+        assert!(matches!(
+            gp.extended(vec![0.1, 0.2], 0.5).unwrap_err(),
+            GpError::DimensionMismatch { .. }
+        ));
+        assert_eq!(gp.extended(vec![f64::NAN], 0.5).unwrap_err(), GpError::NonFiniteValue);
+        assert_eq!(gp.extended(vec![0.1], f64::INFINITY).unwrap_err(), GpError::NonFiniteValue);
+    }
+
+    #[test]
+    fn extended_duplicate_point_falls_back_to_refit() {
+        // An exact duplicate of a training point makes the bordered matrix
+        // singular at the base fit's (zero) jitter, so `extended` must fall
+        // back to the full decompose-with-jitter path and still succeed.
+        let xs = vec![vec![0.1], vec![0.5], vec![0.9]];
+        let ys = vec![0.3, 0.7, 0.2];
+        let gp = GaussianProcess::fit(
+            Kernel::matern52(1.0, 0.4),
+            GpConfig { noise_variance: 0.0 },
+            xs,
+            ys,
+        )
+        .unwrap();
+        let inc = gp.extended(vec![0.5], 0.7).unwrap();
+        assert_eq!(inc.len(), 4);
+        let (m, _) = inc.predict(&[0.5]);
+        assert!(m.is_finite());
     }
 
     #[test]

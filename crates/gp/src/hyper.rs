@@ -7,8 +7,10 @@
 //! highest log marginal likelihood. With tens of training points this costs
 //! a handful of small Cholesky factorizations per refresh.
 
+use std::sync::Arc;
+
 use crate::gp::{GaussianProcess, GpConfig};
-use crate::kernel::Kernel;
+use crate::kernel::{squared_distances, Kernel};
 use crate::GpError;
 
 /// Hyperparameter search grid.
@@ -57,6 +59,10 @@ impl Default for HyperGrid {
 /// marginal likelihood. Grid points whose Gram matrix cannot be factorized
 /// are skipped.
 ///
+/// Equivalent to [`fit_best_threaded`] with one worker; the training data
+/// is shared across grid points (one `Arc`, one pairwise-distance matrix)
+/// rather than cloned per candidate.
+///
 /// # Errors
 ///
 /// Returns the last fitting error if *no* grid point produced a valid fit,
@@ -68,22 +74,103 @@ pub fn fit_best(
     xs: &[Vec<f64>],
     ys: &[f64],
 ) -> Result<GaussianProcess, GpError> {
+    fit_best_threaded(template, config, grid, xs, ys, 1)
+}
+
+/// [`fit_best`] with the independent grid-point fits spread over up to
+/// `threads` scoped workers (`std::thread::scope` — the workspace is
+/// vendored std-only).
+///
+/// Every grid point reparameterizes one shared pairwise squared-distance
+/// matrix ([`squared_distances`] + [`Kernel::gram_from_distances`]): an
+/// isotropic kernel only rescales distances, so the O(n²·d) geometry is
+/// paid once per refresh and each candidate costs O(n²) Gram assembly plus
+/// its factorization.
+///
+/// The result is byte-identical to the serial scan for any `threads`:
+/// each grid point's fit is a pure function of `(kernel, distances, data)`,
+/// workers are striped by grid index, and the reduction scans results in
+/// grid order keeping the first strictly-better fit — exactly the serial
+/// loop's tie-breaking.
+///
+/// # Errors
+///
+/// Same contract as [`fit_best`].
+pub fn fit_best_threaded(
+    template: &Kernel,
+    config: GpConfig,
+    grid: &HyperGrid,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    threads: usize,
+) -> Result<GaussianProcess, GpError> {
+    if xs.is_empty() {
+        return Err(GpError::EmptyTrainingSet);
+    }
+    let points: Vec<(f64, f64)> = grid
+        .variances
+        .iter()
+        .flat_map(|&v| grid.lengthscales.iter().map(move |&l| (v, l)))
+        .collect();
+    if points.is_empty() {
+        return Err(GpError::EmptyTrainingSet);
+    }
+
+    let xs = Arc::new(xs.to_vec());
+    let ys = Arc::new(ys.to_vec());
+    let d2 = squared_distances(&xs);
+
+    let fit_point = |&(v, l): &(f64, f64)| -> Result<GaussianProcess, GpError> {
+        // `reparameterized` always yields an isotropic kernel, which is
+        // what `gram_from_distances` requires.
+        let kernel = template.reparameterized(v, l);
+        let gram = kernel.gram_from_distances(&d2);
+        GaussianProcess::fit_with_gram(kernel, config, Arc::clone(&xs), Arc::clone(&ys), gram)
+    };
+
+    let threads = threads.max(1).min(points.len());
+    let fits: Vec<Result<GaussianProcess, GpError>> = if threads == 1 {
+        points.iter().map(fit_point).collect()
+    } else {
+        let mut indexed: Vec<(usize, Result<GaussianProcess, GpError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let fit_point = &fit_point;
+                        let points = &points;
+                        scope.spawn(move || {
+                            points
+                                .iter()
+                                .enumerate()
+                                .skip(worker)
+                                .step_by(threads)
+                                .map(|(idx, p)| (idx, fit_point(p)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("grid worker must not panic"))
+                    .collect()
+            });
+        indexed.sort_by_key(|(idx, _)| *idx);
+        indexed.into_iter().map(|(_, fit)| fit).collect()
+    };
+
     let mut best: Option<GaussianProcess> = None;
     let mut last_err = GpError::EmptyTrainingSet;
-    for &v in &grid.variances {
-        for &l in &grid.lengthscales {
-            let kernel = template.reparameterized(v, l);
-            match GaussianProcess::fit(kernel, config, xs.to_vec(), ys.to_vec()) {
-                Ok(gp) => {
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|b| gp.log_marginal_likelihood() > b.log_marginal_likelihood());
-                    if better {
-                        best = Some(gp);
-                    }
+    for fit in fits {
+        match fit {
+            Ok(gp) => {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| gp.log_marginal_likelihood() > b.log_marginal_likelihood());
+                if better {
+                    best = Some(gp);
                 }
-                Err(e) => last_err = e,
             }
+            Err(e) => last_err = e,
         }
     }
     best.ok_or(last_err)
@@ -113,6 +200,29 @@ mod tests {
         let grid = HyperGrid::default_unit();
         let err = fit_best(&Kernel::matern52(1.0, 1.0), GpConfig::default(), &grid, &[], &[]);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn threaded_scan_is_byte_identical_to_serial() {
+        let xs: Vec<Vec<f64>> = (0..14)
+            .map(|i| {
+                let t = f64::from(i) / 13.0;
+                vec![t, (t * 3.0).fract(), 1.0 - t]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 0.6 + x[1] * x[2]).collect();
+        let grid = HyperGrid::default_unit();
+        let template = Kernel::matern52(1.0, 1.0);
+        let serial = fit_best(&template, GpConfig::default(), &grid, &xs, &ys).unwrap();
+        for threads in [2, 4, 16] {
+            let par = fit_best_threaded(&template, GpConfig::default(), &grid, &xs, &ys, threads)
+                .unwrap();
+            assert_eq!(
+                serial.log_marginal_likelihood().to_bits(),
+                par.log_marginal_likelihood().to_bits()
+            );
+            assert_eq!(serial.kernel(), par.kernel());
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! is the default; Matérn 3/2 and squared-exponential are provided for the
 //! kernel-choice ablation.
 
+use crate::fastmath::fast_exp;
 use crate::linalg::Matrix;
 
 /// Which covariance family a [`Kernel`] uses.
@@ -173,22 +174,117 @@ impl Kernel {
         r2.sqrt()
     }
 
-    /// Covariance `k(x, y)`.
-    #[must_use]
-    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
-        let r = self.scaled_distance(x, y);
-        let corr = match self.family {
+    /// Correlation at scaled distance `r` (so that `k = σ² · corr(r)`).
+    ///
+    /// Uses [`fast_exp`] (relative error ≤ ~3e-13, orders of magnitude
+    /// below the noise floor) so that the batched row evaluation in
+    /// [`Kernel::eval_scaled_sq_append`] — which inlines the same
+    /// arithmetic — vectorizes, and scalar and batched evaluations agree
+    /// bit for bit.
+    fn correlation(&self, r: f64) -> f64 {
+        match self.family {
             KernelFamily::Matern52 => {
                 let s = 5.0_f64.sqrt() * r;
-                (1.0 + s + s * s / 3.0) * (-s).exp()
+                (1.0 + s + s * s / 3.0) * fast_exp(-s)
             }
             KernelFamily::Matern32 => {
                 let s = 3.0_f64.sqrt() * r;
-                (1.0 + s) * (-s).exp()
+                (1.0 + s) * fast_exp(-s)
             }
-            KernelFamily::SquaredExponential => (-0.5 * r * r).exp(),
-        };
-        self.variance * corr
+            KernelFamily::SquaredExponential => fast_exp(-0.5 * r * r),
+        }
+    }
+
+    /// Covariance `k(x, y)`.
+    #[must_use]
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.variance * self.correlation(self.scaled_distance(x, y))
+    }
+
+    /// Covariance from a *pre-scaled* squared distance (the squared
+    /// Euclidean distance between points already divided by the
+    /// lengthscales, see [`Kernel::scale_into`]). The prediction hot path
+    /// scales its query once and then evaluates every training covariance
+    /// with multiplies only — no per-pair divisions.
+    #[must_use]
+    pub fn eval_scaled_sq(&self, r2: f64) -> f64 {
+        self.variance * self.correlation(r2.sqrt())
+    }
+
+    /// Appends `k(x*, xᵢ)` for a whole row of pre-scaled squared distances
+    /// to `out` — bit-identical to mapping [`Kernel::eval_scaled_sq`] over
+    /// `r2`, but with the family match hoisted out of the loop so the
+    /// branch-free per-element body ([`fast_exp`] + a few multiplies)
+    /// auto-vectorizes. The acquisition climb evaluates one such row per
+    /// candidate, which makes this the single hottest loop in a `suggest`.
+    pub fn eval_scaled_sq_append(&self, r2: &[f64], out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + r2.len(), 0.0);
+        let dst = &mut out[start..];
+        match self.family {
+            KernelFamily::Matern52 => {
+                for (o, &d) in dst.iter_mut().zip(r2) {
+                    let s = 5.0_f64.sqrt() * d.sqrt();
+                    *o = self.variance * ((1.0 + s + s * s / 3.0) * fast_exp(-s));
+                }
+            }
+            KernelFamily::Matern32 => {
+                for (o, &d) in dst.iter_mut().zip(r2) {
+                    let s = 3.0_f64.sqrt() * d.sqrt();
+                    *o = self.variance * ((1.0 + s) * fast_exp(-s));
+                }
+            }
+            KernelFamily::SquaredExponential => {
+                for (o, &d) in dst.iter_mut().zip(r2) {
+                    // `sqrt` then square, not `-0.5 * d` directly: keeps
+                    // the promised bit-identity with the scalar path.
+                    let r = d.sqrt();
+                    *o = self.variance * fast_exp(-0.5 * r * r);
+                }
+            }
+        }
+    }
+
+    /// Writes `x` divided element-wise by the lengthscales into `out`.
+    /// Distances between pre-scaled points equal [`Kernel::scaled_distance`]
+    /// up to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if ARD lengthscales do not match `x.len()`.
+    pub fn scale_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        match &self.lengthscales {
+            LengthScales::Isotropic(l) => {
+                let inv = 1.0 / l;
+                out.extend(x.iter().map(|v| v * inv));
+            }
+            LengthScales::Ard(ls) => {
+                debug_assert_eq!(ls.len(), x.len());
+                out.extend(x.iter().zip(ls).map(|(v, l)| v / l));
+            }
+        }
+    }
+
+    /// Divides a single coordinate by its lengthscale — the scalar
+    /// counterpart of [`Kernel::scale_into`], for callers that shift one
+    /// or two coordinates of an already-scaled query (incremental
+    /// distance updates during a hill-climb).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `dim` is out of range for ARD lengthscales.
+    #[must_use]
+    pub fn scaled_coord(&self, dim: usize, v: f64) -> f64 {
+        match &self.lengthscales {
+            // `v * (1/l)`, not `v / l`: bit-identical to what
+            // [`Kernel::scale_into`] produced for the same coordinate.
+            LengthScales::Isotropic(l) => v * (1.0 / l),
+            LengthScales::Ard(ls) => {
+                debug_assert!(dim < ls.len());
+                v / ls[dim]
+            }
+        }
     }
 
     /// The full kernel (Gram) matrix over a set of points.
@@ -206,12 +302,67 @@ impl Kernel {
         k
     }
 
+    /// The Gram matrix from a precomputed *unscaled* squared-distance
+    /// matrix (see [`squared_distances`]). Reparameterizing an isotropic
+    /// kernel only rescales distances, so a hyper-parameter grid scan can
+    /// pay the O(n²·d) geometry once and rebuild the Gram per grid point in
+    /// O(n²) — this is the shared-distance fast path `fit_best` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has ARD lengthscales (they change the metric
+    /// itself, not just its scale) or if `d2` is not square.
+    #[must_use]
+    pub fn gram_from_distances(&self, d2: &Matrix) -> Matrix {
+        let LengthScales::Isotropic(l) = &self.lengthscales else {
+            panic!("gram_from_distances requires an isotropic kernel");
+        };
+        assert_eq!(d2.rows(), d2.cols(), "distance matrix must be square");
+        let inv = 1.0 / l;
+        let n = d2.rows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            k[(i, i)] = self.variance;
+            for j in 0..i {
+                let v = self.variance * self.correlation(d2[(i, j)].sqrt() * inv);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
     /// The cross-covariance vector `k(x*, X)` of a query point against the
     /// training points.
     #[must_use]
     pub fn cross(&self, x_star: &[f64], xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|x| self.eval(x_star, x)).collect()
     }
+}
+
+/// Pairwise *unscaled* squared Euclidean distances `‖x_i − x_j‖²` of a
+/// point set, shared by every [`Kernel::gram_from_distances`] call of a
+/// hyper-parameter grid scan.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty (callers validate training data first).
+#[must_use]
+pub fn squared_distances(xs: &[Vec<f64>]) -> Matrix {
+    let n = xs.len();
+    let mut d2 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..i {
+            let mut sum = 0.0;
+            for (a, b) in xs[i].iter().zip(&xs[j]) {
+                let d = a - b;
+                sum += d * d;
+            }
+            d2[(i, j)] = sum;
+            d2[(j, i)] = sum;
+        }
+    }
+    d2
 }
 
 #[cfg(test)]

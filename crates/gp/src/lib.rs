@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastmath;
 pub mod gp;
 pub mod hyper;
 pub mod kernel;

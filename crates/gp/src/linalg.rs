@@ -87,6 +87,17 @@ impl Matrix {
             self[(i, i)] += value;
         }
     }
+
+    /// Row `i` as a contiguous slice (the storage is row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -165,13 +176,28 @@ impl Cholesky {
     ///
     /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
     /// matrix order.
-    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, GpError> {
+        let mut y = Vec::new();
+        self.solve_lower_into(b, &mut y)?;
+        Ok(y)
+    }
+
+    /// [`solve_lower`](Cholesky::solve_lower) into a caller-provided buffer
+    /// — the allocation-free twin for prediction hot paths that perform
+    /// thousands of solves per search iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix order.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut Vec<f64>) -> Result<(), GpError> {
         let n = self.l.rows;
         if b.len() != n {
             return Err(GpError::ShapeMismatch { op: "solve_lower" });
         }
-        let mut y = vec![0.0; n];
+        y.clear();
+        y.resize(n, 0.0);
         for i in 0..n {
             let mut sum = b[i];
             for j in 0..i {
@@ -179,7 +205,82 @@ impl Cholesky {
             }
             y[i] = sum / self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
+    }
+
+    /// Solves `L·V = B` for many right-hand sides at once: `rhs` holds `m`
+    /// consecutive length-`n` vectors, and the `m` solutions are written to
+    /// `out` in the same layout.
+    ///
+    /// A single forward substitution is latency-bound — each row's
+    /// accumulation is one serial dependency chain. This batched form
+    /// processes four right-hand sides per pass, held *interleaved* in a
+    /// scratch block (`blk[4j..4j+4]` is element `j` of the four partial
+    /// solutions) so the inner loop reads one contiguous four-lane vector
+    /// per matrix entry and the compiler vectorizes the four chains; the
+    /// block is scattered back to the flat layout afterwards. Diagonal
+    /// divisions become multiplies by precomputed reciprocals.
+    /// Per-solution results can therefore differ from
+    /// [`Cholesky::solve_lower_into`] in the last ulp; batch results do
+    /// not depend on `m` or on how the batch is split into blocks of four
+    /// (each solution only ever reads its own lane).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `rhs.len()` is not a multiple
+    /// of the matrix order.
+    pub fn solve_lower_batch(&self, rhs: &[f64], out: &mut Vec<f64>) -> Result<(), GpError> {
+        let n = self.l.rows;
+        if !rhs.len().is_multiple_of(n) {
+            return Err(GpError::ShapeMismatch { op: "solve_lower_batch" });
+        }
+        let m = rhs.len() / n;
+        out.clear();
+        out.resize(rhs.len(), 0.0);
+        let inv_diag: Vec<f64> = (0..n).map(|i| 1.0 / self.l[(i, i)]).collect();
+        let mut blk = vec![0.0_f64; 4 * n];
+
+        let mut c = 0;
+        while c + 4 <= m {
+            let b = &rhs[c * n..(c + 4) * n];
+            for i in 0..n {
+                let row = &self.l.row(i)[..i];
+                let mut acc = [b[i], b[n + i], b[2 * n + i], b[3 * n + i]];
+                for (&lij, vj) in row.iter().zip(blk.chunks_exact(4)) {
+                    acc[0] -= lij * vj[0];
+                    acc[1] -= lij * vj[1];
+                    acc[2] -= lij * vj[2];
+                    acc[3] -= lij * vj[3];
+                }
+                let d = inv_diag[i];
+                blk[4 * i] = acc[0] * d;
+                blk[4 * i + 1] = acc[1] * d;
+                blk[4 * i + 2] = acc[2] * d;
+                blk[4 * i + 3] = acc[3] * d;
+            }
+            let v = &mut out[c * n..(c + 4) * n];
+            for i in 0..n {
+                v[i] = blk[4 * i];
+                v[n + i] = blk[4 * i + 1];
+                v[2 * n + i] = blk[4 * i + 2];
+                v[3 * n + i] = blk[4 * i + 3];
+            }
+            c += 4;
+        }
+        while c < m {
+            let b = &rhs[c * n..(c + 1) * n];
+            let v = &mut out[c * n..(c + 1) * n];
+            for i in 0..n {
+                let row = &self.l.row(i)[..i];
+                let mut a = b[i];
+                for (j, &lij) in row.iter().enumerate() {
+                    a -= lij * v[j];
+                }
+                v[i] = a * inv_diag[i];
+            }
+            c += 1;
+        }
+        Ok(())
     }
 
     /// Solves `Lᵀ·x = b` (backward substitution).
@@ -220,6 +321,53 @@ impl Cholesky {
     #[must_use]
     pub fn log_determinant(&self) -> f64 {
         (0..self.l.rows).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Extends the factor of an `n × n` matrix `A` to the factor of the
+    /// bordered matrix `[[A, k], [kᵀ, diag]]` in O(n²): one forward
+    /// substitution for the new off-diagonal row plus a triangle copy,
+    /// instead of refactorizing from scratch in O(n³). This is what makes
+    /// recording one new observation between GP hyper refreshes cheap.
+    ///
+    /// The new row follows the same recurrence `decompose` uses, so at
+    /// equal jitter an extended factor is bit-identical to a from-scratch
+    /// one; the factor's jitter is applied to `diag` too, keeping the
+    /// extension consistent with the original factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `k.len()` differs from the
+    /// factor order, and [`GpError::NotPositiveDefinite`] if the bordered
+    /// matrix is numerically not positive definite — callers should then
+    /// fall back to [`Cholesky::decompose`], whose jitter ladder can retry.
+    pub fn extend(&self, k: &[f64], diag: f64) -> Result<Self, GpError> {
+        let n = self.l.rows;
+        if k.len() != n {
+            return Err(GpError::ShapeMismatch { op: "cholesky extend" });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        // L·l₁₂ = k, in `try_factor`'s exact operation order.
+        for j in 0..n {
+            let mut sum = k[j];
+            for t in 0..j {
+                sum -= l[(n, t)] * l[(j, t)];
+            }
+            l[(n, j)] = sum / l[(j, j)];
+        }
+        let mut s = diag + self.jitter;
+        for t in 0..n {
+            s -= l[(n, t)] * l[(n, t)];
+        }
+        if s <= 0.0 || !s.is_finite() {
+            return Err(GpError::NotPositiveDefinite);
+        }
+        l[(n, n)] = s.sqrt();
+        Ok(Self { l, jitter: self.jitter })
     }
 }
 
@@ -349,5 +497,60 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn solve_lower_into_matches_solve_lower() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = vec![0.3, -1.0, 2.5];
+        let owned = c.solve_lower(&b).unwrap();
+        let mut buf = vec![9.0; 7]; // stale contents and wrong length
+        c.solve_lower_into(&b, &mut buf).unwrap();
+        assert_eq!(owned, buf);
+        assert!(c.solve_lower_into(&[1.0], &mut buf).is_err());
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_factor() {
+        // Border spd3 with a row that keeps the matrix SPD.
+        let a3 = spd3();
+        let mut a4 = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                a4[(i, j)] = a3[(i, j)];
+            }
+        }
+        let k = [0.5, 0.2, -0.1];
+        for (i, v) in k.iter().enumerate() {
+            a4[(i, 3)] = *v;
+            a4[(3, i)] = *v;
+        }
+        a4[(3, 3)] = 2.0;
+
+        let base = Cholesky::decompose(&a3).unwrap();
+        let extended = base.extend(&k, 2.0).unwrap();
+        let scratch = Cholesky::decompose(&a4).unwrap();
+        assert_eq!(scratch.jitter(), 0.0);
+        for i in 0..4 {
+            for j in 0..=i {
+                assert_eq!(
+                    extended.l()[(i, j)].to_bits(),
+                    scratch.l()[(i, j)].to_bits(),
+                    "({i},{j}) must be bit-identical at zero jitter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_rejects_bad_shapes_and_indefinite_borders() {
+        let c = Cholesky::decompose(&spd3()).unwrap();
+        assert!(matches!(c.extend(&[1.0], 1.0), Err(GpError::ShapeMismatch { .. })));
+        // A huge off-diagonal border makes the Schur complement negative.
+        assert_eq!(
+            c.extend(&[100.0, 100.0, 100.0], 1.0).unwrap_err(),
+            GpError::NotPositiveDefinite
+        );
     }
 }

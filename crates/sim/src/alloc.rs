@@ -80,6 +80,21 @@ impl fmt::Display for JobAllocation {
     }
 }
 
+/// A single-unit resource move between two jobs — the identity of one
+/// neighbourhood edge. `from` donates one unit of `resource` to `to`;
+/// every other allocation is unchanged, which is what makes incremental
+/// evaluation of neighbours possible (see
+/// [`Partition::for_each_neighbor_transfer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Transfer {
+    /// The resource a unit of which moves.
+    pub resource: ResourceKind,
+    /// Donor job index.
+    pub from: usize,
+    /// Recipient job index.
+    pub to: usize,
+}
+
 /// One feasible resource-partition configuration over all co-located jobs.
 ///
 /// Invariants (checked on construction and preserved by every mutator):
@@ -334,10 +349,92 @@ impl Partition {
 
     /// All single-unit-transfer neighbours of this partition, optionally
     /// keeping one job's row frozen (dropout-copy).
+    ///
+    /// See also [`Transfer`] and [`Partition::for_each_neighbor_transfer`].
+    ///
+    /// Materializes one `Partition` clone per neighbour; search loops that
+    /// only need to *evaluate* each neighbour should use
+    /// [`Partition::for_each_neighbor`] instead.
     #[must_use]
     pub fn neighbors(&self, frozen_job: Option<usize>) -> Vec<Partition> {
+        let mut out = Vec::with_capacity(self.neighbor_count(frozen_job));
+        self.for_each_neighbor(frozen_job, |p| out.push(p.clone()));
+        out
+    }
+
+    /// Visits every single-unit-transfer neighbour without materializing
+    /// it: one shared scratch partition is mutated in place per move and
+    /// reverted after the callback returns. Visit order is identical to
+    /// [`Partition::neighbors`] (resource-major, then donor, then
+    /// recipient), which is what keeps visitor-based hill climbing
+    /// byte-identical to the old clone-per-neighbour code.
+    pub fn for_each_neighbor(&self, frozen_job: Option<usize>, mut visit: impl FnMut(&Partition)) {
+        self.for_each_neighbor_transfer(frozen_job, |p, _| visit(p));
+    }
+
+    /// [`Partition::for_each_neighbor`], additionally passing the
+    /// [`Transfer`] that produced each neighbour from `self`. Evaluators
+    /// that maintain per-point state (e.g. cached GP cross-distances) use
+    /// the transfer to update incrementally — a neighbour differs from
+    /// `self` in exactly the two allocations the transfer names.
+    pub fn for_each_neighbor_transfer(
+        &self,
+        frozen_job: Option<usize>,
+        mut visit: impl FnMut(&Partition, Transfer),
+    ) {
         let jobs = self.rows.len();
-        let mut out = Vec::new();
+        let mut work = self.clone();
+        for r in ResourceKind::ALL {
+            for from in 0..jobs {
+                let donor = self.rows[from].units(r);
+                if Some(from) == frozen_job || donor <= 1 {
+                    continue;
+                }
+                for to in 0..jobs {
+                    if to == from || Some(to) == frozen_job {
+                        continue;
+                    }
+                    let recipient = self.rows[to].units(r);
+                    work.rows[from].set(r, donor - 1);
+                    work.rows[to].set(r, recipient + 1);
+                    visit(&work, Transfer { resource: r, from, to });
+                    work.rows[from].set(r, donor);
+                    work.rows[to].set(r, recipient);
+                }
+            }
+        }
+    }
+
+    /// Number of neighbours [`Partition::for_each_neighbor`] would visit,
+    /// without visiting them.
+    #[must_use]
+    pub fn neighbor_count(&self, frozen_job: Option<usize>) -> usize {
+        let jobs = self.rows.len();
+        let frozen_job = frozen_job.filter(|&f| f < jobs);
+        // A valid donor is never the frozen job, so each donor sees every
+        // other job as recipient except the frozen one.
+        let recipients = jobs - 1 - usize::from(frozen_job.is_some());
+        let mut count = 0;
+        for r in ResourceKind::ALL {
+            for from in 0..jobs {
+                if Some(from) == frozen_job || self.rows[from].units(r) <= 1 {
+                    continue;
+                }
+                count += recipients;
+            }
+        }
+        count
+    }
+
+    /// The `index`-th neighbour in [`Partition::for_each_neighbor`] order,
+    /// built directly (one transfer, no intermediate clones). Returns
+    /// `None` when `index >= neighbor_count(frozen_job)` — this is what
+    /// lets a random perturbation sample one transfer instead of
+    /// materializing the whole neighbour list.
+    #[must_use]
+    pub fn nth_neighbor(&self, frozen_job: Option<usize>, index: usize) -> Option<Partition> {
+        let jobs = self.rows.len();
+        let mut remaining = index;
         for r in ResourceKind::ALL {
             for from in 0..jobs {
                 if Some(from) == frozen_job || self.rows[from].units(r) <= 1 {
@@ -347,13 +444,16 @@ impl Partition {
                     if to == from || Some(to) == frozen_job {
                         continue;
                     }
-                    if let Ok(p) = self.transfer(r, from, to, 1) {
-                        out.push(p);
+                    if remaining == 0 {
+                        return Some(
+                            self.transfer(r, from, to, 1).expect("guards ensure validity"),
+                        );
                     }
+                    remaining -= 1;
                 }
             }
         }
-        out
+        None
     }
 
     /// Normalized feature vector (job-major fractions), the encoding the
@@ -361,12 +461,21 @@ impl Partition {
     #[must_use]
     pub fn features(&self) -> Vec<f64> {
         let mut v = Vec::with_capacity(self.rows.len() * NUM_RESOURCES);
+        self.features_into(&mut v);
+        v
+    }
+
+    /// [`Partition::features`] into a caller-provided buffer — the
+    /// allocation-free twin used by the acquisition hot loop, which encodes
+    /// tens of thousands of candidates per `suggest()`.
+    pub fn features_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.rows.len() * NUM_RESOURCES);
         for row in &self.rows {
             for r in ResourceKind::ALL {
-                v.push(row.fraction(r, &self.catalog));
+                out.push(row.fraction(r, &self.catalog));
             }
         }
-        v
     }
 
     /// Euclidean distance between the feature encodings of two partitions
@@ -550,6 +659,50 @@ mod tests {
         }
         let n_all = p.neighbors(None);
         assert!(n_all.len() > n.len());
+    }
+
+    #[test]
+    fn visitor_matches_materialized_neighbors() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for jobs in [2, 3, 5] {
+            for frozen in [None, Some(0), Some(jobs - 1)] {
+                let p = Partition::random(&catalog(), jobs, &mut rng).unwrap();
+                let materialized = p.neighbors(frozen);
+                let mut visited = Vec::new();
+                p.for_each_neighbor(frozen, |q| visited.push(q.clone()));
+                assert_eq!(materialized, visited, "jobs={jobs} frozen={frozen:?}");
+                assert_eq!(materialized.len(), p.neighbor_count(frozen));
+                for (i, q) in materialized.iter().enumerate() {
+                    assert_eq!(p.nth_neighbor(frozen, i).as_ref(), Some(q), "index {i}");
+                }
+                assert_eq!(p.nth_neighbor(frozen, materialized.len()), None);
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_scratch_reverts_between_visits() {
+        let p = Partition::equal_share(&catalog(), 3).unwrap();
+        let mut seen = 0;
+        p.for_each_neighbor(None, |q| {
+            // Every visit differs from the base in exactly one transfer.
+            let moved: u32 = ResourceKind::ALL
+                .iter()
+                .map(|&r| (0..3).map(|j| q.units(j, r).abs_diff(p.units(j, r))).sum::<u32>())
+                .sum();
+            assert_eq!(moved, 2, "one unit out, one unit in");
+            seen += 1;
+        });
+        assert_eq!(seen, p.neighbor_count(None));
+    }
+
+    #[test]
+    fn features_into_matches_features() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Partition::random(&catalog(), 4, &mut rng).unwrap();
+        let mut buf = vec![42.0; 3]; // stale, wrong-sized buffer
+        p.features_into(&mut buf);
+        assert_eq!(buf, p.features());
     }
 
     #[test]

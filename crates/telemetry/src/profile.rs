@@ -9,8 +9,11 @@ use serde::{Deserialize, Serialize};
 /// A profiled search phase (the Fig. 15b cost components).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Phase {
-    /// Fitting the GP surrogate (including hyper-grid refits).
+    /// Fitting the GP surrogate (hyper-grid refreshes: full refits).
     GpFit,
+    /// Extending the GP surrogate by one observation between refreshes
+    /// (rank-1 Cholesky update — the O(n²) incremental path).
+    GpExtend,
     /// Maximizing the acquisition function over candidates.
     Acquisition,
     /// Evaluating a partition on the server/simulator.
@@ -21,13 +24,15 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 4] = [Phase::GpFit, Phase::Acquisition, Phase::Observe, Phase::Score];
+    pub const ALL: [Phase; 5] =
+        [Phase::GpFit, Phase::GpExtend, Phase::Acquisition, Phase::Observe, Phase::Score];
 
     /// Stable snake_case name, used as the `phase` metric label.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Phase::GpFit => "gp_fit",
+            Phase::GpExtend => "gp_extend",
             Phase::Acquisition => "acquisition",
             Phase::Observe => "observe",
             Phase::Score => "score",
@@ -37,9 +42,10 @@ impl Phase {
     fn index(self) -> usize {
         match self {
             Phase::GpFit => 0,
-            Phase::Acquisition => 1,
-            Phase::Observe => 2,
-            Phase::Score => 3,
+            Phase::GpExtend => 1,
+            Phase::Acquisition => 2,
+            Phase::Observe => 3,
+            Phase::Score => 4,
         }
     }
 }
