@@ -22,7 +22,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo doc --no-deps (warnings denied, own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clite-sim -p clite-gp -p clite-bo -p clite -p clite-telemetry \
-    -p clite-policies -p clite-cluster -p clite-bench -p clite-repro
+    -p clite-store -p clite-policies -p clite-cluster -p clite-bench \
+    -p clite-repro
 
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo build --release"
@@ -48,6 +49,23 @@ if [[ "${1:-}" != "quick" ]]; then
 
     step "cargo test -p clite-bo --test parallel_determinism --release -q"
     cargo test -p clite-bo --test parallel_determinism --release -q
+
+    # The observation store's crash-safety (truncated/bit-flipped tail
+    # recovery) must hold under release codegen too.
+    step "cargo test -p clite-store --release -q"
+    cargo test -p clite-store --release -q
+
+    # End-to-end warm-start smoke test: a second colocate run against the
+    # same store path must warm-start from the first run's samples.
+    step "colocate --store smoke test"
+    store_tmp="$(mktemp -d)"
+    trap 'rm -rf "$store_tmp"' EXIT
+    ./target/release/colocate run --store "$store_tmp/obs.clite" \
+        memcached:30 xapian:30 streamcluster > "$store_tmp/first.txt"
+    grep -q "store: miss" "$store_tmp/first.txt"
+    ./target/release/colocate run --store "$store_tmp/obs.clite" \
+        memcached:30 xapian:30 streamcluster > "$store_tmp/second.txt"
+    grep -q "store: hit" "$store_tmp/second.txt"
 
     # Benches must at least keep compiling (they are the perf record).
     step "cargo bench --no-run"

@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 
+use clite::controller::CliteController;
 use clite::score::score_value;
 use clite_bo::acquisition::Acquisition;
 use clite_bo::engine::{BoConfig, BoEngine};
@@ -18,6 +19,7 @@ use clite_sim::alloc::Partition;
 use clite_sim::prelude::*;
 use clite_sim::resource::ResourceKind;
 use clite_sim::testbed::{MemoizedTestbed, Testbed};
+use clite_store::{MixSignature, ObservationStore};
 use clite_telemetry::{Event, MemoryRecorder, Phase, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -370,12 +372,94 @@ fn bench_telemetry(c: &mut Criterion) {
     });
 }
 
+/// Cold vs. warm search convergence (the PR 4 acceptance metric): a
+/// controller re-invoked on a mix it has already searched warm-starts its
+/// surrogate from the observation store and skips bootstrap, so it reaches
+/// a QoS-meeting partition in fewer observation windows. The setup prints
+/// the window counts (total, and to the first QoS-meeting partition) that
+/// `results/BENCH_pr4.json` archives; the timed body is the full search,
+/// whose cost is proportional to windows on the simulator substrate.
+fn bench_warm_start(c: &mut Criterion) {
+    let mixes: [(&str, Vec<JobSpec>); 2] = [
+        (
+            "2jobs",
+            vec![
+                JobSpec::latency_critical(WorkloadId::Memcached, 0.3),
+                JobSpec::latency_critical(WorkloadId::Xapian, 0.3),
+            ],
+        ),
+        // 20% per LC job: heavy enough that the cold search works for its
+        // QoS-meeting partition, light enough that one exists.
+        (
+            "5jobs",
+            vec![
+                JobSpec::latency_critical(WorkloadId::Memcached, 0.2),
+                JobSpec::latency_critical(WorkloadId::ImgDnn, 0.2),
+                JobSpec::latency_critical(WorkloadId::Masstree, 0.2),
+                JobSpec::latency_critical(WorkloadId::Xapian, 0.2),
+                JobSpec::background(WorkloadId::Streamcluster),
+            ],
+        ),
+    ];
+    let controller = CliteController::default();
+    for (name, jobs) in mixes {
+        let fresh = || Server::new(ResourceCatalog::testbed(), jobs.clone(), 5).unwrap();
+
+        // One cold pass primes the store; the warm start is snapshotted
+        // once so every warm iteration replays the same stored samples.
+        let store = ObservationStore::in_memory().into_shared();
+        let cold = {
+            let mut server = fresh();
+            controller.run_with_store(&mut server, &store, &Telemetry::disabled()).unwrap()
+        };
+        let warm = {
+            let server = fresh();
+            let signature = MixSignature::capture(&server);
+            store.lock().unwrap().warm_start(&signature).expect("primed store must hit")
+        };
+        let warmed = {
+            let mut server = fresh();
+            controller.run_warmed(&mut server, &warm, &Telemetry::disabled()).unwrap()
+        };
+        eprintln!(
+            "search_{name}: cold {} windows (QoS at {:?}), warm {} windows (QoS at {:?}), \
+             {} stored samples",
+            cold.samples_used(),
+            cold.samples_to_qos,
+            warmed.samples_used(),
+            warmed.samples_to_qos,
+            warm.entries.len()
+        );
+        assert!(
+            warmed.samples_used() < cold.samples_used(),
+            "warm search must use fewer observation windows"
+        );
+
+        // Full end-to-end searches are orders of magnitude longer than the
+        // other microbenches; a smaller sample count keeps the suite usable.
+        let mut g = c.benchmark_group("search");
+        g.sample_size(15);
+        g.bench_function(&format!("search_cold_{name}"), |b| {
+            b.iter_batched(fresh, |mut s| controller.run(&mut s).unwrap(), BatchSize::SmallInput)
+        });
+        g.bench_function(&format!("search_warm_{name}"), |b| {
+            b.iter_batched(
+                fresh,
+                |mut s| controller.run_warmed(&mut s, &warm, &Telemetry::disabled()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_gp,
     bench_acquisition,
     bench_suggest,
     bench_simulator,
-    bench_telemetry
+    bench_telemetry,
+    bench_warm_start
 );
 criterion_main!(benches);

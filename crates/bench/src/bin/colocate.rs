@@ -14,9 +14,12 @@ use std::process::ExitCode;
 use clite_bench::cli::{parse, usage, Command};
 use clite_bench::mixes::Mix;
 use clite_bench::render::{pct, Table};
-use clite_bench::runner::{final_eval, run_policy, run_policy_with};
+use clite_bench::runner::{
+    final_eval, run_clite_with_store, run_policy, run_policy_with, PolicyKind,
+};
 use clite_sim::prelude::*;
 use clite_sim::resource::ResourceKind;
+use clite_store::{ObservationStore, SharedStore};
 use clite_telemetry::{JsonlRecorder, OverheadReport, Telemetry};
 
 fn main() -> ExitCode {
@@ -73,7 +76,7 @@ fn main() -> ExitCode {
             println!("{}", t.render());
             ExitCode::SUCCESS
         }
-        Command::Run { policy, seed, telemetry_out, jobs } => {
+        Command::Run { policy, seed, telemetry_out, store, jobs } => {
             let mix = mix_from(jobs);
             println!("mix: {}  policy: {}  seed: {seed}\n", mix.name, policy.name());
             let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
@@ -84,15 +87,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let shared = match open_store(policy, store.as_deref()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let mut overhead: Option<OverheadReport> = None;
+            let run = |telemetry: &Telemetry<'_>| match &shared {
+                Some(s) => run_clite_with_store(&mix, seed, s, telemetry),
+                None => run_policy_with(policy, &mix, seed, telemetry),
+            };
             let outcome = match &recorder {
                 Some(sink) => {
                     let telemetry = Telemetry::new(sink);
-                    let outcome = run_policy_with(policy, &mix, seed, &telemetry);
+                    let outcome = run(&telemetry);
                     overhead = Some(telemetry.report());
                     outcome
                 }
-                None => run_policy(policy, &mix, seed),
+                None => run(&Telemetry::disabled()),
             };
             let obs = final_eval(&mix, &outcome, seed);
             println!(
@@ -131,18 +145,28 @@ fn main() -> ExitCode {
                 ]);
             }
             println!("{}", t.render());
+            if let Some(s) = &shared {
+                report_store(s);
+            }
             if let (Some(sink), Some(report)) = (&recorder, &overhead) {
                 let path = telemetry_out.as_deref().expect("recorder implies a path");
                 print_telemetry(sink, Some(report), path);
             }
             ExitCode::SUCCESS
         }
-        Command::Sweep { policy, seed, telemetry_out, swept, fixed } => {
+        Command::Sweep { policy, seed, telemetry_out, store, swept, fixed } => {
             let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
                 None => None,
                 Some(Ok(r)) => Some(r),
                 Some(Err(e)) => {
                     eprintln!("error: cannot open telemetry output: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let shared = match open_store(policy, store.as_deref()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
             };
@@ -152,14 +176,18 @@ fn main() -> ExitCode {
                 let mut jobs = vec![JobSpec::latency_critical(swept.workload, load)];
                 jobs.extend(fixed.iter().cloned());
                 let mix = mix_from(jobs);
-                let outcome = match &recorder {
-                    Some(sink) => run_policy_with(
-                        policy,
-                        &mix,
-                        seed.wrapping_add(step as u64),
-                        &Telemetry::new(sink),
-                    ),
-                    None => run_policy(policy, &mix, seed.wrapping_add(step as u64)),
+                let step_seed = seed.wrapping_add(step as u64);
+                let outcome = match (&shared, &recorder) {
+                    (Some(s), Some(sink)) => {
+                        run_clite_with_store(&mix, step_seed, s, &Telemetry::new(sink))
+                    }
+                    (Some(s), None) => {
+                        run_clite_with_store(&mix, step_seed, s, &Telemetry::disabled())
+                    }
+                    (None, Some(sink)) => {
+                        run_policy_with(policy, &mix, step_seed, &Telemetry::new(sink))
+                    }
+                    (None, None) => run_policy(policy, &mix, step_seed),
                 };
                 let obs = final_eval(&mix, &outcome, seed.wrapping_add(step as u64));
                 t.row(vec![
@@ -177,12 +205,56 @@ fn main() -> ExitCode {
                 policy.name(),
                 t.render()
             );
+            if let Some(s) = &shared {
+                report_store(s);
+            }
             if let Some(sink) = &recorder {
                 let path = telemetry_out.as_deref().expect("recorder implies a path");
                 print_telemetry(sink, None, path);
             }
             ExitCode::SUCCESS
         }
+    }
+}
+
+/// Opens the observation store at `path` (when requested). The store only
+/// makes sense for CLITE — it feeds `BoEngine` warm starts — so any other
+/// policy is rejected up front.
+fn open_store(policy: PolicyKind, path: Option<&Path>) -> Result<Option<SharedStore>, String> {
+    let Some(path) = path else { return Ok(None) };
+    if policy != PolicyKind::Clite {
+        return Err(format!("--store only supports --policy CLITE (got {})", policy.name()));
+    }
+    let store = ObservationStore::open(path)
+        .map_err(|e| format!("cannot open observation store {}: {e}", path.display()))?;
+    let stats = store.stats();
+    if stats.dropped_bytes > 0 {
+        eprintln!(
+            "warning: store {} had a corrupt tail; recovered {} records, dropped {} bytes",
+            path.display(),
+            stats.recovered_records,
+            stats.dropped_bytes
+        );
+    }
+    Ok(Some(store.into_shared()))
+}
+
+/// Prints the one-line store summary the CI smoke test greps for:
+/// `store: hit` when at least one search warm-started from stored
+/// samples, `store: miss` when every lookup came up cold.
+fn report_store(store: &SharedStore) {
+    let guard = store.lock().expect("observation store lock");
+    let stats = guard.stats();
+    let detail = format!(
+        "{} mixes, {} records kept, {} samples appended",
+        guard.mix_count(),
+        guard.record_count(),
+        stats.appends
+    );
+    if stats.hits > 0 {
+        println!("store: hit (warm-started from stored samples; {detail})");
+    } else {
+        println!("store: miss (cold search; {detail})");
     }
 }
 

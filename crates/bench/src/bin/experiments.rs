@@ -8,6 +8,7 @@
 //! experiments all --seed 7        # re-seed every stochastic component
 //! experiments --list              # list experiment ids
 //! experiments fig7 --telemetry-out events.jsonl   # stream run telemetry
+//! experiments fig16 --store obs.clite   # persist observations, warm-start re-searches
 //! ```
 
 use std::process::ExitCode;
@@ -42,6 +43,13 @@ fn main() -> ExitCode {
                 Some(d) => save_dir = Some(std::path::PathBuf::from(d)),
                 None => {
                     eprintln!("--save requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--store" => match it.next() {
+                Some(p) => opts.store = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--store requires a path argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -118,7 +126,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage: experiments <id>... | all [--full] [--seed N] [--save DIR] \
-         [--telemetry-out PATH] [--list]\n\
+         [--telemetry-out PATH] [--store PATH] [--list]\n\
          ids: table1 table2 table3 fig1 fig2 fig6 fig7 fig8 fig9a fig9b fig10\n\
          \x20     fig11 fig12 fig13 fig14 fig15a fig15b fig16 summary ablations"
     );

@@ -4,8 +4,8 @@
 //! Grammar:
 //!
 //! ```text
-//! colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] JOB...
-//! colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] --sweep JOB JOB...
+//! colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] JOB...
+//! colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
 //! colocate qos   [WORKLOAD...]
 //! JOB := <workload>[:<load-percent>]       e.g. memcached:40, blackscholes
 //! ```
@@ -29,6 +29,9 @@ pub enum Command {
         seed: u64,
         /// JSONL telemetry destination, if requested.
         telemetry_out: Option<PathBuf>,
+        /// Observation-store path (CLITE only): persist samples and
+        /// warm-start repeat searches.
+        store: Option<PathBuf>,
         /// The co-located jobs.
         jobs: Vec<JobSpec>,
     },
@@ -40,6 +43,9 @@ pub enum Command {
         seed: u64,
         /// JSONL telemetry destination, if requested.
         telemetry_out: Option<PathBuf>,
+        /// Observation-store path (CLITE only), shared across the sweep's
+        /// steps.
+        store: Option<PathBuf>,
         /// The swept job (its parsed load is ignored).
         swept: JobSpec,
         /// The fixed jobs.
@@ -139,6 +145,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut policy = PolicyKind::Clite;
             let mut seed = 42u64;
             let mut telemetry_out: Option<PathBuf> = None;
+            let mut store: Option<PathBuf> = None;
             let mut jobs: Vec<JobSpec> = Vec::new();
             let mut swept: Option<JobSpec> = None;
             while let Some(tok) = it.next() {
@@ -148,6 +155,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .next()
                             .ok_or_else(|| ParseError("--telemetry-out requires a path".into()))?;
                         telemetry_out = Some(PathBuf::from(v));
+                    }
+                    "--store" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--store requires a path".into()))?;
+                        store = Some(PathBuf::from(v));
                     }
                     "--policy" => {
                         let v = it
@@ -177,11 +190,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 if jobs.is_empty() {
                     return Err(ParseError("run needs at least one job".into()));
                 }
-                Ok(Command::Run { policy, seed, telemetry_out, jobs })
+                Ok(Command::Run { policy, seed, telemetry_out, store, jobs })
             } else {
                 let swept = swept
                     .ok_or_else(|| ParseError("sweep needs --sweep <workload>:<load>".into()))?;
-                Ok(Command::Sweep { policy, seed, telemetry_out, swept, fixed: jobs })
+                Ok(Command::Sweep { policy, seed, telemetry_out, store, swept, fixed: jobs })
             }
         }
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
@@ -194,8 +207,8 @@ pub fn usage() -> &'static str {
     "colocate — co-locate jobs on a simulated server with a scheduling policy
 
 USAGE:
-  colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] JOB...
-  colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] --sweep JOB JOB...
+  colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] JOB...
+  colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
   colocate qos   [WORKLOAD...]
 
 JOB:
@@ -209,10 +222,16 @@ TELEMETRY:
   --telemetry-out PATH writes one JSON event per line to PATH and prints a
   Prometheus metrics snapshot plus a search-phase overhead report on exit.
 
+STORE:
+  --store PATH (CLITE only) appends every evaluated sample to a crash-safe
+  observation log at PATH and warm-starts repeat searches on the same (or
+  nearby-load) mix from it. The run prints 'store: hit' or 'store: miss'.
+
 EXAMPLES:
   colocate run memcached:40 img-dnn:30 streamcluster
   colocate run --policy PARTIES memcached:40 img-dnn:30 streamcluster
   colocate run --telemetry-out /tmp/run.jsonl memcached:40 img-dnn:30 streamcluster
+  colocate run --store /tmp/obs.clite memcached:40 img-dnn:30 streamcluster
   colocate sweep --sweep memcached:0 masstree:30 img-dnn:30
   colocate qos memcached xapian"
 }
@@ -258,10 +277,11 @@ mod tests {
             parse(&v(&["run", "--policy", "PARTIES", "--seed", "7", "memcached:40", "swaptions"]))
                 .unwrap();
         match cmd {
-            Command::Run { policy, seed, telemetry_out, jobs } => {
+            Command::Run { policy, seed, telemetry_out, store, jobs } => {
                 assert_eq!(policy, PolicyKind::Parties);
                 assert_eq!(seed, 7);
                 assert_eq!(telemetry_out, None);
+                assert_eq!(store, None);
                 assert_eq!(jobs.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -291,6 +311,25 @@ mod tests {
             Command::Sweep { telemetry_out, .. } => {
                 assert_eq!(telemetry_out, Some(PathBuf::from("t.jsonl")));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_store_flag() {
+        let cmd = parse(&v(&["run", "--store", "/tmp/obs.clite", "memcached:40"])).unwrap();
+        match cmd {
+            Command::Run { store, .. } => {
+                assert_eq!(store, Some(PathBuf::from("/tmp/obs.clite")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["run", "--store"])).is_err(), "flag needs a path");
+        let sweep =
+            parse(&v(&["sweep", "--store", "obs.clite", "--sweep", "memcached:10", "masstree:30"]))
+                .unwrap();
+        match sweep {
+            Command::Sweep { store, .. } => assert_eq!(store, Some(PathBuf::from("obs.clite"))),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn report_covers_all_policies() {
-        let r = run(&ExpOptions { quick: true, seed: 6 });
+        let r = run(&ExpOptions { quick: true, seed: 6, ..ExpOptions::default() });
         for name in ["first-fit", "least-loaded", "most-loaded"] {
             assert!(r.body.contains(name));
         }

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn report_covers_both_mixes_and_acronyms() {
-        let r = run(&ExpOptions { quick: true, seed: 9 });
+        let r = run(&ExpOptions { quick: true, seed: 9, ..ExpOptions::default() });
         assert!(r.body.contains("BS") || r.body.contains("FM"));
         assert!(r.body.contains("CLITE"));
     }

@@ -13,21 +13,27 @@
 //! load vector, so memcached's steps invalidate exactly the entries they
 //! should.
 
-use clite::adaptive::{run_adaptive, AdaptiveConfig, Phase};
+use clite::adaptive::{run_adaptive, run_adaptive_with_store, AdaptiveConfig, Phase};
 use clite::controller::CliteController;
 use clite_sim::load::LoadSchedule;
 use clite_sim::prelude::*;
 use clite_sim::resource::ResourceKind;
 use clite_sim::testbed::MemoizedTestbed;
+use clite_store::ObservationStore;
 
 use crate::render::{pct, Table};
+use crate::runner::ambient_telemetry;
 use crate::{ExpOptions, Report};
 
-/// Runs the experiment.
+/// Runs the experiment. With `--store` the adaptive loop runs against a
+/// persistent observation store, so each re-invocation (and each repeat of
+/// the whole experiment against the same path) warm-starts from stored
+/// samples of the same or a nearby-load mix.
 ///
 /// # Panics
 ///
-/// Panics if the adaptive run fails (treated as a harness bug).
+/// Panics if the adaptive run fails or the store cannot be opened
+/// (treated as harness bugs).
 #[must_use]
 pub fn run(opts: &ExpOptions) -> Report {
     let step_s = if opts.quick { 200.0 } else { 300.0 };
@@ -43,13 +49,43 @@ pub fn run(opts: &ExpOptions) -> Report {
     ];
     let server = Server::new(ResourceCatalog::testbed(), jobs, opts.seed).unwrap();
     let mut testbed = MemoizedTestbed::new(server);
-    let trace = run_adaptive(
-        &CliteController::default(),
-        &mut testbed,
-        duration,
-        AdaptiveConfig::default(),
-    )
-    .expect("adaptive run succeeds");
+    let mut store_line = None;
+    let trace = match &opts.store {
+        Some(path) => {
+            let store = ObservationStore::open(path)
+                .unwrap_or_else(|e| panic!("cannot open observation store {}: {e}", path.display()))
+                .into_shared();
+            let trace = run_adaptive_with_store(
+                &CliteController::default(),
+                &mut testbed,
+                duration,
+                AdaptiveConfig::default(),
+                &store,
+                &ambient_telemetry(),
+            )
+            .expect("adaptive run succeeds");
+            let guard = store.lock().expect("observation store lock");
+            let stats = guard.stats();
+            store_line = Some(format!(
+                "observation store: {} warm hits, {} misses, {} samples appended; \
+                 {} mixes, {} records kept at {}\n",
+                stats.hits,
+                stats.misses,
+                stats.appends,
+                guard.mix_count(),
+                guard.record_count(),
+                path.display()
+            ));
+            trace
+        }
+        None => run_adaptive(
+            &CliteController::default(),
+            &mut testbed,
+            duration,
+            AdaptiveConfig::default(),
+        )
+        .expect("adaptive run succeeds"),
+    };
 
     let mut body = format!(
         "memcached load: 10% -> 20% (t={step_s:.0}s) -> 30% (t={:.0}s); invocations: {}\n\n",
@@ -93,6 +129,9 @@ pub fn run(opts: &ExpOptions) -> Report {
         testbed.hits(),
         testbed.misses()
     ));
+    if let Some(line) = store_line {
+        body.push_str(&line);
+    }
     Report { id: "fig16", title: "Adaptation to dynamic memcached load steps".into(), body }
 }
 
@@ -112,9 +151,32 @@ mod tests {
 
     #[test]
     fn report_shows_reinvocation_and_high_qos() {
-        let r = run(&ExpOptions { quick: true, seed: 71 });
+        let r = run(&ExpOptions { quick: true, seed: 71, ..ExpOptions::default() });
         assert!(r.body.contains("invocations"));
         assert!(r.body.contains("steady"));
         assert!(r.body.contains("replayed"), "memoization stats must be reported");
+        assert!(!r.body.contains("observation store"), "no store line without --store");
+    }
+
+    #[test]
+    fn store_option_warm_starts_repeat_runs() {
+        let path =
+            std::env::temp_dir().join(format!("clite_fig16_store_{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = ExpOptions { quick: true, seed: 71, store: Some(path.clone()) };
+        let _ = run(&opts);
+        let r = run(&opts);
+        let _ = std::fs::remove_file(&path);
+        let line = r
+            .body
+            .lines()
+            .find(|l| l.starts_with("observation store:"))
+            .expect("store line in report");
+        let hits: u64 = line
+            .strip_prefix("observation store: ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .expect("hit count in store line");
+        assert!(hits >= 1, "repeat run must warm-start from the persisted store: {line}");
     }
 }

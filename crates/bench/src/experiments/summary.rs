@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn summary_renders_all_claims() {
-        let r = run(&ExpOptions { quick: true, seed: 3 });
+        let r = run(&ExpOptions { quick: true, seed: 3, ..ExpOptions::default() });
         assert!(r.body.contains("CLITE LC perf vs ORACLE"));
         assert!(r.body.contains("variability"));
         assert!(r.body.contains("samples to converge"));

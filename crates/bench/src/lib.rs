@@ -32,18 +32,22 @@ pub mod render;
 pub mod runner;
 
 /// Options shared by every experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpOptions {
     /// Quick mode shrinks load grids and repeat counts so the whole suite
     /// finishes in minutes; `--full` restores paper-sized sweeps.
     pub quick: bool,
     /// Base seed for every stochastic component (servers, policies).
     pub seed: u64,
+    /// Observation-store path (`--store`): experiments that re-invoke the
+    /// CLITE search (fig16's adaptive loop) persist their observations
+    /// here and warm-start from them on re-invocation.
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { quick: true, seed: 42 }
+        Self { quick: true, seed: 42, store: None }
     }
 }
 

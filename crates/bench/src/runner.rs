@@ -5,6 +5,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use clite::config::CliteConfig;
+use clite::controller::CliteController;
 use clite_policies::clite_policy::ClitePolicy;
 use clite_policies::genetic::Genetic;
 use clite_policies::heracles::Heracles;
@@ -13,6 +14,7 @@ use clite_policies::parties::Parties;
 use clite_policies::policy::{Policy, PolicyOutcome};
 use clite_policies::random_plus::RandomPlus;
 use clite_sim::testbed::{MemoizedTestbed, ObservationCache, OracleTestbed};
+use clite_store::SharedStore;
 use clite_telemetry::{JsonlRecorder, Telemetry};
 
 use crate::mixes::Mix;
@@ -148,6 +150,49 @@ pub fn run_policy_with(
         .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.name(), mix.name))
 }
 
+/// Runs CLITE on a fresh server hosting `mix` against a shared
+/// observation store: the search warm-starts from any stored samples of
+/// this (or a nearby-load) mix and appends everything it evaluates back.
+/// Seeding matches [`run_policy`], so a storeless CLITE run on the same
+/// mix and seed is the cold baseline for this call.
+///
+/// # Panics
+///
+/// Panics on internal controller failures (experiments treat those as
+/// bugs).
+#[must_use]
+pub fn run_clite_with_store(
+    mix: &Mix,
+    seed: u64,
+    store: &SharedStore,
+    telemetry: &Telemetry<'_>,
+) -> PolicyOutcome {
+    let mut server = mix.server(seed);
+    let controller = CliteController::new(CliteConfig::default().with_seed(seed ^ 0x9E37_79B9));
+    let outcome = controller
+        .run_with_store(&mut server, store, telemetry)
+        .unwrap_or_else(|e| panic!("CLITE (stored) failed on {}: {e}", mix.name));
+    let samples: Vec<clite_policies::policy::PolicySample> = outcome
+        .samples
+        .iter()
+        .map(|r| clite_policies::policy::PolicySample {
+            index: r.index,
+            partition: r.partition.clone(),
+            observation: r.observation.clone(),
+            score: r.score.value,
+        })
+        .collect();
+    PolicyOutcome {
+        policy: "CLITE".to_owned(),
+        best_partition: outcome.best_partition.clone(),
+        best_score: outcome.best_score,
+        qos_met: outcome.qos_met(),
+        samples_to_qos: outcome.samples_to_qos,
+        samples,
+        gave_up: !outcome.infeasible_jobs.is_empty(),
+    }
+}
+
 /// [`run_policy`] on a [`MemoizedTestbed`] sharing `cache` with other
 /// runs: observations of a (job set, load, partition) combination already
 /// in the cache are replayed instead of re-simulated.
@@ -256,6 +301,26 @@ mod tests {
         assert_eq!(sink.count_kind("terminated"), 1);
         let report = telemetry.report();
         assert!(report.profiled_seconds() <= report.wall_seconds);
+    }
+
+    #[test]
+    fn stored_rerun_warm_starts() {
+        use clite_store::ObservationStore;
+
+        let mix = fig7_mix(0.2, 0.2, 0.2);
+        let store = ObservationStore::in_memory().into_shared();
+        let cold = run_clite_with_store(&mix, 3, &store, &Telemetry::disabled());
+        let warm = run_clite_with_store(&mix, 3, &store, &Telemetry::disabled());
+        let stats = store.lock().unwrap().stats();
+        assert_eq!(stats.misses, 1, "first run is cold");
+        assert!(stats.hits >= 1, "second run must warm-start");
+        assert!(warm.qos_met);
+        assert!(
+            warm.samples_used() < cold.samples_used(),
+            "warm {} vs cold {}",
+            warm.samples_used(),
+            cold.samples_used()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use clite::controller::CliteController;
 use clite::trace::CliteOutcome;
 use clite_sim::prelude::*;
 use clite_sim::testbed::{ServerFactory, TestbedFactory};
+use clite_store::{MixSignature, SharedStore};
 use clite_telemetry::Telemetry;
 
 use crate::ClusterError;
@@ -31,6 +32,10 @@ pub struct PlacedJob {
 pub struct AdmissionPlan {
     job: PlacedJob,
     outcome: CliteOutcome,
+    /// Mix signature of the tentative job set, captured at probe time;
+    /// `Some` only when the node has a store. Commit appends the plan's
+    /// samples under this signature.
+    signature: Option<MixSignature>,
 }
 
 impl AdmissionPlan {
@@ -69,6 +74,7 @@ pub struct Node<F: TestbedFactory = ServerFactory> {
     searches_run: usize,
     samples_spent: u64,
     commits: u64,
+    store: Option<SharedStore>,
 }
 
 impl Node {
@@ -94,7 +100,22 @@ impl<F: TestbedFactory> Node<F> {
             searches_run: 0,
             samples_spent: 0,
             commits: 0,
+            store: None,
         }
+    }
+
+    /// Attaches a shared observation store: admission probes and
+    /// re-partitioning searches warm-start from it, and committed
+    /// searches append their samples back (see [`Node::commit_admission`]).
+    #[must_use]
+    pub fn with_store(mut self, store: SharedStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Installs (or replaces) the shared observation store in place.
+    pub fn set_store(&mut self, store: SharedStore) {
+        self.store = Some(store);
     }
 
     /// Node id within the cluster.
@@ -185,11 +206,54 @@ impl<F: TestbedFactory> Node<F> {
         }
         let mut tentative: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
         tentative.push(job.spec.clone());
+        let (outcome, signature) = self.run_search(tentative, config, telemetry)?;
+        Ok(Some(AdmissionPlan { job, outcome, signature }))
+    }
+
+    /// One admission/re-partition search on the given tentative job set,
+    /// warm-started from the shared store when one is attached. Probes
+    /// only *read* the store (plus hit/miss accounting); samples are
+    /// appended at commit time, so concurrent speculative probes all see
+    /// the same pre-wave store state and threaded admission stays
+    /// byte-identical to serial.
+    fn run_search(
+        &self,
+        specs: Vec<JobSpec>,
+        config: &CliteConfig,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<(CliteOutcome, Option<MixSignature>), ClusterError> {
         let seed = self.search_seed();
-        let mut testbed = self.factory.build(self.catalog, tentative, seed)?;
+        let mut testbed = self.factory.build(self.catalog, specs, seed)?;
         let controller = CliteController::new(config.clone().with_seed(seed));
-        let outcome = controller.run_with(&mut testbed, telemetry)?;
-        Ok(Some(AdmissionPlan { job, outcome }))
+        match &self.store {
+            Some(store) => {
+                let signature = MixSignature::capture(&testbed);
+                let warm = {
+                    let mut guard = store.lock().expect("observation store lock");
+                    guard.warm_start_with(&signature, telemetry)
+                };
+                let outcome = match &warm {
+                    Some(warm) => controller.run_warmed(&mut testbed, warm, telemetry)?,
+                    None => controller.run_with(&mut testbed, telemetry)?,
+                };
+                Ok((outcome, Some(signature)))
+            }
+            None => Ok((controller.run_with(&mut testbed, telemetry)?, None)),
+        }
+    }
+
+    /// Appends a committed search's samples to the shared store.
+    /// Best-effort: an unwritable log must not fail a placement the
+    /// search already proved feasible, so failures only bump the store's
+    /// `append_errors` counter.
+    fn store_samples(&self, signature: Option<&MixSignature>, outcome: &CliteOutcome) {
+        let (Some(store), Some(signature)) = (&self.store, signature) else {
+            return;
+        };
+        let mut guard = store.lock().expect("observation store lock");
+        for rec in &outcome.samples {
+            let _ = guard.append(signature, &rec.partition, &rec.observation, rec.score.value);
+        }
     }
 
     /// Charges a produced plan against this node's search/sample
@@ -200,9 +264,12 @@ impl<F: TestbedFactory> Node<F> {
         self.samples_spent += plan.outcome.samples_used() as u64;
     }
 
-    /// Commits a feasible plan: the job joins the node and the plan's
-    /// partition becomes the committed outcome.
+    /// Commits a feasible plan: the job joins the node, the plan's
+    /// partition becomes the committed outcome, and — when a store is
+    /// attached — the plan's samples are appended (best-effort) for
+    /// future warm starts. Discarded plans never reach the store.
     pub fn commit_admission(&mut self, plan: AdmissionPlan) {
+        self.store_samples(plan.signature.as_ref(), &plan.outcome);
         self.jobs.push(plan.job);
         self.last_outcome = Some(plan.outcome);
         self.commits += 1;
@@ -282,10 +349,8 @@ impl<F: TestbedFactory> Node<F> {
             return Ok(());
         }
         let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
-        let seed = self.search_seed();
-        let mut testbed = self.factory.build(self.catalog, specs, seed)?;
-        let controller = CliteController::new(config.clone().with_seed(seed));
-        let outcome = controller.run_with(&mut testbed, telemetry)?;
+        let (outcome, signature) = self.run_search(specs, config, telemetry)?;
+        self.store_samples(signature.as_ref(), &outcome);
         self.searches_run += 1;
         self.samples_spent += outcome.samples_used() as u64;
         self.last_outcome = Some(outcome);
@@ -406,6 +471,41 @@ mod tests {
         assert!(n.last_outcome().unwrap().qos_met());
         n.remove(1, &quick_config()).unwrap();
         assert!(n.last_outcome().is_none());
+    }
+
+    #[test]
+    fn store_backed_node_warm_starts_repeat_mixes() {
+        use clite_store::ObservationStore;
+
+        let store = ObservationStore::in_memory().into_shared();
+        let mut n = node().with_store(store.clone());
+        let base = JobSpec::latency_critical(WorkloadId::Memcached, 0.3);
+        let spec = JobSpec::latency_critical(WorkloadId::Xapian, 0.3);
+
+        // Two cold admissions (1-job mix, then 2-job mix); each commit
+        // appends its samples to the store.
+        assert!(n.try_admit(PlacedJob { id: 1, spec: base }, &quick_config()).unwrap());
+        let after_first = n.samples_spent();
+        assert!(n.try_admit(PlacedJob { id: 2, spec: spec.clone() }, &quick_config()).unwrap());
+        let cold_two_job = n.samples_spent() - after_first;
+        {
+            let guard = store.lock().unwrap();
+            assert_eq!(guard.stats().misses, 2, "both cold probes miss");
+            assert!(guard.stats().appends > 0);
+        }
+
+        // Departure + identical re-admission probes the same 2-job mix:
+        // the plan warm-starts from the committed samples and spends
+        // strictly fewer windows than the cold 2-job search did.
+        n.remove(2, &quick_config()).unwrap();
+        let before_warm = n.samples_spent();
+        assert!(n.try_admit(PlacedJob { id: 3, spec }, &quick_config()).unwrap());
+        let warm_two_job = n.samples_spent() - before_warm;
+        assert!(store.lock().unwrap().stats().hits >= 1);
+        assert!(
+            warm_two_job < cold_two_job,
+            "warm re-admission spent {warm_two_job} windows, cold spent {cold_two_job}"
+        );
     }
 
     #[test]

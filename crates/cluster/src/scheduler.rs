@@ -121,6 +121,19 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         Ok(Self { nodes, config, next_job_id: 0, rejected: 0 })
     }
 
+    /// Attaches one shared observation store to every node in the fleet:
+    /// admission probes and re-partitioning searches warm-start from the
+    /// pooled samples, and committed searches append back to it. Because
+    /// probes only read the store and appends happen at commit, serial and
+    /// threaded admission still place identical fleets.
+    #[must_use]
+    pub fn with_store(mut self, store: clite_store::SharedStore) -> Self {
+        for node in &mut self.nodes {
+            node.set_store(store.clone());
+        }
+        self
+    }
+
     /// The fleet.
     #[must_use]
     pub fn nodes(&self) -> &[Node<F>] {

@@ -8,6 +8,7 @@
 use clite_cluster::placement::PlacementPolicy;
 use clite_cluster::scheduler::{AdmissionMode, ClusterScheduler, SchedulerConfig};
 use clite_sim::prelude::*;
+use clite_store::ObservationStore;
 
 fn job_stream() -> Vec<JobSpec> {
     vec![
@@ -64,6 +65,49 @@ fn threaded_admission_is_self_deterministic() {
     let (b_placements, b_stats) = run(AdmissionMode::Threaded, PlacementPolicy::LeastLoaded, 7);
     assert_eq!(a_placements, b_placements);
     assert_eq!(a_stats, b_stats);
+}
+
+/// Like [`run`] but with one shared observation store across the fleet.
+fn run_with_store(
+    mode: AdmissionMode,
+    placement: PlacementPolicy,
+    seed: u64,
+) -> (Vec<Option<usize>>, clite_cluster::stats::ClusterStats, u64) {
+    let config = SchedulerConfig { placement, admission: mode, ..SchedulerConfig::default() };
+    let store = ObservationStore::in_memory().into_shared();
+    let mut cluster =
+        ClusterScheduler::new(2, config, seed).expect("2-node cluster").with_store(store.clone());
+    let placements: Vec<Option<usize>> = job_stream()
+        .into_iter()
+        .map(|spec| cluster.submit(spec).expect("submit").map(|p| p.node))
+        .collect();
+    let appends = store.lock().unwrap().stats().appends;
+    (placements, cluster.stats(), appends)
+}
+
+#[test]
+fn store_backed_admission_keeps_serial_threaded_equivalence() {
+    // Probes read the store; appends happen only at commit — so a shared
+    // store must not break the serial ≡ threaded placement guarantee, and
+    // both modes must append the same committed samples.
+    let (serial_placements, serial_stats, serial_appends) =
+        run_with_store(AdmissionMode::Serial, PlacementPolicy::LeastLoaded, 42);
+    let (threaded_placements, threaded_stats, threaded_appends) =
+        run_with_store(AdmissionMode::Threaded, PlacementPolicy::LeastLoaded, 42);
+    assert_eq!(serial_placements, threaded_placements);
+    assert_eq!(serial_stats, threaded_stats);
+    assert_eq!(serial_appends, threaded_appends);
+    assert!(serial_appends > 0, "committed searches must reach the store");
+}
+
+#[test]
+fn store_backed_admission_matches_storeless_placements() {
+    // Warm starts change how fast searches converge, never which
+    // placements are feasible: the committed fleet must match the
+    // storeless run's.
+    let (plain, _) = run(AdmissionMode::Serial, PlacementPolicy::LeastLoaded, 42);
+    let (stored, _, _) = run_with_store(AdmissionMode::Serial, PlacementPolicy::LeastLoaded, 42);
+    assert_eq!(plain, stored);
 }
 
 #[test]

@@ -15,6 +15,8 @@ use serde::Serialize;
 use clite_sim::alloc::Partition;
 use clite_sim::metrics::Observation;
 use clite_sim::testbed::Testbed;
+use clite_store::SharedStore;
+use clite_telemetry::Telemetry;
 
 use crate::controller::CliteController;
 use crate::score::{score_observation, ScoreBreakdown};
@@ -91,13 +93,48 @@ pub fn run_adaptive<T: Testbed>(
     duration_s: f64,
     config: AdaptiveConfig,
 ) -> Result<AdaptiveTrace, CliteError> {
+    run_adaptive_inner(controller, server, duration_s, config, None, &Telemetry::disabled())
+}
+
+/// [`run_adaptive`] against a persistent observation store: every search
+/// invocation looks up warm samples for the current mix signature first
+/// and appends its own windows afterwards, so re-invocations on a
+/// previously seen load point (this run *or* an earlier process) skip the
+/// cold bootstrap.
+///
+/// # Errors
+///
+/// Propagates controller errors, including [`CliteError::Store`] if the
+/// store's log cannot be written.
+pub fn run_adaptive_with_store<T: Testbed>(
+    controller: &CliteController,
+    server: &mut T,
+    duration_s: f64,
+    config: AdaptiveConfig,
+    store: &SharedStore,
+    telemetry: &Telemetry<'_>,
+) -> Result<AdaptiveTrace, CliteError> {
+    run_adaptive_inner(controller, server, duration_s, config, Some(store), telemetry)
+}
+
+fn run_adaptive_inner<T: Testbed>(
+    controller: &CliteController,
+    server: &mut T,
+    duration_s: f64,
+    config: AdaptiveConfig,
+    store: Option<&SharedStore>,
+    telemetry: &Telemetry<'_>,
+) -> Result<AdaptiveTrace, CliteError> {
     let mut points: Vec<AdaptivePoint> = Vec::new();
     let mut invocations = 0usize;
 
     while server.time_s() < duration_s {
         // ── Search phase ─────────────────────────────────────────────────
         invocations += 1;
-        let outcome = controller.run(server)?;
+        let outcome = match store {
+            Some(store) => controller.run_with_store(server, store, telemetry)?,
+            None => controller.run_with(server, telemetry)?,
+        };
         for rec in &outcome.samples {
             points.push(AdaptivePoint {
                 time_s: rec.observation.time_s,
@@ -202,6 +239,78 @@ mod tests {
             "{met}/{} final steady windows met",
             last_steady.len()
         );
+    }
+
+    /// Splits a trace into its contiguous search-phase segments: one
+    /// segment per invocation, each the number of windows that invocation
+    /// spent searching.
+    fn search_segments(trace: &AdaptiveTrace) -> Vec<usize> {
+        let mut segments = Vec::new();
+        let mut in_search = false;
+        for p in &trace.points {
+            match (p.phase, in_search) {
+                (Phase::Search, false) => {
+                    segments.push(1);
+                    in_search = true;
+                }
+                (Phase::Search, true) => *segments.last_mut().unwrap() += 1,
+                (Phase::Steady, _) => in_search = false,
+            }
+        }
+        segments
+    }
+
+    #[test]
+    fn warm_reinvocation_on_unchanged_mix_uses_fewer_search_windows() {
+        use clite_store::ObservationStore;
+
+        // Complementary load swaps: memcached and img-dnn trade places at
+        // t=250 s and trade back at t=500 s. Each swap breaks the partition
+        // tuned for the previous phase (the newly loaded job is starved),
+        // forcing a re-invocation — and the third invocation runs at
+        // exactly the first invocation's load point, so with a store it is
+        // an exact warm hit on the first invocation's samples.
+        let jobs = vec![
+            JobSpec::latency_critical_scheduled(
+                WorkloadId::Memcached,
+                LoadSchedule::Steps(vec![(0.0, 0.85), (250.0, 0.10), (500.0, 0.85)]),
+            ),
+            JobSpec::latency_critical_scheduled(
+                WorkloadId::ImgDnn,
+                LoadSchedule::Steps(vec![(0.0, 0.10), (250.0, 0.85), (500.0, 0.10)]),
+            ),
+            JobSpec::background(WorkloadId::Fluidanimate),
+        ];
+        let mut server = Server::new(ResourceCatalog::testbed(), jobs, 21).unwrap();
+        let store = ObservationStore::in_memory().into_shared();
+        let trace = run_adaptive_with_store(
+            &CliteController::default(),
+            &mut server,
+            740.0,
+            AdaptiveConfig::default(),
+            &store,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+
+        assert!(
+            trace.invocations >= 3,
+            "load swaps must re-invoke twice, got {}",
+            trace.invocations
+        );
+        let segments = search_segments(&trace);
+        assert_eq!(segments.len(), trace.invocations);
+        let cold = segments[0];
+        let warm = segments[2];
+        assert!(warm < cold, "warm re-invocation used {warm} search windows, cold used {cold}");
+        {
+            let guard = store.lock().unwrap();
+            assert!(guard.stats().hits >= 1, "third invocation must hit the store");
+        }
+        // Store or not, the trace stays time-ordered.
+        for w in trace.points.windows(2) {
+            assert!(w[1].time_s >= w[0].time_s);
+        }
     }
 
     #[test]

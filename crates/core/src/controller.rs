@@ -26,6 +26,7 @@ use clite_sim::alloc::{JobAllocation, Partition};
 use clite_sim::metrics::Observation;
 use clite_sim::testbed::Testbed;
 use clite_sim::workload::JobClass;
+use clite_store::{MixSignature, SharedStore, WarmStart};
 use clite_telemetry::{Event, Phase, StopReason, Telemetry};
 
 use crate::config::{CliteConfig, DropoutPolicy};
@@ -81,6 +82,79 @@ impl CliteController {
         server: &mut T,
         telemetry: &Telemetry<'_>,
     ) -> Result<CliteOutcome, CliteError> {
+        self.run_inner(server, None, telemetry)
+    }
+
+    /// [`run_with`](CliteController::run_with), primed with stored samples
+    /// from an earlier search on the same (or a nearby-load) mix.
+    ///
+    /// The warm entries seed the BO engine's history — so the surrogate
+    /// starts informed and stored points are never re-proposed — but are
+    /// *not* added to the run's sample trace: [`CliteOutcome::samples`]
+    /// still contains only windows this run actually observed, and their
+    /// timestamps stay monotone. When the warm evidence contains a
+    /// QoS-meeting configuration and at least `N_jobs + 1` entries, the
+    /// bootstrap phase is skipped entirely (its two purposes — seeding the
+    /// surrogate and per-job infeasibility screening — are already
+    /// answered by the prior run).
+    ///
+    /// # Errors
+    ///
+    /// See [`CliteController::run`].
+    pub fn run_warmed<T: Testbed>(
+        &self,
+        server: &mut T,
+        warm: &WarmStart,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<CliteOutcome, CliteError> {
+        self.run_inner(server, Some(warm), telemetry)
+    }
+
+    /// One search against a persistent observation store: looks up warm
+    /// samples for the testbed's current mix signature, runs (warm or
+    /// cold), then appends every window this run observed back to the
+    /// store for the next invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CliteError::Store`] if the store's log cannot be written, plus
+    /// everything [`CliteController::run`] returns.
+    pub fn run_with_store<T: Testbed>(
+        &self,
+        server: &mut T,
+        store: &SharedStore,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<CliteOutcome, CliteError> {
+        let signature = MixSignature::capture(server);
+        let warm = {
+            let mut guard = store.lock().expect("observation store lock");
+            guard.warm_start_with(&signature, telemetry)
+        };
+        let outcome = match &warm {
+            Some(warm) => self.run_warmed(server, warm, telemetry)?,
+            None => self.run_with(server, telemetry)?,
+        };
+        {
+            let mut guard = store.lock().expect("observation store lock");
+            for rec in &outcome.samples {
+                guard.append_with(
+                    &signature,
+                    &rec.partition,
+                    &rec.observation,
+                    rec.score.value,
+                    telemetry,
+                )?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn run_inner<T: Testbed>(
+        &self,
+        server: &mut T,
+        warm: Option<&WarmStart>,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<CliteOutcome, CliteError> {
         let jobs = server.job_count();
         let space = SearchSpace::new(*server.catalog(), jobs)?;
         let mut engine = BoEngine::new(space, self.config.bo.clone(), self.config.seed);
@@ -90,8 +164,24 @@ impl CliteController {
         let mut infeasible: Vec<usize> = Vec::new();
         let mut samples_to_qos: Option<usize> = None;
 
+        // Warm evidence of feasibility keeps the search in performance
+        // mode from the first sample (see `qos_mode` below).
+        let mut warm_qos = false;
+        let mut skip_bootstrap = false;
+        if let Some(warm) = warm {
+            warm_qos = warm.any_qos_met();
+            skip_bootstrap = warm_qos && warm.entries.len() > jobs;
+            engine.warm_start(warm.entries.iter().map(|e| (e.partition.clone(), e.score)));
+            telemetry.emit(Event::WarmStarted { samples: warm.entries.len(), exact: warm.exact });
+        }
+
         // ── Phase 1: bootstrap ────────────────────────────────────────────
-        for (k, partition) in engine.bootstrap_samples()?.into_iter().enumerate() {
+        // Skipped when warm evidence already answers what bootstrap asks:
+        // a QoS-meeting configuration exists (feasibility) and the
+        // surrogate has at least as many seed points as a bootstrap run
+        // would produce.
+        let bootstrap = if skip_bootstrap { Vec::new() } else { engine.bootstrap_samples()? };
+        for (k, partition) in bootstrap.into_iter().enumerate() {
             let observation = telemetry.time(Phase::Observe, || server.observe(&partition));
             let score = telemetry.time(Phase::Score, || score_observation(&observation));
             telemetry.emit(Event::BootstrapSample {
@@ -201,7 +291,10 @@ impl CliteController {
                 // surplus should move.
                 let threshold =
                     self.config.termination.scaled_threshold(jobs) * best_before.abs().max(0.1);
-                let want_local = if samples_to_qos.is_some() {
+                // QoS mode: met at least once this run, or warm evidence
+                // proved the mix feasible before this run started.
+                let qos_mode = warm_qos || samples_to_qos.is_some();
+                let want_local = if qos_mode {
                     suggestion.expected_improvement < threshold
                 } else {
                     // While violating, interleave counter-guided repair with
@@ -266,7 +359,7 @@ impl CliteController {
                 } else {
                     fruitless_local_moves = 0;
                 }
-                let effective_ei = if samples_to_qos.is_some() {
+                let effective_ei = if warm_qos || samples_to_qos.is_some() {
                     suggestion.expected_improvement.max(actual_improvement)
                 } else {
                     f64::INFINITY
@@ -647,6 +740,85 @@ mod tests {
         let b = run();
         assert_eq!(a.best_partition, b.best_partition);
         assert_eq!(a.samples_used(), b.samples_used());
+    }
+
+    #[test]
+    fn warm_run_reaches_qos_in_fewer_windows_than_cold() {
+        use clite_store::ObservationStore;
+
+        let store = ObservationStore::in_memory().into_shared();
+        let controller = CliteController::default();
+        let telemetry = Telemetry::disabled();
+
+        let mut s1 = server(easy_mix(), 9);
+        let cold = controller.run_with_store(&mut s1, &store, &telemetry).unwrap();
+        assert!(cold.qos_met());
+
+        // Same mix, fresh server: the second invocation must hit the store
+        // and converge in strictly fewer observation windows.
+        let mut s2 = server(easy_mix(), 9);
+        let warm = controller.run_with_store(&mut s2, &store, &telemetry).unwrap();
+        assert!(warm.qos_met());
+        {
+            let guard = store.lock().unwrap();
+            assert_eq!(guard.stats().hits, 1);
+            assert_eq!(guard.stats().misses, 1);
+        }
+        assert!(
+            warm.samples_used() < cold.samples_used(),
+            "warm {} windows must beat cold {}",
+            warm.samples_used(),
+            cold.samples_used()
+        );
+        // The warm run skipped bootstrap entirely.
+        assert!(warm.samples.iter().all(|r| !r.bootstrap));
+    }
+
+    #[test]
+    fn warm_runs_are_deterministic() {
+        use clite_store::ObservationStore;
+
+        let run_pair = || {
+            let store = ObservationStore::in_memory().into_shared();
+            let controller = CliteController::default();
+            let telemetry = Telemetry::disabled();
+            let mut s1 = server(easy_mix(), 12);
+            controller.run_with_store(&mut s1, &store, &telemetry).unwrap();
+            let mut s2 = server(easy_mix(), 12);
+            controller.run_with_store(&mut s2, &store, &telemetry).unwrap()
+        };
+        let a = run_pair();
+        let b = run_pair();
+        assert_eq!(a.best_partition, b.best_partition);
+        assert_eq!(a.samples_used(), b.samples_used());
+        assert_eq!(
+            a.samples.iter().map(|r| r.partition.clone()).collect::<Vec<_>>(),
+            b.samples.iter().map(|r| r.partition.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn store_misses_on_different_mix_and_runs_cold() {
+        use clite_store::ObservationStore;
+
+        let store = ObservationStore::in_memory().into_shared();
+        let controller = CliteController::default();
+        let telemetry = Telemetry::disabled();
+        let mut s1 = server(easy_mix(), 10);
+        controller.run_with_store(&mut s1, &store, &telemetry).unwrap();
+
+        let other = vec![
+            JobSpec::latency_critical(WorkloadId::Xapian, 0.2),
+            JobSpec::background(WorkloadId::Freqmine),
+        ];
+        let mut s2 = server(other, 10);
+        let outcome = controller.run_with_store(&mut s2, &store, &telemetry).unwrap();
+        // Cold path: full bootstrap ran (N_jobs + 1 bootstrap samples).
+        assert_eq!(outcome.samples.iter().filter(|r| r.bootstrap).count(), 3);
+        let guard = store.lock().unwrap();
+        assert_eq!(guard.stats().hits, 0);
+        assert_eq!(guard.stats().misses, 2);
+        assert_eq!(guard.mix_count(), 2);
     }
 
     #[test]

@@ -2,6 +2,7 @@ use std::fmt;
 
 use clite_bo::BoError;
 use clite_sim::SimError;
+use clite_store::StoreError;
 
 /// Error type for the CLITE controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,6 +12,8 @@ pub enum CliteError {
     Bo(BoError),
     /// The simulator rejected a request.
     Sim(SimError),
+    /// The observation store failed at the durable layer.
+    Store(StoreError),
     /// The server hosts no latency-critical *or* background jobs to
     /// optimize for (empty server).
     NothingToOptimize,
@@ -21,6 +24,7 @@ impl fmt::Display for CliteError {
         match self {
             CliteError::Bo(e) => write!(f, "bayesian optimization failure: {e}"),
             CliteError::Sim(e) => write!(f, "simulator failure: {e}"),
+            CliteError::Store(e) => write!(f, "observation store failure: {e}"),
             CliteError::NothingToOptimize => write!(f, "no jobs to optimize"),
         }
     }
@@ -31,6 +35,7 @@ impl std::error::Error for CliteError {
         match self {
             CliteError::Bo(e) => Some(e),
             CliteError::Sim(e) => Some(e),
+            CliteError::Store(e) => Some(e),
             CliteError::NothingToOptimize => None,
         }
     }
@@ -45,5 +50,11 @@ impl From<BoError> for CliteError {
 impl From<SimError> for CliteError {
     fn from(e: SimError) -> Self {
         CliteError::Sim(e)
+    }
+}
+
+impl From<StoreError> for CliteError {
+    fn from(e: StoreError) -> Self {
+        CliteError::Store(e)
     }
 }

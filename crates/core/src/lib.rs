@@ -52,3 +52,7 @@ pub mod trace;
 mod error;
 
 pub use error::CliteError;
+
+// Store types appear in controller signatures; re-export them so callers
+// don't need a direct clite-store dependency for the common path.
+pub use clite_store::{MixSignature, ObservationStore, SharedStore, StorePolicy, WarmStart};

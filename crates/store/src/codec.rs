@@ -1,0 +1,373 @@
+//! Binary encoding of store records.
+//!
+//! Hand-rolled little-endian framing instead of JSON: the payload must be
+//! byte-deterministic (the same record always encodes to the same bytes,
+//! so checksums and golden files are stable), must round-trip `f64`s
+//! bit-exactly (including values JSON printers mangle), and is scanned
+//! byte-by-byte during crash recovery, where a typed decoder that *returns*
+//! errors — never panics and never reads past its slice — is the whole
+//! safety argument.
+//!
+//! Layout is versioned by the log header (see [`crate::log`]); this module
+//! implements payload version 1.
+
+use clite_sim::alloc::{JobAllocation, Partition};
+use clite_sim::counters::CounterSample;
+use clite_sim::metrics::{JobObservation, Observation};
+use clite_sim::resource::{ResourceCatalog, NUM_RESOURCES};
+use clite_sim::workload::{JobClass, WorkloadId};
+
+use crate::signature::{JobSignature, MixSignature};
+use crate::StoreRecord;
+
+/// Decode failure: what went wrong and where in the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the payload at which decoding failed.
+    pub offset: usize,
+    /// What the decoder expected there.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt record payload at byte {}: expected {}", self.offset, self.expected)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Jobs per record above which a payload is rejected as corrupt (a length
+/// prefix this large can only come from flipped bits).
+const MAX_JOBS: usize = 1024;
+
+// ── primitive writers ────────────────────────────────────────────────────
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(x) => {
+            put_u8(buf, 1);
+            put_f64(buf, x);
+        }
+    }
+}
+
+// ── primitive readers ────────────────────────────────────────────────────
+
+/// A bounds-checked little-endian reader over one payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn fail(&self, expected: &'static str) -> DecodeError {
+        DecodeError { offset: self.pos, expected }
+    }
+
+    fn bytes(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.fail(expected))?;
+        if end > self.buf.len() {
+            return Err(self.fail(expected));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, expected: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1, expected)?[0])
+    }
+
+    fn u32(&mut self, expected: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4, expected)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, expected: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8, expected)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, expected: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.bytes(8, expected)?.try_into().expect("8 bytes")))
+    }
+
+    fn opt_f64(&mut self, expected: &'static str) -> Result<Option<f64>, DecodeError> {
+        match self.u8(expected)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64(expected)?)),
+            _ => Err(self.fail(expected)),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ── domain types ─────────────────────────────────────────────────────────
+
+fn workload_code(w: WorkloadId) -> u8 {
+    WorkloadId::ALL.iter().position(|&x| x == w).expect("workload in ALL") as u8
+}
+
+fn workload_from_code(r: &mut Reader<'_>) -> Result<WorkloadId, DecodeError> {
+    let code = r.u8("workload code")?;
+    WorkloadId::ALL.get(code as usize).copied().ok_or_else(|| r.fail("workload code"))
+}
+
+fn class_code(c: JobClass) -> u8 {
+    match c {
+        JobClass::LatencyCritical => 0,
+        JobClass::Background => 1,
+    }
+}
+
+fn class_from_code(r: &mut Reader<'_>) -> Result<JobClass, DecodeError> {
+    match r.u8("job class code")? {
+        0 => Ok(JobClass::LatencyCritical),
+        1 => Ok(JobClass::Background),
+        _ => Err(r.fail("job class code")),
+    }
+}
+
+fn put_counters(buf: &mut Vec<u8>, c: &CounterSample) {
+    put_f64(buf, c.cpu_utilization);
+    put_f64(buf, c.llc_hit_rate);
+    put_f64(buf, c.mem_bw_used_frac);
+    put_f64(buf, c.ipc_proxy);
+    put_f64(buf, c.capacity_pressure);
+    put_f64(buf, c.disk_bw_used_frac);
+    put_f64(buf, c.net_bw_used_frac);
+}
+
+fn read_counters(r: &mut Reader<'_>) -> Result<CounterSample, DecodeError> {
+    Ok(CounterSample {
+        cpu_utilization: r.f64("counters")?,
+        llc_hit_rate: r.f64("counters")?,
+        mem_bw_used_frac: r.f64("counters")?,
+        ipc_proxy: r.f64("counters")?,
+        capacity_pressure: r.f64("counters")?,
+        disk_bw_used_frac: r.f64("counters")?,
+        net_bw_used_frac: r.f64("counters")?,
+    })
+}
+
+fn job_count(r: &mut Reader<'_>, expected: &'static str) -> Result<usize, DecodeError> {
+    let n = r.u32(expected)? as usize;
+    if n == 0 || n > MAX_JOBS {
+        return Err(r.fail(expected));
+    }
+    Ok(n)
+}
+
+/// Encodes one record into the payload byte form framed by the log.
+#[must_use]
+pub fn encode_record(record: &StoreRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+
+    // Signature: catalog units, then one entry per job.
+    for u in record.signature.catalog {
+        put_u32(&mut buf, u);
+    }
+    put_u32(&mut buf, record.signature.jobs.len() as u32);
+    for j in &record.signature.jobs {
+        put_u8(&mut buf, workload_code(j.workload));
+        put_u8(&mut buf, class_code(j.class));
+        put_u64(&mut buf, j.qos_decius);
+        put_u32(&mut buf, j.load_pct);
+    }
+
+    // Partition rows (the catalog is the signature's).
+    put_u32(&mut buf, record.partition.job_count() as u32);
+    for row in record.partition.rows() {
+        for u in row.all_units() {
+            put_u32(&mut buf, u);
+        }
+    }
+
+    // Observation.
+    put_f64(&mut buf, record.observation.time_s);
+    put_f64(&mut buf, record.observation.window_s);
+    put_u32(&mut buf, record.observation.jobs.len() as u32);
+    for j in &record.observation.jobs {
+        put_u8(&mut buf, workload_code(j.workload));
+        put_u8(&mut buf, class_code(j.class));
+        put_f64(&mut buf, j.latency_p95_us);
+        put_f64(&mut buf, j.offered_qps);
+        put_f64(&mut buf, j.normalized_perf);
+        put_u8(
+            &mut buf,
+            match j.qos_met {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            },
+        );
+        put_opt_f64(&mut buf, j.qos_target_us);
+        put_opt_f64(&mut buf, j.iso_latency_p95_us);
+        put_counters(&mut buf, &j.counters);
+    }
+
+    put_f64(&mut buf, record.score);
+    buf
+}
+
+/// Decodes one payload back into a record, validating every structural
+/// invariant (workload codes, partition feasibility, exact length).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any malformed byte; never panics and never
+/// reads out of bounds, whatever the input.
+pub fn decode_record(payload: &[u8]) -> Result<StoreRecord, DecodeError> {
+    let mut r = Reader::new(payload);
+
+    let mut catalog = [0u32; NUM_RESOURCES];
+    for u in &mut catalog {
+        *u = r.u32("catalog units")?;
+    }
+    let n_jobs = job_count(&mut r, "signature job count")?;
+    let mut jobs = Vec::with_capacity(n_jobs);
+    for _ in 0..n_jobs {
+        jobs.push(JobSignature {
+            workload: workload_from_code(&mut r)?,
+            class: class_from_code(&mut r)?,
+            qos_decius: r.u64("qos target")?,
+            load_pct: r.u32("load percent")?,
+        });
+    }
+    let signature = MixSignature { catalog, jobs };
+
+    let n_rows = job_count(&mut r, "partition row count")?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let mut units = [0u32; NUM_RESOURCES];
+        for u in &mut units {
+            *u = r.u32("partition units")?;
+        }
+        rows.push(JobAllocation::from_units(units));
+    }
+    let cat = ResourceCatalog::new(catalog).map_err(|_| r.fail("valid catalog"))?;
+    let partition =
+        Partition::from_rows(cat, rows).map_err(|_| r.fail("feasible partition rows"))?;
+
+    let time_s = r.f64("observation time")?;
+    let window_s = r.f64("observation window")?;
+    let n_obs = job_count(&mut r, "observation job count")?;
+    let mut obs_jobs = Vec::with_capacity(n_obs);
+    for _ in 0..n_obs {
+        let workload = workload_from_code(&mut r)?;
+        let class = class_from_code(&mut r)?;
+        let latency_p95_us = r.f64("latency")?;
+        let offered_qps = r.f64("offered qps")?;
+        let normalized_perf = r.f64("normalized perf")?;
+        let qos_met = match r.u8("qos met flag")? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            _ => return Err(r.fail("qos met flag")),
+        };
+        let qos_target_us = r.opt_f64("qos target")?;
+        let iso_latency_p95_us = r.opt_f64("iso latency")?;
+        let counters = read_counters(&mut r)?;
+        obs_jobs.push(JobObservation {
+            workload,
+            class,
+            latency_p95_us,
+            offered_qps,
+            normalized_perf,
+            qos_met,
+            qos_target_us,
+            iso_latency_p95_us,
+            counters,
+        });
+    }
+    let observation = Observation { time_s, window_s, jobs: obs_jobs };
+
+    let score = r.f64("score")?;
+    if !r.done() {
+        return Err(r.fail("end of payload"));
+    }
+    Ok(StoreRecord { signature, partition, observation, score })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::MixSignature;
+    use clite_sim::prelude::*;
+    use clite_sim::testbed::Testbed;
+
+    fn sample_record() -> StoreRecord {
+        let jobs = vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.4),
+            JobSpec::background(WorkloadId::Blackscholes),
+        ];
+        let mut server = Server::new(ResourceCatalog::testbed(), jobs, 1).unwrap();
+        let partition = Partition::equal_share(Testbed::catalog(&server), 2).unwrap();
+        let observation = server.observe(&partition);
+        let signature = MixSignature::capture(&server);
+        StoreRecord { signature, partition, observation, score: 0.625 }
+    }
+
+    #[test]
+    fn round_trips_a_real_record() {
+        let rec = sample_record();
+        let payload = encode_record(&rec);
+        let back = decode_record(&payload).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let rec = sample_record();
+        assert_eq!(encode_record(&rec), encode_record(&rec));
+    }
+
+    #[test]
+    fn truncated_payload_errors_cleanly() {
+        let payload = encode_record(&sample_record());
+        for cut in 0..payload.len() {
+            assert!(decode_record(&payload[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut payload = encode_record(&sample_record());
+        payload.push(0);
+        assert!(decode_record(&payload).is_err());
+    }
+
+    #[test]
+    fn bad_workload_code_rejected() {
+        let rec = sample_record();
+        let mut payload = encode_record(&rec);
+        // First job's workload code sits right after the 6 catalog u32s
+        // and the u32 job count.
+        let off = NUM_RESOURCES * 4 + 4;
+        payload[off] = 200;
+        assert!(decode_record(&payload).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! The append-only record log: framing, checksums, crash recovery.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [ b"CLITESTO" ][ version: u32 LE ]            file header, 12 bytes
+//! [ REC_MAGIC: u32 LE ][ len: u32 LE ]
+//! [ fnv1a64(payload): u64 LE ][ payload ]       one frame per record
+//! ...
+//! ```
+//!
+//! A crash can leave the file with a torn final frame (short header, short
+//! payload, or a payload whose checksum no longer matches). Recovery scans
+//! frames from the front and keeps the longest prefix of intact records;
+//! everything from the first bad byte on is truncated away, so the next
+//! append lands on a clean frame boundary. A file whose *header* is bad is
+//! treated as empty and rewritten. Nothing in this module panics on any
+//! input byte sequence.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::{StoreError, StoreResult};
+
+/// File magic: identifies a clite-store log.
+pub const FILE_MAGIC: &[u8; 8] = b"CLITESTO";
+/// Current format version (header + payload layout).
+pub const FORMAT_VERSION: u32 = 1;
+/// Per-record frame magic (guards against mid-file seeks landing on data).
+pub const REC_MAGIC: u32 = 0x4F42_5343; // "CSBO"
+/// Header length in bytes.
+pub const HEADER_LEN: u64 = 12;
+/// Frame prologue length: magic + len + checksum.
+pub const FRAME_PROLOGUE_LEN: usize = 16;
+/// Longest payload accepted; larger length prefixes are corruption.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 24;
+
+/// FNV-1a 64-bit hash of `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Frames `payload` into the on-disk byte form.
+#[must_use]
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_PROLOGUE_LEN + payload.len());
+    out.extend_from_slice(&REC_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What a recovery scan found in an existing log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Payloads of every intact record, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (where the next append goes).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix that were discarded.
+    pub dropped_bytes: u64,
+    /// True if the file header itself was missing or corrupt.
+    pub header_rewritten: bool,
+}
+
+/// Scans `bytes` (a full file image) and returns the valid prefix.
+///
+/// Total function: any input maps to a `Recovery`, never a panic.
+#[must_use]
+pub fn scan(bytes: &[u8]) -> Recovery {
+    let total = bytes.len() as u64;
+    if bytes.len() < HEADER_LEN as usize
+        || &bytes[..8] != FILE_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) != FORMAT_VERSION
+    {
+        return Recovery {
+            payloads: Vec::new(),
+            valid_len: 0,
+            dropped_bytes: total,
+            header_rewritten: true,
+        };
+    }
+
+    let mut payloads = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < FRAME_PROLOGUE_LEN {
+            break;
+        }
+        let magic = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        if magic != REC_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_LEN {
+            break;
+        }
+        let len = len as usize;
+        let Some(payload) = rest.get(FRAME_PROLOGUE_LEN..FRAME_PROLOGUE_LEN + len) else {
+            break;
+        };
+        let checksum = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        if fnv1a64(payload) != checksum {
+            break;
+        }
+        payloads.push(payload.to_vec());
+        pos += FRAME_PROLOGUE_LEN + len;
+    }
+
+    let valid_len = pos as u64;
+    Recovery { payloads, valid_len, dropped_bytes: total - valid_len, header_rewritten: false }
+}
+
+/// An open log file positioned for appends.
+#[derive(Debug)]
+pub struct LogFile {
+    file: File,
+}
+
+fn io_err(op: &'static str, e: &std::io::Error) -> StoreError {
+    StoreError::Io { op, message: e.to_string() }
+}
+
+impl LogFile {
+    /// Opens (or creates) the log at `path`, recovering the valid prefix.
+    ///
+    /// The file is truncated to the valid prefix so later appends extend
+    /// intact data; a corrupt header resets the file to an empty log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures. Corruption is
+    /// not an error — it is reported through [`Recovery`].
+    pub fn open(path: &Path) -> StoreResult<(Self, Recovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| io_err("read", &e))?;
+
+        let recovery = scan(&bytes);
+        if recovery.header_rewritten {
+            file.set_len(0).map_err(|e| io_err("truncate", &e))?;
+            file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seek", &e))?;
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(FILE_MAGIC);
+            header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            file.write_all(&header).map_err(|e| io_err("write header", &e))?;
+            file.flush().map_err(|e| io_err("flush", &e))?;
+        } else if recovery.dropped_bytes > 0 {
+            file.set_len(recovery.valid_len).map_err(|e| io_err("truncate", &e))?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", &e))?;
+        Ok((Self { file }, recovery))
+    }
+
+    /// Appends one framed payload and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the write fails; the frame is written
+    /// with a single `write_all` so a crash mid-append tears at most the
+    /// final frame, which the next open recovers past.
+    pub fn append(&mut self, payload: &[u8]) -> StoreResult<()> {
+        let framed = frame(payload);
+        self.file.write_all(&framed).map_err(|e| io_err("append", &e))?;
+        self.file.flush().map_err(|e| io_err("flush", &e))?;
+        Ok(())
+    }
+
+    /// Atomically replaces the log contents with `payloads` (compaction).
+    ///
+    /// Writes a fresh header + frames to `path.tmp`, then renames over
+    /// `path`, so a crash leaves either the old or the new log — never a
+    /// mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures.
+    pub fn rewrite(path: &Path, payloads: &[Vec<u8>]) -> StoreResult<Self> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut out = File::create(&tmp).map_err(|e| io_err("create tmp", &e))?;
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(FILE_MAGIC);
+            bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            for p in payloads {
+                bytes.extend_from_slice(&frame(p));
+            }
+            out.write_all(&bytes).map_err(|e| io_err("write tmp", &e))?;
+            out.flush().map_err(|e| io_err("flush tmp", &e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &e))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("reopen", &e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", &e))?;
+        Ok(Self { file })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FILE_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        for p in payloads {
+            bytes.extend_from_slice(&frame(p));
+        }
+        bytes
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn scan_reads_all_intact_records() {
+        let img = image(&[b"one", b"two", b"three"]);
+        let rec = scan(&img);
+        assert_eq!(rec.payloads, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(rec.valid_len, img.len() as u64);
+        assert_eq!(rec.dropped_bytes, 0);
+        assert!(!rec.header_rewritten);
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let full = image(&[b"alpha", b"beta"]);
+        let keep = image(&[b"alpha"]).len();
+        for cut in keep..full.len() {
+            let rec = scan(&full[..cut]);
+            assert_eq!(rec.payloads, vec![b"alpha".to_vec()], "cut at {cut}");
+            assert_eq!(rec.valid_len, keep as u64);
+        }
+    }
+
+    #[test]
+    fn scan_rejects_bad_header() {
+        let mut img = image(&[b"x"]);
+        img[0] = b'X';
+        let rec = scan(&img);
+        assert!(rec.header_rewritten);
+        assert_eq!(rec.valid_len, 0);
+        assert!(rec.payloads.is_empty());
+    }
+
+    #[test]
+    fn scan_stops_at_checksum_mismatch() {
+        let mut img = image(&[b"alpha", b"beta"]);
+        let last = img.len() - 1;
+        img[last] ^= 0xFF; // corrupt beta's final payload byte
+        let rec = scan(&img);
+        assert_eq!(rec.payloads, vec![b"alpha".to_vec()]);
+        assert!(rec.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn scan_rejects_absurd_length_prefix() {
+        let mut img = image(&[]);
+        img.extend_from_slice(&REC_MAGIC.to_le_bytes());
+        img.extend_from_slice(&u32::MAX.to_le_bytes());
+        img.extend_from_slice(&[0u8; 8]);
+        let rec = scan(&img);
+        assert!(rec.payloads.is_empty());
+        assert_eq!(rec.valid_len, HEADER_LEN);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_appends_cleanly() {
+        let dir = std::env::temp_dir().join(format!("clite-store-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.log");
+        let mut img = image(&[b"alpha", b"beta"]);
+        img.truncate(img.len() - 2);
+        std::fs::write(&path, &img).unwrap();
+
+        let (mut log, rec) = LogFile::open(&path).unwrap();
+        assert_eq!(rec.payloads, vec![b"alpha".to_vec()]);
+        log.append(b"gamma").unwrap();
+        drop(log);
+
+        let (_, rec2) = LogFile::open(&path).unwrap();
+        assert_eq!(rec2.payloads, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
+        assert_eq!(rec2.dropped_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

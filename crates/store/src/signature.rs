@@ -1,0 +1,175 @@
+//! Mix signatures: the store's index key.
+//!
+//! A signature captures what makes two co-location problems "the same
+//! search": the machine's resource catalog, the ordered workload mix, each
+//! LC job's QoS target, and each job's offered load. Catalog, workloads,
+//! and QoS targets must match exactly for reuse to be sound (a different
+//! mix is a different objective); load is the dimension along which nearby
+//! problems share structure, so it is kept out of the hash key and used as
+//! a distance instead.
+//!
+//! All fields are small quantized integers — load at whole-percent
+//! granularity, QoS targets at 0.1 µs — so signatures are hashable,
+//! byte-stable, and immune to float round-trip noise.
+
+use clite_sim::resource::NUM_RESOURCES;
+use clite_sim::testbed::Testbed;
+use clite_sim::workload::{JobClass, WorkloadId};
+
+/// One job's contribution to a mix signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobSignature {
+    /// The workload running in this slot.
+    pub workload: WorkloadId,
+    /// Latency-critical or background.
+    pub class: JobClass,
+    /// QoS target in tenths of a microsecond (0 for BG jobs).
+    pub qos_decius: u64,
+    /// Offered load as a whole percentage of max QPS (100 for BG jobs).
+    pub load_pct: u32,
+}
+
+/// Identity of one co-location problem: catalog + per-job signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MixSignature {
+    /// Resource catalog unit counts, in [`clite_sim::resource::ResourceKind::ALL`] order.
+    pub catalog: [u32; NUM_RESOURCES],
+    /// Per-job signatures in job order.
+    pub jobs: Vec<JobSignature>,
+}
+
+/// The exact-match portion of a signature — everything except load.
+///
+/// Two signatures with the same key describe the same mix running at
+/// (possibly) different load points; their stored samples are candidates
+/// for warm-starting each other, gated by [`MixSignature::load_distance`].
+pub type MixKey = ([u32; NUM_RESOURCES], Vec<(WorkloadId, JobClass, u64)>);
+
+impl MixSignature {
+    /// Reads the signature of the mix currently running on `server`.
+    pub fn capture<T: Testbed + ?Sized>(server: &T) -> Self {
+        let catalog = server.catalog().all_units();
+        let jobs = (0..server.job_count())
+            .map(|j| {
+                let class = server.class(j);
+                let qos_decius = match server.qos(j) {
+                    Some(spec) => quantize_qos(spec.target_us),
+                    None => 0,
+                };
+                let load_pct = match class {
+                    JobClass::LatencyCritical => quantize_load(server.load(j)),
+                    JobClass::Background => 100,
+                };
+                JobSignature { workload: server.workload(j), class, qos_decius, load_pct }
+            })
+            .collect();
+        Self { catalog, jobs }
+    }
+
+    /// The exact-match index key (signature minus loads).
+    #[must_use]
+    pub fn key(&self) -> MixKey {
+        (self.catalog, self.jobs.iter().map(|j| (j.workload, j.class, j.qos_decius)).collect())
+    }
+
+    /// The quantized per-job load vector, in job order.
+    #[must_use]
+    pub fn loads(&self) -> Vec<u32> {
+        self.jobs.iter().map(|j| j.load_pct).collect()
+    }
+
+    /// Worst-case per-job load gap to `other`, as a fraction in `[0, 1]`
+    /// (L∞ over the load vectors). `f64::INFINITY` if the mixes differ.
+    #[must_use]
+    pub fn load_distance(&self, other: &Self) -> f64 {
+        if self.key() != other.key() {
+            return f64::INFINITY;
+        }
+        load_vector_distance(&self.loads(), &other.loads())
+    }
+}
+
+/// L∞ distance between two quantized load vectors, as a load fraction.
+#[must_use]
+pub fn load_vector_distance(a: &[u32], b: &[u32]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    let max_gap = a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).max().unwrap_or(0);
+    f64::from(max_gap) / 100.0
+}
+
+/// Quantizes a load fraction to whole percent.
+#[must_use]
+pub fn quantize_load(load_frac: f64) -> u32 {
+    let pct = (load_frac * 100.0).round();
+    if pct.is_finite() && pct >= 0.0 {
+        pct as u32
+    } else {
+        0
+    }
+}
+
+/// Quantizes a QoS target (µs) to tenths of a microsecond.
+#[must_use]
+pub fn quantize_qos(target_us: f64) -> u64 {
+    let decius = (target_us * 10.0).round();
+    if decius.is_finite() && decius >= 0.0 {
+        decius as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::prelude::*;
+
+    fn server(loads: &[(WorkloadId, f64)]) -> Server {
+        let jobs: Vec<JobSpec> = loads
+            .iter()
+            .map(|&(w, l)| JobSpec::latency_critical(w, l))
+            .chain(std::iter::once(JobSpec::background(WorkloadId::Canneal)))
+            .collect();
+        Server::new(ResourceCatalog::testbed(), jobs, 7).unwrap()
+    }
+
+    #[test]
+    fn capture_quantizes_loads_and_qos() {
+        let s = server(&[(WorkloadId::Memcached, 0.437)]);
+        let sig = MixSignature::capture(&s);
+        assert_eq!(sig.catalog, ResourceCatalog::testbed().all_units());
+        assert_eq!(sig.jobs.len(), 2);
+        assert_eq!(sig.jobs[0].load_pct, 44);
+        assert!(sig.jobs[0].qos_decius > 0);
+        assert_eq!(sig.jobs[1].load_pct, 100);
+        assert_eq!(sig.jobs[1].qos_decius, 0);
+    }
+
+    #[test]
+    fn same_mix_different_load_shares_key() {
+        let a = MixSignature::capture(&server(&[(WorkloadId::Memcached, 0.20)]));
+        let b = MixSignature::capture(&server(&[(WorkloadId::Memcached, 0.60)]));
+        assert_eq!(a.key(), b.key());
+        assert!((a.load_distance(&b) - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_mix_is_infinitely_far() {
+        let a = MixSignature::capture(&server(&[(WorkloadId::Memcached, 0.50)]));
+        let b = MixSignature::capture(&server(&[(WorkloadId::Xapian, 0.50)]));
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.load_distance(&b), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantization_edge_cases() {
+        assert_eq!(quantize_load(0.0), 0);
+        assert_eq!(quantize_load(1.0), 100);
+        assert_eq!(quantize_load(f64::NAN), 0);
+        assert_eq!(quantize_load(-0.3), 0);
+        assert_eq!(quantize_qos(500.04), 5000);
+        assert_eq!(quantize_qos(f64::INFINITY), 0);
+    }
+}

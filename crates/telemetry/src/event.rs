@@ -101,6 +101,32 @@ pub enum Event {
         /// Elapsed wall-clock nanoseconds.
         nanos: u64,
     },
+    /// An observation was appended to the persistent store.
+    StoreAppend {
+        /// Eq. 3 score of the stored observation.
+        score: f64,
+    },
+    /// A warm-start lookup found reusable samples for the current mix.
+    StoreHit {
+        /// Number of warm entries returned.
+        entries: usize,
+        /// L∞ load distance between the stored and current load vectors.
+        load_distance: f64,
+        /// True if the stored load vector matches exactly.
+        exact: bool,
+    },
+    /// A warm-start lookup found nothing reusable.
+    StoreMiss {
+        /// Number of distinct mixes currently indexed by the store.
+        mixes: usize,
+    },
+    /// A search run was primed with stored samples before its first window.
+    WarmStarted {
+        /// Number of pre-recorded samples fed into the surrogate.
+        samples: usize,
+        /// True if the warm entries came from an exact load match.
+        exact: bool,
+    },
 }
 
 impl Event {
@@ -118,6 +144,10 @@ impl Event {
             Event::Placement { .. } => "placement",
             Event::Eviction { .. } => "eviction",
             Event::PhaseTiming { .. } => "phase_timing",
+            Event::StoreAppend { .. } => "store_append",
+            Event::StoreHit { .. } => "store_hit",
+            Event::StoreMiss { .. } => "store_miss",
+            Event::WarmStarted { .. } => "warm_started",
         }
     }
 }
@@ -144,6 +174,10 @@ mod tests {
             Event::Placement { node: 4, job: "memcached".to_owned() },
             Event::Eviction { node: 4, job: "memcached".to_owned() },
             Event::PhaseTiming { phase: Phase::GpFit, nanos: 420_000 },
+            Event::StoreAppend { score: 0.73 },
+            Event::StoreHit { entries: 6, load_distance: 0.05, exact: false },
+            Event::StoreMiss { mixes: 3 },
+            Event::WarmStarted { samples: 6, exact: true },
         ];
         for event in events {
             let line = serde_json::to_string(&event).unwrap();

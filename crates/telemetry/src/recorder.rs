@@ -74,6 +74,21 @@ pub fn apply_event(metrics: &MetricsRegistry, event: &Event) {
         Event::PhaseTiming { phase, nanos } => {
             metrics.observe("clite_phase_seconds", &[("phase", phase.name())], *nanos as f64 / 1e9);
         }
+        Event::StoreAppend { score } => {
+            metrics.inc_counter("clite_store_appends_total", &[], 1);
+            metrics.observe("clite_store_score", &[], *score);
+        }
+        Event::StoreHit { entries, .. } => {
+            metrics.inc_counter("clite_store_hits_total", &[], 1);
+            metrics.observe("clite_store_hit_entries", &[], *entries as f64);
+        }
+        Event::StoreMiss { .. } => {
+            metrics.inc_counter("clite_store_misses_total", &[], 1);
+        }
+        Event::WarmStarted { samples, .. } => {
+            metrics.inc_counter("clite_warm_starts_total", &[], 1);
+            metrics.set_gauge("clite_warm_start_samples", &[], *samples as f64);
+        }
     }
 }
 
@@ -113,6 +128,18 @@ impl JsonlRecorder {
     /// Returns the underlying I/O error on failure.
     pub fn flush(&self) -> io::Result<()> {
         self.writer.lock().expect("jsonl writer lock").flush()
+    }
+}
+
+impl Drop for JsonlRecorder {
+    /// Best-effort flush so buffered events reach disk even when callers
+    /// forget to call [`JsonlRecorder::flush`]. Errors (including a
+    /// poisoned writer lock) are swallowed: telemetry must never turn a
+    /// clean exit into a panic.
+    fn drop(&mut self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -207,6 +234,31 @@ mod tests {
         let text = buf.contents();
         let parsed: Vec<Event> = text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
         assert_eq!(parsed, sent);
+    }
+
+    #[test]
+    fn jsonl_recorder_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("clite-telemetry-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            // `create` wraps the file in a BufWriter, so without the Drop
+            // flush these small events would still be sitting in the
+            // buffer when the recorder goes out of scope.
+            let recorder = JsonlRecorder::create(&path).unwrap();
+            recorder.record(&Event::StoreHit { entries: 4, load_distance: 0.0, exact: true });
+            recorder.record(&Event::WarmStarted { samples: 4, exact: true });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<Event> = text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(
+            parsed,
+            vec![
+                Event::StoreHit { entries: 4, load_distance: 0.0, exact: true },
+                Event::WarmStarted { samples: 4, exact: true },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
