@@ -23,7 +23,7 @@ step "cargo doc --no-deps (warnings denied, own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clite-sim -p clite-gp -p clite-bo -p clite -p clite-telemetry \
     -p clite-store -p clite-policies -p clite-cluster -p clite-bench \
-    -p clite-repro
+    -p clite-faults -p clite-repro
 
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo build --release"
@@ -55,6 +55,15 @@ if [[ "${1:-}" != "quick" ]]; then
     step "cargo test -p clite-store --release -q"
     cargo test -p clite-store --release -q
 
+    # Chaos hardening: the fault-injection determinism proptests and the
+    # controller's degradation ladder must hold under release codegen
+    # (the rate-0 byte-identity check is float-codegen-sensitive).
+    step "cargo test -p clite-faults --release -q"
+    cargo test -p clite-faults --release -q
+
+    step "cargo test -p clite --test chaos --release -q"
+    cargo test -p clite --test chaos --release -q
+
     # End-to-end warm-start smoke test: a second colocate run against the
     # same store path must warm-start from the first run's samples.
     step "colocate --store smoke test"
@@ -66,6 +75,17 @@ if [[ "${1:-}" != "quick" ]]; then
     ./target/release/colocate run --store "$store_tmp/obs.clite" \
         memcached:30 xapian:30 streamcluster > "$store_tmp/second.txt"
     grep -q "store: hit" "$store_tmp/second.txt"
+
+    # Chaos smoke test: a forced node crash must degrade gracefully —
+    # fallback engaged, marker printed, exit 0 — never panic.
+    step "colocate --faults smoke test"
+    ./target/release/colocate run --faults crash=6 --seed 42 \
+        memcached:40 img-dnn:30 streamcluster > "$store_tmp/chaos.txt"
+    grep -q "fallback engaged" "$store_tmp/chaos.txt"
+    grep -q "chaos: degraded gracefully without panic" "$store_tmp/chaos.txt"
+    ./target/release/colocate run --faults default --seed 42 \
+        memcached:40 img-dnn:30 streamcluster > "$store_tmp/chaos2.txt"
+    grep -q "without panic" "$store_tmp/chaos2.txt"
 
     # Benches must at least keep compiling (they are the perf record).
     step "cargo bench --no-run"

@@ -15,11 +15,12 @@ use clite_bench::cli::{parse, usage, Command};
 use clite_bench::mixes::Mix;
 use clite_bench::render::{pct, Table};
 use clite_bench::runner::{
-    final_eval, run_clite_with_store, run_policy, run_policy_with, PolicyKind,
+    final_eval, run_clite_chaos, run_clite_with_store, run_policy, run_policy_with, PolicyKind,
 };
+use clite_policies::policy::PolicyOutcome;
 use clite_sim::prelude::*;
 use clite_sim::resource::ResourceKind;
-use clite_store::{ObservationStore, SharedStore};
+use clite_store::{ObservationStore, SharedStore, StorePolicy};
 use clite_telemetry::{JsonlRecorder, OverheadReport, Telemetry};
 
 fn main() -> ExitCode {
@@ -76,8 +77,12 @@ fn main() -> ExitCode {
             println!("{}", t.render());
             ExitCode::SUCCESS
         }
-        Command::Run { policy, seed, telemetry_out, store, jobs } => {
+        Command::Run { policy, seed, telemetry_out, store, faults, jobs } => {
             let mix = mix_from(jobs);
+            if faults.is_some() && policy != PolicyKind::Clite {
+                eprintln!("error: --faults only supports --policy CLITE (got {})", policy.name());
+                return ExitCode::FAILURE;
+            }
             println!("mix: {}  policy: {}  seed: {seed}\n", mix.name, policy.name());
             let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
                 None => None,
@@ -87,13 +92,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let shared = match open_store(policy, store.as_deref()) {
+            let shared = match open_store(policy, store.as_deref(), &recorder) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            if let Some(spec) = faults {
+                return run_chaos(
+                    &mix,
+                    seed,
+                    &spec,
+                    shared.as_ref(),
+                    &recorder,
+                    telemetry_out.as_deref(),
+                );
+            }
             let mut overhead: Option<OverheadReport> = None;
             let run = |telemetry: &Telemetry<'_>| match &shared {
                 Some(s) => run_clite_with_store(&mix, seed, s, telemetry),
@@ -108,43 +123,7 @@ fn main() -> ExitCode {
                 }
                 None => run(&Telemetry::disabled()),
             };
-            let obs = final_eval(&mix, &outcome, seed);
-            println!(
-                "samples: {}   score: {:.4}   QoS: {}\n",
-                outcome.samples_used(),
-                outcome.best_score,
-                if obs.all_qos_met() { "met" } else { "VIOLATED" }
-            );
-            let mut t = Table::new(vec![
-                "job", "class", "cores", "L3 ways", "mem b/w", "mem cap", "disk b/w", "outcome",
-            ]);
-            for (j, job) in obs.jobs.iter().enumerate() {
-                let p = &outcome.best_partition;
-                let outcome_cell = match job.qos_met {
-                    Some(true) => format!(
-                        "p95 {:.0}us <= {:.0}us",
-                        job.latency_p95_us,
-                        job.qos_target_us.unwrap_or(f64::NAN)
-                    ),
-                    Some(false) => format!(
-                        "p95 {:.0}us > {:.0}us",
-                        job.latency_p95_us,
-                        job.qos_target_us.unwrap_or(f64::NAN)
-                    ),
-                    None => format!("throughput {}", pct(job.normalized_perf)),
-                };
-                t.row(vec![
-                    job.workload.name().to_owned(),
-                    job.class.to_string(),
-                    p.units(j, ResourceKind::Cores).to_string(),
-                    p.units(j, ResourceKind::LlcWays).to_string(),
-                    p.units(j, ResourceKind::MemBandwidth).to_string(),
-                    p.units(j, ResourceKind::MemCapacity).to_string(),
-                    p.units(j, ResourceKind::DiskBandwidth).to_string(),
-                    outcome_cell,
-                ]);
-            }
-            println!("{}", t.render());
+            print_result(&mix, &outcome, seed, 0);
             if let Some(s) = &shared {
                 report_store(s);
             }
@@ -163,7 +142,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let shared = match open_store(policy, store.as_deref()) {
+            let shared = match open_store(policy, store.as_deref(), &recorder) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -219,24 +198,137 @@ fn main() -> ExitCode {
 
 /// Opens the observation store at `path` (when requested). The store only
 /// makes sense for CLITE — it feeds `BoEngine` warm starts — so any other
-/// policy is rejected up front.
-fn open_store(policy: PolicyKind, path: Option<&Path>) -> Result<Option<SharedStore>, String> {
+/// policy is rejected up front. Reopen-time recovery is observed: a torn
+/// or corrupt tail emits a `store_recovered` telemetry event (when a
+/// recorder is installed) and a stderr warning.
+fn open_store(
+    policy: PolicyKind,
+    path: Option<&Path>,
+    recorder: &Option<JsonlRecorder>,
+) -> Result<Option<SharedStore>, String> {
     let Some(path) = path else { return Ok(None) };
     if policy != PolicyKind::Clite {
         return Err(format!("--store only supports --policy CLITE (got {})", policy.name()));
     }
-    let store = ObservationStore::open(path)
+    let telemetry = match recorder {
+        Some(sink) => Telemetry::new(sink),
+        None => Telemetry::disabled(),
+    };
+    let store = ObservationStore::open_observed(path, StorePolicy::default(), &telemetry)
         .map_err(|e| format!("cannot open observation store {}: {e}", path.display()))?;
     let stats = store.stats();
-    if stats.dropped_bytes > 0 {
+    if stats.dropped_bytes > 0 || stats.undecodable_records > 0 {
         eprintln!(
-            "warning: store {} had a corrupt tail; recovered {} records, dropped {} bytes",
+            "warning: store {} had a corrupt tail; recovered {} records, dropped {} bytes, {} undecodable",
             path.display(),
             stats.recovered_records,
-            stats.dropped_bytes
+            stats.dropped_bytes,
+            stats.undecodable_records
         );
     }
     Ok(Some(store.into_shared()))
+}
+
+/// Prints the run summary line and per-job partition table for a
+/// completed search. `extra_windows` adds fault-retry/quarantine windows
+/// (chaos mode) on top of the outcome's own sample count.
+fn print_result(mix: &Mix, outcome: &PolicyOutcome, seed: u64, extra_windows: usize) {
+    let obs = final_eval(mix, outcome, seed);
+    println!(
+        "samples: {}   score: {:.4}   QoS: {}\n",
+        outcome.samples_used() + extra_windows,
+        outcome.best_score,
+        if obs.all_qos_met() { "met" } else { "VIOLATED" }
+    );
+    let mut t = Table::new(vec![
+        "job", "class", "cores", "L3 ways", "mem b/w", "mem cap", "disk b/w", "outcome",
+    ]);
+    for (j, job) in obs.jobs.iter().enumerate() {
+        let p = &outcome.best_partition;
+        let outcome_cell = match job.qos_met {
+            Some(true) => format!(
+                "p95 {:.0}us <= {:.0}us",
+                job.latency_p95_us,
+                job.qos_target_us.unwrap_or(f64::NAN)
+            ),
+            Some(false) => format!(
+                "p95 {:.0}us > {:.0}us",
+                job.latency_p95_us,
+                job.qos_target_us.unwrap_or(f64::NAN)
+            ),
+            None => format!("throughput {}", pct(job.normalized_perf)),
+        };
+        t.row(vec![
+            job.workload.name().to_owned(),
+            job.class.to_string(),
+            p.units(j, ResourceKind::Cores).to_string(),
+            p.units(j, ResourceKind::LlcWays).to_string(),
+            p.units(j, ResourceKind::MemBandwidth).to_string(),
+            p.units(j, ResourceKind::MemCapacity).to_string(),
+            p.units(j, ResourceKind::DiskBandwidth).to_string(),
+            outcome_cell,
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// The chaos-mode run path: hardened CLITE behind a fault-injecting
+/// testbed. A completed search prints the usual table plus a fault
+/// summary; an unrecoverable fault prints the engaged fallback instead.
+/// Both end in a `chaos: ... without panic` marker line (the CI smoke
+/// test greps for it) and exit 0 — injected faults are never failures.
+fn run_chaos(
+    mix: &Mix,
+    seed: u64,
+    spec: &clite_faults::FaultSpec,
+    shared: Option<&SharedStore>,
+    recorder: &Option<JsonlRecorder>,
+    telemetry_path: Option<&Path>,
+) -> ExitCode {
+    let mut overhead: Option<OverheadReport> = None;
+    let chaos = match recorder {
+        Some(sink) => {
+            let telemetry = Telemetry::new(sink);
+            let out = run_clite_chaos(mix, seed, spec, shared, &telemetry);
+            overhead = Some(telemetry.report());
+            out
+        }
+        None => run_clite_chaos(mix, seed, spec, shared, &Telemetry::disabled()),
+    };
+    let f = &chaos.faults;
+    println!(
+        "chaos: injected {} faults (spikes {}, dropped {}, stuck {}, enforce {}, crashes {}); quarantined {} samples\n",
+        f.total(),
+        f.spikes,
+        f.dropped,
+        f.stuck,
+        f.enforce_faults,
+        f.crashes,
+        chaos.quarantined
+    );
+    match (&chaos.outcome, &chaos.fallback) {
+        (Some(outcome), _) => {
+            print_result(mix, outcome, seed, chaos.quarantined);
+            println!("chaos: completed without panic");
+        }
+        (None, Some((fallback, reason))) => {
+            let obs = mix.server(seed).ground_truth(fallback);
+            println!(
+                "fallback engaged: {reason}\nfallback partition QoS (ground truth): {}\n",
+                if obs.all_qos_met() { "met" } else { "VIOLATED" }
+            );
+            println!("chaos: degraded gracefully without panic");
+        }
+        (None, None) => unreachable!("chaos run produced neither an outcome nor a fallback"),
+    }
+    if let Some(s) = shared {
+        report_store(s);
+    }
+    if let (Some(sink), Some(report)) = (recorder, &overhead) {
+        let path = telemetry_path.expect("recorder implies a path");
+        print_telemetry(sink, Some(report), path);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Prints the one-line store summary the CI smoke test greps for:

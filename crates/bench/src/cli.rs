@@ -4,16 +4,18 @@
 //! Grammar:
 //!
 //! ```text
-//! colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] JOB...
+//! colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] [--faults SPEC] JOB...
 //! colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
 //! colocate qos   [WORKLOAD...]
 //! JOB := <workload>[:<load-percent>]       e.g. memcached:40, blackscholes
+//! SPEC := none | default | key=value[,key=value...]   (see clite-faults)
 //! ```
 //!
 //! A job with a load is latency-critical; one without is background.
 
 use std::path::PathBuf;
 
+use clite_faults::FaultSpec;
 use clite_sim::prelude::*;
 
 use crate::runner::PolicyKind;
@@ -32,6 +34,9 @@ pub enum Command {
         /// Observation-store path (CLITE only): persist samples and
         /// warm-start repeat searches.
         store: Option<PathBuf>,
+        /// Chaos mode (CLITE only): inject this fault plan into the
+        /// testbed and report how the controller degrades.
+        faults: Option<FaultSpec>,
         /// The co-located jobs.
         jobs: Vec<JobSpec>,
     },
@@ -146,6 +151,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut seed = 42u64;
             let mut telemetry_out: Option<PathBuf> = None;
             let mut store: Option<PathBuf> = None;
+            let mut faults: Option<FaultSpec> = None;
             let mut jobs: Vec<JobSpec> = Vec::new();
             let mut swept: Option<JobSpec> = None;
             while let Some(tok) = it.next() {
@@ -174,6 +180,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .ok_or_else(|| ParseError("--seed requires a value".into()))?;
                         seed = v.parse().map_err(|_| ParseError(format!("bad seed '{v}'")))?;
                     }
+                    "--faults" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--faults requires a spec".into()))?;
+                        faults = Some(FaultSpec::parse(v).map_err(|e| ParseError(e.to_string()))?);
+                    }
                     "--sweep" => {
                         let v = it
                             .next()
@@ -190,8 +202,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 if jobs.is_empty() {
                     return Err(ParseError("run needs at least one job".into()));
                 }
-                Ok(Command::Run { policy, seed, telemetry_out, store, jobs })
+                Ok(Command::Run { policy, seed, telemetry_out, store, faults, jobs })
             } else {
+                if faults.is_some() {
+                    return Err(ParseError("--faults only supports the run subcommand".into()));
+                }
                 let swept = swept
                     .ok_or_else(|| ParseError("sweep needs --sweep <workload>:<load>".into()))?;
                 Ok(Command::Sweep { policy, seed, telemetry_out, store, swept, fixed: jobs })
@@ -207,7 +222,7 @@ pub fn usage() -> &'static str {
     "colocate — co-locate jobs on a simulated server with a scheduling policy
 
 USAGE:
-  colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] JOB...
+  colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] [--faults SPEC] JOB...
   colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
   colocate qos   [WORKLOAD...]
 
@@ -227,11 +242,22 @@ STORE:
   observation log at PATH and warm-starts repeat searches on the same (or
   nearby-load) mix from it. The run prints 'store: hit' or 'store: miss'.
 
+FAULTS (chaos mode, CLITE only):
+  --faults SPEC injects deterministic faults into the testbed and runs the
+  hardened controller: counter spikes are quarantined, dropped/stuck
+  windows retried with backoff, and on an unrecoverable fault the run
+  degrades to the best QoS-feasible partition instead of panicking.
+  SPEC is 'none', 'default', or comma-separated key=value pairs:
+  spike, spike_mag, drop, stuck, stuck_windows, enforce, crash
+  (= crash at window N), crash_prob, crash_max.
+
 EXAMPLES:
   colocate run memcached:40 img-dnn:30 streamcluster
   colocate run --policy PARTIES memcached:40 img-dnn:30 streamcluster
   colocate run --telemetry-out /tmp/run.jsonl memcached:40 img-dnn:30 streamcluster
   colocate run --store /tmp/obs.clite memcached:40 img-dnn:30 streamcluster
+  colocate run --faults default memcached:40 img-dnn:30 streamcluster
+  colocate run --faults spike=0.1,drop=0.05 memcached:40 streamcluster
   colocate sweep --sweep memcached:0 masstree:30 img-dnn:30
   colocate qos memcached xapian"
 }
@@ -277,11 +303,12 @@ mod tests {
             parse(&v(&["run", "--policy", "PARTIES", "--seed", "7", "memcached:40", "swaptions"]))
                 .unwrap();
         match cmd {
-            Command::Run { policy, seed, telemetry_out, store, jobs } => {
+            Command::Run { policy, seed, telemetry_out, store, faults, jobs } => {
                 assert_eq!(policy, PolicyKind::Parties);
                 assert_eq!(seed, 7);
                 assert_eq!(telemetry_out, None);
                 assert_eq!(store, None);
+                assert_eq!(faults, None);
                 assert_eq!(jobs.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -332,6 +359,35 @@ mod tests {
             Command::Sweep { store, .. } => assert_eq!(store, Some(PathBuf::from("obs.clite"))),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_faults_flag() {
+        let cmd = parse(&v(&["run", "--faults", "default", "memcached:40"])).unwrap();
+        match cmd {
+            Command::Run { faults, .. } => assert_eq!(faults, Some(FaultSpec::default_chaos())),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&v(&["run", "--faults", "spike=0.1,crash=6", "memcached:40"])).unwrap();
+        match cmd {
+            Command::Run { faults: Some(spec), .. } => {
+                assert!((spec.spike_prob - 0.1).abs() < 1e-12);
+                assert_eq!(spec.crash_at_window, Some(6));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let none = parse(&v(&["run", "--faults", "none", "memcached:40"])).unwrap();
+        match none {
+            Command::Run { faults: Some(spec), .. } => assert!(spec.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["run", "--faults"])).is_err(), "flag needs a spec");
+        assert!(parse(&v(&["run", "--faults", "bogus=1", "memcached:40"])).is_err());
+        assert!(
+            parse(&v(&["sweep", "--faults", "default", "--sweep", "memcached:10", "masstree:30"]))
+                .is_err(),
+            "chaos mode is run-only"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see `DESIGN.md` for the index).
 
 pub mod ablations;
+pub mod chaos;
 pub mod cluster;
 pub mod fig01;
 pub mod fig02;
@@ -50,6 +51,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ablations", ablations::run),
         ("frontier", frontier::run),
         ("cluster", cluster::run),
+        ("chaos", chaos::run),
     ]
 }
 

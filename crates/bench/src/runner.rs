@@ -6,6 +6,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use clite::config::CliteConfig;
 use clite::controller::CliteController;
+use clite::trace::CliteOutcome;
+use clite::CliteError;
+use clite_faults::{FaultSpec, FaultStats, FaultyTestbed};
 use clite_policies::clite_policy::ClitePolicy;
 use clite_policies::genetic::Genetic;
 use clite_policies::heracles::Heracles;
@@ -172,6 +175,13 @@ pub fn run_clite_with_store(
     let outcome = controller
         .run_with_store(&mut server, store, telemetry)
         .unwrap_or_else(|e| panic!("CLITE (stored) failed on {}: {e}", mix.name));
+    clite_outcome_to_policy(&outcome)
+}
+
+/// Converts a controller [`CliteOutcome`] into the policy-comparison
+/// [`PolicyOutcome`] shape the experiments and CLI render.
+#[must_use]
+pub fn clite_outcome_to_policy(outcome: &CliteOutcome) -> PolicyOutcome {
     let samples: Vec<clite_policies::policy::PolicySample> = outcome
         .samples
         .iter()
@@ -190,6 +200,70 @@ pub fn run_clite_with_store(
         samples_to_qos: outcome.samples_to_qos,
         samples,
         gave_up: !outcome.infeasible_jobs.is_empty(),
+    }
+}
+
+/// What a chaos-mode CLITE run produced: either a completed (possibly
+/// retried and quarantine-filtered) search, or a graceful degradation to
+/// the controller's safe fallback partition. Panicking is reserved for
+/// genuine harness bugs — injected faults never panic.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The completed search (`None` when the run degraded).
+    pub outcome: Option<PolicyOutcome>,
+    /// Samples the outlier guard quarantined (charged to the window
+    /// budget, never entering the surrogate or the store).
+    pub quarantined: usize,
+    /// The re-enforced fallback partition and the fault that forced it
+    /// (`None` when the search completed).
+    pub fallback: Option<(clite_sim::alloc::Partition, String)>,
+    /// Faults the decorator actually injected.
+    pub faults: FaultStats,
+    /// Whether the injected node crash fired.
+    pub crashed: bool,
+}
+
+/// Runs the chaos-hardened CLITE controller on `mix` behind a
+/// [`FaultyTestbed`] injecting `spec`. Seeding matches [`run_policy`]
+/// (controller seed `seed ^ 0x9E37_79B9`; the fault stream is seeded by
+/// `seed` itself), so a `FaultSpec::none()` chaos run is byte-identical
+/// to the plain CLITE run on the same mix and seed.
+///
+/// # Panics
+///
+/// Panics on internal controller failures other than graceful
+/// degradation (experiments treat those as bugs).
+#[must_use]
+pub fn run_clite_chaos(
+    mix: &Mix,
+    seed: u64,
+    spec: &FaultSpec,
+    store: Option<&SharedStore>,
+    telemetry: &Telemetry<'_>,
+) -> ChaosOutcome {
+    let mut server = FaultyTestbed::new(mix.server(seed), spec.clone(), seed);
+    let controller =
+        CliteController::new(CliteConfig::default().with_seed(seed ^ 0x9E37_79B9).hardened());
+    let result = match store {
+        Some(s) => controller.run_with_store(&mut server, s, telemetry),
+        None => controller.run_with(&mut server, telemetry),
+    };
+    let (outcome, quarantined, fallback) = match result {
+        Ok(o) => {
+            let q = o.quarantined;
+            (Some(clite_outcome_to_policy(&o)), q, None)
+        }
+        Err(CliteError::Degraded { fallback, reason }) => {
+            (None, 0, Some((fallback, reason.to_string())))
+        }
+        Err(e) => panic!("CLITE (chaos) failed on {}: {e}", mix.name),
+    };
+    ChaosOutcome {
+        outcome,
+        quarantined,
+        fallback,
+        faults: server.stats(),
+        crashed: server.crashed(),
     }
 }
 

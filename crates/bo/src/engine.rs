@@ -313,6 +313,16 @@ impl BoEngine {
         }
     }
 
+    /// Quarantines `partition`: marks it visited so the engine never
+    /// re-proposes it, **without** entering it into the surrogate history.
+    /// This is the fault-hardening path for observations rejected by the
+    /// controller's outlier guard — a measurement too inconsistent with
+    /// the posterior to trust must not train the GP, but re-proposing the
+    /// same point would just re-measure the same faulty configuration.
+    pub fn quarantine(&mut self, partition: Partition) {
+        self.visited.insert(partition);
+    }
+
     /// Number of recorded evaluations.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -27,6 +27,21 @@ pub enum ClusterError {
     EmptyCluster,
 }
 
+impl ClusterError {
+    /// Whether this error reports a dead node — directly from the
+    /// simulator, or as the fault that forced a degraded controller run.
+    /// The scheduler reacts by evicting the node and re-placing its jobs
+    /// instead of propagating the error.
+    #[must_use]
+    pub fn is_node_crash(&self) -> bool {
+        match self {
+            ClusterError::Clite(e) => e.is_node_crash(),
+            ClusterError::Sim(e) => e.is_node_crash(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

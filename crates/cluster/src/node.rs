@@ -75,6 +75,7 @@ pub struct Node<F: TestbedFactory = ServerFactory> {
     samples_spent: u64,
     commits: u64,
     store: Option<SharedStore>,
+    alive: bool,
 }
 
 impl Node {
@@ -101,6 +102,7 @@ impl<F: TestbedFactory> Node<F> {
             samples_spent: 0,
             commits: 0,
             store: None,
+            alive: true,
         }
     }
 
@@ -141,6 +143,23 @@ impl<F: TestbedFactory> Node<F> {
     #[must_use]
     pub fn has_capacity_for_one_more(&self) -> bool {
         self.catalog.supports_jobs(self.jobs.len() + 1)
+    }
+
+    /// Whether the node is in service. Dead nodes (crashed mid-search and
+    /// evicted by the scheduler) never host jobs again.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Takes the node out of service after a crash: its committed jobs are
+    /// drained (the scheduler re-places them elsewhere), its outcome is
+    /// discarded, and every future [`Node::plan_admission`] returns
+    /// `Ok(None)`. Search/sample bookkeeping is frozen, not reset.
+    pub fn mark_dead(&mut self) -> Vec<PlacedJob> {
+        self.alive = false;
+        self.last_outcome = None;
+        std::mem::take(&mut self.jobs)
     }
 
     /// The most recent CLITE outcome for the committed job set (`None`
@@ -190,18 +209,20 @@ impl<F: TestbedFactory> Node<F> {
 
     /// Runs the admission search for `job` on the node's committed set
     /// plus `job` *without changing the node*. Returns `Ok(None)` when the
-    /// node lacks physical capacity for one more job.
+    /// node lacks physical capacity for one more job, or is dead.
     ///
     /// # Errors
     ///
-    /// Propagates controller/simulator failures.
+    /// Propagates controller/simulator failures. A probe that surfaces a
+    /// node crash ([`ClusterError::is_node_crash`]) means the *node*
+    /// failed, not the search: the scheduler evicts it.
     pub fn plan_admission(
         &self,
         job: PlacedJob,
         config: &CliteConfig,
         telemetry: &Telemetry<'_>,
     ) -> Result<Option<AdmissionPlan>, ClusterError> {
-        if !self.catalog.supports_jobs(self.jobs.len() + 1) {
+        if !self.alive || !self.catalog.supports_jobs(self.jobs.len() + 1) {
             return Ok(None);
         }
         let mut tentative: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();

@@ -172,86 +172,138 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
     ) -> Result<Option<Placement>, ClusterError> {
         let job_id = self.next_job_id;
         self.next_job_id += 1;
-        let order = self.config.placement.candidate_order(&self.nodes);
-        let winner = match self.config.admission {
-            AdmissionMode::Serial => self.admit_serial(&order, job_id, &spec, telemetry)?,
-            AdmissionMode::Threaded => self.admit_threaded(&order, job_id, &spec, telemetry)?,
+        let placement = self.admit_job(PlacedJob { id: job_id, spec }, telemetry)?;
+        if placement.is_none() {
+            self.rejected += 1;
+        }
+        Ok(placement)
+    }
+
+    /// One admission attempt, shared by fresh submissions and the
+    /// re-placement of jobs orphaned by a node crash. Any nodes that crash
+    /// while being probed are evicted and their committed jobs re-placed
+    /// (recursively — each crash permanently removes one node, so the
+    /// recursion is bounded by the fleet size) before the result is
+    /// reported. An orphan no surviving node can host counts as rejected.
+    fn admit_job(
+        &mut self,
+        job: PlacedJob,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<Option<Placement>, ClusterError> {
+        let job_id = job.id;
+        let workload = job.spec.workload.name().to_owned();
+        let order: Vec<usize> = self
+            .config
+            .placement
+            .candidate_order(&self.nodes)
+            .into_iter()
+            .filter(|&i| self.nodes[i].alive())
+            .collect();
+        let (winner, orphans) = match self.config.admission {
+            AdmissionMode::Serial => self.admit_serial(&order, &job, telemetry)?,
+            AdmissionMode::Threaded => self.admit_threaded(&order, &job, telemetry)?,
         };
-        match winner {
-            Some(node_id) => {
-                telemetry
-                    .emit(Event::Placement { node: node_id, job: spec.workload.name().to_owned() });
-                Ok(Some(Placement { job_id, node: node_id }))
-            }
-            None => {
+        for orphan in orphans {
+            if self.admit_job(orphan, telemetry)?.is_none() {
                 self.rejected += 1;
-                Ok(None)
             }
         }
+        Ok(winner.map(|node_id| {
+            telemetry.emit(Event::Placement { node: node_id, job: workload });
+            Placement { job_id, node: node_id }
+        }))
+    }
+
+    /// Evicts a crashed node: takes it out of service, drains its
+    /// committed jobs for re-placement, and reports the eviction.
+    fn evict_node(&mut self, node_id: usize, telemetry: &Telemetry<'_>) -> Vec<PlacedJob> {
+        let orphans = self.nodes[node_id].mark_dead();
+        telemetry.emit(Event::NodeEvicted { node: node_id, jobs: orphans.len() });
+        orphans
     }
 
     /// Serial admission: probe candidates one at a time, committing to
-    /// the first feasible node.
+    /// the first feasible node. A probe that surfaces a node crash evicts
+    /// that node (its drained jobs are returned for re-placement) and the
+    /// scan continues on the remaining candidates.
     fn admit_serial(
         &mut self,
         order: &[usize],
-        job_id: u64,
-        spec: &JobSpec,
+        job: &PlacedJob,
         telemetry: &Telemetry<'_>,
-    ) -> Result<Option<usize>, ClusterError> {
+    ) -> Result<(Option<usize>, Vec<PlacedJob>), ClusterError> {
+        let mut orphans = Vec::new();
         for &node_id in order {
-            let job = PlacedJob { id: job_id, spec: spec.clone() };
-            if self.nodes[node_id].try_admit_with(job, &self.config.clite, telemetry)? {
-                return Ok(Some(node_id));
+            match self.nodes[node_id].try_admit_with(job.clone(), &self.config.clite, telemetry) {
+                Ok(true) => return Ok((Some(node_id), orphans)),
+                Ok(false) => {}
+                Err(e) if e.is_node_crash() => {
+                    orphans.extend(self.evict_node(node_id, telemetry));
+                }
+                Err(e) => return Err(e),
             }
         }
-        Ok(None)
+        Ok((None, orphans))
     }
 
     /// Threaded admission: probe every candidate concurrently, then walk
-    /// the plans in placement order, charging each probed node and
-    /// committing the first feasible plan. Plans past the winner are
+    /// the results in placement order, charging each probed node and
+    /// committing the first feasible plan. Results past the winner are
     /// discarded *unrecorded* — a serial scan would never have run them —
-    /// so serial and threaded runs produce identical fleets and identical
-    /// statistics under a fixed seed.
+    /// and that includes crashes: a node whose probe crashed after the
+    /// winner's position stays alive, exactly as if it had never been
+    /// probed. Crashes at or before the winner evict the node just as the
+    /// serial scan would. Fault streams are a pure function of each node's
+    /// committed state (seeded per probe), so serial and threaded runs see
+    /// identical crashes and produce identical fleets and statistics under
+    /// a fixed seed.
     fn admit_threaded(
         &mut self,
         order: &[usize],
-        job_id: u64,
-        spec: &JobSpec,
+        job: &PlacedJob,
         telemetry: &Telemetry<'_>,
-    ) -> Result<Option<usize>, ClusterError> {
+    ) -> Result<(Option<usize>, Vec<PlacedJob>), ClusterError> {
         let recorder = telemetry.recorder();
         let config = &self.config.clite;
         let nodes = &self.nodes;
-        let plans: Vec<Option<AdmissionPlan>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = order
-                .iter()
-                .map(|&node_id| {
-                    let job = PlacedJob { id: job_id, spec: spec.clone() };
-                    scope.spawn(move || {
-                        // Telemetry contexts are single-threaded (interior
-                        // phase-timer state), so each worker wraps the
-                        // shared thread-safe recorder in its own.
-                        let local = Telemetry::new(recorder);
-                        nodes[node_id].plan_admission(job, config, &local)
+        let results: Vec<Result<Option<AdmissionPlan>, ClusterError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = order
+                    .iter()
+                    .map(|&node_id| {
+                        let job = job.clone();
+                        scope.spawn(move || {
+                            // Telemetry contexts are single-threaded (interior
+                            // phase-timer state), so each worker wraps the
+                            // shared thread-safe recorder in its own.
+                            let local = Telemetry::new(recorder);
+                            nodes[node_id].plan_admission(job, config, &local)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
-                .collect::<Result<Vec<_>, ClusterError>>()
-        })?;
-        for (plan, &node_id) in plans.into_iter().zip(order) {
-            let Some(plan) = plan else { continue };
-            self.nodes[node_id].record_probe(&plan);
-            if plan.feasible() {
-                self.nodes[node_id].commit_admission(plan);
-                return Ok(Some(node_id));
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                    .collect()
+            });
+        let mut orphans = Vec::new();
+        for (result, &node_id) in results.into_iter().zip(order) {
+            match result {
+                Ok(Some(plan)) => {
+                    self.nodes[node_id].record_probe(&plan);
+                    if plan.feasible() {
+                        self.nodes[node_id].commit_admission(plan);
+                        return Ok((Some(node_id), orphans));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) if e.is_node_crash() => {
+                    orphans.extend(self.evict_node(node_id, telemetry));
+                }
+                Err(e) => return Err(e),
             }
         }
-        Ok(None)
+        Ok((None, orphans))
     }
 
     /// Removes a placed job (departure) and re-partitions its node.
@@ -274,16 +326,29 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         job_id: u64,
         telemetry: &Telemetry<'_>,
     ) -> Result<(), ClusterError> {
-        for node in &mut self.nodes {
-            if let Some(job) = node.jobs().iter().find(|j| j.id == job_id) {
-                telemetry.emit(Event::Eviction {
-                    node: node.id(),
-                    job: job.spec.workload.name().to_owned(),
-                });
-                return node.remove_with(job_id, &self.config.clite, telemetry);
+        let Some(node_id) = self.nodes.iter().position(|n| n.jobs().iter().any(|j| j.id == job_id))
+        else {
+            return Err(ClusterError::UnknownJob { job: job_id });
+        };
+        let node = &mut self.nodes[node_id];
+        let job = node.jobs().iter().find(|j| j.id == job_id).expect("job located above");
+        telemetry
+            .emit(Event::Eviction { node: node.id(), job: job.spec.workload.name().to_owned() });
+        match node.remove_with(job_id, &self.config.clite, telemetry) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_node_crash() => {
+                // The node died while re-partitioning after the departure:
+                // evict it and re-home its surviving jobs.
+                let orphans = self.evict_node(node_id, telemetry);
+                for orphan in orphans {
+                    if self.admit_job(orphan, telemetry)?.is_none() {
+                        self.rejected += 1;
+                    }
+                }
+                Ok(())
             }
+            Err(e) => Err(e),
         }
-        Err(ClusterError::UnknownJob { job: job_id })
     }
 
     /// Current fleet statistics.

@@ -25,6 +25,9 @@ pub struct NodeStats {
     pub qos_met: bool,
     /// Observation windows spent partitioning so far.
     pub samples_spent: u64,
+    /// Whether the node is still in service (crashed nodes are evicted
+    /// and stay dead).
+    pub alive: bool,
 }
 
 /// Aggregate fleet statistics.
@@ -36,9 +39,12 @@ pub struct ClusterStats {
     pub placed: usize,
     /// Jobs rejected by admission control.
     pub rejected: u64,
-    /// Nodes hosting no jobs (whole machines freed — the consolidation
-    /// win the paper's introduction motivates).
+    /// Live nodes hosting no jobs (whole machines freed — the
+    /// consolidation win the paper's introduction motivates). Dead nodes
+    /// are not counted: an evicted machine is not a freed one.
     pub empty_nodes: usize,
+    /// Nodes evicted after crashing mid-search.
+    pub dead_nodes: usize,
 }
 
 impl ClusterStats {
@@ -66,12 +72,14 @@ impl ClusterStats {
                     bg_perf: best.and_then(|s| s.observation.mean_bg_perf()),
                     qos_met: n.last_outcome().is_none_or(|o| o.qos_met()),
                     samples_spent: n.samples_spent(),
+                    alive: n.alive(),
                 }
             })
             .collect();
         Self {
             placed: node_stats.iter().map(|n| n.jobs).sum(),
-            empty_nodes: node_stats.iter().filter(|n| n.jobs == 0).count(),
+            empty_nodes: node_stats.iter().filter(|n| n.alive && n.jobs == 0).count(),
+            dead_nodes: node_stats.iter().filter(|n| !n.alive).count(),
             nodes: node_stats,
             rejected,
         }

@@ -110,6 +110,62 @@ fn store_backed_admission_matches_storeless_placements() {
     assert_eq!(plain, stored);
 }
 
+/// Like [`run`] but with fault injection on every node's testbeds: each
+/// probe's fault stream is seeded by the build seed — a pure function of
+/// `(node id, commit count)` — so both admission modes must see identical
+/// crashes, evict identical nodes, and re-place the orphaned jobs
+/// identically.
+fn run_with_faults(
+    mode: AdmissionMode,
+    placement: PlacementPolicy,
+    seed: u64,
+    spec: clite_faults::FaultSpec,
+) -> (Vec<Option<usize>>, clite_cluster::stats::ClusterStats) {
+    use clite_faults::FaultyFactory;
+    use clite_sim::testbed::ServerFactory;
+
+    let config = SchedulerConfig { placement, admission: mode, ..SchedulerConfig::default() };
+    let factory = FaultyFactory::new(ServerFactory, spec);
+    let mut cluster =
+        ClusterScheduler::with_factory(3, config, seed, factory).expect("3-node cluster");
+    let placements: Vec<Option<usize>> = job_stream()
+        .into_iter()
+        .map(|spec| cluster.submit(spec).expect("submit survives crashes").map(|p| p.node))
+        .collect();
+    (placements, cluster.stats())
+}
+
+#[test]
+fn node_crashes_keep_serial_threaded_equivalence() {
+    // Crashes early enough (windows 1..=20) to hit mid-search, often
+    // enough (50%) that several probes die across the stream.
+    let spec = clite_faults::FaultSpec {
+        crash_prob: 0.5,
+        crash_window_max: 20,
+        ..clite_faults::FaultSpec::none()
+    };
+    let (serial_placements, serial_stats) =
+        run_with_faults(AdmissionMode::Serial, PlacementPolicy::LeastLoaded, 42, spec.clone());
+    let (threaded_placements, threaded_stats) =
+        run_with_faults(AdmissionMode::Threaded, PlacementPolicy::LeastLoaded, 42, spec);
+    assert_eq!(
+        serial_placements, threaded_placements,
+        "placements diverged between serial and threaded admission under crashes"
+    );
+    assert_eq!(
+        serial_stats, threaded_stats,
+        "fleet statistics diverged between serial and threaded admission under crashes"
+    );
+    assert!(
+        serial_stats.dead_nodes >= 1,
+        "the fault spec must actually kill a node, or this test proves nothing"
+    );
+    // Dead nodes host nothing; live committed nodes still meet QoS.
+    for n in serial_stats.nodes.iter().filter(|n| !n.alive) {
+        assert_eq!(n.jobs, 0, "evicted node {} still hosts jobs", n.node);
+    }
+}
+
 #[test]
 fn heavy_stream_exercises_rejections_and_multi_node_probes() {
     // Sanity check on the fixture itself: if everything were trivially

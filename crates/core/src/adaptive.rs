@@ -16,9 +16,9 @@ use clite_sim::alloc::Partition;
 use clite_sim::metrics::Observation;
 use clite_sim::testbed::Testbed;
 use clite_store::SharedStore;
-use clite_telemetry::Telemetry;
+use clite_telemetry::{Event, Telemetry};
 
-use crate::controller::CliteController;
+use crate::controller::{fault_kind, CliteController};
 use crate::score::{score_observation, ScoreBreakdown};
 use crate::CliteError;
 
@@ -66,6 +66,12 @@ pub struct AdaptiveTrace {
     pub points: Vec<AdaptivePoint>,
     /// Number of times the search was (re-)invoked, including the first.
     pub invocations: usize,
+    /// `Some(reason)` when the run ended early because the node degraded —
+    /// a search gave up to its safe fallback, or steady-state monitoring
+    /// hit an unrecoverable fault (node crash, or transient faults past
+    /// the retry budget). The trace up to that point is still valid; the
+    /// fault itself is in the string. `None` for a clean run.
+    pub degraded: Option<String>,
 }
 
 impl AdaptiveTrace {
@@ -127,13 +133,26 @@ fn run_adaptive_inner<T: Testbed>(
 ) -> Result<AdaptiveTrace, CliteError> {
     let mut points: Vec<AdaptivePoint> = Vec::new();
     let mut invocations = 0usize;
+    let mut degraded: Option<String> = None;
+    let max_steady_faults = controller.config().recovery.max_retries;
 
-    while server.time_s() < duration_s {
+    'outer: while server.time_s() < duration_s {
         // ── Search phase ─────────────────────────────────────────────────
         invocations += 1;
         let outcome = match store {
-            Some(store) => controller.run_with_store(server, store, telemetry)?,
-            None => controller.run_with(server, telemetry)?,
+            Some(store) => controller.run_with_store(server, store, telemetry),
+            None => controller.run_with(server, telemetry),
+        };
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e @ CliteError::Degraded { .. }) => {
+                // The search gave up and already re-enforced its safe
+                // fallback; keep the trace collected so far rather than
+                // discarding the whole run.
+                degraded = Some(e.to_string());
+                break 'outer;
+            }
+            Err(e) => return Err(e),
         };
         for rec in &outcome.samples {
             points.push(AdaptivePoint {
@@ -148,8 +167,37 @@ fn run_adaptive_inner<T: Testbed>(
 
         // ── Steady-state monitoring ──────────────────────────────────────
         let mut consecutive_violations = 0usize;
+        let mut consecutive_faults = 0usize;
         while server.time_s() < duration_s {
-            let observation = server.observe(&best);
+            let observation = match server.try_observe(&best) {
+                Ok(observation) => {
+                    consecutive_faults = 0;
+                    observation
+                }
+                Err(fault) if fault.is_transient_fault() => {
+                    telemetry.emit(Event::FaultInjected {
+                        sample: points.len(),
+                        fault: fault_kind(&fault).to_owned(),
+                    });
+                    consecutive_faults += 1;
+                    if consecutive_faults > max_steady_faults {
+                        degraded = Some(fault.to_string());
+                        break 'outer;
+                    }
+                    // The faulted window already advanced the clock; just
+                    // monitor the next one.
+                    continue;
+                }
+                Err(fault) if fault.is_node_crash() => {
+                    telemetry.emit(Event::FaultInjected {
+                        sample: points.len(),
+                        fault: fault_kind(&fault).to_owned(),
+                    });
+                    degraded = Some(fault.to_string());
+                    break 'outer;
+                }
+                Err(e) => return Err(e.into()),
+            };
             let score = score_observation(&observation);
             let met = observation.all_qos_met();
             points.push(AdaptivePoint {
@@ -170,7 +218,7 @@ fn run_adaptive_inner<T: Testbed>(
         }
     }
 
-    Ok(AdaptiveTrace { points, invocations })
+    Ok(AdaptiveTrace { points, invocations, degraded })
 }
 
 #[cfg(test)]

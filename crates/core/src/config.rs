@@ -32,6 +32,69 @@ impl DropoutPolicy {
     }
 }
 
+/// Fault-recovery policy: how the controller reacts to faulted windows
+/// and counter outliers (the degradation ladder's guard → retry →
+/// quarantine → fallback rungs).
+///
+/// The retry/fallback machinery for *typed testbed faults* (dropped or
+/// stuck windows, transient enforcement failures, node crashes) is always
+/// active — it only runs when a fault actually surfaces, so fault-free
+/// runs are bit-for-bit unchanged. The *outlier guard* re-observes
+/// suspicious-but-successful windows, which spends extra windows, so it is
+/// opt-in via [`RecoveryConfig::outlier_threshold`] (see
+/// [`RecoveryConfig::hardened`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RecoveryConfig {
+    /// Maximum re-observations of one sample before the controller gives
+    /// up and engages the safe fallback (for faults) or quarantines the
+    /// point (for unsettled outliers).
+    pub max_retries: usize,
+    /// Windows of backoff spent before retry `n` (the retry waits
+    /// `n * backoff_windows` windows, counting them as overhead).
+    pub backoff_windows: usize,
+    /// Outlier guard threshold in posterior standard deviations: an
+    /// observation whose Eq. 3 score deviates from the surrogate's
+    /// posterior mean by more than this many σ is re-observed before it
+    /// may enter the GP history or the store. `None` disables the guard.
+    pub outlier_threshold: Option<f64>,
+    /// Two scores within this absolute tolerance (or 5% relative) count
+    /// as *agreeing*: a flagged observation that reproduces under
+    /// re-observation is accepted — the surrogate was wrong, not the
+    /// counters.
+    pub agree_tol: f64,
+    /// Floor on the posterior σ used by the guard, so a near-certain
+    /// surrogate cannot flag ordinary measurement noise as an outlier.
+    pub sigma_floor: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_windows: 1,
+            outlier_threshold: None,
+            agree_tol: 0.1,
+            sigma_floor: 0.02,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The chaos-hardened policy: retries as per default plus the outlier
+    /// guard at 5σ — the configuration the `--faults` chaos mode and the
+    /// chaos experiments run under.
+    #[must_use]
+    pub fn hardened() -> Self {
+        Self { outlier_threshold: Some(5.0), ..Self::default() }
+    }
+
+    /// Whether the outlier guard is active.
+    #[must_use]
+    pub fn guard_enabled(&self) -> bool {
+        self.outlier_threshold.is_some()
+    }
+}
+
 /// Full CLITE configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliteConfig {
@@ -42,6 +105,8 @@ pub struct CliteConfig {
     pub termination: Termination,
     /// Dropout-copy policy.
     pub dropout: DropoutPolicy,
+    /// Fault-recovery and outlier-guard policy.
+    pub recovery: RecoveryConfig,
     /// RNG seed for the controller's own stochastic choices (dropout
     /// exploration, acquisition restarts).
     pub seed: u64,
@@ -53,6 +118,7 @@ impl Default for CliteConfig {
             bo: BoConfig::default(),
             termination: Termination::default(),
             dropout: DropoutPolicy::paper_default(),
+            recovery: RecoveryConfig::default(),
             seed: 0x000C_117E,
         }
     }
@@ -87,6 +153,20 @@ impl CliteConfig {
         self.bo = bo;
         self
     }
+
+    /// Returns a copy with a different fault-recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Returns a copy running the chaos-hardened recovery policy
+    /// ([`RecoveryConfig::hardened`]): outlier guard on at 5σ.
+    #[must_use]
+    pub fn hardened(self) -> Self {
+        self.with_recovery(RecoveryConfig::hardened())
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +185,14 @@ mod tests {
         let c = CliteConfig::default().with_seed(9).without_dropout();
         assert_eq!(c.seed, 9);
         assert_eq!(c.dropout, DropoutPolicy::None);
+    }
+
+    #[test]
+    fn default_recovery_keeps_guard_off_but_retries_on() {
+        let c = CliteConfig::default();
+        assert!(!c.recovery.guard_enabled(), "guard must be opt-in (costs extra windows)");
+        assert!(c.recovery.max_retries > 0, "fault retries are always armed");
+        let h = CliteConfig::default().hardened();
+        assert_eq!(h.recovery.outlier_threshold, Some(5.0));
     }
 }

@@ -26,11 +26,12 @@ use clite_sim::alloc::{JobAllocation, Partition};
 use clite_sim::metrics::Observation;
 use clite_sim::testbed::Testbed;
 use clite_sim::workload::JobClass;
+use clite_sim::SimError;
 use clite_store::{MixSignature, SharedStore, WarmStart};
 use clite_telemetry::{Event, Phase, StopReason, Telemetry};
 
-use crate::config::{CliteConfig, DropoutPolicy};
-use crate::score::score_observation;
+use crate::config::{CliteConfig, DropoutPolicy, RecoveryConfig};
+use crate::score::{score_observation, ScoreBreakdown};
 use crate::trace::{CliteOutcome, SampleRecord};
 use crate::CliteError;
 
@@ -160,6 +161,13 @@ impl CliteController {
         let mut engine = BoEngine::new(space, self.config.bo.clone(), self.config.seed);
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED_CAFE);
 
+        let recovery = self.config.recovery.clone();
+        // The degradation ladder's last rung: when fault retries are
+        // exhausted and no QoS-feasible sample exists yet, the controller
+        // re-enforces the equal-share bootstrap partition.
+        let equal_share = Partition::equal_share(server.catalog(), jobs)?;
+        let mut quarantined = 0usize;
+
         let mut samples: Vec<SampleRecord> = Vec::new();
         let mut infeasible: Vec<usize> = Vec::new();
         let mut samples_to_qos: Option<usize> = None;
@@ -182,7 +190,17 @@ impl CliteController {
         // would produce.
         let bootstrap = if skip_bootstrap { Vec::new() } else { engine.bootstrap_samples()? };
         for (k, partition) in bootstrap.into_iter().enumerate() {
-            let observation = telemetry.time(Phase::Observe, || server.observe(&partition));
+            // Bootstrap samples skip the outlier guard (there is no
+            // posterior to compare against yet) but still retry faults.
+            let observation = observe_resilient(
+                server,
+                &partition,
+                samples.len(),
+                &recovery,
+                &samples,
+                &equal_share,
+                telemetry,
+            )?;
             let score = telemetry.time(Phase::Score, || score_observation(&observation));
             telemetry.emit(Event::BootstrapSample {
                 sample: samples.len(),
@@ -233,6 +251,7 @@ impl CliteController {
                 converged: false,
                 infeasible_jobs: infeasible,
                 samples_to_qos,
+                quarantined,
                 overhead: Some(telemetry.report()),
             });
         }
@@ -323,9 +342,30 @@ impl CliteController {
                     expected_improvement: suggestion.expected_improvement,
                 });
 
-                let observation =
-                    telemetry.time(Phase::Observe, || server.observe(&suggestion.partition));
-                let score = telemetry.time(Phase::Score, || score_observation(&observation));
+                let maybe_validated = validated_observation(
+                    server,
+                    &suggestion.partition,
+                    samples.len(),
+                    Some((suggestion.posterior_mean, suggestion.posterior_std)),
+                    &recovery,
+                    &samples,
+                    &equal_share,
+                    telemetry,
+                    &mut quarantined,
+                )?;
+                let Some((observation, score)) = maybe_validated else {
+                    // The point never produced a trustworthy measurement.
+                    // Quarantine it so the engine cannot re-propose it, and
+                    // charge the spent windows against the iteration budget
+                    // (EI = ∞ cannot fire the threshold, only the cap).
+                    engine.quarantine(suggestion.partition.clone());
+                    let best = engine.best().map(|(_, s)| s).unwrap_or(0.0);
+                    if term.record(f64::INFINITY, best) {
+                        converged = term.stopped_by_threshold();
+                        break;
+                    }
+                    continue;
+                };
                 emit_qos_violations(telemetry, samples.len(), &observation);
                 if observation.all_qos_met() && samples_to_qos.is_none() {
                     samples_to_qos = Some(samples.len());
@@ -378,9 +418,26 @@ impl CliteController {
             let mut best_partition = top[0].0.clone();
             let mut best_score = f64::MIN;
             let mut best_margin_ok = false;
-            for (p, _) in top.into_iter().take(3) {
-                let observation = telemetry.time(Phase::Observe, || server.observe(&p));
-                let score = telemetry.time(Phase::Score, || score_observation(&observation));
+            for (p, recorded_score) in top.into_iter().take(3) {
+                // Confirmation re-observations validate against the score
+                // already recorded for this partition: the commit decision
+                // is the worst place to admit a counter spike.
+                let maybe_validated = validated_observation(
+                    server,
+                    &p,
+                    samples.len(),
+                    Some((recorded_score, 0.0)),
+                    &recovery,
+                    &samples,
+                    &equal_share,
+                    telemetry,
+                    &mut quarantined,
+                )?;
+                let Some((observation, score)) = maybe_validated else {
+                    // Candidate never measured consistently; skip it rather
+                    // than commit to (or record) an untrustworthy window.
+                    continue;
+                };
                 emit_qos_violations(telemetry, samples.len(), &observation);
                 if observation.all_qos_met() && samples_to_qos.is_none() {
                     samples_to_qos = Some(samples.len());
@@ -438,6 +495,7 @@ impl CliteController {
             converged,
             infeasible_jobs: infeasible,
             samples_to_qos,
+            quarantined,
             overhead: Some(telemetry.report()),
         })
     }
@@ -622,13 +680,194 @@ fn donation_candidates(samples: &[SampleRecord]) -> Vec<Partition> {
     scored.into_iter().map(|(_, p)| p).collect()
 }
 
-/// Returns the partition a run should leave enforced: the outcome's best.
-/// Small helper shared by the adaptive runner and experiments.
+/// Stable snake_case label for a [`SimError`] fault variant, used as the
+/// `fault` field of [`Event::FaultInjected`] and the matching metric label.
+pub(crate) fn fault_kind(e: &SimError) -> &'static str {
+    match e {
+        SimError::WindowDropped { .. } => "window_dropped",
+        SimError::WindowTimeout { .. } => "window_timeout",
+        SimError::EnforceFault { .. } => "enforce_fault",
+        SimError::NodeCrashed { .. } => "node_crashed",
+        _ => "other",
+    }
+}
+
+/// The SafeFallback partition: the best-scoring sample so far that met
+/// every LC job's QoS target, else the equal-share bootstrap partition.
+/// The boolean reports which it was.
+fn safe_fallback(samples: &[SampleRecord], equal_share: &Partition) -> (Partition, bool) {
+    samples
+        .iter()
+        .filter(|s| s.observation.all_qos_met())
+        .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+        .map_or_else(|| (equal_share.clone(), false), |s| (s.partition.clone(), true))
+}
+
+/// Gives up on the search: re-enforces the safe fallback (best-effort —
+/// on a crashed node even that fails) and builds the typed
+/// [`CliteError::Degraded`] the run aborts with.
+fn engage_fallback<T: Testbed>(
+    server: &mut T,
+    sample: usize,
+    samples: &[SampleRecord],
+    equal_share: &Partition,
+    reason: SimError,
+    telemetry: &Telemetry<'_>,
+) -> CliteError {
+    let (fallback, qos_feasible) = safe_fallback(samples, equal_share);
+    let enforced = server.enforce(&fallback).is_ok();
+    telemetry.emit(Event::FallbackEngaged { sample, qos_feasible, enforced });
+    CliteError::Degraded { fallback, reason }
+}
+
+/// Observes `partition` through the typed fault path: transient faults
+/// (dropped/stuck windows, enforcement glitches) are retried up to
+/// `recovery.max_retries` times with window-counted backoff; exhausted
+/// retries and node crashes engage the safe fallback and surface as
+/// [`CliteError::Degraded`]. Contract violations (mismatched partitions)
+/// are returned as plain [`CliteError::Sim`] — they are controller bugs,
+/// not conditions the fallback could mend.
+fn observe_resilient<T: Testbed>(
+    server: &mut T,
+    partition: &Partition,
+    sample: usize,
+    recovery: &RecoveryConfig,
+    samples: &[SampleRecord],
+    equal_share: &Partition,
+    telemetry: &Telemetry<'_>,
+) -> Result<Observation, CliteError> {
+    let mut attempt = 0usize;
+    loop {
+        match telemetry.time(Phase::Observe, || server.try_observe(partition)) {
+            Ok(observation) => return Ok(observation),
+            Err(fault) if fault.is_transient_fault() => {
+                telemetry
+                    .emit(Event::FaultInjected { sample, fault: fault_kind(&fault).to_owned() });
+                if attempt >= recovery.max_retries {
+                    return Err(engage_fallback(
+                        server,
+                        sample,
+                        samples,
+                        equal_share,
+                        fault,
+                        telemetry,
+                    ));
+                }
+                attempt += 1;
+                telemetry.emit(Event::ObservationRetried { sample, attempt });
+                // Window-counted backoff: give a glitching measurement path
+                // time to settle before burning another retry. The waited
+                // windows advance the clock like any other overhead.
+                for _ in 0..recovery.backoff_windows.saturating_mul(attempt) {
+                    server.advance_window();
+                }
+            }
+            Err(fault) if fault.is_node_crash() => {
+                telemetry
+                    .emit(Event::FaultInjected { sample, fault: fault_kind(&fault).to_owned() });
+                return Err(engage_fallback(
+                    server,
+                    sample,
+                    samples,
+                    equal_share,
+                    fault,
+                    telemetry,
+                ));
+            }
+            Err(e) => return Err(CliteError::Sim(e)),
+        }
+    }
+}
+
+/// [`observe_resilient`] plus the outlier guard: when the measured Eq. 3
+/// score deviates from `predicted` (posterior mean, posterior σ) by more
+/// than the configured threshold, the window is re-observed. A flagged
+/// measurement that *reproduces* (two scores agree within tolerance) is
+/// accepted — the surrogate was wrong, not the counters. One that does not
+/// is quarantined (counted, never recorded) and replaced by its
+/// re-observation. Returns `Ok(None)` when retries run out without a
+/// trustworthy measurement — the caller should quarantine the point.
+#[allow(clippy::too_many_arguments)]
+fn validated_observation<T: Testbed>(
+    server: &mut T,
+    partition: &Partition,
+    sample: usize,
+    predicted: Option<(f64, f64)>,
+    recovery: &RecoveryConfig,
+    samples: &[SampleRecord],
+    equal_share: &Partition,
+    telemetry: &Telemetry<'_>,
+    quarantined: &mut usize,
+) -> Result<Option<(Observation, ScoreBreakdown)>, CliteError> {
+    let mut observation =
+        observe_resilient(server, partition, sample, recovery, samples, equal_share, telemetry)?;
+    let mut score = telemetry.time(Phase::Score, || score_observation(&observation));
+    let (Some(threshold), Some((predicted_mean, predicted_std))) =
+        (recovery.outlier_threshold, predicted)
+    else {
+        return Ok(Some((observation, score)));
+    };
+    let sigma = predicted_std.max(recovery.sigma_floor);
+    let flagged = |s: f64| (s - predicted_mean).abs() / sigma > threshold;
+    if !flagged(score.value) {
+        return Ok(Some((observation, score)));
+    }
+    for attempt in 1..=recovery.max_retries {
+        telemetry.emit(Event::ObservationRetried { sample, attempt });
+        let re_observation = observe_resilient(
+            server,
+            partition,
+            sample,
+            recovery,
+            samples,
+            equal_share,
+            telemetry,
+        )?;
+        let re_score = telemetry.time(Phase::Score, || score_observation(&re_observation));
+        let agree = (re_score.value - score.value).abs()
+            <= recovery.agree_tol.max(0.05 * score.value.abs());
+        if agree {
+            // Repeatable: trust the measurement over the model.
+            return Ok(Some((observation, score)));
+        }
+        // The two windows disagree: the earlier one was the outlier.
+        telemetry.emit(Event::SampleQuarantined {
+            sample,
+            score: score.value,
+            predicted: predicted_mean,
+            sigma,
+        });
+        *quarantined += 1;
+        observation = re_observation;
+        score = re_score;
+        if !flagged(score.value) {
+            return Ok(Some((observation, score)));
+        }
+    }
+    // Still flagged, never reproduced: nothing here is trustworthy.
+    telemetry.emit(Event::SampleQuarantined {
+        sample,
+        score: score.value,
+        predicted: predicted_mean,
+        sigma,
+    });
+    *quarantined += 1;
+    Ok(None)
+}
+
+/// Re-enforces a run's best partition and measures one window under it —
+/// what callers do right after a search to leave the node in its committed
+/// state. Small helper shared by the adaptive runner and experiments.
+///
+/// # Errors
+///
+/// Propagates enforcement rejections and window faults as [`SimError`];
+/// callers surviving faults should treat transient errors as retryable.
 pub fn enforce_best<T: Testbed>(
     server: &mut T,
     best: &Partition,
-) -> clite_sim::metrics::Observation {
-    server.observe(best)
+) -> Result<clite_sim::metrics::Observation, SimError> {
+    server.try_observe(best)
 }
 
 #[cfg(test)]

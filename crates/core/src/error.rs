@@ -1,6 +1,7 @@
 use std::fmt;
 
 use clite_bo::BoError;
+use clite_sim::alloc::Partition;
 use clite_sim::SimError;
 use clite_store::StoreError;
 
@@ -17,6 +18,31 @@ pub enum CliteError {
     /// The server hosts no latency-critical *or* background jobs to
     /// optimize for (empty server).
     NothingToOptimize,
+    /// Fault retries were exhausted (or the node died): the search gave up
+    /// after re-enforcing its safe fallback — the best known QoS-feasible
+    /// partition, else the equal-share bootstrap partition. The run is
+    /// degraded, not failed: `fallback` is what the node is (best-effort)
+    /// running now.
+    Degraded {
+        /// The partition the controller re-enforced before giving up.
+        fallback: Partition,
+        /// The fault that exhausted the retry budget.
+        reason: SimError,
+    },
+}
+
+impl CliteError {
+    /// Whether this error reports a dead node (directly, or as the fault
+    /// that forced a degraded search). Cluster admission uses this to
+    /// decide eviction rather than error propagation.
+    #[must_use]
+    pub fn is_node_crash(&self) -> bool {
+        match self {
+            CliteError::Sim(e) => e.is_node_crash(),
+            CliteError::Degraded { reason, .. } => reason.is_node_crash(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CliteError {
@@ -26,6 +52,9 @@ impl fmt::Display for CliteError {
             CliteError::Sim(e) => write!(f, "simulator failure: {e}"),
             CliteError::Store(e) => write!(f, "observation store failure: {e}"),
             CliteError::NothingToOptimize => write!(f, "no jobs to optimize"),
+            CliteError::Degraded { reason, .. } => {
+                write!(f, "search degraded to safe fallback: {reason}")
+            }
         }
     }
 }
@@ -37,6 +66,7 @@ impl std::error::Error for CliteError {
             CliteError::Sim(e) => Some(e),
             CliteError::Store(e) => Some(e),
             CliteError::NothingToOptimize => None,
+            CliteError::Degraded { reason, .. } => Some(reason),
         }
     }
 }

@@ -48,6 +48,11 @@ pub struct CliteOutcome {
     /// 0-based index of the first sample where every LC job met QoS
     /// (`None` if never).
     pub samples_to_qos: Option<usize>,
+    /// Observations rejected by the outlier guard. Quarantined windows
+    /// never enter the GP history, the sample trace, or the store — but
+    /// their time was spent, so they count in
+    /// [`samples_used`](CliteOutcome::samples_used).
+    pub quarantined: usize,
     /// Phase-timing profile of the run (the paper's Fig. 15b breakdown);
     /// populated by [`CliteController::run_with`](crate::controller::CliteController::run_with).
     pub overhead: Option<OverheadReport>,
@@ -61,10 +66,11 @@ impl CliteOutcome {
     }
 
     /// Total number of configurations sampled (the paper's Fig. 15a
-    /// overhead metric).
+    /// overhead metric). Includes quarantined windows: their measurements
+    /// were discarded, but their observation time was spent.
     #[must_use]
     pub fn samples_used(&self) -> usize {
-        self.samples.len()
+        self.samples.len() + self.quarantined
     }
 
     /// Mean BG performance of the best sample (`None` if no BG jobs).
@@ -164,6 +170,7 @@ mod tests {
             converged: true,
             infeasible_jobs: vec![],
             samples_to_qos: Some(0),
+            quarantined: 0,
             overhead: None,
         };
         let bg = outcome.best_bg_perf().unwrap();
@@ -186,6 +193,7 @@ mod tests {
             converged: true,
             infeasible_jobs: vec![],
             samples_to_qos: Some(0),
+            quarantined: 0,
             overhead: None,
         };
         assert!((outcome.best_bg_perf().unwrap() - 0.7).abs() < 1e-12);

@@ -64,6 +64,55 @@ pub enum SimError {
         /// The offending load fraction.
         load: f64,
     },
+    /// An observation window elapsed but its counters were unreadable
+    /// (transient measurement fault; the window's time was still spent).
+    WindowDropped {
+        /// Index of the faulted window on this testbed.
+        window: u64,
+    },
+    /// An observation window stalled past its deadline before the counters
+    /// could be read (transient; extra windows of time were consumed).
+    WindowTimeout {
+        /// Index of the faulted window on this testbed.
+        window: u64,
+        /// Windows of time lost waiting for the deadline.
+        lost_windows: u64,
+    },
+    /// The isolation layer transiently failed to apply a partition
+    /// (retrying the enforcement usually succeeds).
+    EnforceFault {
+        /// Index of the window at which enforcement failed.
+        window: u64,
+    },
+    /// The node died; every subsequent enforcement and observation fails
+    /// (permanent — the machine must be evicted, not retried).
+    NodeCrashed {
+        /// Index of the window at which the node crashed.
+        window: u64,
+    },
+}
+
+impl SimError {
+    /// Whether this error is a *transient* measurement/enforcement fault:
+    /// the window's time was lost but retrying the same operation is
+    /// meaningful. Contract violations (mismatched partitions, bad loads)
+    /// and permanent failures ([`SimError::NodeCrashed`]) are not
+    /// transient.
+    #[must_use]
+    pub fn is_transient_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::WindowDropped { .. }
+                | SimError::WindowTimeout { .. }
+                | SimError::EnforceFault { .. }
+        )
+    }
+
+    /// Whether this error means the whole node is gone for good.
+    #[must_use]
+    pub fn is_node_crash(&self) -> bool {
+        matches!(self, SimError::NodeCrashed { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -93,6 +142,18 @@ impl fmt::Display for SimError {
             SimError::NoJobs => write!(f, "server requires at least one job"),
             SimError::InvalidLoad { load } => {
                 write!(f, "load fraction {load} outside (0, 1]")
+            }
+            SimError::WindowDropped { window } => {
+                write!(f, "window {window} dropped: counters unreadable")
+            }
+            SimError::WindowTimeout { window, lost_windows } => {
+                write!(f, "window {window} stalled past its deadline ({lost_windows} windows lost)")
+            }
+            SimError::EnforceFault { window } => {
+                write!(f, "isolation layer transiently failed to enforce at window {window}")
+            }
+            SimError::NodeCrashed { window } => {
+                write!(f, "node crashed at window {window}")
             }
         }
     }

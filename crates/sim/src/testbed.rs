@@ -107,10 +107,42 @@ pub trait Testbed {
 
     /// Runs one observation window under the current partition and reads
     /// the counters. Advances simulated time by one window.
+    ///
+    /// Backends that can fail a window (real hardware, the fault-injection
+    /// layer) override [`Testbed::try_observe_window`] instead; this
+    /// infallible form is the legacy contract kept for backends whose
+    /// windows always produce counters.
     fn observe_window(&mut self) -> Observation;
+
+    /// Fallible form of [`Testbed::observe_window`]: runs one window and
+    /// reads the counters, or reports *why* the window produced none.
+    /// Time still advances on a faulted window — the window was spent, its
+    /// counters just never arrived. The default delegates to the
+    /// infallible method; fault-capable backends override this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] fault variant (dropped window, deadline
+    /// timeout, node crash) when the window yields no usable counters.
+    fn try_observe_window(&mut self) -> Result<Observation, SimError> {
+        Ok(self.observe_window())
+    }
 
     /// Advances simulated time by one window length without measuring.
     fn advance_window(&mut self);
+
+    /// Applies `partition` and runs one observation window, surfacing
+    /// every failure as a typed error — the form the hardened controller
+    /// hot path uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Testbed::enforce`] rejections and
+    /// [`Testbed::try_observe_window`] faults.
+    fn try_observe(&mut self, partition: &Partition) -> Result<Observation, SimError> {
+        self.enforce(partition)?;
+        self.try_observe_window()
+    }
 
     /// Applies `partition` and runs one observation window.
     ///
@@ -118,10 +150,10 @@ pub trait Testbed {
     ///
     /// Panics if `partition` does not have one row per co-located job or
     /// was built against a different catalog (a controller bug, not a
-    /// runtime condition).
+    /// runtime condition), **or** if the backend faults the window — use
+    /// [`Testbed::try_observe`] anywhere faults are survivable.
     fn observe(&mut self, partition: &Partition) -> Observation {
-        self.enforce(partition).expect("partition rows must match co-located job count");
-        self.observe_window()
+        self.try_observe(partition).expect("observe: partition must match and window must measure")
     }
 
     /// Indices of the latency-critical jobs.

@@ -57,6 +57,10 @@ pub struct StoreStats {
     pub recovered_records: u64,
     /// Bytes of torn/corrupt tail discarded at open.
     pub dropped_bytes: u64,
+    /// Frames that passed the log's integrity checks at open but no
+    /// longer decoded as records (e.g. written by a newer codec); skipped,
+    /// not fatal.
+    pub undecodable_records: u64,
     /// Append attempts that failed at the I/O layer (cluster best-effort
     /// appends count here instead of failing the search).
     pub append_errors: u64,
@@ -132,6 +136,24 @@ impl ObservationStore {
     ///
     /// Returns [`crate::StoreError::Io`] on filesystem failures.
     pub fn open_with(path: impl AsRef<Path>, policy: StorePolicy) -> StoreResult<Self> {
+        Self::open_observed(path, policy, &Telemetry::disabled())
+    }
+
+    /// [`ObservationStore::open_with`] with telemetry: when reopen-time
+    /// recovery had to discard anything — a torn/corrupt tail, a bad
+    /// header, or frames that framed correctly but no longer decode — an
+    /// [`Event::StoreRecovered`] is emitted instead of truncating
+    /// silently. The same counts are surfaced in
+    /// [`ObservationStore::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StoreError::Io`] on filesystem failures.
+    pub fn open_observed(
+        path: impl AsRef<Path>,
+        policy: StorePolicy,
+        telemetry: &Telemetry<'_>,
+    ) -> StoreResult<Self> {
         let path = path.as_ref().to_path_buf();
         let (log, recovery) = LogFile::open(&path)?;
         let mut store = Self {
@@ -143,6 +165,16 @@ impl ObservationStore {
             next_seq: 0,
         };
         store.load_recovery(&recovery);
+        let damaged = store.stats.dropped_bytes > 0
+            || store.stats.undecodable_records > 0
+            || recovery.header_rewritten;
+        if damaged {
+            telemetry.emit(Event::StoreRecovered {
+                records: usize::try_from(store.stats.recovered_records).unwrap_or(usize::MAX),
+                dropped_bytes: store.stats.dropped_bytes,
+                undecodable: usize::try_from(store.stats.undecodable_records).unwrap_or(usize::MAX),
+            });
+        }
         Ok(store)
     }
 
@@ -179,6 +211,8 @@ impl ObservationStore {
             if let Ok(record) = decode_record(payload) {
                 self.stats.recovered_records += 1;
                 self.index_record(record);
+            } else {
+                self.stats.undecodable_records += 1;
             }
         }
     }
@@ -557,6 +591,51 @@ mod tests {
         assert_eq!(store.stats().dropped_bytes, 0);
         let warm = store.warm_start(&sig).expect("recovered hit");
         assert_eq!(warm.entries[0].score, 0.7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovery_emits_store_recovered_event() {
+        use std::io::Write;
+
+        let dir = std::env::temp_dir().join(format!("clite-store-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obs.log");
+
+        let mut s = server(0.5);
+        let cat = *Testbed::catalog(&s);
+        let p = Partition::equal_share(&cat, 2).unwrap();
+        let (sig, obs) = sample(&mut s, &p);
+        {
+            let mut store = ObservationStore::open(&path).unwrap();
+            store.append(&sig, &p, &obs, 0.4).unwrap();
+        }
+        // Tear the log: half a frame of garbage at the tail.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFF; 13]).unwrap();
+        }
+
+        let sink = MemoryRecorder::new();
+        let telemetry = Telemetry::new(&sink);
+        let mut store =
+            ObservationStore::open_observed(&path, StorePolicy::default(), &telemetry).unwrap();
+        assert_eq!(store.stats().recovered_records, 1, "valid prefix survives");
+        assert!(store.stats().dropped_bytes > 0, "torn tail must be counted");
+        assert_eq!(sink.count_kind("store_recovered"), 1, "damage must be reported, not silent");
+        assert!(store.warm_start(&sig).is_some());
+
+        // A clean log reports nothing.
+        {
+            let mut clean = ObservationStore::open(&path).unwrap();
+            clean.append(&sig, &p, &obs, 0.5).unwrap();
+            clean.compact().unwrap();
+        }
+        let quiet = MemoryRecorder::new();
+        let t2 = Telemetry::new(&quiet);
+        let reopened = ObservationStore::open_observed(&path, StorePolicy::default(), &t2).unwrap();
+        assert_eq!(reopened.stats().dropped_bytes, 0);
+        assert_eq!(quiet.count_kind("store_recovered"), 0, "clean reopen stays silent");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

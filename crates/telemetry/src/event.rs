@@ -127,6 +127,63 @@ pub enum Event {
         /// True if the warm entries came from an exact load match.
         exact: bool,
     },
+    /// The testbed faulted an observation window or an enforcement call.
+    FaultInjected {
+        /// Index of the sample being attempted when the fault hit.
+        sample: usize,
+        /// Stable fault-kind label (`window_dropped`, `window_timeout`,
+        /// `enforce_fault`, `node_crashed`).
+        fault: String,
+    },
+    /// The controller re-ran an observation after a transient fault or a
+    /// flagged outlier.
+    ObservationRetried {
+        /// Index of the sample being re-observed.
+        sample: usize,
+        /// Retry attempt number (1-based).
+        attempt: usize,
+    },
+    /// The outlier guard rejected an observation; it never enters the GP
+    /// history or the store.
+    SampleQuarantined {
+        /// Index the sample would have had in the run trace.
+        sample: usize,
+        /// Eq. 3 score of the rejected observation.
+        score: f64,
+        /// Posterior mean the surrogate predicted for this partition.
+        predicted: f64,
+        /// Posterior standard deviation used by the guard.
+        sigma: f64,
+    },
+    /// Retries exhausted: the controller re-enforced its safe fallback
+    /// partition and degraded instead of continuing the search.
+    FallbackEngaged {
+        /// Index of the sample at which the search gave up.
+        sample: usize,
+        /// True if the fallback is a known QoS-feasible partition (else it
+        /// is the equal-share bootstrap partition).
+        qos_feasible: bool,
+        /// True if re-enforcing the fallback succeeded on the node.
+        enforced: bool,
+    },
+    /// The cluster scheduler evicted a crashed node and re-queued its jobs.
+    NodeEvicted {
+        /// Node index in the cluster.
+        node: usize,
+        /// Number of jobs orphaned by the eviction.
+        jobs: usize,
+    },
+    /// The persistent store recovered from corruption while reopening a
+    /// log file (torn tail truncated and/or undecodable records skipped).
+    StoreRecovered {
+        /// Records recovered (decoded and re-validated) from the log.
+        records: usize,
+        /// Bytes of torn tail dropped by truncation.
+        dropped_bytes: u64,
+        /// Checksummed frames that decoded to invalid records and were
+        /// skipped.
+        undecodable: usize,
+    },
 }
 
 impl Event {
@@ -148,6 +205,12 @@ impl Event {
             Event::StoreHit { .. } => "store_hit",
             Event::StoreMiss { .. } => "store_miss",
             Event::WarmStarted { .. } => "warm_started",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::ObservationRetried { .. } => "observation_retried",
+            Event::SampleQuarantined { .. } => "sample_quarantined",
+            Event::FallbackEngaged { .. } => "fallback_engaged",
+            Event::NodeEvicted { .. } => "node_evicted",
+            Event::StoreRecovered { .. } => "store_recovered",
         }
     }
 }
@@ -178,6 +241,12 @@ mod tests {
             Event::StoreHit { entries: 6, load_distance: 0.05, exact: false },
             Event::StoreMiss { mixes: 3 },
             Event::WarmStarted { samples: 6, exact: true },
+            Event::FaultInjected { sample: 7, fault: "window_dropped".to_owned() },
+            Event::ObservationRetried { sample: 7, attempt: 2 },
+            Event::SampleQuarantined { sample: 8, score: 0.12, predicted: 0.78, sigma: 0.04 },
+            Event::FallbackEngaged { sample: 9, qos_feasible: true, enforced: true },
+            Event::NodeEvicted { node: 2, jobs: 3 },
+            Event::StoreRecovered { records: 17, dropped_bytes: 42, undecodable: 1 },
         ];
         for event in events {
             let line = serde_json::to_string(&event).unwrap();

@@ -89,6 +89,39 @@ pub fn apply_event(metrics: &MetricsRegistry, event: &Event) {
             metrics.inc_counter("clite_warm_starts_total", &[], 1);
             metrics.set_gauge("clite_warm_start_samples", &[], *samples as f64);
         }
+        Event::FaultInjected { fault, .. } => {
+            metrics.inc_counter("clite_faults_total", &[("fault", fault)], 1);
+        }
+        Event::ObservationRetried { attempt, .. } => {
+            metrics.inc_counter("clite_observation_retries_total", &[], 1);
+            metrics.observe("clite_observation_retry_attempt", &[], *attempt as f64);
+        }
+        Event::SampleQuarantined { sigma, score, predicted, .. } => {
+            metrics.inc_counter("clite_quarantined_samples_total", &[], 1);
+            metrics.observe(
+                "clite_quarantine_deviation_sigma",
+                &[],
+                (score - predicted).abs() / sigma.max(f64::EPSILON),
+            );
+        }
+        Event::FallbackEngaged { qos_feasible, .. } => {
+            metrics.inc_counter("clite_fallbacks_total", &[], 1);
+            metrics.set_gauge(
+                "clite_fallback_qos_feasible",
+                &[],
+                if *qos_feasible { 1.0 } else { 0.0 },
+            );
+        }
+        Event::NodeEvicted { jobs, .. } => {
+            metrics.inc_counter("clite_node_evictions_total", &[], 1);
+            metrics.observe("clite_node_eviction_orphans", &[], *jobs as f64);
+        }
+        Event::StoreRecovered { records, dropped_bytes, undecodable } => {
+            metrics.inc_counter("clite_store_recoveries_total", &[], 1);
+            metrics.set_gauge("clite_store_recovered_records", &[], *records as f64);
+            metrics.set_gauge("clite_store_dropped_bytes", &[], *dropped_bytes as f64);
+            metrics.set_gauge("clite_store_undecodable_records", &[], *undecodable as f64);
+        }
     }
 }
 
