@@ -23,7 +23,7 @@ step "cargo doc --no-deps (warnings denied, own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clite-sim -p clite-gp -p clite-bo -p clite -p clite-telemetry \
     -p clite-store -p clite-policies -p clite-cluster -p clite-bench \
-    -p clite-faults -p clite-repro
+    -p clite-faults -p clite-load -p clite-repro
 
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo build --release"
@@ -86,6 +86,23 @@ if [[ "${1:-}" != "quick" ]]; then
     ./target/release/colocate run --faults default --seed 42 \
         memcached:40 img-dnn:30 streamcluster > "$store_tmp/chaos2.txt"
     grep -q "without panic" "$store_tmp/chaos2.txt"
+
+    # Load-harness regression gate: run the smoke-scale loadtest and diff
+    # its tail percentiles against the committed baseline report with
+    # loadgate (exit 1 on a p99/p99.9 regression beyond tolerance). The
+    # first ever run bootstraps the baseline instead of gating.
+    step "loadtest smoke + loadgate tail-regression gate"
+    CLITE_LOAD_REPORT="$store_tmp/load_smoke.json" \
+        ./target/release/experiments loadtest --quick --seed 42 > "$store_tmp/loadtest.txt"
+    grep -q "CLITE p99 vs equal-share" "$store_tmp/loadtest.txt"
+    baseline="results/reports/load_smoke.json"
+    if [[ -f "$baseline" ]]; then
+        ./target/release/loadgate "$store_tmp/load_smoke.json" --previous "$baseline"
+    else
+        mkdir -p "$(dirname "$baseline")"
+        cp "$store_tmp/load_smoke.json" "$baseline"
+        echo "loadgate: bootstrapped baseline at $baseline (commit it)"
+    fi
 
     # Benches must at least keep compiling (they are the perf record).
     step "cargo bench --no-run"

@@ -12,11 +12,13 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use clite_bench::cli::{parse, usage, Command};
+use clite_bench::loadrun::policy_vs_equal_share;
 use clite_bench::mixes::Mix;
 use clite_bench::render::{pct, Table};
 use clite_bench::runner::{
     final_eval, run_clite_chaos, run_clite_with_store, run_policy, run_policy_with, PolicyKind,
 };
+use clite_load::{LoadReport, ScenarioReport};
 use clite_policies::policy::PolicyOutcome;
 use clite_sim::prelude::*;
 use clite_sim::resource::ResourceKind;
@@ -126,6 +128,58 @@ fn main() -> ExitCode {
             print_result(&mix, &outcome, seed, 0);
             if let Some(s) = &shared {
                 report_store(s);
+            }
+            if let (Some(sink), Some(report)) = (&recorder, &overhead) {
+                let path = telemetry_out.as_deref().expect("recorder implies a path");
+                print_telemetry(sink, Some(report), path);
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Load { policy, config, report, telemetry_out, jobs } => {
+            let mix = mix_from(jobs);
+            println!(
+                "mix: {}  policy: {} vs equal-share  trace: {}  seed: {}\n\
+                 windows: {}  queries/window: {}  threads: {}\n",
+                mix.name,
+                policy.name(),
+                config.trace,
+                config.seed,
+                config.windows,
+                config.queries_per_window,
+                config.threads
+            );
+            let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
+                None => None,
+                Some(Ok(r)) => Some(r),
+                Some(Err(e)) => {
+                    eprintln!("error: cannot open telemetry output: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let run = |telemetry: &Telemetry<'_>| {
+                policy_vs_equal_share(policy, &mix, config.trace, &config, telemetry)
+            };
+            let mut overhead: Option<OverheadReport> = None;
+            let scenarios = match &recorder {
+                Some(sink) => {
+                    let telemetry = Telemetry::new(sink);
+                    let out = run(&telemetry);
+                    overhead = Some(telemetry.report());
+                    out
+                }
+                None => run(&Telemetry::disabled()),
+            };
+            print_load_tails(&scenarios);
+            if let Some(path) = &report {
+                let mut load_report = LoadReport::new(config.seed);
+                for s in &scenarios {
+                    load_report.push(s.clone());
+                }
+                if let Err(e) = load_report.save(path) {
+                    eprintln!("error: cannot write load report {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("load report written to {}", path.display());
             }
             if let (Some(sink), Some(report)) = (&recorder, &overhead) {
                 let path = telemetry_out.as_deref().expect("recorder implies a path");
@@ -270,6 +324,54 @@ fn print_result(mix: &Mix, outcome: &PolicyOutcome, seed: u64, extra_windows: us
         ]);
     }
     println!("{}", t.render());
+}
+
+/// Prints the per-job latency-percentile table for a set of load
+/// scenarios (policy rows first, then the baseline), followed by the
+/// worst LC job's tail CCDF so operators can see the whole curve, not
+/// just the gated percentiles.
+fn print_load_tails(scenarios: &[ScenarioReport]) {
+    let mut t = Table::new(vec![
+        "policy",
+        "job",
+        "class",
+        "queries",
+        "p50 (us)",
+        "p90 (us)",
+        "p99 (us)",
+        "p99.9 (us)",
+        "QoS viol",
+    ]);
+    for s in scenarios {
+        for j in &s.jobs {
+            t.row(vec![
+                s.policy.clone(),
+                j.job.clone(),
+                j.class.clone(),
+                j.tail.count.to_string(),
+                j.tail.p50_us.to_string(),
+                j.tail.p90_us.to_string(),
+                j.tail.p99_us.to_string(),
+                j.tail.p999_us.to_string(),
+                j.tail.qos_target_us.map_or("-".to_owned(), |_| pct(j.tail.violation_fraction)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    // The CCDF of the worst LC tail: the scenario/job with the highest
+    // p99 across everything measured.
+    let worst = scenarios
+        .iter()
+        .flat_map(|s| s.jobs.iter().map(move |j| (s, j)))
+        .filter(|(_, j)| j.class == "LC")
+        .max_by_key(|(_, j)| j.tail.p99_us);
+    if let Some((s, j)) = worst {
+        println!("worst LC tail CCDF — {} under {} ({}):", j.job, s.policy, s.trace);
+        for p in &j.tail.ccdf {
+            println!("  P(latency > {:>8} us) = {:.4}", p.latency_us, p.fraction);
+        }
+        println!();
+    }
 }
 
 /// The chaos-mode run path: hardened CLITE behind a fault-injecting

@@ -9,6 +9,9 @@
 //! experiments --list              # list experiment ids
 //! experiments fig7 --telemetry-out events.jsonl   # stream run telemetry
 //! experiments fig16 --store obs.clite   # persist observations, warm-start re-searches
+//! experiments loadtest                  # latency percentiles under load traces
+//!                                       # (writes results/reports/loadtest.json,
+//!                                       #  or $CLITE_LOAD_REPORT when set)
 //! ```
 
 use std::process::ExitCode;
@@ -128,6 +131,7 @@ fn print_usage() {
         "usage: experiments <id>... | all [--full] [--seed N] [--save DIR] \
          [--telemetry-out PATH] [--store PATH] [--list]\n\
          ids: table1 table2 table3 fig1 fig2 fig6 fig7 fig8 fig9a fig9b fig10\n\
-         \x20     fig11 fig12 fig13 fig14 fig15a fig15b fig16 summary ablations"
+         \x20     fig11 fig12 fig13 fig14 fig15a fig15b fig16 summary ablations\n\
+         \x20     frontier cluster chaos loadtest"
     );
 }

@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] [--faults SPEC] JOB...
+//! colocate load  [--policy NAME] [--seed N] [--trace NAME] [--windows N] [--queries N]
+//!                [--threads N] [--report PATH] [--telemetry-out PATH] JOB...
 //! colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
 //! colocate qos   [WORKLOAD...]
 //! JOB := <workload>[:<load-percent>]       e.g. memcached:40, blackscholes
@@ -16,6 +18,7 @@
 use std::path::PathBuf;
 
 use clite_faults::FaultSpec;
+use clite_load::{LoadConfig, TraceKind};
 use clite_sim::prelude::*;
 
 use crate::runner::PolicyKind;
@@ -37,6 +40,20 @@ pub enum Command {
         /// Chaos mode (CLITE only): inject this fault plan into the
         /// testbed and report how the controller degrades.
         faults: Option<FaultSpec>,
+        /// The co-located jobs.
+        jobs: Vec<JobSpec>,
+    },
+    /// Drive a searched partition through a load trace and report
+    /// per-job latency percentiles against the equal-share baseline.
+    Load {
+        /// Policy whose partition is load-tested (against equal-share).
+        policy: PolicyKind,
+        /// Harness configuration (trace, windows, queries, threads, seed).
+        config: LoadConfig,
+        /// Versioned JSON report destination, if requested.
+        report: Option<PathBuf>,
+        /// JSONL telemetry destination, if requested.
+        telemetry_out: Option<PathBuf>,
         /// The co-located jobs.
         jobs: Vec<JobSpec>,
     },
@@ -146,6 +163,88 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Qos { workloads })
         }
+        "load" => {
+            let mut policy = PolicyKind::Clite;
+            let mut config = LoadConfig::default();
+            let mut report: Option<PathBuf> = None;
+            let mut telemetry_out: Option<PathBuf> = None;
+            let mut jobs: Vec<JobSpec> = Vec::new();
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--policy" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--policy requires a value".into()))?;
+                        policy = parse_policy(v)?;
+                    }
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--seed requires a value".into()))?;
+                        config.seed =
+                            v.parse().map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                    }
+                    "--trace" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--trace requires a name".into()))?;
+                        config.trace = TraceKind::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown trace '{v}' (expected one of: {})",
+                                TraceKind::ALL.map(TraceKind::name).join(", ")
+                            ))
+                        })?;
+                    }
+                    "--windows" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--windows requires a count".into()))?;
+                        config.windows =
+                            v.parse().map_err(|_| ParseError(format!("bad window count '{v}'")))?;
+                        if config.windows == 0 {
+                            return Err(ParseError("--windows must be at least 1".into()));
+                        }
+                    }
+                    "--queries" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--queries requires a count".into()))?;
+                        config.queries_per_window =
+                            v.parse().map_err(|_| ParseError(format!("bad query count '{v}'")))?;
+                    }
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--threads requires a count".into()))?;
+                        config.threads =
+                            v.parse().map_err(|_| ParseError(format!("bad thread count '{v}'")))?;
+                        if config.threads == 0 {
+                            return Err(ParseError("--threads must be at least 1".into()));
+                        }
+                    }
+                    "--report" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--report requires a path".into()))?;
+                        report = Some(PathBuf::from(v));
+                    }
+                    "--telemetry-out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--telemetry-out requires a path".into()))?;
+                        telemetry_out = Some(PathBuf::from(v));
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(ParseError(format!("unknown flag '{other}'")));
+                    }
+                    other => jobs.push(parse_job(other)?),
+                }
+            }
+            if jobs.is_empty() {
+                return Err(ParseError("load needs at least one job".into()));
+            }
+            Ok(Command::Load { policy, config, report, telemetry_out, jobs })
+        }
         "run" | "sweep" => {
             let mut policy = PolicyKind::Clite;
             let mut seed = 42u64;
@@ -223,6 +322,8 @@ pub fn usage() -> &'static str {
 
 USAGE:
   colocate run   [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] [--faults SPEC] JOB...
+  colocate load  [--policy NAME] [--seed N] [--trace NAME] [--windows N] [--queries N]
+                 [--threads N] [--report PATH] [--telemetry-out PATH] JOB...
   colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
   colocate qos   [WORKLOAD...]
 
@@ -242,6 +343,13 @@ STORE:
   observation log at PATH and warm-starts repeat searches on the same (or
   nearby-load) mix from it. The run prints 'store: hit' or 'store: miss'.
 
+LOAD (latency percentiles under a trace):
+  colocate load searches a partition with --policy, enforces it, then fires
+  simulated queries through a client pool while the trace (steady, diurnal,
+  bursty) modulates offered load. It prints per-job p50/p90/p99/p99.9 and
+  QoS-violation fractions for the policy AND the equal-share baseline, and
+  --report PATH writes the versioned JSON report the loadgate CI gate diffs.
+
 FAULTS (chaos mode, CLITE only):
   --faults SPEC injects deterministic faults into the testbed and runs the
   hardened controller: counter spikes are quarantined, dropped/stuck
@@ -253,6 +361,8 @@ FAULTS (chaos mode, CLITE only):
 
 EXAMPLES:
   colocate run memcached:40 img-dnn:30 streamcluster
+  colocate load --trace bursty memcached:70 img-dnn:60
+  colocate load --report results/reports/adhoc.json memcached:40 streamcluster
   colocate run --policy PARTIES memcached:40 img-dnn:30 streamcluster
   colocate run --telemetry-out /tmp/run.jsonl memcached:40 img-dnn:30 streamcluster
   colocate run --store /tmp/obs.clite memcached:40 img-dnn:30 streamcluster
@@ -388,6 +498,59 @@ mod tests {
                 .is_err(),
             "chaos mode is run-only"
         );
+    }
+
+    #[test]
+    fn parses_load_command() {
+        let cmd = parse(&v(&[
+            "load",
+            "--trace",
+            "bursty",
+            "--windows",
+            "6",
+            "--queries",
+            "5000",
+            "--threads",
+            "2",
+            "--seed",
+            "9",
+            "--report",
+            "out.json",
+            "memcached:70",
+            "img-dnn:60",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Load { policy, config, report, telemetry_out, jobs } => {
+                assert_eq!(policy, PolicyKind::Clite);
+                assert_eq!(config.trace, TraceKind::Bursty);
+                assert_eq!(config.windows, 6);
+                assert_eq!(config.queries_per_window, 5000);
+                assert_eq!(config.threads, 2);
+                assert_eq!(config.seed, 9);
+                assert_eq!(report, Some(PathBuf::from("out.json")));
+                assert_eq!(telemetry_out, None);
+                assert_eq!(jobs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_command_defaults_and_rejects_bad_input() {
+        match parse(&v(&["load", "memcached:40"])).unwrap() {
+            Command::Load { policy, config, report, .. } => {
+                assert_eq!(policy, PolicyKind::Clite);
+                assert_eq!(config, LoadConfig::default());
+                assert_eq!(report, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["load"])).is_err(), "load without jobs");
+        assert!(parse(&v(&["load", "--trace", "square", "memcached:40"])).is_err());
+        assert!(parse(&v(&["load", "--windows", "0", "memcached:40"])).is_err());
+        assert!(parse(&v(&["load", "--threads", "0", "memcached:40"])).is_err());
+        assert!(parse(&v(&["load", "--faults", "default", "memcached:40"])).is_err());
     }
 
     #[test]

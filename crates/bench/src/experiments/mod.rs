@@ -17,6 +17,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod frontier;
+pub mod loadtest;
 pub mod summary;
 pub mod tables;
 
@@ -52,6 +53,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("frontier", frontier::run),
         ("cluster", cluster::run),
         ("chaos", chaos::run),
+        ("loadtest", loadtest::run),
     ]
 }
 

@@ -27,6 +27,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod export;
+pub mod loadrun;
 pub mod mixes;
 pub mod render;
 pub mod runner;

@@ -1,0 +1,160 @@
+//! Shared load-run orchestration: enforce a policy's chosen partition on
+//! a fresh server and drive it through a load trace with the
+//! `clite-load` harness.
+//!
+//! Both `colocate load` and the `loadtest` experiment build their
+//! scenarios through this module, so the CLI and the report pipeline
+//! measure exactly the same thing: a partition held fixed while the
+//! trace modulates offered load and the client pool fires queries.
+
+use clite_load::{run_load, scenario_report, LoadConfig, ScenarioReport, TraceKind};
+use clite_sim::alloc::Partition;
+use clite_telemetry::{Phase, Telemetry};
+
+use crate::mixes::Mix;
+use crate::runner::{run_policy_with, PolicyKind};
+
+/// Policy label used for the static equal-share baseline in load
+/// reports (it is a partition rule, not a [`PolicyKind`]).
+pub const EQUAL_SHARE: &str = "equal-share";
+
+/// The partition a policy commits to for `mix`: the search's best
+/// partition, run with the same seeding as [`run_policy_with`].
+///
+/// # Panics
+///
+/// Panics on internal policy failures (experiments treat those as bugs).
+#[must_use]
+pub fn searched_partition(
+    kind: PolicyKind,
+    mix: &Mix,
+    seed: u64,
+    telemetry: &Telemetry<'_>,
+) -> Partition {
+    run_policy_with(kind, mix, seed, telemetry).best_partition
+}
+
+/// The static equal-share partition for `mix` on the testbed catalog.
+///
+/// # Panics
+///
+/// Panics if the mix exceeds the catalog's capacity — standard mixes
+/// never do.
+#[must_use]
+pub fn equal_share_partition(mix: &Mix) -> Partition {
+    Partition::equal_share(&clite_sim::resource::ResourceCatalog::testbed(), mix.len())
+        .expect("standard mixes fit the testbed catalog")
+}
+
+/// Enforces `partition` on a fresh server hosting `mix` and drives it
+/// through `config`'s trace. Report assembly (histogram folding, CCDF
+/// extraction) is timed under [`Phase::LoadReport`], so one overhead
+/// report separates search, query generation, and report cost.
+///
+/// # Panics
+///
+/// Panics on simulator failures (the partition was validated by the
+/// search or the equal-share constructor; experiments treat failures
+/// here as bugs).
+#[must_use]
+pub fn load_scenario(
+    mix: &Mix,
+    policy_label: &str,
+    partition: &Partition,
+    config: &LoadConfig,
+    telemetry: &Telemetry<'_>,
+) -> ScenarioReport {
+    let mut server = mix.server(config.seed);
+    server
+        .enforce(partition)
+        .unwrap_or_else(|e| panic!("cannot enforce {policy_label} partition on {}: {e}", mix.name));
+    let outcome = run_load(&mut server, config, telemetry)
+        .unwrap_or_else(|e| panic!("load run failed on {}: {e}", mix.name));
+    telemetry.time(Phase::LoadReport, || {
+        scenario_report(&mix.name, config.trace.name(), policy_label, &outcome)
+    })
+}
+
+/// Runs `mix` under `trace` twice — once with the policy's searched
+/// partition, once with the equal-share baseline — and returns both
+/// scenarios (policy first).
+#[must_use]
+pub fn policy_vs_equal_share(
+    kind: PolicyKind,
+    mix: &Mix,
+    trace: TraceKind,
+    config: &LoadConfig,
+    telemetry: &Telemetry<'_>,
+) -> [ScenarioReport; 2] {
+    let config = LoadConfig { trace, ..config.clone() };
+    let searched = searched_partition(kind, mix, config.seed, telemetry);
+    [
+        load_scenario(mix, kind.name(), &searched, &config, telemetry),
+        load_scenario(mix, EQUAL_SHARE, &equal_share_partition(mix), &config, telemetry),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::fig7_mix;
+
+    fn quick_config() -> LoadConfig {
+        LoadConfig { windows: 3, queries_per_window: 1_000, threads: 2, ..LoadConfig::default() }
+    }
+
+    #[test]
+    fn scenario_carries_every_job_and_both_policies_run() {
+        let mix = fig7_mix(0.3, 0.3, 0.3);
+        let [clite, equal] = policy_vs_equal_share(
+            PolicyKind::Clite,
+            &mix,
+            TraceKind::Steady,
+            &quick_config(),
+            &Telemetry::disabled(),
+        );
+        assert_eq!(clite.policy, "CLITE");
+        assert_eq!(equal.policy, EQUAL_SHARE);
+        for s in [&clite, &equal] {
+            assert_eq!(s.mix, mix.name);
+            assert_eq!(s.trace, "steady");
+            assert_eq!(s.jobs.len(), mix.len());
+            assert_eq!(s.queries, 3 * 1_000 * mix.len() as u64);
+            for j in &s.jobs {
+                assert!(j.tail.count > 0);
+                assert!(j.tail.p50_us <= j.tail.p99_us);
+            }
+        }
+    }
+
+    #[test]
+    fn load_phases_show_up_in_the_overhead_report() {
+        let telemetry = Telemetry::disabled();
+        let mix = fig7_mix(0.2, 0.2, 0.2);
+        let partition = equal_share_partition(&mix);
+        let _ = load_scenario(&mix, EQUAL_SHARE, &partition, &quick_config(), &telemetry);
+        let report = telemetry.report();
+        assert_eq!(report.phase(Phase::LoadGen).count, 3, "one span per window");
+        assert_eq!(report.phase(Phase::LoadReport).count, 1, "one span per scenario");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let mix = fig7_mix(0.4, 0.2, 0.2);
+        let partition = equal_share_partition(&mix);
+        let run = || {
+            load_scenario(
+                &mix,
+                EQUAL_SHARE,
+                &partition,
+                &LoadConfig { trace: TraceKind::Bursty, ..quick_config() },
+                &Telemetry::disabled(),
+            )
+        };
+        let (a, b) = (run(), run());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.tail.p99_us, jb.tail.p99_us);
+            assert_eq!(ja.tail.count, jb.tail.count);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Acceptance checks for the load-harness pipeline: the loadtest grid
+//! covers every (mix, trace, policy) cell with full per-job tails, and
+//! CLITE's searched partition beats the equal-share baseline's p99 on
+//! the congested 2-job mix.
+
+use clite_bench::experiments::loadtest::run_grid;
+use clite_bench::loadrun::EQUAL_SHARE;
+use clite_bench::ExpOptions;
+use clite_load::TraceKind;
+
+#[test]
+fn grid_covers_every_scenario_and_clite_beats_equal_share_when_congested() {
+    let opts = ExpOptions { quick: true, seed: 42, store: None };
+    let (report, body) = run_grid(&opts);
+
+    // 2 mixes × 3 traces × 2 policies.
+    assert_eq!(report.scenarios.len(), 12);
+    let congested = &report.scenarios[0].mix;
+    assert!(congested.contains("memcached@70%"), "{congested}");
+    for trace in TraceKind::ALL {
+        for mix in report
+            .scenarios
+            .iter()
+            .map(|s| s.mix.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            for policy in ["CLITE", EQUAL_SHARE] {
+                let s = report
+                    .scenario(&mix, trace.name(), policy)
+                    .unwrap_or_else(|| panic!("missing scenario {mix} / {trace} / {policy}"));
+                assert!(s.queries > 0);
+                for j in &s.jobs {
+                    assert!(j.tail.count > 0, "{mix}/{trace}/{policy}/{}", j.job);
+                    assert!(j.tail.p50_us <= j.tail.p99_us);
+                    assert!(j.tail.p99_us <= j.tail.p999_us);
+                    assert!(!j.tail.ccdf.is_empty(), "tail CCDF must be populated");
+                }
+            }
+        }
+    }
+
+    // The acceptance criterion: on the congested 2-job mix, CLITE's
+    // searched partition must buy tail latency over equal-share for at
+    // least one LC job under at least one trace.
+    let mut clite_wins = false;
+    for trace in TraceKind::ALL {
+        let clite = report.scenario(congested, trace.name(), "CLITE").unwrap();
+        let equal = report.scenario(congested, trace.name(), EQUAL_SHARE).unwrap();
+        for (cj, ej) in clite.jobs.iter().zip(&equal.jobs) {
+            if cj.class == "LC" && cj.tail.p99_us < ej.tail.p99_us {
+                clite_wins = true;
+            }
+        }
+    }
+    assert!(clite_wins, "CLITE p99 never beat equal-share on the congested mix:\n{body}");
+
+    assert!(body.contains("CLITE p99 vs equal-share"), "summary block missing");
+}

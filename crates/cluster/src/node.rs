@@ -199,6 +199,29 @@ impl<F: TestbedFactory> Node<F> {
             .sum()
     }
 
+    /// Builds a live testbed hosting this node's committed jobs with the
+    /// last committed partition already enforced — the state a load
+    /// harness should drive queries at. Returns `Ok(None)` when the node
+    /// has no committed search yet (nothing to load), or is dead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factory failures building the testbed and simulator
+    /// failures enforcing the committed partition.
+    pub fn loaded_testbed(&self) -> Result<Option<F::Output>, ClusterError> {
+        let Some(outcome) = (self.alive).then_some(()).and(self.last_outcome.as_ref()) else {
+            return Ok(None);
+        };
+        let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
+        // Committed state only: the same seed the committing search used,
+        // so the testbed reproduces the conditions the partition was
+        // chosen under.
+        let seed = self.seed.wrapping_add(self.commits);
+        let mut testbed = self.factory.build(self.catalog, specs, seed)?;
+        testbed.enforce(&outcome.best_partition)?;
+        Ok(Some(testbed))
+    }
+
     /// Seed for the next search. A pure function of *committed* state, so
     /// speculative probes — however many, in whatever order — never shift
     /// the seeds of later searches. This is what makes threaded admission
@@ -467,6 +490,24 @@ mod tests {
         let b = probe();
         assert_eq!(a.outcome().best_partition, b.outcome().best_partition);
         assert_eq!(a.outcome().samples_used(), b.outcome().samples_used());
+    }
+
+    #[test]
+    fn loaded_testbed_reflects_committed_partition() {
+        let mut n = node();
+        assert!(n.loaded_testbed().unwrap().is_none(), "empty node has nothing to load");
+        assert!(n
+            .try_admit(
+                PlacedJob { id: 1, spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.3) },
+                &quick_config(),
+            )
+            .unwrap());
+        let testbed = n.loaded_testbed().unwrap().expect("committed node builds a testbed");
+        assert_eq!(testbed.job_count(), 1);
+        assert_eq!(testbed.workload(0), WorkloadId::Memcached);
+        // Same committed state → identical testbed, ready for a load run.
+        let again = n.loaded_testbed().unwrap().unwrap();
+        assert_eq!(again.job_count(), testbed.job_count());
     }
 
     #[test]

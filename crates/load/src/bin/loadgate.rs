@@ -1,0 +1,104 @@
+//! `loadgate` — the CI tail-regression gate over two load reports.
+//!
+//! ```text
+//! loadgate CURRENT.json --previous PREVIOUS.json [--tolerance 0.25] [--min-delta-us 20]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = at least one tail regressed
+//! beyond tolerance, 2 = usage or I/O error. ci.sh bootstraps by
+//! committing the first report and gating every later run against it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use clite_load::{compare_reports, GateConfig, LoadReport};
+
+fn usage() -> &'static str {
+    "loadgate — fail when a load report's tail latencies regress
+
+USAGE:
+  loadgate CURRENT.json --previous PREVIOUS.json [--tolerance F] [--min-delta-us F]
+
+  --tolerance F      relative growth allowed per p99/p99.9 (default 0.25)
+  --min-delta-us F   absolute growth (us) required to count (default 20)"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current: Option<PathBuf> = None;
+    let mut previous: Option<PathBuf> = None;
+    let mut config = GateConfig::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--previous" => match it.next() {
+                Some(p) => previous = Some(PathBuf::from(p)),
+                None => return fail_usage("--previous requires a path"),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => config.tolerance = t,
+                None => return fail_usage("--tolerance requires a number"),
+            },
+            "--min-delta-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(d) => config.min_delta_us = d,
+                None => return fail_usage("--min-delta-us requires a number"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return fail_usage(&format!("unknown flag '{other}'"));
+            }
+            other if current.is_none() => current = Some(PathBuf::from(other)),
+            other => return fail_usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let (Some(current), Some(previous)) = (current, previous) else {
+        return fail_usage("both CURRENT and --previous are required");
+    };
+
+    let prev = match LoadReport::load(&previous) {
+        Ok(r) => r,
+        Err(e) => {
+            return fail_io(&format!("cannot read previous report {}: {e}", previous.display()))
+        }
+    };
+    let cur = match LoadReport::load(&current) {
+        Ok(r) => r,
+        Err(e) => {
+            return fail_io(&format!("cannot read current report {}: {e}", current.display()))
+        }
+    };
+
+    let regressions = compare_reports(&prev, &cur, &config);
+    if regressions.is_empty() {
+        println!(
+            "loadgate: PASS ({} scenarios compared, tolerance {:.0}%)",
+            prev.scenarios.len(),
+            config.tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("loadgate: FAIL {r}");
+        }
+        eprintln!(
+            "loadgate: {} tail regression(s) beyond {:.0}% tolerance",
+            regressions.len(),
+            config.tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn fail_usage(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{}", usage());
+    ExitCode::from(2)
+}
+
+fn fail_io(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,196 @@
+//! The tail-regression gate: diffs a current [`LoadReport`] against the
+//! previous one and flags any job whose p99 or p99.9 degraded beyond a
+//! configurable tolerance.
+//!
+//! Scenarios are matched by their (mix, trace, policy) identity and jobs
+//! by name; scenarios or jobs that only exist on one side are skipped
+//! (adding a new mix must not fail the gate, and wall-clock fields are
+//! never compared). A regression requires both a relative excursion
+//! beyond `tolerance` *and* an absolute one beyond `min_delta_us`, so
+//! sub-bucket jitter on microsecond-scale tails cannot trip the gate.
+
+use crate::report::LoadReport;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Maximum tolerated relative growth of a tail percentile
+    /// (`0.25` = +25%).
+    pub tolerance: f64,
+    /// Minimum absolute growth (µs) before a relative excursion counts.
+    pub min_delta_us: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { tolerance: 0.25, min_delta_us: 20.0 }
+    }
+}
+
+/// One flagged tail regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scenario identity: `mix / trace / policy`.
+    pub scenario: String,
+    /// Job (workload) name.
+    pub job: String,
+    /// Which percentile regressed (`"p99"` or `"p99.9"`).
+    pub metric: &'static str,
+    /// Previous value (µs).
+    pub previous_us: u64,
+    /// Current value (µs).
+    pub current_us: u64,
+    /// Growth ratio `current / previous`.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} :: {} {} regressed {}us -> {}us ({:+.1}%)",
+            self.scenario,
+            self.job,
+            self.metric,
+            self.previous_us,
+            self.current_us,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+fn check(
+    out: &mut Vec<Regression>,
+    scenario: &str,
+    job: &str,
+    metric: &'static str,
+    previous_us: u64,
+    current_us: u64,
+    config: &GateConfig,
+) {
+    let prev = previous_us as f64;
+    let cur = current_us as f64;
+    if cur > prev * (1.0 + config.tolerance) && cur - prev > config.min_delta_us {
+        out.push(Regression {
+            scenario: scenario.to_owned(),
+            job: job.to_owned(),
+            metric,
+            previous_us,
+            current_us,
+            ratio: if prev > 0.0 { cur / prev } else { f64::INFINITY },
+        });
+    }
+}
+
+/// Compares `current` against `previous` and returns every tail
+/// regression beyond the gate's tolerance (empty = gate passes).
+#[must_use]
+pub fn compare_reports(
+    previous: &LoadReport,
+    current: &LoadReport,
+    config: &GateConfig,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for prev_scenario in &previous.scenarios {
+        let Some(cur_scenario) =
+            current.scenario(&prev_scenario.mix, &prev_scenario.trace, &prev_scenario.policy)
+        else {
+            continue;
+        };
+        let id =
+            format!("{} / {} / {}", prev_scenario.mix, prev_scenario.trace, prev_scenario.policy);
+        for prev_job in &prev_scenario.jobs {
+            let Some(cur_job) = cur_scenario.jobs.iter().find(|j| j.job == prev_job.job) else {
+                continue;
+            };
+            check(
+                &mut regressions,
+                &id,
+                &prev_job.job,
+                "p99",
+                prev_job.tail.p99_us,
+                cur_job.tail.p99_us,
+                config,
+            );
+            check(
+                &mut regressions,
+                &id,
+                &prev_job.job,
+                "p99.9",
+                prev_job.tail.p999_us,
+                cur_job.tail.p999_us,
+                config,
+            );
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{JobTail, ScenarioReport};
+    use clite_telemetry::TailTracker;
+
+    fn report_with_p99(p99_seed_us: f64) -> LoadReport {
+        // An exponential-ish spread around the requested magnitude so the
+        // summary's percentiles are ordered and non-trivial.
+        let mut tracker = TailTracker::new(Some(10_000.0));
+        for i in 0..1000 {
+            tracker.record(p99_seed_us * f64::from(i) / 1000.0);
+        }
+        let mut report = LoadReport::new(1);
+        report.push(ScenarioReport {
+            mix: "m".into(),
+            trace: "steady".into(),
+            policy: "CLITE".into(),
+            windows: 4,
+            queries: 1000,
+            wall_seconds: 0.1,
+            jobs: vec![JobTail {
+                job: "memcached".into(),
+                class: "LC".into(),
+                tail: tracker.summary(),
+            }],
+        });
+        report
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report_with_p99(1000.0);
+        assert!(compare_reports(&r, &r, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn degraded_p99_fails_and_is_described() {
+        let prev = report_with_p99(1000.0);
+        let cur = report_with_p99(2000.0);
+        let regressions = compare_reports(&prev, &cur, &GateConfig::default());
+        assert!(!regressions.is_empty());
+        let text = regressions[0].to_string();
+        assert!(text.contains("memcached"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn growth_within_tolerance_passes() {
+        let prev = report_with_p99(1000.0);
+        let cur = report_with_p99(1100.0);
+        let config = GateConfig { tolerance: 0.25, min_delta_us: 20.0 };
+        assert!(compare_reports(&prev, &cur, &config).is_empty());
+        // The same growth fails a tighter gate.
+        let tight = GateConfig { tolerance: 0.05, min_delta_us: 1.0 };
+        assert!(!compare_reports(&prev, &cur, &tight).is_empty());
+    }
+
+    #[test]
+    fn new_scenarios_and_jobs_are_skipped() {
+        let prev = report_with_p99(1000.0);
+        let mut cur = report_with_p99(1000.0);
+        cur.scenarios[0].trace = "bursty".into();
+        // No matching (mix, trace, policy) on the current side: nothing
+        // to compare, gate passes.
+        assert!(compare_reports(&prev, &cur, &GateConfig::default()).is_empty());
+    }
+}

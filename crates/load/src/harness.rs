@@ -1,0 +1,269 @@
+//! The client thread-pool: drives a [`Testbed`] through a load trace and
+//! fires batches of simulated queries at every job each window.
+//!
+//! Window loop:
+//!
+//! 1. set each LC job's load to the trace's value for this window,
+//! 2. observe the window (the simulator resolves interference into
+//!    per-job p95s),
+//! 3. under [`Phase::LoadGen`], derive each job's [`QuerySampler`] from
+//!    its observation and fire `queries_per_window` queries per job
+//!    across the worker pool, each worker recording into a private
+//!    [`LatencyHistogram`](clite_telemetry::LatencyHistogram).
+//!
+//! Worker `w` of a window always handles the same query-index range with
+//! the same SplitMix64-derived stream, and per-worker histograms merge
+//! in worker order — so a run with `threads = k` produces byte-identical
+//! results whether the workers actually run on threads or sequentially
+//! (the `determinism` integration test pins this).
+
+use clite_sim::testbed::Testbed;
+use clite_sim::SimError;
+use clite_telemetry::{Phase, TailTracker, Telemetry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::service::{mix, QuerySampler};
+use crate::trace::TraceKind;
+
+/// Stream tag keeping query RNG streams disjoint from any other
+/// consumer of the run seed.
+const QUERY_TAG: u64 = 0x51_52_59_53; // "QRYS"
+
+/// Load-run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Observation windows to drive.
+    pub windows: usize,
+    /// Queries fired per job per window.
+    pub queries_per_window: u64,
+    /// Worker threads sharing each window's query batch.
+    pub threads: usize,
+    /// Offered-load shape over the run.
+    pub trace: TraceKind,
+    /// Run seed; query streams derive from it per (job, window, worker).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            windows: 8,
+            queries_per_window: 10_000,
+            threads: 4,
+            trace: TraceKind::Steady,
+            seed: 42,
+        }
+    }
+}
+
+/// One job's accumulated latency record over a load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobLoad {
+    /// Workload name.
+    pub job: String,
+    /// `"LC"` or `"BG"`.
+    pub class: String,
+    /// The job's tail tracker (histogram + QoS violations).
+    pub tracker: TailTracker,
+}
+
+/// The result of a load run against one testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadOutcome {
+    /// Per-job latency records, in job order.
+    pub jobs: Vec<JobLoad>,
+    /// Windows driven.
+    pub windows: usize,
+    /// Total queries fired across all jobs and windows.
+    pub queries: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+/// Fires `queries` queries through `sampler`, split across `threads`
+/// workers, and returns the merged tracker. `parallel = false` runs the
+/// identical worker loop sequentially — the result is byte-identical
+/// (per-worker streams and merge order do not depend on scheduling).
+#[must_use]
+pub fn fire_queries(
+    sampler: &QuerySampler,
+    qos_target_us: Option<f64>,
+    queries: u64,
+    threads: usize,
+    stream: u64,
+    parallel: bool,
+) -> TailTracker {
+    let threads = threads.max(1);
+    let per_worker = queries.div_ceil(threads as u64);
+    let worker = |w: usize| {
+        let start = w as u64 * per_worker;
+        let n = per_worker.min(queries.saturating_sub(start));
+        let mut rng = StdRng::seed_from_u64(mix(stream, QUERY_TAG, w as u64));
+        let mut tracker = TailTracker::new(qos_target_us);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            tracker.record(sampler.latency_us(u));
+        }
+        tracker
+    };
+
+    let parts: Vec<TailTracker> = if parallel && threads > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || worker(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("load worker panicked")).collect()
+        })
+    } else {
+        (0..threads).map(worker).collect()
+    };
+
+    let mut merged = TailTracker::new(qos_target_us);
+    for part in &parts {
+        merged.merge(part);
+    }
+    merged
+}
+
+/// Runs a full load trace against `testbed` (whatever partition is
+/// currently enforced stays in force) and returns per-job tail records.
+///
+/// Query firing and recording is attributed to [`Phase::LoadGen`] on
+/// `telemetry`, separable from the search phases in one
+/// [`OverheadReport`](clite_telemetry::OverheadReport).
+///
+/// # Errors
+///
+/// Propagates simulator errors from load changes or window observation.
+pub fn run_load<T: Testbed + ?Sized>(
+    testbed: &mut T,
+    config: &LoadConfig,
+    telemetry: &Telemetry<'_>,
+) -> Result<LoadOutcome, SimError> {
+    let start = std::time::Instant::now();
+    let jobs = testbed.job_count();
+    let base_loads: Vec<f64> = (0..jobs).map(|j| testbed.load(j)).collect();
+    let lc: Vec<bool> = (0..jobs)
+        .map(|j| testbed.class(j) == clite_sim::workload::JobClass::LatencyCritical)
+        .collect();
+    let mut trackers: Vec<TailTracker> =
+        (0..jobs).map(|j| TailTracker::new(testbed.qos(j).map(|q| q.target_us))).collect();
+    let mut fired = 0u64;
+
+    for window in 0..config.windows {
+        for j in 0..jobs {
+            if lc[j] {
+                testbed
+                    .set_load(j, config.trace.scaled_load(base_loads[j], window, config.windows))?;
+            }
+        }
+        let observation = testbed.try_observe_window()?;
+        telemetry.time(Phase::LoadGen, || {
+            for (j, tracker) in trackers.iter_mut().enumerate() {
+                let sampler = QuerySampler::from_observation(&observation.jobs[j]);
+                let stream = mix(config.seed, QUERY_TAG, ((j as u64) << 32) | window as u64);
+                let batch = fire_queries(
+                    &sampler,
+                    testbed.qos(j).map(|q| q.target_us),
+                    config.queries_per_window,
+                    config.threads,
+                    stream,
+                    true,
+                );
+                fired += batch.count();
+                tracker.merge(&batch);
+            }
+        });
+    }
+
+    let jobs = (0..jobs)
+        .map(|j| JobLoad {
+            job: testbed.workload(j).name().to_owned(),
+            class: testbed.class(j).to_string(),
+            tracker: trackers[j].clone(),
+        })
+        .collect();
+    Ok(LoadOutcome {
+        jobs,
+        windows: config.windows,
+        queries: fired,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::prelude::*;
+
+    fn small_server() -> Server {
+        let jobs = vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.5),
+            JobSpec::background(WorkloadId::Streamcluster),
+        ];
+        Server::new(ResourceCatalog::testbed(), jobs, 7).unwrap()
+    }
+
+    #[test]
+    fn fire_queries_matches_the_analytic_tail() {
+        let sampler = QuerySampler::from_scale_us(200.0);
+        let tracker = fire_queries(&sampler, None, 200_000, 4, 99, true);
+        assert_eq!(tracker.count(), 200_000);
+        let s = tracker.summary();
+        let exact_p99 = sampler.quantile_us(0.99);
+        let err = (s.p99_us as f64 - exact_p99).abs() / exact_p99;
+        assert!(err < 0.08, "p99 {} vs analytic {exact_p99}", s.p99_us);
+    }
+
+    #[test]
+    fn run_load_covers_every_job_and_window() {
+        let mut server = small_server();
+        let config = LoadConfig {
+            windows: 5,
+            queries_per_window: 2_000,
+            threads: 2,
+            trace: TraceKind::Diurnal,
+            seed: 11,
+        };
+        let out = run_load(&mut server, &config, &Telemetry::disabled()).unwrap();
+        assert_eq!(out.jobs.len(), 2);
+        assert_eq!(out.windows, 5);
+        assert_eq!(out.queries, 2 * 5 * 2_000);
+        for job in &out.jobs {
+            assert_eq!(job.tracker.count(), 5 * 2_000);
+            let s = job.tracker.summary();
+            assert!(s.p50_us <= s.p99_us && s.p99_us <= s.p999_us);
+        }
+        assert_eq!(out.jobs[0].class, "LC");
+        assert_eq!(out.jobs[1].class, "BG");
+    }
+
+    #[test]
+    fn load_gen_time_lands_in_the_overhead_report() {
+        let mut server = small_server();
+        let telemetry = Telemetry::disabled();
+        let config = LoadConfig { windows: 2, queries_per_window: 500, ..LoadConfig::default() };
+        run_load(&mut server, &config, &telemetry).unwrap();
+        let report = telemetry.report();
+        assert_eq!(report.phase(Phase::LoadGen).count, 2, "one span per window");
+        assert!(report.phase(Phase::LoadGen).total_seconds > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_histograms() {
+        let run = || {
+            let mut server = small_server();
+            let config = LoadConfig {
+                windows: 3,
+                queries_per_window: 1_000,
+                threads: 3,
+                trace: TraceKind::Bursty,
+                seed: 5,
+            };
+            run_load(&mut server, &config, &Telemetry::disabled()).unwrap()
+        };
+        let (a, b) = (run(), run());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.tracker, jb.tracker);
+        }
+    }
+}

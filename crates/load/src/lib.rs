@@ -1,0 +1,31 @@
+//! `clite-load` — the workload-driven load harness of the CLITE
+//! reproduction.
+//!
+//! The search layers decide *where* resources go; this crate measures
+//! what that decision feels like to a client. A thread-pool fires
+//! millions of simulated queries at jobs running on any
+//! [`Testbed`](clite_sim::testbed::Testbed) under configurable load
+//! traces ([`TraceKind`]: steady, diurnal sinusoid, bursty flash-crowd).
+//! Each job's per-query service time is drawn from the memoryless
+//! distribution implied by its *observed* QoS state for the current
+//! window ([`QuerySampler`]), so colocation pressure shows up directly
+//! as tail latency. Latencies land in per-thread
+//! [`LatencyHistogram`](clite_telemetry::LatencyHistogram)s merged in
+//! worker order — serial and threaded runs are byte-identical.
+//!
+//! On top sits a versioned report pipeline: [`LoadReport`] JSON files
+//! with per-job p50/p90/p99/p99.9, tail CCDFs, and QoS-violation
+//! fractions, and a comparator ([`compare`]) plus the `loadgate` binary
+//! that fails CI when a new report's tails regress beyond a tolerance.
+
+pub mod compare;
+pub mod harness;
+pub mod report;
+pub mod service;
+pub mod trace;
+
+pub use compare::{compare_reports, GateConfig, Regression};
+pub use harness::{fire_queries, run_load, JobLoad, LoadConfig, LoadOutcome};
+pub use report::{scenario_report, JobTail, LoadReport, ScenarioReport, REPORT_VERSION};
+pub use service::QuerySampler;
+pub use trace::TraceKind;

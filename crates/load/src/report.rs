@@ -1,0 +1,199 @@
+//! The versioned JSON report pipeline: one [`LoadReport`] per load run,
+//! holding a [`ScenarioReport`] per (mix, trace, policy) combination
+//! with per-job percentiles, tail CCDFs, QoS-violation fractions,
+//! windows spent, and wall-clock time.
+//!
+//! Reports are written pretty-printed under `results/reports/` by the
+//! `loadtest` experiment and `colocate load`; the comparator in
+//! [`crate::compare`] diffs two of them and the `loadgate` binary turns
+//! regressions into a CI failure.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use clite_telemetry::TailSummary;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::LoadOutcome;
+
+/// Current report schema version; bump on breaking field changes.
+pub const REPORT_VERSION: u32 = 1;
+
+/// A full load-run report: every scenario measured by one invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Run seed (percentiles are deterministic given the seed).
+    pub seed: u64,
+    /// One entry per (mix, trace, policy).
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// One measured scenario: a job mix under a load trace with a policy's
+/// partition enforced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Mix display name.
+    pub mix: String,
+    /// Trace name (`steady` / `diurnal` / `bursty`).
+    pub trace: String,
+    /// Policy label (`CLITE`, `equal-share`, …).
+    pub policy: String,
+    /// Observation windows driven.
+    pub windows: usize,
+    /// Total queries fired.
+    pub queries: u64,
+    /// Wall-clock seconds (informational; never gated on).
+    pub wall_seconds: f64,
+    /// Per-job tails, in job order.
+    pub jobs: Vec<JobTail>,
+}
+
+/// One job's tail record inside a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTail {
+    /// Workload name.
+    pub job: String,
+    /// `"LC"` or `"BG"`.
+    pub class: String,
+    /// Percentiles, violation fraction, and CCDF points.
+    pub tail: TailSummary,
+}
+
+impl LoadReport {
+    /// An empty report for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { version: REPORT_VERSION, seed, scenarios: Vec::new() }
+    }
+
+    /// Appends a scenario.
+    pub fn push(&mut self, scenario: ScenarioReport) {
+        self.scenarios.push(scenario);
+    }
+
+    /// Finds a scenario by its identity triple.
+    #[must_use]
+    pub fn scenario(&self, mix: &str, trace: &str, policy: &str) -> Option<&ScenarioReport> {
+        self.scenarios.iter().find(|s| s.mix == mix && s.trace == trace && s.policy == policy)
+    }
+
+    /// Writes the report as pretty JSON, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(path, json)
+    }
+
+    /// Reads a report back, rejecting unknown schema versions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed JSON or a version
+    /// mismatch surfaces as [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        let report: Self = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if report.version != REPORT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "report version {} at {} (this build reads version {REPORT_VERSION})",
+                    report.version,
+                    path.display()
+                ),
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Folds a harness [`LoadOutcome`] into a scenario record.
+#[must_use]
+pub fn scenario_report(
+    mix: &str,
+    trace: &str,
+    policy: &str,
+    outcome: &LoadOutcome,
+) -> ScenarioReport {
+    ScenarioReport {
+        mix: mix.to_owned(),
+        trace: trace.to_owned(),
+        policy: policy.to_owned(),
+        windows: outcome.windows,
+        queries: outcome.queries,
+        wall_seconds: outcome.wall_seconds,
+        jobs: outcome
+            .jobs
+            .iter()
+            .map(|j| JobTail {
+                job: j.job.clone(),
+                class: j.class.clone(),
+                tail: j.tracker.summary(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_telemetry::TailTracker;
+
+    fn sample_report() -> LoadReport {
+        let mut tracker = TailTracker::new(Some(500.0));
+        for i in 0..1000 {
+            tracker.record(f64::from(i));
+        }
+        let mut report = LoadReport::new(42);
+        report.push(ScenarioReport {
+            mix: "memcached@70%".into(),
+            trace: "steady".into(),
+            policy: "CLITE".into(),
+            windows: 8,
+            queries: 1000,
+            wall_seconds: 0.5,
+            jobs: vec![JobTail {
+                job: "memcached".into(),
+                class: "LC".into(),
+                tail: tracker.summary(),
+            }],
+        });
+        report
+    }
+
+    #[test]
+    fn report_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("clite-load-report-{}", std::process::id()));
+        let path = dir.join("nested/report.json");
+        let report = sample_report();
+        report.save(&path).unwrap();
+        let back = LoadReport::load(&path).unwrap();
+        assert_eq!(report, back);
+        assert!(back.scenario("memcached@70%", "steady", "CLITE").is_some());
+        assert!(back.scenario("memcached@70%", "bursty", "CLITE").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("clite-load-version-{}", std::process::id()));
+        let path = dir.join("report.json");
+        let mut report = sample_report();
+        report.version = REPORT_VERSION + 1;
+        report.save(&path).unwrap();
+        let err = LoadReport::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

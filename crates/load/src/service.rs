@@ -1,0 +1,115 @@
+//! Per-query service-time sampling, derived deterministically from a
+//! job's observed QoS state.
+//!
+//! The simulator reports one p95 per job per window; the simulated
+//! server behind it is a processor-sharing queue whose sojourn times are
+//! memoryless. [`QuerySampler`] inverts that: an exponential
+//! distribution whose p95 equals the observed p95
+//! ([`JobObservation::service_scale_us`]), sampled by inverse CDF from a
+//! per-(job, window, worker) SplitMix64-derived stream. Identical
+//! windows therefore produce identical query latencies, query for query
+//! — the determinism the serial ≡ threaded harness guarantee builds on.
+
+use clite_sim::metrics::JobObservation;
+
+/// An inverse-CDF sampler for one job's per-query latency distribution
+/// in one observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySampler {
+    scale_us: f64,
+}
+
+impl QuerySampler {
+    /// A sampler with an explicit exponential scale (µs).
+    #[must_use]
+    pub fn from_scale_us(scale_us: f64) -> Self {
+        Self { scale_us: scale_us.max(f64::MIN_POSITIVE) }
+    }
+
+    /// The sampler implied by a window's observation of one job: the
+    /// memoryless distribution whose p95 is the observed p95.
+    #[must_use]
+    pub fn from_observation(job: &JobObservation) -> Self {
+        Self::from_scale_us(job.service_scale_us())
+    }
+
+    /// The exponential scale (mean latency) in µs.
+    #[must_use]
+    pub fn scale_us(&self) -> f64 {
+        self.scale_us
+    }
+
+    /// Latency (µs) at uniform variate `u ∈ [0, 1)`:
+    /// `−ln(1 − u) · scale`.
+    #[must_use]
+    pub fn latency_us(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        -(1.0 - u).ln() * self.scale_us
+    }
+
+    /// Exact `q`-quantile of the sampled distribution (µs).
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.latency_us(q)
+    }
+
+    /// Analytic fraction of queries exceeding `target_us`:
+    /// `exp(−target / scale)`.
+    #[must_use]
+    pub fn violation_fraction(&self, target_us: f64) -> f64 {
+        (-target_us / self.scale_us).exp()
+    }
+}
+
+/// SplitMix64 finalizer decorrelating structured `(seed, tag, index)`
+/// triples into well-mixed RNG seeds — the same stream-derivation idiom
+/// the fault-injection layer uses, so per-(job, window, worker) query
+/// streams stay mutually independent.
+#[must_use]
+pub fn mix(seed: u64, tag: u64, index: u64) -> u64 {
+    let mut z = seed ^ tag.rotate_left(32) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::queueing::P95_FACTOR;
+
+    #[test]
+    fn sampler_reproduces_the_observed_p95() {
+        // A scale of p95/ln20 puts the inverse CDF's 0.95 point exactly
+        // at the observed p95 — the invariant from_observation encodes.
+        let observed_p95 = 1000.0;
+        let sampler = QuerySampler::from_scale_us(observed_p95 / P95_FACTOR);
+        assert!((sampler.quantile_us(0.95) - observed_p95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_scale_linearly() {
+        let s = QuerySampler::from_scale_us(250.0);
+        assert!(s.quantile_us(0.5) < s.quantile_us(0.95));
+        assert!(s.quantile_us(0.95) < s.quantile_us(0.999));
+        let double = QuerySampler::from_scale_us(500.0);
+        assert!((double.quantile_us(0.9) - 2.0 * s.quantile_us(0.9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_fraction_matches_the_tail() {
+        let s = QuerySampler::from_scale_us(100.0);
+        // P(X > scale·ln 20) = 1/20.
+        let target = 100.0 * P95_FACTOR;
+        assert!((s.violation_fraction(target) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_streams_differ_by_any_coordinate() {
+        let a = mix(42, 1, 0);
+        assert_ne!(a, mix(43, 1, 0));
+        assert_ne!(a, mix(42, 2, 0));
+        assert_ne!(a, mix(42, 1, 1));
+        assert_eq!(a, mix(42, 1, 0), "pure function");
+    }
+}

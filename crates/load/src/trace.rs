@@ -1,0 +1,150 @@
+//! Load traces: deterministic per-window multipliers on each LC job's
+//! base load fraction.
+//!
+//! Shapes (multiplier over the run, window `w` of `n`):
+//!
+//! ```text
+//! steady   1.0  ───────────────────────────────
+//! diurnal  0.4→1.0→0.4  half-sinusoid trough-peak-trough (0.7 − 0.3·cos 2πw/n)
+//! bursty   0.6 baseline with a 1.45× flash crowd for n/6 windows at w = n/3
+//! ```
+//!
+//! The harness applies the multiplier to the job's base load and clamps
+//! into the simulator's valid `(0, 1]` range, so a flash crowd on an
+//! already-loaded job saturates at 100% load — the congestion regime
+//! where tail latencies blow up.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest load the harness will drive a job to (the simulator rejects
+/// non-positive loads).
+const MIN_LOAD: f64 = 0.05;
+
+/// Bursty-trace baseline multiplier outside the flash crowd.
+const BURST_BASELINE: f64 = 0.6;
+/// Bursty-trace multiplier during the flash crowd.
+const BURST_PEAK: f64 = 1.45;
+
+/// The shape of offered load over a load run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Constant offered load at the mix's configured fractions.
+    Steady,
+    /// Diurnal sinusoid: trough at the run's start and end, peak at the
+    /// midpoint.
+    Diurnal,
+    /// Flash crowd: depressed baseline with a sharp overload burst
+    /// one-third of the way through the run.
+    Bursty,
+}
+
+impl TraceKind {
+    /// Every trace, in report order.
+    pub const ALL: [TraceKind; 3] = [TraceKind::Steady, TraceKind::Diurnal, TraceKind::Bursty];
+
+    /// Stable lowercase name (CLI token and report field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Steady => "steady",
+            TraceKind::Diurnal => "diurnal",
+            TraceKind::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a trace name (case-insensitive); `None` for unknown names.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.name().eq_ignore_ascii_case(token))
+    }
+
+    /// Load multiplier at window `window` of a `windows`-window run.
+    #[must_use]
+    pub fn multiplier(self, window: usize, windows: usize) -> f64 {
+        let n = windows.max(1);
+        match self {
+            TraceKind::Steady => 1.0,
+            TraceKind::Diurnal => {
+                let phase = 2.0 * std::f64::consts::PI * window as f64 / n as f64;
+                0.7 - 0.3 * phase.cos()
+            }
+            TraceKind::Bursty => {
+                let start = n / 3;
+                let len = (n / 6).max(1);
+                if window >= start && window < start + len {
+                    BURST_PEAK
+                } else {
+                    BURST_BASELINE
+                }
+            }
+        }
+    }
+
+    /// The load fraction to drive a job at: `base × multiplier`, clamped
+    /// into the simulator's valid range.
+    #[must_use]
+    pub fn scaled_load(self, base: f64, window: usize, windows: usize) -> f64 {
+        (base * self.multiplier(window, windows)).clamp(MIN_LOAD, 1.0)
+    }
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_flat() {
+        for w in 0..10 {
+            assert!((TraceKind::Steady.multiplier(w, 10) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diurnal_troughs_at_ends_and_peaks_mid_run() {
+        let n = 20;
+        let start = TraceKind::Diurnal.multiplier(0, n);
+        let mid = TraceKind::Diurnal.multiplier(n / 2, n);
+        assert!((start - 0.4).abs() < 1e-12, "{start}");
+        assert!((mid - 1.0).abs() < 1e-12, "{mid}");
+        for w in 0..n {
+            let m = TraceKind::Diurnal.multiplier(w, n);
+            assert!((0.4 - 1e-9..=1.0 + 1e-9).contains(&m), "window {w} multiplier {m}");
+        }
+    }
+
+    #[test]
+    fn bursty_has_a_flash_crowd() {
+        let n = 12;
+        let peaks: Vec<usize> =
+            (0..n).filter(|&w| TraceKind::Bursty.multiplier(w, n) > 1.0).collect();
+        assert_eq!(peaks, vec![4, 5], "flash crowd at n/3 for n/6 windows");
+        assert!((TraceKind::Bursty.multiplier(0, n) - BURST_BASELINE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_load_stays_in_simulator_range() {
+        for trace in TraceKind::ALL {
+            for w in 0..16 {
+                for base in [0.01, 0.3, 0.7, 1.0] {
+                    let l = trace.scaled_load(base, w, 16);
+                    assert!(l > 0.0 && l <= 1.0, "{trace} base {base} window {w} load {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in TraceKind::ALL {
+            assert_eq!(TraceKind::parse(t.name()), Some(t));
+        }
+        assert_eq!(TraceKind::parse("BURSTY"), Some(TraceKind::Bursty));
+        assert_eq!(TraceKind::parse("square"), None);
+    }
+}

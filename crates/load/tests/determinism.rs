@@ -1,0 +1,81 @@
+//! Serial ≡ threaded determinism for the load harness: the same config
+//! produces byte-identical trackers whether workers run on threads or
+//! sequentially, across every trace shape.
+
+use clite_load::{fire_queries, run_load, LoadConfig, QuerySampler, TraceKind};
+use clite_sim::prelude::*;
+use clite_telemetry::Telemetry;
+
+#[test]
+fn threaded_and_serial_firing_are_byte_identical() {
+    let sampler = QuerySampler::from_scale_us(300.0);
+    for (queries, threads) in [(10_000u64, 4usize), (9_999, 3), (1, 8), (0, 2)] {
+        let threaded = fire_queries(&sampler, Some(1_500.0), queries, threads, 77, true);
+        let serial = fire_queries(&sampler, Some(1_500.0), queries, threads, 77, false);
+        assert_eq!(threaded, serial, "queries={queries} threads={threads}");
+        assert_eq!(threaded.count(), queries);
+        // Sorted merge output: identical quantile sweep, not just struct
+        // equality.
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            assert_eq!(
+                threaded.histogram().value_at_quantile(q),
+                serial.histogram().value_at_quantile(q)
+            );
+        }
+    }
+}
+
+#[test]
+fn full_runs_are_reproducible_across_thread_counts_only_via_worker_streams() {
+    // Thread count is part of the stream layout, so the *same* thread
+    // count must reproduce exactly; this pins the full pipeline (server
+    // + trace + sampler + pool) per trace shape.
+    for trace in TraceKind::ALL {
+        let run = |parallel_threads: usize| {
+            let jobs = vec![
+                JobSpec::latency_critical(WorkloadId::Memcached, 0.6),
+                JobSpec::latency_critical(WorkloadId::ImgDnn, 0.4),
+                JobSpec::background(WorkloadId::Blackscholes),
+            ];
+            let mut server = Server::new(ResourceCatalog::testbed(), jobs, 21).unwrap();
+            let config = LoadConfig {
+                windows: 4,
+                queries_per_window: 3_000,
+                threads: parallel_threads,
+                trace,
+                seed: 1234,
+            };
+            run_load(&mut server, &config, &Telemetry::disabled()).unwrap()
+        };
+        let (a, b) = (run(4), run(4));
+        assert_eq!(a.jobs, b.jobs, "trace {trace} not reproducible");
+        assert_eq!(a.queries, b.queries);
+    }
+}
+
+#[test]
+fn congestion_shows_up_as_latency() {
+    // The same mix under the bursty trace must see a worse LC tail than
+    // under a steady low trace: colocation pressure becomes latency.
+    let run = |trace: TraceKind| {
+        let jobs = vec![
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.9),
+            JobSpec::background(WorkloadId::Streamcluster),
+        ];
+        let mut server = Server::new(ResourceCatalog::testbed(), jobs, 3).unwrap();
+        let config =
+            LoadConfig { windows: 6, queries_per_window: 5_000, threads: 2, trace, seed: 9 };
+        run_load(&mut server, &config, &Telemetry::disabled()).unwrap()
+    };
+    let steady = run(TraceKind::Steady);
+    let diurnal = run(TraceKind::Diurnal);
+    // Steady drives 90% load every window; the diurnal trace averages
+    // ~63% of that, so its p99 must be strictly better.
+    let steady_p99 = steady.jobs[0].tracker.summary().p99_us;
+    let diurnal_p99 = diurnal.jobs[0].tracker.summary().p99_us;
+    assert!(
+        diurnal_p99 < steady_p99,
+        "diurnal p99 {diurnal_p99} not below steady p99 {steady_p99}"
+    );
+}

@@ -1,0 +1,95 @@
+//! The acceptance-criteria demonstration: the ci.sh regression gate (the
+//! real `loadgate` binary) fails with exit code 1 when a synthetic
+//! report's p99 is degraded beyond tolerance, and passes when the
+//! degradation stays inside it.
+
+use std::path::Path;
+use std::process::Command;
+
+use clite_load::{JobTail, LoadReport, ScenarioReport};
+use clite_telemetry::TailTracker;
+
+/// A one-scenario report whose latencies spread up to `magnitude_us`.
+fn synthetic_report(magnitude_us: f64) -> LoadReport {
+    let mut tracker = TailTracker::new(Some(5_000.0));
+    for i in 0..2_000 {
+        tracker.record(magnitude_us * f64::from(i) / 2_000.0);
+    }
+    let mut report = LoadReport::new(42);
+    report.push(ScenarioReport {
+        mix: "memcached@70% img-dnn@50%".into(),
+        trace: "steady".into(),
+        policy: "CLITE".into(),
+        windows: 8,
+        queries: 2_000,
+        wall_seconds: 0.2,
+        jobs: vec![JobTail {
+            job: "memcached".into(),
+            class: "LC".into(),
+            tail: tracker.summary(),
+        }],
+    });
+    report
+}
+
+fn run_gate(current: &Path, previous: &Path, tolerance: f64) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_loadgate"))
+        .arg(current)
+        .arg("--previous")
+        .arg(previous)
+        .arg("--tolerance")
+        .arg(tolerance.to_string())
+        .output()
+        .expect("spawn loadgate")
+}
+
+#[test]
+fn gate_fails_on_degraded_p99_and_passes_within_tolerance() {
+    let dir = std::env::temp_dir().join(format!("clite-loadgate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prev_path = dir.join("previous.json");
+    let degraded_path = dir.join("degraded.json");
+    let ok_path = dir.join("ok.json");
+
+    synthetic_report(1_000.0).save(&prev_path).unwrap();
+    synthetic_report(2_500.0).save(&degraded_path).unwrap(); // p99 × 2.5
+    synthetic_report(1_050.0).save(&ok_path).unwrap(); // p99 + 5%
+
+    // Degraded beyond the 25% tolerance: the gate must fail (exit 1)
+    // and name the offending job and percentile.
+    let fail = run_gate(&degraded_path, &prev_path, 0.25);
+    assert_eq!(fail.status.code(), Some(1), "degraded report must fail the gate");
+    let stderr = String::from_utf8_lossy(&fail.stderr);
+    assert!(stderr.contains("memcached"), "{stderr}");
+    assert!(stderr.contains("p99"), "{stderr}");
+
+    // Within tolerance: the gate passes.
+    let pass = run_gate(&ok_path, &prev_path, 0.25);
+    assert_eq!(pass.status.code(), Some(0), "{}", String::from_utf8_lossy(&pass.stderr));
+    let stdout = String::from_utf8_lossy(&pass.stdout);
+    assert!(stdout.contains("PASS"), "{stdout}");
+
+    // Identity: a report always passes against itself.
+    let same = run_gate(&prev_path, &prev_path, 0.0);
+    assert_eq!(same.status.code(), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_errors_cleanly_on_missing_or_malformed_input() {
+    let dir = std::env::temp_dir().join(format!("clite-loadgate-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    synthetic_report(1_000.0).save(&good).unwrap();
+
+    let missing = run_gate(&good, &dir.join("nope.json"), 0.25);
+    assert_eq!(missing.status.code(), Some(2), "I/O problems are exit 2, not a silent pass");
+
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{not json").unwrap();
+    let malformed = run_gate(&garbage, &good, 0.25);
+    assert_eq!(malformed.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -40,6 +40,19 @@ impl JobObservation {
     pub fn qos_slack(&self) -> Option<f64> {
         self.qos_target_us.map(|t| t / self.latency_p95_us)
     }
+
+    /// Scale (µs) of the memoryless per-query service model implied by
+    /// this window: an exponential latency distribution whose p95 equals
+    /// the observed `latency_p95_us` (`scale = p95 / ln 20`, see
+    /// [`crate::queueing::tail_factor`]). The observed p95 is itself a
+    /// deterministic function of the job's interference/IPC state in the
+    /// simulator, so two identical windows imply identical per-query
+    /// distributions — the property the load harness's determinism
+    /// rests on.
+    #[must_use]
+    pub fn service_scale_us(&self) -> f64 {
+        (self.latency_p95_us / crate::queueing::P95_FACTOR).max(f64::MIN_POSITIVE)
+    }
 }
 
 /// All per-job measurements from one observation window.

@@ -1,0 +1,62 @@
+//! Throughput of the JSONL recorder hot path: buffered writer with
+//! periodic flush points ([`JsonlRecorder::create`]) vs an unbuffered
+//! `File` ([`JsonlRecorder::from_writer`]) vs flushing on every event.
+//!
+//! The buffered + batched-flush configuration is the default; the other
+//! two rows quantify what the satellite fix bought — on a tmpfs the
+//! unbuffered and flush-every-event variants pay one-plus syscalls per
+//! event, the default pays ~one per page of events.
+
+use std::fs::File;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use clite_telemetry::recorder::Recorder;
+use clite_telemetry::{Event, JsonlRecorder};
+
+fn sample_event(i: usize) -> Event {
+    Event::PhaseTiming { phase: clite_telemetry::Phase::Observe, nanos: 1_000 + i as u64 }
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("clite-recorder-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    let mut group = c.benchmark_group("jsonl_recorder");
+    group.sample_size(30);
+
+    let buffered = JsonlRecorder::create(dir.join("buffered.jsonl")).expect("create");
+    group.bench_function("buffered_batched_flush", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            buffered.record(black_box(&sample_event(i)));
+            i = i.wrapping_add(1);
+        });
+    });
+
+    let unbuffered =
+        JsonlRecorder::from_writer(File::create(dir.join("unbuffered.jsonl")).expect("create"));
+    group.bench_function("unbuffered_file", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            unbuffered.record(black_box(&sample_event(i)));
+            i = i.wrapping_add(1);
+        });
+    });
+
+    let eager = JsonlRecorder::create(dir.join("eager.jsonl")).expect("create").with_flush_every(1);
+    group.bench_function("buffered_flush_every_event", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            eager.record(black_box(&sample_event(i)));
+            i = i.wrapping_add(1);
+        });
+    });
+
+    group.finish();
+    drop((buffered, unbuffered, eager));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_recorder);
+criterion_main!(benches);

@@ -3,12 +3,14 @@
 
 pub mod context;
 pub mod event;
+pub mod latency;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
 
 pub use context::Telemetry;
 pub use event::{Event, StopReason};
+pub use latency::{CcdfPoint, LatencyHistogram, TailSummary, TailTracker};
 pub use metrics::MetricsRegistry;
 pub use profile::{OverheadReport, Phase, PhaseCost, PhaseTimer};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};

@@ -39,10 +39,14 @@ struct Histogram {
 
 impl Histogram {
     fn observe(&mut self, value: f64) {
+        self.observe_n(value, 1);
+    }
+
+    fn observe_n(&mut self, value: f64, n: u64) {
         let idx = bucket_bounds().position(|bound| value <= bound).unwrap_or(BUCKETS);
-        self.counts[idx] += 1;
-        self.count += 1;
-        self.sum += value;
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum += value * n as f64;
     }
 }
 
@@ -119,6 +123,14 @@ impl MetricsRegistry {
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         let mut inner = self.inner.lock().expect("metrics lock");
         inner.histograms.entry(Key::new(name, labels)).or_default().observe(value);
+    }
+
+    /// Records `n` observations of `value` at once — the bulk path used
+    /// when folding a pre-aggregated [`LatencyHistogram`](crate::LatencyHistogram)
+    /// bucket into a registry family.
+    pub fn observe_n(&self, name: &str, labels: &[(&str, &str)], value: f64, n: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.histograms.entry(Key::new(name, labels)).or_default().observe_n(value, n);
     }
 
     /// Current value of a counter, if it exists.

@@ -20,12 +20,27 @@ pub enum Phase {
     Observe,
     /// Computing the Eq. 3 score from an observation.
     Score,
+    /// Firing simulated queries and recording their latencies (the load
+    /// harness's hot loop; not part of the search itself).
+    LoadGen,
+    /// Merging per-thread histograms and building percentile/CCDF
+    /// reports after a load run.
+    LoadReport,
 }
 
 impl Phase {
-    /// All phases, in report order.
-    pub const ALL: [Phase; 5] =
-        [Phase::GpFit, Phase::GpExtend, Phase::Acquisition, Phase::Observe, Phase::Score];
+    /// All phases, in report order: the search phases first (the paper's
+    /// Fig. 15b components), then the load-harness phases so one report
+    /// separates search overhead from load-generation time.
+    pub const ALL: [Phase; 7] = [
+        Phase::GpFit,
+        Phase::GpExtend,
+        Phase::Acquisition,
+        Phase::Observe,
+        Phase::Score,
+        Phase::LoadGen,
+        Phase::LoadReport,
+    ];
 
     /// Stable snake_case name, used as the `phase` metric label.
     #[must_use]
@@ -36,6 +51,8 @@ impl Phase {
             Phase::Acquisition => "acquisition",
             Phase::Observe => "observe",
             Phase::Score => "score",
+            Phase::LoadGen => "load_gen",
+            Phase::LoadReport => "load_report",
         }
     }
 
@@ -46,6 +63,8 @@ impl Phase {
             Phase::Acquisition => 2,
             Phase::Observe => 3,
             Phase::Score => 4,
+            Phase::LoadGen => 5,
+            Phase::LoadReport => 6,
         }
     }
 }

@@ -1,0 +1,103 @@
+//! Property tests for [`LatencyHistogram`]: merging is associative (so
+//! per-thread histograms can fold in any grouping), quantile estimates
+//! stay inside the advertised relative-error bound, and threaded
+//! recording merged in worker order is byte-identical to serial
+//! recording.
+
+use proptest::prelude::*;
+
+use clite_telemetry::LatencyHistogram;
+
+fn hist(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..2_000_000_000, 0..120),
+        b in prop::collection::vec(0u64..2_000_000_000, 0..120),
+        c in prop::collection::vec(0u64..2_000_000_000, 0..120),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &right);
+
+        // Both equal the histogram of the concatenation.
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &hist(&all));
+    }
+
+    #[test]
+    fn quantile_error_is_bounded(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let n = values.len();
+        let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = values[target - 1];
+        let est = h.value_at_quantile(q);
+        // The estimate is the upper bound of the bucket holding the
+        // exact order statistic: never below it, and above it by at most
+        // the advertised relative error.
+        prop_assert!(est >= exact, "estimate {est} below exact {exact}");
+        prop_assert!(
+            est as f64 <= exact as f64 * (1.0 + LatencyHistogram::RELATIVE_ERROR),
+            "estimate {} exceeds error bound around {}", est, exact
+        );
+    }
+
+    #[test]
+    fn threaded_recording_matches_serial(
+        values in prop::collection::vec(0u64..2_000_000_000, 0..400),
+        threads in 1usize..5,
+    ) {
+        // Serial reference: one histogram over everything.
+        let serial = hist(&values);
+
+        // Threaded: each worker records its chunk privately; merge in
+        // worker-index order (the harness discipline).
+        let chunk = values.len().div_ceil(threads).max(1);
+        let parts: Vec<LatencyHistogram> = std::thread::scope(|scope| {
+            let handles: Vec<_> = values
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || hist(slice)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        // Sorted merge output: the full quantile sweep agrees point for
+        // point, not just the struct equality above.
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            prop_assert_eq!(merged.value_at_quantile(q), serial.value_at_quantile(q));
+        }
+    }
+}
