@@ -44,6 +44,12 @@ if [[ "${1:-}" != "quick" ]]; then
     step "cargo test -p clite-cluster --test threaded --release -q"
     cargo test -p clite-cluster --test threaded --release -q
 
+    # Fleet loop byte-identity (serial == threaded, single-lock == any
+    # shard count, incremental == scratch stats) at 256 nodes with
+    # injected crashes must hold under release codegen too.
+    step "cargo test -p clite-cluster --test fleet --release -q"
+    cargo test -p clite-cluster --test fleet --release -q
+
     step "cargo test -p clite-gp --test incremental --release -q"
     cargo test -p clite-gp --test incremental --release -q
 
@@ -103,6 +109,25 @@ if [[ "${1:-}" != "quick" ]]; then
         cp "$store_tmp/load_smoke.json" "$baseline"
         echo "loadgate: bootstrapped baseline at $baseline (commit it)"
     fi
+
+    # Fleet smoke test: stream a crash-laden event trace over a 64-node
+    # fleet through the CLI (serial, then threaded over 4 shards) — both
+    # must finish with the completion marker, never panic.
+    step "colocate fleet smoke test"
+    ./target/release/colocate fleet --nodes 64 \
+        --faults crash_prob=0.35,crash_max=20 > "$store_tmp/fleet.txt"
+    grep -q "without panic" "$store_tmp/fleet.txt"
+    ./target/release/colocate fleet --nodes 64 --threaded --shards 4 \
+        --faults crash_prob=0.35,crash_max=20 > "$store_tmp/fleet2.txt"
+    grep -q "without panic" "$store_tmp/fleet2.txt"
+
+    # Fleet scale experiment: regenerate the committed benchmark artifact
+    # (nodes-vs-admission-latency + sharded-vs-mutex store curves). The
+    # experiment itself asserts serial == threaded byte-identity at every
+    # scale point and that injected crashes actually kill nodes.
+    step "fleet experiment (results/BENCH_pr7.json)"
+    ./target/release/experiments fleet --quick --seed 42 > "$store_tmp/fleet_exp.txt"
+    grep -q "benchmark artifact written" "$store_tmp/fleet_exp.txt"
 
     # Benches must at least keep compiling (they are the perf record).
     step "cargo bench --no-run"

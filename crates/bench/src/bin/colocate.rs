@@ -187,6 +187,17 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Command::Fleet {
+            nodes,
+            events,
+            seed,
+            shards,
+            admission,
+            epoch,
+            probe_limit,
+            faults,
+            store,
+        } => run_fleet(nodes, events, seed, shards, admission, epoch, probe_limit, faults, store),
         Command::Sweep { policy, seed, telemetry_out, store, swept, fixed } => {
             let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
                 None => None,
@@ -248,6 +259,139 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
     }
+}
+
+/// The `colocate fleet` entry point: generate a deterministic event
+/// trace, stream it through the fleet service over a sharded observation
+/// store, and print the counters, fleet statistics, and per-shard store
+/// occupancy. Ends in a `fleet: completed ...` marker line (the CI smoke
+/// test greps for it).
+#[allow(clippy::too_many_arguments)]
+fn run_fleet(
+    nodes: usize,
+    events: usize,
+    seed: u64,
+    shards: usize,
+    admission: clite_cluster::scheduler::AdmissionMode,
+    epoch: u64,
+    probe_limit: usize,
+    faults: Option<clite_faults::FaultSpec>,
+    store_path: Option<std::path::PathBuf>,
+) -> ExitCode {
+    use clite_cluster::fleet::{FleetConfig, FleetService};
+    use clite_cluster::trace::{generate, TraceConfig};
+    use clite_faults::{FaultSpec, FaultyFactory};
+    use clite_sim::testbed::ServerFactory;
+    use clite_store::{ShardPolicy, ShardedStore};
+
+    let shard_policy = ShardPolicy::with_shards(shards);
+    let store = match &store_path {
+        Some(path) => {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create store directory {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            match ShardedStore::open(path, shard_policy) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open sharded store {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => ShardedStore::in_memory(shard_policy),
+    };
+    let mut config = FleetConfig::mean_field(epoch, probe_limit);
+    config.scheduler.admission = admission;
+    config.epoch_ticks = epoch;
+    let fault_spec = faults.unwrap_or_else(FaultSpec::none);
+    let factory = FaultyFactory::new(ServerFactory, fault_spec.clone());
+    let mut fleet = match FleetService::with_factory(nodes, config, seed, factory) {
+        Ok(f) => f.with_store(store.clone()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = generate(&TraceConfig { events, ..TraceConfig::default() }, seed);
+    println!(
+        "fleet: {nodes} nodes, {events} events, seed {seed}, {shards} shards, {} admission, epoch {epoch}, probe limit {probe_limit}\n",
+        match admission {
+            clite_cluster::scheduler::AdmissionMode::Serial => "serial",
+            clite_cluster::scheduler::AdmissionMode::Threaded => "threaded",
+        }
+    );
+    let start = std::time::Instant::now();
+    let run = match fleet.run(&trace, &Telemetry::disabled()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fleet loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed();
+
+    let c = &run.counters;
+    let mut t = Table::new(vec![
+        "events",
+        "arrivals",
+        "placed",
+        "departed",
+        "shifted",
+        "stale",
+        "onboarded",
+        "epoch solves",
+    ]);
+    t.row(vec![
+        trace.len().to_string(),
+        c.arrivals.to_string(),
+        c.placed.to_string(),
+        c.departures.to_string(),
+        c.load_shifts.to_string(),
+        c.stale_events.to_string(),
+        c.nodes_onboarded.to_string(),
+        c.epoch_solves.to_string(),
+    ]);
+    println!("{}", t.render());
+
+    let stats = &run.stats;
+    let qos_ok = stats.nodes.iter().filter(|n| n.alive && n.qos_met).count();
+    let alive = stats.nodes.len() - stats.dead_nodes;
+    println!(
+        "fleet state: {} nodes ({alive} alive, {} dead, {} empty), {} live jobs, admission rate {}, QoS ok on {qos_ok}/{alive} alive nodes",
+        stats.nodes.len(),
+        stats.dead_nodes,
+        stats.empty_nodes,
+        stats.placed,
+        pct(stats.admission_rate()),
+    );
+    let store_stats = store.stats();
+    println!(
+        "store: {} shards, {} mixes, {} records, {} appends, {} hits / {} misses, {} lock waits, {} compactions",
+        store.shard_count(),
+        store.mix_count(),
+        store.record_count(),
+        store_stats.appends,
+        store_stats.hits,
+        store_stats.misses,
+        store_stats.lock_waits,
+        store_stats.compactions,
+    );
+    if store_path.is_some() {
+        if let Err(e) = store.compact_pending() {
+            eprintln!("warning: shutdown compaction failed: {e}");
+        }
+    }
+    println!(
+        "fleet: completed {} events over {} nodes in {:.1} ms ({:.0} us/arrival) without panic",
+        trace.len(),
+        stats.nodes.len(),
+        wall.as_secs_f64() * 1e3,
+        wall.as_secs_f64() * 1e6 / (c.arrivals.max(1)) as f64,
+    );
+    ExitCode::SUCCESS
 }
 
 /// Opens the observation store at `path` (when requested). The store only

@@ -17,6 +17,7 @@
 
 use std::path::PathBuf;
 
+use clite_cluster::scheduler::AdmissionMode;
 use clite_faults::FaultSpec;
 use clite_load::{LoadConfig, TraceKind};
 use clite_sim::prelude::*;
@@ -72,6 +73,28 @@ pub enum Command {
         swept: JobSpec,
         /// The fixed jobs.
         fixed: Vec<JobSpec>,
+    },
+    /// Run the fleet service over a generated event trace.
+    Fleet {
+        /// Initial fleet size.
+        nodes: usize,
+        /// Events in the generated trace.
+        events: usize,
+        /// Trace + probe seed.
+        seed: u64,
+        /// Observation-store shard count.
+        shards: usize,
+        /// Serial or threaded admission probing.
+        admission: AdmissionMode,
+        /// Mean-field template re-solve period in ticks (0 disables).
+        epoch: u64,
+        /// Candidate nodes probed per admission (local refinement cap).
+        probe_limit: usize,
+        /// Crash/fault plan injected into every node's testbeds.
+        faults: Option<FaultSpec>,
+        /// Sharded observation-store path (`<path>.shard<i>` per shard);
+        /// in-memory when absent.
+        store: Option<PathBuf>,
     },
     /// Print QoS targets for LC workloads (all of them if none named).
     Qos {
@@ -245,6 +268,97 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Load { policy, config, report, telemetry_out, jobs })
         }
+        "fleet" => {
+            let mut nodes = 64usize;
+            let mut events = 48usize;
+            let mut seed = 42u64;
+            let mut shards = 8usize;
+            let mut admission = AdmissionMode::Serial;
+            let mut epoch = 8u64;
+            let mut probe_limit = 4usize;
+            let mut faults: Option<FaultSpec> = None;
+            let mut store: Option<PathBuf> = None;
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--nodes" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--nodes requires a count".into()))?;
+                        nodes =
+                            v.parse().map_err(|_| ParseError(format!("bad node count '{v}'")))?;
+                        if nodes == 0 {
+                            return Err(ParseError("--nodes must be at least 1".into()));
+                        }
+                    }
+                    "--events" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--events requires a count".into()))?;
+                        events =
+                            v.parse().map_err(|_| ParseError(format!("bad event count '{v}'")))?;
+                    }
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--seed requires a value".into()))?;
+                        seed = v.parse().map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                    }
+                    "--shards" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--shards requires a count".into()))?;
+                        shards =
+                            v.parse().map_err(|_| ParseError(format!("bad shard count '{v}'")))?;
+                        if shards == 0 {
+                            return Err(ParseError("--shards must be at least 1".into()));
+                        }
+                    }
+                    "--threaded" => admission = AdmissionMode::Threaded,
+                    "--epoch" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--epoch requires a tick count".into()))?;
+                        epoch = v.parse().map_err(|_| ParseError(format!("bad epoch '{v}'")))?;
+                    }
+                    "--probe-limit" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--probe-limit requires a count".into()))?;
+                        probe_limit =
+                            v.parse().map_err(|_| ParseError(format!("bad probe limit '{v}'")))?;
+                        if probe_limit == 0 {
+                            return Err(ParseError("--probe-limit must be at least 1".into()));
+                        }
+                    }
+                    "--faults" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--faults requires a spec".into()))?;
+                        faults = Some(FaultSpec::parse(v).map_err(|e| ParseError(e.to_string()))?);
+                    }
+                    "--store" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--store requires a path".into()))?;
+                        store = Some(PathBuf::from(v));
+                    }
+                    other => {
+                        return Err(ParseError(format!("unknown fleet argument '{other}'")));
+                    }
+                }
+            }
+            Ok(Command::Fleet {
+                nodes,
+                events,
+                seed,
+                shards,
+                admission,
+                epoch,
+                probe_limit,
+                faults,
+                store,
+            })
+        }
         "run" | "sweep" => {
             let mut policy = PolicyKind::Clite;
             let mut seed = 42u64;
@@ -325,6 +439,8 @@ USAGE:
   colocate load  [--policy NAME] [--seed N] [--trace NAME] [--windows N] [--queries N]
                  [--threads N] [--report PATH] [--telemetry-out PATH] JOB...
   colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
+  colocate fleet [--nodes N] [--events N] [--seed N] [--shards N] [--threaded]
+                 [--epoch N] [--probe-limit N] [--faults SPEC] [--store PATH]
   colocate qos   [WORKLOAD...]
 
 JOB:
@@ -359,6 +475,16 @@ FAULTS (chaos mode, CLITE only):
   spike, spike_mag, drop, stuck, stuck_windows, enforce, crash
   (= crash at window N), crash_prob, crash_max.
 
+FLEET (long-running event-driven scheduler):
+  colocate fleet generates a deterministic arrival/departure/load-shift
+  trace (--events long, from --seed) and streams it through the fleet
+  service over --nodes simulated servers backed by a --shards-way sharded
+  observation store. --epoch re-solves the mean-field placement template
+  every N ticks and --probe-limit caps CLITE searches per admission.
+  --threaded probes candidates concurrently (byte-identical to serial by
+  construction). --faults injects node crashes; --store persists the
+  sharded observation log at <path>.shard<i>.
+
 EXAMPLES:
   colocate run memcached:40 img-dnn:30 streamcluster
   colocate load --trace bursty memcached:70 img-dnn:60
@@ -369,6 +495,7 @@ EXAMPLES:
   colocate run --faults default memcached:40 img-dnn:30 streamcluster
   colocate run --faults spike=0.1,drop=0.05 memcached:40 streamcluster
   colocate sweep --sweep memcached:0 masstree:30 img-dnn:30
+  colocate fleet --nodes 128 --events 64 --threaded --faults crash_prob=0.3,crash_max=20
   colocate qos memcached xapian"
 }
 
@@ -573,6 +700,90 @@ mod tests {
         assert!(parse(&v(&["frobnicate"])).is_err());
         assert!(parse(&v(&["run"])).is_err(), "run without jobs");
         assert!(parse(&v(&["sweep", "masstree:30"])).is_err(), "sweep without --sweep");
+    }
+
+    #[test]
+    fn parses_fleet_command_with_defaults() {
+        match parse(&v(&["fleet"])).unwrap() {
+            Command::Fleet {
+                nodes,
+                events,
+                seed,
+                shards,
+                admission,
+                epoch,
+                probe_limit,
+                faults,
+                store,
+            } => {
+                assert_eq!(nodes, 64);
+                assert_eq!(events, 48);
+                assert_eq!(seed, 42);
+                assert_eq!(shards, 8);
+                assert_eq!(admission, AdmissionMode::Serial);
+                assert_eq!(epoch, 8);
+                assert_eq!(probe_limit, 4);
+                assert_eq!(faults, None);
+                assert_eq!(store, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fleet_command_with_flags() {
+        let cmd = parse(&v(&[
+            "fleet",
+            "--nodes",
+            "512",
+            "--events",
+            "96",
+            "--shards",
+            "16",
+            "--threaded",
+            "--epoch",
+            "4",
+            "--probe-limit",
+            "2",
+            "--faults",
+            "crash_prob=0.3,crash_max=20",
+            "--store",
+            "/tmp/fleet.obs",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Fleet {
+                nodes,
+                events,
+                shards,
+                admission,
+                epoch,
+                probe_limit,
+                faults,
+                store,
+                ..
+            } => {
+                assert_eq!(nodes, 512);
+                assert_eq!(events, 96);
+                assert_eq!(shards, 16);
+                assert_eq!(admission, AdmissionMode::Threaded);
+                assert_eq!(epoch, 4);
+                assert_eq!(probe_limit, 2);
+                let spec = faults.expect("fault spec parsed");
+                assert!((spec.crash_prob - 0.3).abs() < 1e-12);
+                assert_eq!(store, Some(PathBuf::from("/tmp/fleet.obs")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_command_rejects_bad_input() {
+        assert!(parse(&v(&["fleet", "--nodes", "0"])).is_err());
+        assert!(parse(&v(&["fleet", "--shards", "0"])).is_err());
+        assert!(parse(&v(&["fleet", "--probe-limit", "0"])).is_err());
+        assert!(parse(&v(&["fleet", "--nodes"])).is_err(), "flag needs a value");
+        assert!(parse(&v(&["fleet", "memcached:40"])).is_err(), "fleet takes no job tokens");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod fleet;
 pub mod frontier;
 pub mod loadtest;
 pub mod summary;
@@ -54,6 +55,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("cluster", cluster::run),
         ("chaos", chaos::run),
         ("loadtest", loadtest::run),
+        ("fleet", fleet::run),
     ]
 }
 

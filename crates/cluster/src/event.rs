@@ -1,0 +1,59 @@
+//! The fleet service's event vocabulary.
+//!
+//! A fleet trace is a time-ordered list of [`TimedEvent`]s. Job ids are
+//! assigned by the scheduler in arrival order (arrival `k` gets id `k`,
+//! placed or not), so a trace generator that counts its own arrivals can
+//! reference earlier jobs in departures and load shifts without ever
+//! seeing the scheduler's state — what keeps trace generation and fleet
+//! execution independently deterministic.
+
+use clite_sim::prelude::*;
+
+/// One thing that happens to the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A new job asks to be admitted. The scheduler assigns the next
+    /// sequential job id whether or not a node accepts it.
+    Arrival {
+        /// The job's specification.
+        spec: JobSpec,
+    },
+    /// A previously arrived job departs. Departures of jobs that were
+    /// rejected at arrival (or lost with a crashed node) are tolerated as
+    /// stale no-ops: the trace generator cannot know placement outcomes.
+    Departure {
+        /// Cluster-assigned job id (arrival index).
+        job: u64,
+    },
+    /// A previously arrived job's offered load changes; its node
+    /// re-partitions under the new schedule. Stale ids are no-ops, like
+    /// departures.
+    LoadShift {
+        /// Cluster-assigned job id (arrival index).
+        job: u64,
+        /// The new load schedule.
+        load: LoadSchedule,
+    },
+    /// New empty nodes join the fleet.
+    Onboard {
+        /// How many nodes to add.
+        nodes: usize,
+    },
+}
+
+/// An event stamped with its simulation tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// When the event happens ([`crate::clock::SimClock`] ticks).
+    pub at: u64,
+    /// What happens.
+    pub event: FleetEvent,
+}
+
+impl TimedEvent {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(at: u64, event: FleetEvent) -> Self {
+        Self { at, event }
+    }
+}

@@ -1,0 +1,456 @@
+//! The fleet service: a long-running, event-driven scheduler loop.
+//!
+//! Where [`crate::scheduler::ClusterScheduler`] answers one admission
+//! question at a time, [`FleetService`] runs the warehouse: it consumes a
+//! time-ordered stream of [`FleetEvent`]s — arrivals, departures, load
+//! shifts, node onboarding — advancing a deterministic [`SimClock`] and
+//! driving the existing plan/record/commit `Node` machinery per event.
+//!
+//! ## Mean-field epoch policy
+//!
+//! Probing every node for every arrival is O(fleet) searches per event —
+//! unaffordable at thousands of nodes. Following the mean-field
+//! core-allocation results (Li/Harchol-Balter/Berg), the service instead
+//! *solves once and applies per-node*: once per epoch it computes a
+//! single target LC load from the incrementally maintained
+//! [`ClusterStats`] (mean committed load plus a headroom margin) and
+//! installs it as a [`PlacementPolicy::TargetLoad`] template; per event,
+//! candidate ordering follows the template and the scheduler's
+//! `probe_limit` caps local refinement to a handful of CLITE searches.
+//! Every input to the template is itself a deterministic function of the
+//! event history, so the epoch policy preserves byte-identity.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed trace and seed the fleet's placements and statistics are
+//! byte-identical across: serial vs threaded admission (inherited from
+//! the PR 2/5 discipline — probe seeds are pure functions of committed
+//! state), and any store shard count (lookups depend only on per-mix
+//! bucket content). `crates/cluster/tests/fleet.rs` pins both at fleet
+//! scale.
+
+use clite_sim::testbed::{ServerFactory, TestbedFactory};
+use clite_store::StoreHandle;
+use clite_telemetry::{Event, MetricsRegistry, Telemetry};
+
+use crate::clock::SimClock;
+use crate::event::{FleetEvent, TimedEvent};
+use crate::placement::PlacementPolicy;
+use crate::scheduler::{ClusterScheduler, Placement, SchedulerConfig};
+use crate::stats::ClusterStats;
+use crate::ClusterError;
+
+/// Fleet-service configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Scheduler configuration (placement, admission mode, CLITE budget,
+    /// probe cap).
+    pub scheduler: SchedulerConfig,
+    /// Re-solve the mean-field placement template every this many clock
+    /// ticks; `0` keeps the configured placement policy untouched.
+    pub epoch_ticks: u64,
+    /// Headroom added to the solved mean LC load (percentage points):
+    /// the target each node is steered toward leaves room for the next
+    /// few arrivals before the template is re-solved.
+    pub target_margin_pct: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self { scheduler: SchedulerConfig::default(), epoch_ticks: 0, target_margin_pct: 10 }
+    }
+}
+
+impl FleetConfig {
+    /// A config with the mean-field epoch policy enabled: template
+    /// re-solved every `epoch_ticks`, local refinement capped at
+    /// `probe_limit` candidate probes per admission.
+    #[must_use]
+    pub fn mean_field(epoch_ticks: u64, probe_limit: usize) -> Self {
+        Self {
+            scheduler: SchedulerConfig {
+                probe_limit: Some(probe_limit),
+                ..SchedulerConfig::default()
+            },
+            epoch_ticks,
+            target_margin_pct: 10,
+        }
+    }
+}
+
+/// What handling one event did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// An arrival was admitted.
+    Placed(Placement),
+    /// An arrival was rejected fleet-wide.
+    Rejected {
+        /// The job id the arrival was assigned.
+        job: u64,
+    },
+    /// A departure (or load shift) removed/re-partitioned a live job.
+    Applied {
+        /// The affected job id.
+        job: u64,
+    },
+    /// The referenced job was not live (rejected at arrival or lost with
+    /// a crashed node); the event was a no-op.
+    Stale {
+        /// The referenced job id.
+        job: u64,
+    },
+    /// New nodes joined the fleet.
+    Onboarded {
+        /// Ids of the added nodes.
+        nodes: Vec<usize>,
+    },
+}
+
+/// Counters summarizing a service's event history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Arrivals handled.
+    pub arrivals: u64,
+    /// Arrivals admitted.
+    pub placed: u64,
+    /// Departures applied.
+    pub departures: u64,
+    /// Load shifts applied.
+    pub load_shifts: u64,
+    /// Stale departure/load-shift no-ops.
+    pub stale_events: u64,
+    /// Nodes onboarded after construction.
+    pub nodes_onboarded: u64,
+    /// Mean-field template re-solves.
+    pub epoch_solves: u64,
+}
+
+/// The result of running a trace to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// Per-arrival outcome, in arrival order: the hosting node, or `None`
+    /// if rejected. This is the byte-identity witness the determinism
+    /// tests compare.
+    pub placements: Vec<Option<usize>>,
+    /// Event counters.
+    pub counters: FleetCounters,
+    /// Final fleet statistics.
+    pub stats: ClusterStats,
+}
+
+/// A long-running, event-driven colocation service over a scheduler.
+#[derive(Debug)]
+pub struct FleetService<F: TestbedFactory = ServerFactory> {
+    scheduler: ClusterScheduler<F>,
+    config: FleetConfig,
+    clock: SimClock,
+    /// Last epoch a template was solved for (`None` before the first).
+    solved_epoch: Option<u64>,
+    /// The currently installed template target (for gauge export).
+    target_pct: Option<u32>,
+    counters: FleetCounters,
+}
+
+impl FleetService {
+    /// A fleet of `nodes` simulated servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] for zero nodes.
+    pub fn new(nodes: usize, config: FleetConfig, seed: u64) -> Result<Self, ClusterError> {
+        Self::with_factory(nodes, config, seed, ServerFactory)
+    }
+}
+
+impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
+    /// A fleet whose nodes probe on testbeds built by `factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] for zero nodes.
+    pub fn with_factory(
+        nodes: usize,
+        config: FleetConfig,
+        seed: u64,
+        factory: F,
+    ) -> Result<Self, ClusterError> {
+        let scheduler =
+            ClusterScheduler::with_factory(nodes, config.scheduler.clone(), seed, factory)?;
+        Ok(Self {
+            scheduler,
+            config,
+            clock: SimClock::new(),
+            solved_epoch: None,
+            target_pct: None,
+            counters: FleetCounters::default(),
+        })
+    }
+
+    /// Attaches an observation store (single-lock or sharded) to every
+    /// node, current and future.
+    #[must_use]
+    pub fn with_store(mut self, store: impl Into<StoreHandle>) -> Self {
+        self.scheduler = self.scheduler.with_store(store);
+        self
+    }
+
+    /// The underlying scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> &ClusterScheduler<F> {
+        &self.scheduler
+    }
+
+    /// The deterministic clock.
+    #[must_use]
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// Event counters so far.
+    #[must_use]
+    pub fn counters(&self) -> FleetCounters {
+        self.counters
+    }
+
+    /// Current fleet statistics (incrementally maintained).
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        self.scheduler.stats()
+    }
+
+    /// Handles one event: advances the clock, re-solves the mean-field
+    /// template on epoch boundaries, and drives the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-crash controller/simulator failures. Node crashes
+    /// are absorbed (eviction + re-placement), stale job references are
+    /// no-ops.
+    pub fn handle(
+        &mut self,
+        event: &TimedEvent,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<EventOutcome, ClusterError> {
+        self.clock.advance_to(event.at);
+        self.maybe_solve_epoch();
+        match &event.event {
+            FleetEvent::Arrival { spec } => {
+                self.counters.arrivals += 1;
+                let workload = spec.workload.name().to_owned();
+                let placed = self.scheduler.submit_with(spec.clone(), telemetry)?;
+                match placed {
+                    Some(placement) => {
+                        self.counters.placed += 1;
+                        telemetry.emit(Event::JobArrived { job: placement.job_id, workload });
+                        Ok(EventOutcome::Placed(placement))
+                    }
+                    None => {
+                        // The scheduler consumed an id even though no node
+                        // accepted the job: arrival k always has id k.
+                        let job = self.counters.arrivals - 1;
+                        telemetry.emit(Event::JobArrived { job, workload });
+                        Ok(EventOutcome::Rejected { job })
+                    }
+                }
+            }
+            FleetEvent::Departure { job } => match self.scheduler.remove_with(*job, telemetry) {
+                Ok(()) => {
+                    self.counters.departures += 1;
+                    telemetry.emit(Event::JobDeparted { job: *job });
+                    Ok(EventOutcome::Applied { job: *job })
+                }
+                Err(ClusterError::UnknownJob { .. }) => {
+                    self.counters.stale_events += 1;
+                    Ok(EventOutcome::Stale { job: *job })
+                }
+                Err(e) => Err(e),
+            },
+            FleetEvent::LoadShift { job, load } => {
+                match self.scheduler.update_load_with(*job, load.clone(), telemetry) {
+                    Ok(()) => {
+                        self.counters.load_shifts += 1;
+                        let load_pct = (load.at(0.0) * 100.0).round().max(0.0) as u32;
+                        telemetry.emit(Event::LoadShift { job: *job, load_pct });
+                        Ok(EventOutcome::Applied { job: *job })
+                    }
+                    Err(ClusterError::UnknownJob { .. }) => {
+                        self.counters.stale_events += 1;
+                        Ok(EventOutcome::Stale { job: *job })
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            FleetEvent::Onboard { nodes } => {
+                let ids = self.scheduler.add_nodes(*nodes);
+                self.counters.nodes_onboarded += ids.len() as u64;
+                for &node in &ids {
+                    telemetry.emit(Event::NodeOnboarded { node });
+                }
+                Ok(EventOutcome::Onboarded { nodes: ids })
+            }
+        }
+    }
+
+    /// Runs a whole trace, returning the per-arrival placements, the
+    /// counters, and the final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first non-crash failure.
+    pub fn run(
+        &mut self,
+        trace: &[TimedEvent],
+        telemetry: &Telemetry<'_>,
+    ) -> Result<FleetRun, ClusterError> {
+        let mut placements = Vec::new();
+        for event in trace {
+            match self.handle(event, telemetry)? {
+                EventOutcome::Placed(p) => placements.push(Some(p.node)),
+                EventOutcome::Rejected { .. } => placements.push(None),
+                _ => {}
+            }
+        }
+        Ok(FleetRun { placements, counters: self.counters, stats: self.scheduler.stats() })
+    }
+
+    /// Re-solves the mean-field template when the clock crossed into a
+    /// new epoch: one fleet-wide target LC load from the aggregate stats,
+    /// applied per-node by [`PlacementPolicy::TargetLoad`].
+    fn maybe_solve_epoch(&mut self) {
+        if self.config.epoch_ticks == 0 {
+            return;
+        }
+        let epoch = self.clock.epoch(self.config.epoch_ticks);
+        if self.solved_epoch == Some(epoch) {
+            return;
+        }
+        self.solved_epoch = Some(epoch);
+        self.counters.epoch_solves += 1;
+        let stats = self.scheduler.stats_ref();
+        let alive: Vec<_> = stats.nodes.iter().filter(|n| n.alive).collect();
+        if alive.is_empty() {
+            return;
+        }
+        let mean_load: f64 = alive.iter().map(|n| n.lc_load).sum::<f64>() / alive.len() as f64;
+        let target_pct = ((mean_load * 100.0).round().max(0.0) as u32)
+            .saturating_add(self.config.target_margin_pct)
+            .clamp(5, 95);
+        self.target_pct = Some(target_pct);
+        self.scheduler.set_placement(PlacementPolicy::TargetLoad { target_pct });
+    }
+
+    /// Exports fleet gauges (`clite_fleet_*`) from the incrementally
+    /// maintained statistics — O(fleet) only in the per-node walk for
+    /// the QoS gauge, no node is probed.
+    pub fn export_gauges(&self, registry: &MetricsRegistry) {
+        let stats = self.scheduler.stats_ref();
+        let alive = stats.nodes.len() - stats.dead_nodes;
+        registry.set_gauge("clite_fleet_nodes", &[], stats.nodes.len() as f64);
+        registry.set_gauge("clite_fleet_alive_nodes", &[], alive as f64);
+        registry.set_gauge("clite_fleet_dead_nodes", &[], stats.dead_nodes as f64);
+        registry.set_gauge("clite_fleet_empty_nodes", &[], stats.empty_nodes as f64);
+        registry.set_gauge("clite_fleet_placed_jobs", &[], stats.placed as f64);
+        registry.set_gauge("clite_fleet_rejected_jobs", &[], stats.rejected as f64);
+        registry.set_gauge("clite_fleet_admission_rate", &[], stats.admission_rate());
+        registry.set_gauge("clite_fleet_clock_ticks", &[], self.clock.now() as f64);
+        let qos_ok = stats.nodes.iter().filter(|n| n.alive && n.qos_met).count();
+        registry.set_gauge("clite_fleet_qos_ok_nodes", &[], qos_ok as f64);
+        if let Some(target) = self.target_pct {
+            registry.set_gauge("clite_fleet_target_load_pct", &[], f64::from(target));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, TraceConfig};
+    use clite_sim::prelude::*;
+
+    fn small_trace() -> Vec<TimedEvent> {
+        generate(
+            &TraceConfig {
+                events: 12,
+                arrival_weight: 5,
+                departure_weight: 2,
+                load_shift_weight: 2,
+                ..TraceConfig::default()
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn fleet_processes_mixed_trace() {
+        let mut fleet = FleetService::new(3, FleetConfig::default(), 5).unwrap();
+        let run = fleet.run(&small_trace(), &Telemetry::disabled()).unwrap();
+        assert_eq!(run.counters.arrivals as usize, run.placements.len());
+        assert!(run.counters.arrivals > 0);
+        assert_eq!(
+            run.stats.placed as u64 + run.counters.departures,
+            run.counters.placed,
+            "live jobs + departures account for every admission"
+        );
+    }
+
+    #[test]
+    fn onboarding_grows_the_fleet() {
+        let mut fleet = FleetService::new(2, FleetConfig::default(), 5).unwrap();
+        let outcome = fleet
+            .handle(&TimedEvent::new(1, FleetEvent::Onboard { nodes: 3 }), &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(outcome, EventOutcome::Onboarded { nodes: vec![2, 3, 4] });
+        assert_eq!(fleet.scheduler().nodes().len(), 5);
+        assert_eq!(fleet.stats().nodes.len(), 5, "stats track onboarded nodes");
+    }
+
+    #[test]
+    fn stale_departure_is_a_noop() {
+        let mut fleet = FleetService::new(2, FleetConfig::default(), 5).unwrap();
+        let outcome = fleet
+            .handle(&TimedEvent::new(1, FleetEvent::Departure { job: 99 }), &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(outcome, EventOutcome::Stale { job: 99 });
+        assert_eq!(fleet.counters().stale_events, 1);
+    }
+
+    #[test]
+    fn epoch_policy_installs_target_template() {
+        let mut fleet = FleetService::new(2, FleetConfig::mean_field(4, 2), 5).unwrap();
+        let spec = JobSpec::latency_critical(WorkloadId::Memcached, 0.3);
+        fleet
+            .handle(
+                &TimedEvent::new(1, FleetEvent::Arrival { spec: spec.clone() }),
+                &Telemetry::disabled(),
+            )
+            .unwrap();
+        assert_eq!(fleet.counters().epoch_solves, 1, "first event solves epoch 0");
+        fleet
+            .handle(&TimedEvent::new(5, FleetEvent::Arrival { spec }), &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(fleet.counters().epoch_solves, 2, "tick 5 crosses into epoch 1");
+        assert!(matches!(fleet.scheduler().config().placement, PlacementPolicy::TargetLoad { .. }));
+    }
+
+    #[test]
+    fn load_shift_repartitions_live_job() {
+        let mut fleet = FleetService::new(1, FleetConfig::default(), 5).unwrap();
+        let spec = JobSpec::latency_critical(WorkloadId::Memcached, 0.2);
+        let outcome = fleet
+            .handle(&TimedEvent::new(1, FleetEvent::Arrival { spec }), &Telemetry::disabled())
+            .unwrap();
+        let EventOutcome::Placed(p) = outcome else { panic!("arrival must place") };
+        let before = fleet.scheduler().nodes()[p.node].commits();
+        let outcome = fleet
+            .handle(
+                &TimedEvent::new(
+                    2,
+                    FleetEvent::LoadShift { job: p.job_id, load: LoadSchedule::Constant(0.5) },
+                ),
+                &Telemetry::disabled(),
+            )
+            .unwrap();
+        assert_eq!(outcome, EventOutcome::Applied { job: p.job_id });
+        assert!(fleet.scheduler().nodes()[p.node].commits() > before, "shift is a commit");
+    }
+}

@@ -39,10 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod event;
+pub mod fleet;
 pub mod node;
 pub mod placement;
 pub mod scheduler;
 pub mod stats;
+pub mod trace;
 
 mod error;
 

@@ -5,7 +5,7 @@ use clite::controller::CliteController;
 use clite::trace::CliteOutcome;
 use clite_sim::prelude::*;
 use clite_sim::testbed::{ServerFactory, TestbedFactory};
-use clite_store::{MixSignature, SharedStore};
+use clite_store::{MixSignature, StoreHandle};
 use clite_telemetry::Telemetry;
 
 use crate::ClusterError;
@@ -74,7 +74,7 @@ pub struct Node<F: TestbedFactory = ServerFactory> {
     searches_run: usize,
     samples_spent: u64,
     commits: u64,
-    store: Option<SharedStore>,
+    store: Option<StoreHandle>,
     alive: bool,
 }
 
@@ -106,18 +106,20 @@ impl<F: TestbedFactory> Node<F> {
         }
     }
 
-    /// Attaches a shared observation store: admission probes and
-    /// re-partitioning searches warm-start from it, and committed
-    /// searches append their samples back (see [`Node::commit_admission`]).
+    /// Attaches a shared observation store — either a
+    /// [`clite_store::SharedStore`] or a [`clite_store::ShardedStore`]
+    /// handle: admission probes and re-partitioning searches warm-start
+    /// from it, and committed searches append their samples back (see
+    /// [`Node::commit_admission`]).
     #[must_use]
-    pub fn with_store(mut self, store: SharedStore) -> Self {
-        self.store = Some(store);
+    pub fn with_store(mut self, store: impl Into<StoreHandle>) -> Self {
+        self.store = Some(store.into());
         self
     }
 
     /// Installs (or replaces) the shared observation store in place.
-    pub fn set_store(&mut self, store: SharedStore) {
-        self.store = Some(store);
+    pub fn set_store(&mut self, store: impl Into<StoreHandle>) {
+        self.store = Some(store.into());
     }
 
     /// Node id within the cluster.
@@ -272,10 +274,7 @@ impl<F: TestbedFactory> Node<F> {
         match &self.store {
             Some(store) => {
                 let signature = MixSignature::capture(&testbed);
-                let warm = {
-                    let mut guard = store.lock().expect("observation store lock");
-                    guard.warm_start_with(&signature, telemetry)
-                };
+                let warm = store.warm_start_with(&signature, telemetry);
                 let outcome = match &warm {
                     Some(warm) => controller.run_warmed(&mut testbed, warm, telemetry)?,
                     None => controller.run_with(&mut testbed, telemetry)?,
@@ -294,9 +293,14 @@ impl<F: TestbedFactory> Node<F> {
         let (Some(store), Some(signature)) = (&self.store, signature) else {
             return;
         };
-        let mut guard = store.lock().expect("observation store lock");
         for rec in &outcome.samples {
-            let _ = guard.append(signature, &rec.partition, &rec.observation, rec.score.value);
+            let _ = store.append_with(
+                signature,
+                &rec.partition,
+                &rec.observation,
+                rec.score.value,
+                &Telemetry::disabled(),
+            );
         }
     }
 
@@ -392,6 +396,40 @@ impl<F: TestbedFactory> Node<F> {
             self.last_outcome = None;
             return Ok(());
         }
+        let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
+        let (outcome, signature) = self.run_search(specs, config, telemetry)?;
+        self.store_samples(signature.as_ref(), &outcome);
+        self.searches_run += 1;
+        self.samples_spent += outcome.samples_used() as u64;
+        self.last_outcome = Some(outcome);
+        Ok(())
+    }
+
+    /// Replaces a committed job's load schedule (the fleet's `load_shift`
+    /// event) and re-partitions the node under the new load. The change is
+    /// a commit — later search seeds shift exactly as they would for an
+    /// admission or departure, keeping serial and threaded event loops
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if the id is not on this node;
+    /// propagates controller/simulator failures from the re-partitioning
+    /// search.
+    pub fn update_load_with(
+        &mut self,
+        job_id: u64,
+        load: LoadSchedule,
+        config: &CliteConfig,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<(), ClusterError> {
+        let idx = self
+            .jobs
+            .iter()
+            .position(|j| j.id == job_id)
+            .ok_or(ClusterError::UnknownJob { job: job_id })?;
+        self.jobs[idx].spec.load = load;
+        self.commits += 1;
         let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec.clone()).collect();
         let (outcome, signature) = self.run_search(specs, config, telemetry)?;
         self.store_samples(signature.as_ref(), &outcome);

@@ -21,6 +21,16 @@ pub enum PlacementPolicy {
     /// machines, which is the utilization win the paper's introduction
     /// argues for.
     MostLoaded,
+    /// Mean-field template: steer every node toward one fleet-wide target
+    /// LC load (in whole percent). Under-target nodes are tried first,
+    /// largest deficit leading; at/over-target nodes follow, least
+    /// overloaded leading. The fleet service re-solves the target once per
+    /// epoch from aggregate stats — "solve once, apply per-node" — so
+    /// per-event placement stays O(fleet log fleet) with no global search.
+    TargetLoad {
+        /// Per-node target LC load, percent of max QPS (`55` = 0.55).
+        target_pct: u32,
+    },
 }
 
 impl PlacementPolicy {
@@ -31,6 +41,7 @@ impl PlacementPolicy {
             PlacementPolicy::FirstFit => "first-fit",
             PlacementPolicy::LeastLoaded => "least-loaded",
             PlacementPolicy::MostLoaded => "most-loaded",
+            PlacementPolicy::TargetLoad { .. } => "target-load",
         }
     }
 
@@ -50,6 +61,14 @@ impl PlacementPolicy {
             PlacementPolicy::MostLoaded => {
                 ids.sort_by(|&a, &b| {
                     nodes[b].committed_lc_load().total_cmp(&nodes[a].committed_lc_load())
+                });
+            }
+            PlacementPolicy::TargetLoad { target_pct } => {
+                let target = f64::from(target_pct) / 100.0;
+                // Stable sort, so equal-load nodes keep id order.
+                ids.sort_by(|&a, &b| {
+                    let (la, lb) = (nodes[a].committed_lc_load(), nodes[b].committed_lc_load());
+                    (la >= target).cmp(&(lb >= target)).then_with(|| la.total_cmp(&lb))
                 });
             }
         }

@@ -1,9 +1,12 @@
 //! Cluster-level admission control.
 
+use std::collections::HashMap;
+
 use clite::config::CliteConfig;
 use clite_bo::termination::Termination;
 use clite_sim::prelude::*;
 use clite_sim::testbed::{ServerFactory, TestbedFactory};
+use clite_store::StoreHandle;
 use clite_telemetry::{Event, Telemetry};
 
 use crate::node::{AdmissionPlan, Node, PlacedJob};
@@ -42,6 +45,13 @@ pub struct SchedulerConfig {
     /// feasibility answer quickly, and the committed partition keeps
     /// being refined by later searches anyway.
     pub clite: CliteConfig,
+    /// Most candidate nodes probed per admission (`None` = all). At fleet
+    /// size, probing every candidate makes each admission O(fleet)
+    /// searches; the placement policy's ordering makes the first few
+    /// candidates the likely winners, so a small cap is the "local
+    /// refinement" half of the mean-field policy. Applied identically in
+    /// serial and threaded modes, so byte-identity is unaffected.
+    pub probe_limit: Option<usize>,
 }
 
 impl Default for SchedulerConfig {
@@ -51,6 +61,7 @@ impl Default for SchedulerConfig {
             admission: AdmissionMode::default(),
             clite: CliteConfig::default()
                 .with_termination(Termination { max_iterations: 30, ..Termination::default() }),
+            probe_limit: None,
         }
     }
 }
@@ -76,6 +87,20 @@ pub struct ClusterScheduler<F: TestbedFactory = ServerFactory> {
     config: SchedulerConfig,
     next_job_id: u64,
     rejected: u64,
+    /// Builder for onboarded nodes ([`ClusterScheduler::add_nodes`]).
+    factory: F,
+    /// Base seed; node `i` searches from `base_seed + 1000·i`.
+    base_seed: u64,
+    /// Store handle handed to onboarded nodes.
+    store: Option<StoreHandle>,
+    /// job id → node id for O(1) departures and load shifts.
+    job_index: HashMap<u64, usize>,
+    /// Fleet statistics maintained incrementally: every probe, commit,
+    /// eviction, or load change refreshes exactly the touched node's
+    /// snapshot, so [`ClusterScheduler::stats`] never walks the fleet.
+    /// `incremental_stats_match_collect` pins it to the from-scratch
+    /// [`ClusterStats::collect`].
+    stats: ClusterStats,
 }
 
 impl ClusterScheduler {
@@ -108,7 +133,7 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         if nodes == 0 {
             return Err(ClusterError::EmptyCluster);
         }
-        let nodes = (0..nodes)
+        let nodes: Vec<Node<F>> = (0..nodes)
             .map(|i| {
                 Node::with_factory(
                     i,
@@ -118,19 +143,35 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
                 )
             })
             .collect();
-        Ok(Self { nodes, config, next_job_id: 0, rejected: 0 })
+        let stats = ClusterStats::collect(&nodes, 0);
+        Ok(Self {
+            nodes,
+            config,
+            next_job_id: 0,
+            rejected: 0,
+            factory,
+            base_seed: seed,
+            store: None,
+            job_index: HashMap::new(),
+            stats,
+        })
     }
 
-    /// Attaches one shared observation store to every node in the fleet:
-    /// admission probes and re-partitioning searches warm-start from the
-    /// pooled samples, and committed searches append back to it. Because
-    /// probes only read the store and appends happen at commit, serial and
-    /// threaded admission still place identical fleets.
+    /// Attaches one shared observation store to every node in the fleet —
+    /// a [`clite_store::SharedStore`] or a [`clite_store::ShardedStore`]
+    /// handle: admission probes and re-partitioning searches warm-start
+    /// from the pooled samples, and committed searches append back to it.
+    /// Because probes only read the store and appends happen at commit,
+    /// serial and threaded admission still place identical fleets, and
+    /// because lookups depend only on per-mix bucket content, so does
+    /// every shard count.
     #[must_use]
-    pub fn with_store(mut self, store: clite_store::SharedStore) -> Self {
+    pub fn with_store(mut self, store: impl Into<StoreHandle>) -> Self {
+        let handle = store.into();
         for node in &mut self.nodes {
-            node.set_store(store.clone());
+            node.set_store(handle.clone());
         }
+        self.store = Some(handle);
         self
     }
 
@@ -138,6 +179,44 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
     #[must_use]
     pub fn nodes(&self) -> &[Node<F>] {
         &self.nodes
+    }
+
+    /// The scheduler configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Replaces the placement policy. The fleet service's epoch loop uses
+    /// this to apply a freshly solved mean-field template
+    /// ([`PlacementPolicy::TargetLoad`]) without rebuilding the fleet.
+    pub fn set_placement(&mut self, placement: PlacementPolicy) {
+        self.config.placement = placement;
+    }
+
+    /// Brings `count` new (empty) nodes into service, returning their
+    /// ids. Onboarded nodes get the same per-id seed schedule as founding
+    /// nodes — a fleet grown to `N` is byte-identical to one built at `N`
+    /// — and share the fleet's observation store.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<usize>
+    where
+        F: Clone,
+    {
+        let start = self.nodes.len();
+        for i in start..start + count {
+            let mut node = Node::with_factory(
+                i,
+                ResourceCatalog::testbed(),
+                self.base_seed.wrapping_add(1000 * i as u64),
+                self.factory.clone(),
+            );
+            if let Some(store) = &self.store {
+                node.set_store(store.clone());
+            }
+            self.stats.add_node(&node);
+            self.nodes.push(node);
+        }
+        (start..start + count).collect()
     }
 
     /// Jobs rejected so far (no node could host them with QoS intact).
@@ -174,9 +253,15 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         self.next_job_id += 1;
         let placement = self.admit_job(PlacedJob { id: job_id, spec }, telemetry)?;
         if placement.is_none() {
-            self.rejected += 1;
+            self.note_rejected();
         }
         Ok(placement)
+    }
+
+    /// Counts one rejection in both the counter and the cached stats.
+    fn note_rejected(&mut self) {
+        self.rejected += 1;
+        self.stats.rejected = self.rejected;
     }
 
     /// One admission attempt, shared by fresh submissions and the
@@ -192,20 +277,26 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
     ) -> Result<Option<Placement>, ClusterError> {
         let job_id = job.id;
         let workload = job.spec.workload.name().to_owned();
-        let order: Vec<usize> = self
+        let mut order: Vec<usize> = self
             .config
             .placement
             .candidate_order(&self.nodes)
             .into_iter()
             .filter(|&i| self.nodes[i].alive())
             .collect();
+        if let Some(limit) = self.config.probe_limit {
+            order.truncate(limit.max(1));
+        }
         let (winner, orphans) = match self.config.admission {
             AdmissionMode::Serial => self.admit_serial(&order, &job, telemetry)?,
             AdmissionMode::Threaded => self.admit_threaded(&order, &job, telemetry)?,
         };
+        if let Some(node_id) = winner {
+            self.job_index.insert(job_id, node_id);
+        }
         for orphan in orphans {
             if self.admit_job(orphan, telemetry)?.is_none() {
-                self.rejected += 1;
+                self.note_rejected();
             }
         }
         Ok(winner.map(|node_id| {
@@ -218,6 +309,10 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
     /// committed jobs for re-placement, and reports the eviction.
     fn evict_node(&mut self, node_id: usize, telemetry: &Telemetry<'_>) -> Vec<PlacedJob> {
         let orphans = self.nodes[node_id].mark_dead();
+        for orphan in &orphans {
+            self.job_index.remove(&orphan.id);
+        }
+        self.stats.refresh_node(&self.nodes[node_id]);
         telemetry.emit(Event::NodeEvicted { node: node_id, jobs: orphans.len() });
         orphans
     }
@@ -235,8 +330,12 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         let mut orphans = Vec::new();
         for &node_id in order {
             match self.nodes[node_id].try_admit_with(job.clone(), &self.config.clite, telemetry) {
-                Ok(true) => return Ok((Some(node_id), orphans)),
-                Ok(false) => {}
+                Ok(admitted) => {
+                    self.stats.refresh_node(&self.nodes[node_id]);
+                    if admitted {
+                        return Ok((Some(node_id), orphans));
+                    }
+                }
                 Err(e) if e.is_node_crash() => {
                     orphans.extend(self.evict_node(node_id, telemetry));
                 }
@@ -291,12 +390,18 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
             match result {
                 Ok(Some(plan)) => {
                     self.nodes[node_id].record_probe(&plan);
-                    if plan.feasible() {
+                    let feasible = plan.feasible();
+                    if feasible {
                         self.nodes[node_id].commit_admission(plan);
+                    }
+                    self.stats.refresh_node(&self.nodes[node_id]);
+                    if feasible {
                         return Ok((Some(node_id), orphans));
                     }
                 }
-                Ok(None) => {}
+                Ok(None) => {
+                    self.stats.refresh_node(&self.nodes[node_id]);
+                }
                 Err(e) if e.is_node_crash() => {
                     orphans.extend(self.evict_node(node_id, telemetry));
                 }
@@ -326,23 +431,26 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         job_id: u64,
         telemetry: &Telemetry<'_>,
     ) -> Result<(), ClusterError> {
-        let Some(node_id) = self.nodes.iter().position(|n| n.jobs().iter().any(|j| j.id == job_id))
-        else {
+        let Some(&node_id) = self.job_index.get(&job_id) else {
             return Err(ClusterError::UnknownJob { job: job_id });
         };
+        self.job_index.remove(&job_id);
         let node = &mut self.nodes[node_id];
-        let job = node.jobs().iter().find(|j| j.id == job_id).expect("job located above");
+        let job = node.jobs().iter().find(|j| j.id == job_id).expect("job index is current");
         telemetry
             .emit(Event::Eviction { node: node.id(), job: job.spec.workload.name().to_owned() });
         match node.remove_with(job_id, &self.config.clite, telemetry) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.stats.refresh_node(&self.nodes[node_id]);
+                Ok(())
+            }
             Err(e) if e.is_node_crash() => {
                 // The node died while re-partitioning after the departure:
                 // evict it and re-home its surviving jobs.
                 let orphans = self.evict_node(node_id, telemetry);
                 for orphan in orphans {
                     if self.admit_job(orphan, telemetry)?.is_none() {
-                        self.rejected += 1;
+                        self.note_rejected();
                     }
                 }
                 Ok(())
@@ -351,10 +459,72 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         }
     }
 
-    /// Current fleet statistics.
+    /// Changes a placed job's load schedule (the fleet's `load_shift`
+    /// event) and re-partitions its node under the new load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if no node hosts `job_id`;
+    /// propagates controller/simulator failures.
+    pub fn update_load(&mut self, job_id: u64, load: LoadSchedule) -> Result<(), ClusterError> {
+        self.update_load_with(job_id, load, &Telemetry::disabled())
+    }
+
+    /// [`update_load`](ClusterScheduler::update_load) with telemetry. A
+    /// node that crashes while re-partitioning is evicted and its jobs
+    /// (including the one whose load changed) re-placed, exactly like a
+    /// crash during a departure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] if no node hosts `job_id`.
+    pub fn update_load_with(
+        &mut self,
+        job_id: u64,
+        load: LoadSchedule,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<(), ClusterError> {
+        let Some(&node_id) = self.job_index.get(&job_id) else {
+            return Err(ClusterError::UnknownJob { job: job_id });
+        };
+        match self.nodes[node_id].update_load_with(job_id, load, &self.config.clite, telemetry) {
+            Ok(()) => {
+                self.stats.refresh_node(&self.nodes[node_id]);
+                Ok(())
+            }
+            Err(e) if e.is_node_crash() => {
+                let orphans = self.evict_node(node_id, telemetry);
+                for orphan in orphans {
+                    if self.admit_job(orphan, telemetry)?.is_none() {
+                        self.note_rejected();
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Which node hosts `job_id`, if any. O(1).
+    #[must_use]
+    pub fn node_of(&self, job_id: u64) -> Option<usize> {
+        self.job_index.get(&job_id).copied()
+    }
+
+    /// Current fleet statistics — the incrementally maintained snapshot,
+    /// cloned without touching any node. O(fleet) only in the copy of the
+    /// per-node vector, never in recomputation.
     #[must_use]
     pub fn stats(&self) -> ClusterStats {
-        ClusterStats::collect(&self.nodes, self.rejected)
+        self.stats.clone()
+    }
+
+    /// Borrows the incrementally maintained statistics without cloning
+    /// (the fleet service's epoch solver and gauge exporter read these
+    /// every few events).
+    #[must_use]
+    pub fn stats_ref(&self) -> &ClusterStats {
+        &self.stats
     }
 }
 

@@ -47,41 +47,92 @@ pub struct ClusterStats {
     pub dead_nodes: usize,
 }
 
+impl NodeStats {
+    /// Snapshots one node's current committed state.
+    #[must_use]
+    pub fn capture<F: TestbedFactory>(n: &Node<F>) -> Self {
+        let best = n.last_outcome().map(|o| {
+            o.samples
+                .iter()
+                .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
+                .expect("outcomes have samples")
+        });
+        NodeStats {
+            node: n.id(),
+            jobs: n.job_count(),
+            lc_jobs: n
+                .jobs()
+                .iter()
+                .filter(|j| j.spec.class() == JobClass::LatencyCritical)
+                .count(),
+            lc_load: n.committed_lc_load(),
+            bg_perf: best.and_then(|s| s.observation.mean_bg_perf()),
+            qos_met: n.last_outcome().is_none_or(|o| o.qos_met()),
+            samples_spent: n.samples_spent(),
+            alive: n.alive(),
+        }
+    }
+
+    fn is_empty_live(&self) -> bool {
+        self.alive && self.jobs == 0
+    }
+}
+
 impl ClusterStats {
-    /// Collects statistics from the fleet.
+    /// Collects statistics from the fleet by visiting every node.
+    ///
+    /// This is the from-scratch reference. The scheduler maintains the
+    /// same value *incrementally* — one [`ClusterStats::refresh_node`]
+    /// per touched node — so `stats()` stays O(1) per event instead of
+    /// O(fleet); `incremental_stats_match_collect` in the scheduler tests
+    /// pins the two to byte equality.
     #[must_use]
     pub fn collect<F: TestbedFactory>(nodes: &[Node<F>], rejected: u64) -> Self {
-        let node_stats: Vec<NodeStats> = nodes
-            .iter()
-            .map(|n| {
-                let best = n.last_outcome().map(|o| {
-                    o.samples
-                        .iter()
-                        .max_by(|a, b| a.score.value.total_cmp(&b.score.value))
-                        .expect("outcomes have samples")
-                });
-                NodeStats {
-                    node: n.id(),
-                    jobs: n.job_count(),
-                    lc_jobs: n
-                        .jobs()
-                        .iter()
-                        .filter(|j| j.spec.class() == JobClass::LatencyCritical)
-                        .count(),
-                    lc_load: n.committed_lc_load(),
-                    bg_perf: best.and_then(|s| s.observation.mean_bg_perf()),
-                    qos_met: n.last_outcome().is_none_or(|o| o.qos_met()),
-                    samples_spent: n.samples_spent(),
-                    alive: n.alive(),
-                }
-            })
-            .collect();
+        let node_stats: Vec<NodeStats> = nodes.iter().map(NodeStats::capture).collect();
         Self {
             placed: node_stats.iter().map(|n| n.jobs).sum(),
-            empty_nodes: node_stats.iter().filter(|n| n.alive && n.jobs == 0).count(),
+            empty_nodes: node_stats.iter().filter(|n| n.is_empty_live()).count(),
             dead_nodes: node_stats.iter().filter(|n| !n.alive).count(),
             nodes: node_stats,
             rejected,
+        }
+    }
+
+    /// Appends a snapshot for a newly onboarded node (ids must arrive in
+    /// order: node `k` is entry `k`).
+    pub fn add_node<F: TestbedFactory>(&mut self, node: &Node<F>) {
+        debug_assert_eq!(node.id(), self.nodes.len(), "nodes onboard in id order");
+        let stats = NodeStats::capture(node);
+        self.placed += stats.jobs;
+        if stats.is_empty_live() {
+            self.empty_nodes += 1;
+        }
+        if !stats.alive {
+            self.dead_nodes += 1;
+        }
+        self.nodes.push(stats);
+    }
+
+    /// Re-snapshots one node after a commit, eviction, load change, or
+    /// charged probe, adjusting the aggregates by the delta. O(1) in the
+    /// fleet size.
+    pub fn refresh_node<F: TestbedFactory>(&mut self, node: &Node<F>) {
+        let new = NodeStats::capture(node);
+        let slot =
+            self.nodes.get_mut(node.id()).expect("refreshed node was onboarded before its events");
+        debug_assert_eq!(slot.node, new.node, "node ids index the stats vector");
+        let old = std::mem::replace(slot, new);
+        let new = &self.nodes[node.id()];
+        self.placed = self.placed - old.jobs + new.jobs;
+        match (old.is_empty_live(), new.is_empty_live()) {
+            (false, true) => self.empty_nodes += 1,
+            (true, false) => self.empty_nodes -= 1,
+            _ => {}
+        }
+        match (old.alive, new.alive) {
+            (true, false) => self.dead_nodes += 1,
+            (false, true) => self.dead_nodes -= 1,
+            _ => {}
         }
     }
 

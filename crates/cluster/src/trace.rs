@@ -1,0 +1,153 @@
+//! Deterministic fleet-trace generation.
+//!
+//! Produces a mixed arrival/departure/load-shift event stream from one
+//! seed. The generator mirrors the scheduler's job-id assignment (arrival
+//! `k` is id `k`) by counting its own arrivals, so it can target earlier
+//! jobs for departures and load shifts without observing the fleet; a
+//! targeted job the fleet rejected at arrival simply becomes a stale
+//! no-op event. Same seed, same config → byte-identical trace, on any
+//! machine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clite_sim::prelude::*;
+
+use crate::event::{FleetEvent, TimedEvent};
+
+/// Shape of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Total events to generate.
+    pub events: usize,
+    /// Relative weight of job arrivals.
+    pub arrival_weight: u32,
+    /// Relative weight of job departures (only once jobs are live).
+    pub departure_weight: u32,
+    /// Relative weight of load shifts (only once jobs are live).
+    pub load_shift_weight: u32,
+    /// Emit an [`FleetEvent::Onboard`] every this many ticks (`None` for a
+    /// fixed-size fleet).
+    pub onboard_every: Option<u64>,
+    /// Nodes added per onboard event.
+    pub onboard_nodes: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            events: 64,
+            arrival_weight: 6,
+            departure_weight: 2,
+            load_shift_weight: 2,
+            onboard_every: None,
+            onboard_nodes: 0,
+        }
+    }
+}
+
+/// Generates a deterministic event trace (one event per tick, starting at
+/// tick 1).
+#[must_use]
+pub fn generate(config: &TraceConfig, seed: u64) -> Vec<TimedEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_id: u64 = 0;
+    let mut live: Vec<u64> = Vec::new();
+    let mut events = Vec::with_capacity(config.events);
+    for i in 0..config.events {
+        let tick = i as u64 + 1;
+        if let Some(every) = config.onboard_every {
+            if config.onboard_nodes > 0 && tick.is_multiple_of(every) {
+                events.push(TimedEvent::new(
+                    tick,
+                    FleetEvent::Onboard { nodes: config.onboard_nodes },
+                ));
+                continue;
+            }
+        }
+        let churn =
+            if live.is_empty() { 0 } else { config.departure_weight + config.load_shift_weight };
+        let total = (config.arrival_weight + churn).max(1);
+        let roll = rng.gen_range(0..total);
+        let event = if roll < config.arrival_weight || live.is_empty() {
+            let spec = arrival_spec(&mut rng);
+            live.push(next_id);
+            next_id += 1;
+            FleetEvent::Arrival { spec }
+        } else if roll < config.arrival_weight + config.departure_weight {
+            let k = rng.gen_range(0..live.len());
+            FleetEvent::Departure { job: live.swap_remove(k) }
+        } else {
+            let k = rng.gen_range(0..live.len());
+            let load = f64::from(rng.gen_range(1..=7)) * 0.1;
+            FleetEvent::LoadShift { job: live[k], load: LoadSchedule::Constant(load) }
+        };
+        events.push(TimedEvent::new(tick, event));
+    }
+    events
+}
+
+/// The same arrival mix the cluster experiment streams: two LC jobs per
+/// BG job, LC loads 10–60%.
+fn arrival_spec(rng: &mut StdRng) -> JobSpec {
+    if rng.gen_range(0..3) == 2 {
+        JobSpec::background(WorkloadId::BACKGROUND[rng.gen_range(0..6)])
+    } else {
+        let w = WorkloadId::LATENCY_CRITICAL[rng.gen_range(0..5)];
+        JobSpec::latency_critical(w, f64::from(rng.gen_range(1..=6)) * 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let config = TraceConfig { events: 40, ..TraceConfig::default() };
+        assert_eq!(generate(&config, 7), generate(&config, 7));
+        assert_ne!(generate(&config, 7), generate(&config, 8), "seed matters");
+    }
+
+    #[test]
+    fn departures_and_shifts_target_prior_arrivals() {
+        let config = TraceConfig {
+            events: 200,
+            arrival_weight: 2,
+            departure_weight: 3,
+            load_shift_weight: 3,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&config, 42);
+        let mut arrived: u64 = 0;
+        let mut churn = 0;
+        for te in &trace {
+            match &te.event {
+                FleetEvent::Arrival { .. } => arrived += 1,
+                FleetEvent::Departure { job } | FleetEvent::LoadShift { job, .. } => {
+                    assert!(*job < arrived, "event targets a job that has not arrived yet");
+                    churn += 1;
+                }
+                FleetEvent::Onboard { .. } => {}
+            }
+        }
+        assert!(churn > 0, "weighted trace must contain churn");
+    }
+
+    #[test]
+    fn onboard_events_fire_on_schedule() {
+        let config = TraceConfig {
+            events: 20,
+            onboard_every: Some(10),
+            onboard_nodes: 4,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&config, 1);
+        let onboards: Vec<u64> = trace
+            .iter()
+            .filter(|te| matches!(te.event, FleetEvent::Onboard { .. }))
+            .map(|te| te.at)
+            .collect();
+        assert_eq!(onboards, vec![10, 20]);
+    }
+}

@@ -24,10 +24,12 @@
 
 pub mod codec;
 pub mod log;
+pub mod shard;
 pub mod signature;
 pub mod store;
 
 pub use codec::DecodeError;
+pub use shard::{ShardPolicy, ShardedStore, StoreHandle};
 pub use signature::{JobSignature, MixKey, MixSignature};
 pub use store::{ObservationStore, SharedStore, StorePolicy, StoreStats, WarmEntry, WarmStart};
 

@@ -186,15 +186,23 @@ impl LogFile {
 
     /// Atomically replaces the log contents with `payloads` (compaction).
     ///
-    /// Writes a fresh header + frames to `path.tmp`, then renames over
+    /// Writes a fresh header + frames to `<path>.tmp`, then renames over
     /// `path`, so a crash leaves either the old or the new log — never a
     /// mix.
+    ///
+    /// The `.tmp` suffix is appended to the full file name (not swapped in
+    /// for the extension): sharded stores name their logs `obs.log.shardN`
+    /// and must not share one temp file across shards.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] on filesystem failures.
     pub fn rewrite(path: &Path, payloads: &[Vec<u8>]) -> StoreResult<Self> {
-        let tmp = path.with_extension("tmp");
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
         {
             let mut out = File::create(&tmp).map_err(|e| io_err("create tmp", &e))?;
             let mut bytes = Vec::new();

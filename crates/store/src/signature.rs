@@ -78,6 +78,30 @@ impl MixSignature {
         self.jobs.iter().map(|j| j.load_pct).collect()
     }
 
+    /// Stable 64-bit hash of the mix key (FNV-1a over a fixed byte
+    /// encoding), used to route signatures to store shards. Excludes load
+    /// — all load points of one mix land on the same shard, so nearby-load
+    /// reuse never crosses shard boundaries and results are invariant to
+    /// the shard count. Content-derived only: no `Hash`-impl or pointer
+    /// input, so the value is stable across runs and processes.
+    #[must_use]
+    pub fn shard_hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(4 * NUM_RESOURCES + 16 * self.jobs.len());
+        for units in self.catalog {
+            bytes.extend_from_slice(&units.to_le_bytes());
+        }
+        for job in &self.jobs {
+            bytes.extend_from_slice(job.workload.name().as_bytes());
+            bytes.push(0); // terminator so names cannot run together
+            bytes.push(match job.class {
+                JobClass::LatencyCritical => 0,
+                JobClass::Background => 1,
+            });
+            bytes.extend_from_slice(&job.qos_decius.to_le_bytes());
+        }
+        crate::log::fnv1a64(&bytes)
+    }
+
     /// Worst-case per-job load gap to `other`, as a fraction in `[0, 1]`
     /// (L∞ over the load vectors). `f64::INFINITY` if the mixes differ.
     #[must_use]

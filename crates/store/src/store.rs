@@ -64,6 +64,13 @@ pub struct StoreStats {
     /// Append attempts that failed at the I/O layer (cluster best-effort
     /// appends count here instead of failing the search).
     pub append_errors: u64,
+    /// Lock acquisitions that found the store busy and had to wait
+    /// (bumped by the sharded front-end; always 0 for a store accessed
+    /// through one exclusive lock). Contention-tuning signal only: never
+    /// part of any determinism contract.
+    pub lock_waits: u64,
+    /// Log compactions completed (manual or background).
+    pub compactions: u64,
 }
 
 /// One stored sample offered to a warm start.
@@ -113,6 +120,13 @@ pub struct ObservationStore {
     policy: StorePolicy,
     stats: StoreStats,
     next_seq: u64,
+    /// Frames currently in the durable log (retained + evicted garbage);
+    /// 0 for in-memory stores. Compaction resets this to the retained
+    /// count.
+    log_records: u64,
+    /// Records currently retained in the index (incremental mirror of
+    /// [`ObservationStore::record_count`]).
+    retained_records: u64,
 }
 
 /// A store shared across controllers and cluster nodes.
@@ -163,6 +177,8 @@ impl ObservationStore {
             policy,
             stats: StoreStats::default(),
             next_seq: 0,
+            log_records: 0,
+            retained_records: 0,
         };
         store.load_recovery(&recovery);
         let damaged = store.stats.dropped_bytes > 0
@@ -194,6 +210,8 @@ impl ObservationStore {
             policy,
             stats: StoreStats::default(),
             next_seq: 0,
+            log_records: 0,
+            retained_records: 0,
         }
     }
 
@@ -210,9 +228,11 @@ impl ObservationStore {
             // written by a newer codec) is skipped, not fatal.
             if let Ok(record) = decode_record(payload) {
                 self.stats.recovered_records += 1;
+                self.log_records += 1;
                 self.index_record(record);
             } else {
                 self.stats.undecodable_records += 1;
+                self.log_records += 1;
             }
         }
     }
@@ -239,6 +259,26 @@ impl ObservationStore {
     #[must_use]
     pub fn record_count(&self) -> usize {
         self.index.values().flat_map(HashMap::values).map(Vec::len).sum()
+    }
+
+    /// Frames currently in the durable log, including evicted garbage not
+    /// yet compacted away. Always 0 for in-memory stores.
+    #[must_use]
+    pub fn log_records(&self) -> u64 {
+        self.log_records
+    }
+
+    /// Fraction of the durable log occupied by garbage — frames whose
+    /// records have since been evicted from the index (or never decoded).
+    /// The sharded front-end triggers background compaction when this
+    /// crosses its threshold. 0.0 for in-memory or empty logs.
+    #[must_use]
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.log_records == 0 {
+            return 0.0;
+        }
+        let retained = self.retained_records.min(self.log_records);
+        1.0 - retained as f64 / self.log_records as f64
     }
 
     /// Appends one sample, updating the log and the index.
@@ -282,6 +322,7 @@ impl ObservationStore {
                 self.stats.append_errors += 1;
                 return Err(e);
             }
+            self.log_records += 1;
         }
         self.stats.appends += 1;
         self.index_record(record);
@@ -301,7 +342,20 @@ impl ObservationStore {
         self.next_seq += 1;
         let bucket = self.index.entry(key).or_default().entry(loads).or_default();
         bucket.push(Retained { seq, record });
-        self.stats.evictions += evict(bucket, self.policy.entries_per_mix) as u64;
+        let evicted = evict(bucket, self.policy.entries_per_mix) as u64;
+        self.stats.evictions += evicted;
+        self.retained_records += 1;
+        self.retained_records -= evicted;
+    }
+
+    /// Read-only warm-start lookup: identical results to
+    /// [`ObservationStore::warm_start`] but without touching the hit/miss
+    /// counters, so it needs only `&self`. This is the sharded store's
+    /// read fast path — many concurrent lookups can run under one shared
+    /// (read) lock while the counters live outside as atomics.
+    #[must_use]
+    pub fn peek(&self, signature: &MixSignature) -> Option<WarmStart> {
+        self.lookup(signature)
     }
 
     /// Looks up warm-start samples for `signature`.
@@ -389,6 +443,8 @@ impl ObservationStore {
         retained.sort_by_key(|r| r.seq);
         let payloads: Vec<Vec<u8>> = retained.iter().map(|r| encode_record(&r.record)).collect();
         self.log = Some(LogFile::rewrite(&path, &payloads)?);
+        self.log_records = payloads.len() as u64;
+        self.stats.compactions += 1;
         Ok(())
     }
 }

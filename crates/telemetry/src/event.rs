@@ -184,6 +184,30 @@ pub enum Event {
         /// skipped.
         undecodable: usize,
     },
+    /// The fleet service received a job arrival from the trace.
+    JobArrived {
+        /// Cluster-assigned job id.
+        job: u64,
+        /// Workload name of the arriving job.
+        workload: String,
+    },
+    /// The fleet service processed a job departure.
+    JobDeparted {
+        /// Cluster-assigned job id.
+        job: u64,
+    },
+    /// A committed job's offered load changed and its node re-partitioned.
+    LoadShift {
+        /// Cluster-assigned job id.
+        job: u64,
+        /// New load as a whole percentage of max QPS.
+        load_pct: u32,
+    },
+    /// The fleet service brought a new node into service.
+    NodeOnboarded {
+        /// Node index in the cluster.
+        node: usize,
+    },
 }
 
 impl Event {
@@ -211,6 +235,10 @@ impl Event {
             Event::FallbackEngaged { .. } => "fallback_engaged",
             Event::NodeEvicted { .. } => "node_evicted",
             Event::StoreRecovered { .. } => "store_recovered",
+            Event::JobArrived { .. } => "job_arrived",
+            Event::JobDeparted { .. } => "job_departed",
+            Event::LoadShift { .. } => "load_shift",
+            Event::NodeOnboarded { .. } => "node_onboarded",
         }
     }
 }
@@ -247,6 +275,10 @@ mod tests {
             Event::FallbackEngaged { sample: 9, qos_feasible: true, enforced: true },
             Event::NodeEvicted { node: 2, jobs: 3 },
             Event::StoreRecovered { records: 17, dropped_bytes: 42, undecodable: 1 },
+            Event::JobArrived { job: 11, workload: "xapian".to_owned() },
+            Event::JobDeparted { job: 11 },
+            Event::LoadShift { job: 11, load_pct: 45 },
+            Event::NodeOnboarded { node: 9 },
         ];
         for event in events {
             let line = serde_json::to_string(&event).unwrap();

@@ -122,6 +122,19 @@ pub fn apply_event(metrics: &MetricsRegistry, event: &Event) {
             metrics.set_gauge("clite_store_dropped_bytes", &[], *dropped_bytes as f64);
             metrics.set_gauge("clite_store_undecodable_records", &[], *undecodable as f64);
         }
+        Event::JobArrived { .. } => {
+            metrics.inc_counter("clite_fleet_arrivals_total", &[], 1);
+        }
+        Event::JobDeparted { .. } => {
+            metrics.inc_counter("clite_fleet_departures_total", &[], 1);
+        }
+        Event::LoadShift { load_pct, .. } => {
+            metrics.inc_counter("clite_fleet_load_shifts_total", &[], 1);
+            metrics.observe("clite_fleet_shifted_load_pct", &[], f64::from(*load_pct));
+        }
+        Event::NodeOnboarded { .. } => {
+            metrics.inc_counter("clite_fleet_nodes_onboarded_total", &[], 1);
+        }
     }
 }
 
