@@ -23,7 +23,7 @@ step "cargo doc --no-deps (warnings denied, own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clite-sim -p clite-gp -p clite-bo -p clite -p clite-telemetry \
     -p clite-store -p clite-policies -p clite-cluster -p clite-bench \
-    -p clite-faults -p clite-load -p clite-repro
+    -p clite-faults -p clite-load -p clite-par -p clite-repro
 
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo build --release"
@@ -40,9 +40,8 @@ if [[ "${1:-}" != "quick" ]]; then
     # The workspace run above already covers these in debug; re-run the
     # serial == threaded / incremental == scratch equivalences under
     # release optimizations, where thread interleavings and float codegen
-    # differ most.
-    step "cargo test -p clite-cluster --test threaded --release -q"
-    cargo test -p clite-cluster --test threaded --release -q
+    # differ most. (Cluster admission byte-identity runs in the
+    # CLITE_PAR_THREADS loop below, at both pool sizes.)
 
     # Fleet loop byte-identity (serial == threaded, single-lock == any
     # shard count, incremental == scratch stats) at 256 nodes with
@@ -53,8 +52,23 @@ if [[ "${1:-}" != "quick" ]]; then
     step "cargo test -p clite-gp --test incremental --release -q"
     cargo test -p clite-gp --test incremental --release -q
 
-    step "cargo test -p clite-bo --test parallel_determinism --release -q"
-    cargo test -p clite-bo --test parallel_determinism --release -q
+    # Shared-pool byte-identity at two pool sizes: the determinism suites
+    # must produce bit-identical suggestions whether the global pool has
+    # one executor (everything inline) or four (work actually handed to
+    # pool workers). Slot counts inside the suites cover 1/2/4/8, so the
+    # pool-size x slot-count cross product spans under- and over-committed
+    # pools under release codegen.
+    for pool_size in 1 4; do
+        step "byte-identity suite (CLITE_PAR_THREADS=$pool_size, release)"
+        CLITE_PAR_THREADS=$pool_size \
+            cargo test -p clite-par --release -q
+        CLITE_PAR_THREADS=$pool_size \
+            cargo test -p clite-bo --test parallel_determinism --release -q
+        CLITE_PAR_THREADS=$pool_size \
+            cargo test -p clite-gp --release -q hyper::tests::threaded_scan
+        CLITE_PAR_THREADS=$pool_size \
+            cargo test -p clite-cluster --test threaded --release -q
+    done
 
     # The observation store's crash-safety (truncated/bit-flipped tail
     # recovery) must hold under release codegen too.
@@ -128,6 +142,16 @@ if [[ "${1:-}" != "quick" ]]; then
     step "fleet experiment (results/BENCH_pr7.json)"
     ./target/release/experiments fleet --quick --seed 42 > "$store_tmp/fleet_exp.txt"
     grep -q "benchmark artifact written" "$store_tmp/fleet_exp.txt"
+
+    # Parallel-substrate scaling: regenerate the committed speedup-curve
+    # artifact. The experiment asserts byte-identical suggestions at every
+    # slot count and fails (pass=false) if the modeled 4-worker speedup
+    # drops below 2x or the pooled 1-worker scan loses to the pre-PR
+    # scoped-spawn baseline.
+    step "par experiment (results/BENCH_pr8.json)"
+    ./target/release/experiments par --full --seed 42 > "$store_tmp/par_exp.txt"
+    grep -q "benchmark artifact written" "$store_tmp/par_exp.txt"
+    grep -q "PASS" "$store_tmp/par_exp.txt"
 
     # Benches must at least keep compiling (they are the perf record).
     step "cargo bench --no-run"

@@ -132,6 +132,6 @@ fn print_usage() {
          [--telemetry-out PATH] [--store PATH] [--list]\n\
          ids: table1 table2 table3 fig1 fig2 fig6 fig7 fig8 fig9a fig9b fig10\n\
          \x20     fig11 fig12 fig13 fig14 fig15a fig15b fig16 summary ablations\n\
-         \x20     frontier cluster chaos loadtest"
+         \x20     frontier cluster chaos loadtest fleet par"
     );
 }

@@ -19,6 +19,7 @@ pub mod fig16;
 pub mod fleet;
 pub mod frontier;
 pub mod loadtest;
+pub mod par;
 pub mod summary;
 pub mod tables;
 
@@ -56,6 +57,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("chaos", chaos::run),
         ("loadtest", loadtest::run),
         ("fleet", fleet::run),
+        ("par", par::run),
     ]
 }
 

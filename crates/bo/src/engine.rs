@@ -115,9 +115,11 @@ pub struct Suggestion {
 /// * **Batched variance solves** — steepest ascent needs every surviving
 ///   neighbour's exact variance anyway, so the step resolves them all in
 ///   one blocked multi-RHS forward substitution
-///   ([`GaussianProcess::batch_stds`]). A single candidate's solve is
-///   latency-bound on its own dependency chain; blocking four independent
-///   chains per pass is what breaks that bound.
+///   ([`GaussianProcess::batch_stds_pooled`]). A single candidate's solve
+///   is latency-bound on its own dependency chain; blocking four
+///   independent chains per pass is what breaks that bound, and batches
+///   large enough to amortize a dispatch chunk across the shared worker
+///   pool in 4-RHS-aligned slabs.
 ///
 /// All three leave climb trajectories — and therefore suggestions —
 /// unchanged: gated-out candidates provably could not have won, and the
@@ -128,6 +130,14 @@ struct SurrogateAcq<'a> {
     space: SearchSpace,
     acquisition: Acquisition,
     best_score: f64,
+    /// Pool slots for the blocked multi-RHS variance solve
+    /// ([`GaussianProcess::batch_stds_pooled`]): surviving-neighbour
+    /// batches below [`Cholesky::POOLED_MIN_RHS`] per slot fall back to
+    /// the serial solver, so small steps pay nothing and large batches
+    /// chunk across the shared pool bit-identically.
+    ///
+    /// [`Cholesky::POOLED_MIN_RHS`]: clite_gp::Cholesky::POOLED_MIN_RHS
+    batch_slots: usize,
 }
 
 impl AcquisitionEval for SurrogateAcq<'_> {
@@ -195,7 +205,12 @@ impl AcquisitionEval for SurrogateAcq<'_> {
         }
 
         // Pass 2 — all survivors' exact variances in one blocked solve.
-        self.gp.batch_stds(&scratch.kstar_flat, &mut scratch.v_flat, &mut scratch.cand_stds);
+        self.gp.batch_stds_pooled(
+            &scratch.kstar_flat,
+            &mut scratch.v_flat,
+            &mut scratch.cand_stds,
+            self.batch_slots,
+        );
 
         // Argmax with the serial visitor's semantics: first strictly-better
         // candidate in enumeration order wins, seeded at `floor`.
@@ -397,6 +412,7 @@ impl BoEngine {
             space: self.space,
             acquisition: self.config.acquisition,
             best_score,
+            batch_slots: self.config.optimizer.threads,
         };
 
         // Warm starts: the incumbent best and the most recent sample.

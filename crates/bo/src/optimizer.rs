@@ -26,8 +26,9 @@ pub struct OptimizerConfig {
     pub random_restarts: usize,
     /// Maximum steepest-ascent steps per start point.
     pub max_steps: usize,
-    /// Worker threads for the independent hill-climb starts (1 = in-line
-    /// serial; results are byte-identical either way).
+    /// Pool slots for the independent hill-climb starts (1 = in-line
+    /// serial, never touching the shared pool; results are byte-identical
+    /// at any slot count).
     pub threads: usize,
 }
 
@@ -159,11 +160,11 @@ where
 ///
 /// The randomness (restart points, seed jitter) is consumed from `rng`
 /// serially up front; the climbs themselves are deterministic, so with
-/// `config.threads > 1` the independent starts run on `std::thread::scope`
-/// workers and an index-ordered reduction keeps the result **byte-identical
-/// to the serial path** (each start's outcome is a pure function of its
-/// start point, and the reduction replays the serial loop's first-strictly-
-/// better tie-breaking).
+/// `config.threads > 1` the independent starts run as slots of the shared
+/// [`clite_par`] worker pool and an index-ordered reduction keeps the
+/// result **byte-identical to the serial path** (each start's outcome is a
+/// pure function of its start point, and the reduction replays the serial
+/// loop's first-strictly-better tie-breaking).
 ///
 /// # Errors
 ///
@@ -257,36 +258,17 @@ pub fn maximize_acquisition(
         alt
     };
 
-    let threads = config.threads.max(1).min(starts.len().max(1));
-    let candidates: Vec<Option<(Partition, f64)>> = if threads == 1 {
-        let mut scratch = EvalScratch::default();
-        starts.iter().map(|s| per_start(s, &mut scratch)).collect()
-    } else {
-        let mut indexed: Vec<(usize, Option<(Partition, f64)>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    let per_start = &per_start;
-                    let starts = &starts;
-                    scope.spawn(move || {
-                        let mut scratch = EvalScratch::default();
-                        starts
-                            .iter()
-                            .enumerate()
-                            .skip(worker)
-                            .step_by(threads)
-                            .map(|(idx, s)| (idx, per_start(s, &mut scratch)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("climb worker must not panic"))
-                .collect()
-        });
-        indexed.sort_by_key(|(idx, _)| *idx);
-        indexed.into_iter().map(|(_, c)| c).collect()
-    };
+    // Slot-striped over the shared pool: each slot reuses one `EvalScratch`
+    // (and its step cache) across its stripe of starts, exactly like the
+    // serial loop reuses one scratch across all of them. Cache hits replay
+    // stored outcomes, so sharing never changes a climb's result.
+    let candidates: Vec<Option<(Partition, f64)>> = clite_par::map_indexed(
+        clite_par::WorkerPool::global(),
+        config.threads,
+        &starts,
+        EvalScratch::default,
+        |scratch, _, start| per_start(start, scratch),
+    );
 
     let mut best: Option<(Partition, f64)> = None;
     for (partition, value) in candidates.into_iter().flatten() {
@@ -447,7 +429,7 @@ mod tests {
             .unwrap()
         };
         let (serial_p, serial_v) = run(1);
-        for threads in [2, 4, 16] {
+        for threads in [2, 4, 8, 16] {
             let (p, v) = run(threads);
             assert_eq!(serial_p, p, "threads={threads}");
             assert_eq!(serial_v.to_bits(), v.to_bits(), "threads={threads}");

@@ -77,11 +77,16 @@ fn assert_traces_identical(serial: &[Suggestion], parallel: &[Suggestion], label
 /// cross two hyper refreshes, so the trace exercises all three surrogate
 /// paths (cached rank-1-extended, cached-kernel refit, threaded grid
 /// refresh) plus the threaded acquisition climbs.
+///
+/// Slot counts 1/2/4/8 are the worker counts the CI byte-identity gate
+/// pins (it re-runs this suite under `CLITE_PAR_THREADS=1` and `=4`, so
+/// the slots × pool-size cross product covers under- and over-committed
+/// pools); 16 over-commits any grid/start set.
 #[test]
 fn threaded_run_is_byte_identical_to_serial() {
     for &jobs in &[2usize, 3] {
         let serial = run(jobs, 17, BoConfig::default(), 13);
-        for &threads in &[2usize, 4, 16] {
+        for &threads in &[1usize, 2, 4, 8, 16] {
             let par = run(jobs, 17, BoConfig::default().with_threads(threads), 13);
             assert_traces_identical(&serial, &par, &format!("jobs={jobs} threads={threads}"));
         }

@@ -358,6 +358,18 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         if let Some(target) = self.target_pct {
             registry.set_gauge("clite_fleet_target_load_pct", &[], f64::from(target));
         }
+
+        // Shared worker-pool utilization (`clite_par_*`): cumulative
+        // dispatch counters plus the high-water busy-worker mark, whose
+        // invariant `max_busy_workers <= pool_workers` is the
+        // no-oversubscription guarantee for nested search fan-outs.
+        let pool = clite_par::WorkerPool::global();
+        let par = pool.stats();
+        registry.set_gauge("clite_par_pool_workers", &[], pool.workers() as f64);
+        registry.set_gauge("clite_par_jobs", &[], par.jobs as f64);
+        registry.set_gauge("clite_par_worker_tasks", &[], par.worker_tasks as f64);
+        registry.set_gauge("clite_par_caller_tasks", &[], par.caller_tasks as f64);
+        registry.set_gauge("clite_par_max_busy_workers", &[], par.max_busy_workers as f64);
     }
 }
 

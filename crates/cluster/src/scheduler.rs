@@ -7,7 +7,7 @@ use clite_bo::termination::Termination;
 use clite_sim::prelude::*;
 use clite_sim::testbed::{ServerFactory, TestbedFactory};
 use clite_store::StoreHandle;
-use clite_telemetry::{Event, Telemetry};
+use clite_telemetry::{Event, Phase, Telemetry};
 
 use crate::node::{AdmissionPlan, Node, PlacedJob};
 use crate::placement::PlacementPolicy;
@@ -20,8 +20,11 @@ use crate::ClusterError;
 /// are a pure function of each node's committed state, candidates are
 /// resolved in placement order, and only the probes a serial scan would
 /// have paid for are charged to node statistics. Threaded mode merely
-/// overlaps the (independent, speculative) per-node searches on
-/// `std::thread::scope` workers.
+/// overlaps the (independent, speculative) per-node searches on the
+/// shared [`clite_par`] worker pool — one slot per candidate, executed by
+/// however many pool threads are free, so concurrent admissions (and the
+/// nested per-node search parallelism inside each probe) can never spawn
+/// more OS threads than the pool owns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionMode {
     /// Probe candidate nodes one at a time, stopping at the first
@@ -365,25 +368,24 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         let recorder = telemetry.recorder();
         let config = &self.config.clite;
         let nodes = &self.nodes;
+        // One pool slot per candidate: probes are independent and pure
+        // given each node's committed state, so results depend only on
+        // the candidate order, never on which pool thread ran a probe.
         let results: Vec<Result<Option<AdmissionPlan>, ClusterError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = order
-                    .iter()
-                    .map(|&node_id| {
-                        let job = job.clone();
-                        scope.spawn(move || {
-                            // Telemetry contexts are single-threaded (interior
-                            // phase-timer state), so each worker wraps the
-                            // shared thread-safe recorder in its own.
-                            let local = Telemetry::new(recorder);
-                            nodes[node_id].plan_admission(job, config, &local)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
-                    .collect()
+            telemetry.time(Phase::ParDispatch, || {
+                clite_par::map_indexed(
+                    clite_par::WorkerPool::global(),
+                    order.len(),
+                    order,
+                    || (),
+                    |(), _, &node_id| {
+                        // Telemetry contexts are single-threaded (interior
+                        // phase-timer state), so each slot wraps the shared
+                        // thread-safe recorder in its own.
+                        let local = Telemetry::new(recorder);
+                        nodes[node_id].plan_admission(job.clone(), config, &local)
+                    },
+                )
             });
         let mut orphans = Vec::new();
         for (result, &node_id) in results.into_iter().zip(order) {

@@ -167,6 +167,45 @@ fn node_crashes_keep_serial_threaded_equivalence() {
 }
 
 #[test]
+fn nested_fanout_never_oversubscribes_the_pool() {
+    // Threaded admission fans out one slot per candidate node, and each
+    // node's search fans out again (hyper-grid fits, acquisition starts)
+    // with more requested slots than the pool owns. Before the shared
+    // pool, every layer spawned its own OS threads, multiplying live
+    // workers; now every layer draws from the same fixed pool and callers
+    // self-execute unclaimed slots, so the number of concurrently busy
+    // pool workers can never exceed the pool size.
+    use clite_par::WorkerPool;
+
+    let pool = WorkerPool::global();
+    let before = pool.stats();
+
+    let mut config = SchedulerConfig {
+        placement: PlacementPolicy::LeastLoaded,
+        admission: AdmissionMode::Threaded,
+        ..SchedulerConfig::default()
+    };
+    // Request far more search parallelism than any pool owns.
+    config.clite.bo = config.clite.bo.with_threads(pool.size() * 4);
+    let mut cluster = ClusterScheduler::new(3, config, 42).expect("3-node cluster");
+    for spec in job_stream() {
+        cluster.submit(spec).expect("submit");
+    }
+
+    let after = pool.stats();
+    assert!(
+        after.jobs > before.jobs,
+        "the nested fan-out must actually dispatch through the shared pool"
+    );
+    assert!(
+        after.max_busy_workers <= pool.workers(),
+        "pool oversubscribed: {} workers busy at once but only {} exist",
+        after.max_busy_workers,
+        pool.workers()
+    );
+}
+
+#[test]
 fn heavy_stream_exercises_rejections_and_multi_node_probes() {
     // Sanity check on the fixture itself: if everything were trivially
     // placeable on the first candidate, the equality tests above would

@@ -62,6 +62,80 @@ pub struct PredictScratch {
     k_star: Vec<f64>,
     v: Vec<f64>,
     scaled: Vec<f64>,
+    r2: Vec<f64>,
+}
+
+/// Column-major (structure-of-arrays) storage of the lengthscale-scaled
+/// training inputs: dimension `d` occupies the contiguous slice
+/// `data[d·n .. (d+1)·n]`.
+///
+/// ```text
+///            point:   0     1     2   …   n-1
+/// data:  [ x₀/ℓ₀  x₁/ℓ₀  x₂/ℓ₀  …            ]  column 0 (dim 0)
+///        [ x₀/ℓ₁  x₁/ℓ₁  x₂/ℓ₁  …            ]  column 1 (dim 1)
+///        [   ⋮                                ]      ⋮
+/// ```
+///
+/// The prediction hot paths accumulate squared distances dimension-by-
+/// dimension over these flat columns, so every inner loop streams one
+/// contiguous slice (auto-vectorizing) instead of chasing `n` separate
+/// per-point `Vec`s. Per element, the accumulation order (dimensions
+/// ascending) is exactly the old point-major loop's, so results are
+/// bit-identical to the array-of-structs layout this replaced.
+#[derive(Debug, Clone)]
+struct ScaledColumns {
+    n: usize,
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl ScaledColumns {
+    /// Scales every training point through the kernel and scatters the
+    /// results into column-major storage.
+    fn build(kernel: &Kernel, xs: &[Vec<f64>]) -> Self {
+        let n = xs.len();
+        let dim = xs.first().map_or(0, Vec::len);
+        let mut data = vec![0.0; n * dim];
+        let mut scaled = Vec::new();
+        for (i, x) in xs.iter().enumerate() {
+            kernel.scale_into(x, &mut scaled);
+            for (d, &v) in scaled.iter().enumerate() {
+                data[d * n + i] = v;
+            }
+        }
+        Self { n, dim, data }
+    }
+
+    /// The contiguous column for dimension `d`.
+    fn column(&self, d: usize) -> &[f64] {
+        &self.data[d * self.n..(d + 1) * self.n]
+    }
+
+    /// A copy extended by one already-scaled point.
+    fn extended(&self, scaled: &[f64]) -> Self {
+        debug_assert_eq!(scaled.len(), self.dim);
+        let n = self.n + 1;
+        let mut data = Vec::with_capacity(n * self.dim);
+        for (d, &v) in scaled.iter().enumerate() {
+            data.extend_from_slice(self.column(d));
+            data.push(v);
+        }
+        Self { n, dim: self.dim, data }
+    }
+
+    /// Writes the squared distance from the scaled query `q` to every
+    /// training point into `r2`, one streaming pass per dimension.
+    fn sq_dists_into(&self, q: &[f64], r2: &mut Vec<f64>) {
+        debug_assert_eq!(q.len(), self.dim);
+        r2.clear();
+        r2.resize(self.n, 0.0);
+        for (d, &qd) in q.iter().enumerate() {
+            for (acc, &t) in r2.iter_mut().zip(self.column(d)) {
+                let diff = qd - t;
+                *acc += diff * diff;
+            }
+        }
+    }
 }
 
 /// Posterior mean plus a cheap *upper bound* on the posterior standard
@@ -84,10 +158,11 @@ pub struct GaussianProcess {
     config: GpConfig,
     xs: Arc<Vec<Vec<f64>>>,
     ys: Arc<Vec<f64>>,
-    /// Training inputs pre-divided by the kernel lengthscales, so each
-    /// prediction scales its query once and computes every cross-covariance
-    /// with multiply/adds only.
-    scaled_xs: Vec<Vec<f64>>,
+    /// Training inputs pre-divided by the kernel lengthscales, stored
+    /// column-major ([`ScaledColumns`]) so each prediction scales its query
+    /// once and streams every cross-covariance over flat per-dimension
+    /// slices with multiply/adds only.
+    scaled_xs: ScaledColumns,
     /// Row sums of `K + σₙ²I` (all entries of a stationary kernel matrix
     /// are positive, so these are also the absolute row sums). Their max
     /// bounds `λ_max`, which powers the variance bound in
@@ -194,7 +269,7 @@ impl GaussianProcess {
         let chol = Cholesky::decompose(&gram)?;
         let alpha = chol.solve(&centered)?;
         let log_marginal = log_marginal(&centered, &alpha, &chol);
-        let scaled_xs = scale_all(&kernel, &xs);
+        let scaled_xs = ScaledColumns::build(&kernel, &xs);
 
         Ok(Self {
             kernel,
@@ -259,10 +334,9 @@ impl GaussianProcess {
         let alpha = chol.solve(&centered)?;
         let log_marginal = log_marginal(&centered, &alpha, &chol);
 
-        let mut scaled_xs = self.scaled_xs.clone();
         let mut scaled = Vec::new();
         self.kernel.scale_into(xs.last().expect("just pushed"), &mut scaled);
-        scaled_xs.push(scaled);
+        let scaled_xs = self.scaled_xs.extended(&scaled);
 
         // Bordering `K + σₙ²I` with the cross-covariance row updates every
         // row sum by one entry and appends the new row's own sum.
@@ -359,15 +433,9 @@ impl GaussianProcess {
     pub fn predict_into(&self, x: &[f64], scratch: &mut PredictScratch) -> (f64, f64) {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
         self.kernel.scale_into(x, &mut scratch.scaled);
+        self.scaled_xs.sq_dists_into(&scratch.scaled, &mut scratch.r2);
         scratch.k_star.clear();
-        scratch.k_star.extend(self.scaled_xs.iter().map(|sx| {
-            let mut r2 = 0.0;
-            for (a, b) in scratch.scaled.iter().zip(sx) {
-                let d = a - b;
-                r2 += d * d;
-            }
-            self.kernel.eval_scaled_sq(r2)
-        }));
+        self.kernel.eval_scaled_sq_append(&scratch.r2, &mut scratch.k_star);
         let mean = self.mean_y + dot(&scratch.k_star, &self.alpha);
         // v = L⁻¹ k*; σ² = k(x,x) − vᵀv, and k(x,x) is exactly σ² for a
         // stationary kernel (corr(0) = 1).
@@ -418,15 +486,7 @@ impl GaussianProcess {
     ) {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
         self.kernel.scale_into(x, scaled_out);
-        r2_out.clear();
-        r2_out.extend(self.scaled_xs.iter().map(|sx| {
-            let mut r2 = 0.0;
-            for (a, b) in scaled_out.iter().zip(sx) {
-                let d = a - b;
-                r2 += d * d;
-            }
-            r2
-        }));
+        self.scaled_xs.sq_dists_into(scaled_out, r2_out);
     }
 
     /// Derives a neighbor's squared-distance vector from `base` when the
@@ -443,16 +503,21 @@ impl GaussianProcess {
         changes: [(usize, f64, f64); 2],
         out: &mut Vec<f64>,
     ) {
+        // Two streaming column passes; per element this applies the first
+        // change, then the second, then the clamp — the same operation
+        // order as the old per-point loop, so the bits match.
         out.clear();
-        out.extend(base.iter().zip(&self.scaled_xs).map(|(r2, sx)| {
-            let mut shifted = *r2;
-            for (dim, old, new) in changes {
-                let t = sx[dim];
-                let (d_old, d_new) = (old - t, new - t);
-                shifted += d_new * d_new - d_old * d_old;
-            }
-            shifted.max(0.0)
-        }));
+        out.extend_from_slice(base);
+        let [(dim0, old0, new0), (dim1, old1, new1)] = changes;
+        for (acc, &t) in out.iter_mut().zip(self.scaled_xs.column(dim0)) {
+            let (d_old, d_new) = (old0 - t, new0 - t);
+            *acc += d_new * d_new - d_old * d_old;
+        }
+        for (acc, &t) in out.iter_mut().zip(self.scaled_xs.column(dim1)) {
+            let (d_old, d_new) = (old1 - t, new1 - t);
+            *acc += d_new * d_new - d_old * d_old;
+            *acc = acc.max(0.0);
+        }
     }
 
     /// Exact posterior mean plus an upper bound on the posterior standard
@@ -513,6 +578,32 @@ impl GaussianProcess {
         self.chol
             .solve_lower_batch(k_star_all, v_all)
             .expect("cross-covariance batch length matches training size");
+        self.stds_from_solves(v_all, stds);
+    }
+
+    /// [`batch_stds`](GaussianProcess::batch_stds) with the forward
+    /// substitution chunked over up to `slots` partitions of the shared
+    /// worker pool ([`Cholesky::solve_lower_batch_pooled`]) — byte-identical
+    /// to the serial batch at any slot count, and falling back to it for
+    /// batches too small to amortize a dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`batch_stds`](GaussianProcess::batch_stds).
+    pub fn batch_stds_pooled(
+        &self,
+        k_star_all: &[f64],
+        v_all: &mut Vec<f64>,
+        stds: &mut Vec<f64>,
+        slots: usize,
+    ) {
+        self.chol
+            .solve_lower_batch_pooled(k_star_all, v_all, slots)
+            .expect("cross-covariance batch length matches training size");
+        self.stds_from_solves(v_all, stds);
+    }
+
+    fn stds_from_solves(&self, v_all: &[f64], stds: &mut Vec<f64>) {
         let variance = self.kernel.variance();
         stds.clear();
         stds.extend(v_all.chunks_exact(self.len()).map(|v| (variance - dot(v, v)).max(0.0).sqrt()));
@@ -524,16 +615,6 @@ fn log_marginal(centered: &[f64], alpha: &[f64], chol: &Cholesky) -> f64 {
     -0.5 * dot(centered, alpha)
         - 0.5 * chol.log_determinant()
         - 0.5 * centered.len() as f64 * (2.0 * std::f64::consts::PI).ln()
-}
-
-fn scale_all(kernel: &Kernel, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    xs.iter()
-        .map(|x| {
-            let mut s = Vec::new();
-            kernel.scale_into(x, &mut s);
-            s
-        })
-        .collect()
 }
 
 #[cfg(test)]

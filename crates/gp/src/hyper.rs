@@ -9,6 +9,8 @@
 
 use std::sync::Arc;
 
+use clite_par::{map_indexed, WorkerPool};
+
 use crate::gp::{GaussianProcess, GpConfig};
 use crate::kernel::{squared_distances, Kernel};
 use crate::GpError;
@@ -78,8 +80,8 @@ pub fn fit_best(
 }
 
 /// [`fit_best`] with the independent grid-point fits spread over up to
-/// `threads` scoped workers (`std::thread::scope` — the workspace is
-/// vendored std-only).
+/// `threads` slots of the shared [`clite_par`] worker pool (no per-call
+/// thread spawns).
 ///
 /// Every grid point reparameterizes one shared pairwise squared-distance
 /// matrix ([`squared_distances`] + [`Kernel::gram_from_distances`]): an
@@ -89,9 +91,9 @@ pub fn fit_best(
 ///
 /// The result is byte-identical to the serial scan for any `threads`:
 /// each grid point's fit is a pure function of `(kernel, distances, data)`,
-/// workers are striped by grid index, and the reduction scans results in
-/// grid order keeping the first strictly-better fit — exactly the serial
-/// loop's tie-breaking.
+/// slots are striped by grid index ([`map_indexed`] merges results back in
+/// grid order), and the reduction keeps the first strictly-better fit —
+/// exactly the serial loop's tie-breaking.
 ///
 /// # Errors
 ///
@@ -120,43 +122,20 @@ pub fn fit_best_threaded(
     let ys = Arc::new(ys.to_vec());
     let d2 = squared_distances(&xs);
 
+    // When the caller asks for more parallelism than there are grid points,
+    // spend the surplus inside each fit: nested dispatch tiles the Gram
+    // build across whatever pool workers the outer stripes leave idle.
+    let gram_slots = threads.max(1).div_ceil(points.len());
     let fit_point = |&(v, l): &(f64, f64)| -> Result<GaussianProcess, GpError> {
         // `reparameterized` always yields an isotropic kernel, which is
         // what `gram_from_distances` requires.
         let kernel = template.reparameterized(v, l);
-        let gram = kernel.gram_from_distances(&d2);
+        let gram = kernel.gram_from_distances_pooled(&d2, gram_slots);
         GaussianProcess::fit_with_gram(kernel, config, Arc::clone(&xs), Arc::clone(&ys), gram)
     };
 
-    let threads = threads.max(1).min(points.len());
-    let fits: Vec<Result<GaussianProcess, GpError>> = if threads == 1 {
-        points.iter().map(fit_point).collect()
-    } else {
-        let mut indexed: Vec<(usize, Result<GaussianProcess, GpError>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|worker| {
-                        let fit_point = &fit_point;
-                        let points = &points;
-                        scope.spawn(move || {
-                            points
-                                .iter()
-                                .enumerate()
-                                .skip(worker)
-                                .step_by(threads)
-                                .map(|(idx, p)| (idx, fit_point(p)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("grid worker must not panic"))
-                    .collect()
-            });
-        indexed.sort_by_key(|(idx, _)| *idx);
-        indexed.into_iter().map(|(_, fit)| fit).collect()
-    };
+    let fits: Vec<Result<GaussianProcess, GpError>> =
+        map_indexed(WorkerPool::global(), threads, &points, || (), |(), _, p| fit_point(p));
 
     let mut best: Option<GaussianProcess> = None;
     let mut last_err = GpError::EmptyTrainingSet;
@@ -214,7 +193,7 @@ mod tests {
         let grid = HyperGrid::default_unit();
         let template = Kernel::matern52(1.0, 1.0);
         let serial = fit_best(&template, GpConfig::default(), &grid, &xs, &ys).unwrap();
-        for threads in [2, 4, 16] {
+        for threads in [1, 2, 4, 8, 16] {
             let par = fit_best_threaded(&template, GpConfig::default(), &grid, &xs, &ys, threads)
                 .unwrap();
             assert_eq!(

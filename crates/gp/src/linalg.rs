@@ -98,6 +98,12 @@ impl Matrix {
         assert!(i < self.rows, "row index out of range");
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
+
+    /// The full row-major storage as one mutable slice, for the pool-tiled
+    /// builders that fill disjoint row ranges in place.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -234,10 +240,20 @@ impl Cholesky {
         if !rhs.len().is_multiple_of(n) {
             return Err(GpError::ShapeMismatch { op: "solve_lower_batch" });
         }
-        let m = rhs.len() / n;
         out.clear();
         out.resize(rhs.len(), 0.0);
         let inv_diag: Vec<f64> = (0..n).map(|i| 1.0 / self.l[(i, i)]).collect();
+        self.solve_lower_batch_core(&inv_diag, rhs, out);
+        Ok(())
+    }
+
+    /// The blocked forward-substitution kernel shared by the serial and
+    /// pooled batch solvers: full 4-wide blocks first, scalar tail after.
+    /// Operates on pre-shaped slices so pool slots can run it directly on
+    /// disjoint chunks of one output buffer.
+    fn solve_lower_batch_core(&self, inv_diag: &[f64], rhs: &[f64], out: &mut [f64]) {
+        let n = self.l.rows;
+        let m = rhs.len() / n;
         let mut blk = vec![0.0_f64; 4 * n];
 
         let mut c = 0;
@@ -280,8 +296,68 @@ impl Cholesky {
             }
             c += 1;
         }
+    }
+
+    /// [`solve_lower_batch`](Cholesky::solve_lower_batch) with the
+    /// right-hand sides chunked over up to `slots` partitions of the
+    /// shared worker pool, so one climb step's multi-RHS solve scales past
+    /// the four lanes a single 4-wide block pass uses.
+    ///
+    /// Byte-identical to the serial batch solve at any slot count: chunk
+    /// boundaries are multiples of four right-hand sides, so every chunk's
+    /// internal 4-wide blocks — and the final chunk's scalar tail — are
+    /// exactly the blocks the serial solver would form, and each solution
+    /// only ever reads its own lane. Batches too small to amortize a
+    /// dispatch (fewer than [`Cholesky::POOLED_MIN_RHS`] right-hand sides
+    /// per slot) fall back to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::ShapeMismatch`] if `rhs.len()` is not a multiple
+    /// of the matrix order.
+    pub fn solve_lower_batch_pooled(
+        &self,
+        rhs: &[f64],
+        out: &mut Vec<f64>,
+        slots: usize,
+    ) -> Result<(), GpError> {
+        let n = self.l.rows;
+        if !rhs.len().is_multiple_of(n) {
+            return Err(GpError::ShapeMismatch { op: "solve_lower_batch" });
+        }
+        let m = rhs.len() / n;
+        let width = slots.max(1).min(m / Self::POOLED_MIN_RHS);
+        if width <= 1 {
+            return self.solve_lower_batch(rhs, out);
+        }
+        out.clear();
+        out.resize(rhs.len(), 0.0);
+        let inv_diag: Vec<f64> = (0..n).map(|i| 1.0 / self.l[(i, i)]).collect();
+        // Per-chunk RHS count, rounded up to a multiple of 4 so chunk
+        // boundaries coincide with the serial solver's block boundaries.
+        let per_chunk = m.div_ceil(width).div_ceil(4) * 4;
+        clite_par::for_each_chunk_mut(
+            clite_par::WorkerPool::global(),
+            width,
+            out,
+            per_chunk * n,
+            |chunk_idx, out_chunk| {
+                let start = chunk_idx * per_chunk * n;
+                self.solve_lower_batch_core(
+                    &inv_diag,
+                    &rhs[start..start + out_chunk.len()],
+                    out_chunk,
+                );
+            },
+        );
         Ok(())
     }
+
+    /// Minimum right-hand sides per slot for
+    /// [`Cholesky::solve_lower_batch_pooled`] to fan out; below
+    /// `slots × POOLED_MIN_RHS` total, a dispatch costs more than the
+    /// lanes it adds.
+    pub const POOLED_MIN_RHS: usize = 16;
 
     /// Solves `Lᵀ·x = b` (backward substitution).
     ///
@@ -509,6 +585,48 @@ mod tests {
         c.solve_lower_into(&b, &mut buf).unwrap();
         assert_eq!(owned, buf);
         assert!(c.solve_lower_into(&[1.0], &mut buf).is_err());
+    }
+
+    #[test]
+    fn pooled_batch_solve_is_byte_identical_to_serial() {
+        // Large SPD matrix so several chunk widths actually engage the
+        // pooled path (m must exceed POOLED_MIN_RHS per slot).
+        let n = 12;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.07 + 0.3);
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[(i, k)] * b[(j, k)];
+                }
+                a[(i, j)] = s;
+            }
+        }
+        a.add_diagonal(1.0);
+        let c = Cholesky::decompose(&a).unwrap();
+
+        for m in [1usize, 3, 16, 33, 64, 130] {
+            let rhs: Vec<f64> =
+                (0..m * n).map(|i| ((i * 7919 % 1000) as f64).mul_add(1e-3, -0.5)).collect();
+            let mut serial = Vec::new();
+            c.solve_lower_batch(&rhs, &mut serial).unwrap();
+            for slots in [1usize, 2, 4, 8] {
+                let mut pooled = Vec::new();
+                c.solve_lower_batch_pooled(&rhs, &mut pooled, slots).unwrap();
+                assert_eq!(serial.len(), pooled.len());
+                for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "m={m} slots={slots} diverged at element {i}"
+                    );
+                }
+            }
+        }
+        // Shape errors propagate the same way as the serial solver's.
+        let mut out = Vec::new();
+        assert!(c.solve_lower_batch_pooled(&vec![0.0; n + 1], &mut out, 4).is_err());
     }
 
     #[test]

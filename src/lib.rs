@@ -5,6 +5,7 @@
 //! HPCA 2020) as a Rust workspace. This crate re-exports the workspace's
 //! member crates so examples and integration tests can use one import root:
 //!
+//! * [`par`] — the shared deterministic worker pool;
 //! * [`sim`] — the simulated co-location server substrate;
 //! * [`gp`] — Gaussian-process regression;
 //! * [`bo`] — the Bayesian-optimization engine;
@@ -21,5 +22,6 @@ pub use clite_bench as bench;
 pub use clite_bo as bo;
 pub use clite_cluster as cluster;
 pub use clite_gp as gp;
+pub use clite_par as par;
 pub use clite_policies as policies;
 pub use clite_sim as sim;
