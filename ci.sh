@@ -23,7 +23,7 @@ step "cargo doc --no-deps (warnings denied, own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clite-sim -p clite-gp -p clite-bo -p clite -p clite-telemetry \
     -p clite-store -p clite-policies -p clite-cluster -p clite-bench \
-    -p clite-faults -p clite-load -p clite-par -p clite-repro
+    -p clite-faults -p clite-load -p clite-par -p clite-learn -p clite-repro
 
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo build --release"
@@ -68,6 +68,10 @@ if [[ "${1:-}" != "quick" ]]; then
             cargo test -p clite-gp --release -q hyper::tests::threaded_scan
         CLITE_PAR_THREADS=$pool_size \
             cargo test -p clite-cluster --test threaded --release -q
+        # Training determinism: same seed => bit-identical weights at
+        # any pool size (the suite itself crosses slot counts 1/2/4/8).
+        CLITE_PAR_THREADS=$pool_size \
+            cargo test -p clite-learn --release -q
     done
 
     # The observation store's crash-safety (truncated/bit-flipped tail
@@ -152,6 +156,29 @@ if [[ "${1:-}" != "quick" ]]; then
     ./target/release/experiments par --full --seed 42 > "$store_tmp/par_exp.txt"
     grep -q "benchmark artifact written" "$store_tmp/par_exp.txt"
     grep -q "PASS" "$store_tmp/par_exp.txt"
+
+    # Placement-model training smoke test: fit a smoke-scale model,
+    # verify its checksummed round trip (colocate train does both), and
+    # serve it through the fleet CLI — the learned path must finish with
+    # the completion marker.
+    step "colocate train + learned fleet smoke test"
+    ./target/release/colocate train --out "$store_tmp/placement.model" \
+        --groups 10 --epochs 4 > "$store_tmp/train.txt"
+    grep -q "round trip verified" "$store_tmp/train.txt"
+    ./target/release/colocate fleet --nodes 64 \
+        --placement learned --model "$store_tmp/placement.model" \
+        --faults crash_prob=0.35,crash_max=20 > "$store_tmp/fleet_learned.txt"
+    grep -q "without panic" "$store_tmp/fleet_learned.txt"
+
+    # Placement A/B experiment: regenerate the committed benchmark
+    # artifact. The experiment asserts serial == threaded byte-identity
+    # in both arms and fails the gate unless the learned ordering
+    # matches or beats the heuristic QoS-safe fraction at every scale
+    # point with admission within 2 pp.
+    step "placement experiment (results/BENCH_pr9.json)"
+    ./target/release/experiments placement --quick --seed 42 > "$store_tmp/placement_exp.txt"
+    grep -q "benchmark artifact written" "$store_tmp/placement_exp.txt"
+    grep -q "placement: PASS" "$store_tmp/placement_exp.txt"
 
     # Benches must at least keep compiling (they are the perf record).
     step "cargo bench --no-run"

@@ -197,7 +197,22 @@ fn main() -> ExitCode {
             probe_limit,
             faults,
             store,
-        } => run_fleet(nodes, events, seed, shards, admission, epoch, probe_limit, faults, store),
+            placement,
+            model,
+        } => run_fleet(
+            nodes,
+            events,
+            seed,
+            shards,
+            admission,
+            epoch,
+            probe_limit,
+            faults,
+            store,
+            placement,
+            model,
+        ),
+        Command::Train { out, seed, epochs, groups } => run_train(&out, seed, epochs, groups),
         Command::Sweep { policy, seed, telemetry_out, store, swept, fixed } => {
             let recorder = match telemetry_out.as_deref().map(JsonlRecorder::create) {
                 None => None,
@@ -277,7 +292,10 @@ fn run_fleet(
     probe_limit: usize,
     faults: Option<clite_faults::FaultSpec>,
     store_path: Option<std::path::PathBuf>,
+    placement: clite_bench::cli::PlacementChoice,
+    model_path: Option<std::path::PathBuf>,
 ) -> ExitCode {
+    use clite_bench::cli::PlacementChoice;
     use clite_cluster::fleet::{FleetConfig, FleetService};
     use clite_cluster::trace::{generate, TraceConfig};
     use clite_faults::{FaultSpec, FaultyFactory};
@@ -303,7 +321,34 @@ fn run_fleet(
         }
         None => ShardedStore::in_memory(shard_policy),
     };
-    let mut config = FleetConfig::mean_field(epoch, probe_limit);
+    let mut config = match placement {
+        PlacementChoice::Heuristic => FleetConfig::mean_field(epoch, probe_limit),
+        PlacementChoice::Learned => {
+            let model = match &model_path {
+                Some(path) => {
+                    let (model, err) = clite_learn::load_or_zeroed(path);
+                    if let Some(e) = err {
+                        eprintln!(
+                            "warning: {e}: serving the zero model (heuristic-fallback order) \
+                             instead of {}",
+                            path.display()
+                        );
+                    } else {
+                        println!(
+                            "model: loaded {} (feature schema v{}, {} epochs, train loss {:.4})",
+                            path.display(),
+                            model.feature_version,
+                            model.epochs,
+                            model.train_loss
+                        );
+                    }
+                    model
+                }
+                None => clite_learn::RankingModel::zeroed(),
+            };
+            FleetConfig::mean_field_learned(epoch, probe_limit, std::sync::Arc::new(model))
+        }
+    };
     config.scheduler.admission = admission;
     config.epoch_ticks = epoch;
     let fault_spec = faults.unwrap_or_else(FaultSpec::none);
@@ -317,10 +362,14 @@ fn run_fleet(
     };
     let trace = generate(&TraceConfig { events, ..TraceConfig::default() }, seed);
     println!(
-        "fleet: {nodes} nodes, {events} events, seed {seed}, {shards} shards, {} admission, epoch {epoch}, probe limit {probe_limit}\n",
+        "fleet: {nodes} nodes, {events} events, seed {seed}, {shards} shards, {} admission, epoch {epoch}, probe limit {probe_limit}, {} placement\n",
         match admission {
             clite_cluster::scheduler::AdmissionMode::Serial => "serial",
             clite_cluster::scheduler::AdmissionMode::Threaded => "threaded",
+        },
+        match placement {
+            PlacementChoice::Heuristic => "heuristic",
+            PlacementChoice::Learned => "learned",
         }
     );
     let start = std::time::Instant::now();
@@ -390,6 +439,56 @@ fn run_fleet(
         stats.nodes.len(),
         wall.as_secs_f64() * 1e3,
         wall.as_secs_f64() * 1e6 / (c.arrivals.max(1)) as f64,
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `colocate train` entry point: fit the placement ranking model over
+/// deterministic simulator rollouts, save it at `out`, and verify the
+/// round trip. Ends in a `train: completed ...` marker line (the CI smoke
+/// test greps for it).
+fn run_train(out: &Path, seed: u64, epochs: u32, groups: usize) -> ExitCode {
+    use clite_learn::train::TrainConfig;
+
+    let config = TrainConfig { groups, epochs, seed, ..TrainConfig::smoke(seed) };
+    println!(
+        "train: {groups} rollout groups x {} candidates, {} label windows, {epochs} epochs, seed {seed}",
+        config.candidates, config.label_windows
+    );
+    let start = std::time::Instant::now();
+    let model = clite_learn::train::train(&config, &Telemetry::disabled());
+    let wall = start.elapsed();
+    println!(
+        "train: final pairwise loss {:.4} (untrained level {:.4}) in {:.1} ms",
+        model.train_loss,
+        std::f64::consts::LN_2,
+        wall.as_secs_f64() * 1e3
+    );
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create model directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = clite_learn::save(out, &model) {
+        eprintln!("error: cannot write model {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    match clite_learn::load(out) {
+        Ok(reloaded) if reloaded == model => {}
+        Ok(_) => {
+            eprintln!("error: model round trip drifted at {}", out.display());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: saved model does not load back: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "train: completed — model saved to {} (feature schema v{}, round trip verified)",
+        out.display(),
+        model.feature_version
     );
     ExitCode::SUCCESS
 }

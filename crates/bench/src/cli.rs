@@ -24,6 +24,34 @@ use clite_sim::prelude::*;
 
 use crate::runner::PolicyKind;
 
+/// Which candidate-ordering policy `colocate fleet` serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementChoice {
+    /// Least-loaded heuristic ordering (the default).
+    #[default]
+    Heuristic,
+    /// Trained pairwise ranking model ([`clite_learn`]); with no
+    /// `--model` the zero model reproduces the heuristic order.
+    Learned,
+}
+
+impl PlacementChoice {
+    /// Parses a `--placement` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] for anything but `heuristic` / `learned`.
+    pub fn parse(name: &str) -> Result<Self, ParseError> {
+        match name {
+            "heuristic" => Ok(Self::Heuristic),
+            "learned" => Ok(Self::Learned),
+            other => Err(ParseError(format!(
+                "unknown placement '{other}' (expected 'heuristic' or 'learned')"
+            ))),
+        }
+    }
+}
+
 /// A parsed `colocate` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -95,6 +123,23 @@ pub enum Command {
         /// Sharded observation-store path (`<path>.shard<i>` per shard);
         /// in-memory when absent.
         store: Option<PathBuf>,
+        /// Candidate-ordering policy: heuristic (least-loaded) or learned.
+        placement: PlacementChoice,
+        /// Ranking-model path for learned placement; the zero model
+        /// (heuristic-fallback order) when absent or unloadable.
+        model: Option<PathBuf>,
+    },
+    /// Train the placement ranking model over simulator rollouts and save
+    /// it as a checksummed model file.
+    Train {
+        /// Model destination.
+        out: PathBuf,
+        /// Rollout + SGD seed.
+        seed: u64,
+        /// SGD epochs.
+        epochs: u32,
+        /// Rollout groups (one incoming job × candidate set each).
+        groups: usize,
     },
     /// Print QoS targets for LC workloads (all of them if none named).
     Qos {
@@ -278,6 +323,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut probe_limit = 4usize;
             let mut faults: Option<FaultSpec> = None;
             let mut store: Option<PathBuf> = None;
+            let mut placement = PlacementChoice::default();
+            let mut model: Option<PathBuf> = None;
             while let Some(tok) = it.next() {
                 match tok.as_str() {
                     "--nodes" => {
@@ -342,10 +389,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .ok_or_else(|| ParseError("--store requires a path".into()))?;
                         store = Some(PathBuf::from(v));
                     }
+                    "--placement" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--placement requires a value".into()))?;
+                        placement = PlacementChoice::parse(v)?;
+                    }
+                    "--model" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--model requires a path".into()))?;
+                        model = Some(PathBuf::from(v));
+                    }
                     other => {
                         return Err(ParseError(format!("unknown fleet argument '{other}'")));
                     }
                 }
+            }
+            if model.is_some() && placement != PlacementChoice::Learned {
+                return Err(ParseError("--model requires --placement learned".into()));
             }
             Ok(Command::Fleet {
                 nodes,
@@ -357,7 +419,54 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 probe_limit,
                 faults,
                 store,
+                placement,
+                model,
             })
+        }
+        "train" => {
+            let mut out = PathBuf::from("results/placement.model");
+            let mut seed = 42u64;
+            let mut epochs = 12u32;
+            let mut groups = 24usize;
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--out" => {
+                        let v =
+                            it.next().ok_or_else(|| ParseError("--out requires a path".into()))?;
+                        out = PathBuf::from(v);
+                    }
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--seed requires a value".into()))?;
+                        seed = v.parse().map_err(|_| ParseError(format!("bad seed '{v}'")))?;
+                    }
+                    "--epochs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--epochs requires a count".into()))?;
+                        epochs =
+                            v.parse().map_err(|_| ParseError(format!("bad epoch count '{v}'")))?;
+                        if epochs == 0 {
+                            return Err(ParseError("--epochs must be at least 1".into()));
+                        }
+                    }
+                    "--groups" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--groups requires a count".into()))?;
+                        groups =
+                            v.parse().map_err(|_| ParseError(format!("bad group count '{v}'")))?;
+                        if groups < 2 {
+                            return Err(ParseError("--groups must be at least 2".into()));
+                        }
+                    }
+                    other => {
+                        return Err(ParseError(format!("unknown train argument '{other}'")));
+                    }
+                }
+            }
+            Ok(Command::Train { out, seed, epochs, groups })
         }
         "run" | "sweep" => {
             let mut policy = PolicyKind::Clite;
@@ -441,6 +550,8 @@ USAGE:
   colocate sweep [--policy NAME] [--seed N] [--telemetry-out PATH] [--store PATH] --sweep JOB JOB...
   colocate fleet [--nodes N] [--events N] [--seed N] [--shards N] [--threaded]
                  [--epoch N] [--probe-limit N] [--faults SPEC] [--store PATH]
+                 [--placement heuristic|learned] [--model PATH]
+  colocate train [--out PATH] [--seed N] [--epochs N] [--groups N]
   colocate qos   [WORKLOAD...]
 
 JOB:
@@ -483,7 +594,17 @@ FLEET (long-running event-driven scheduler):
   every N ticks and --probe-limit caps CLITE searches per admission.
   --threaded probes candidates concurrently (byte-identical to serial by
   construction). --faults injects node crashes; --store persists the
-  sharded observation log at <path>.shard<i>.
+  sharded observation log at <path>.shard<i>. --placement learned orders
+  candidate nodes with the trained ranking model from --model (a missing
+  or corrupt file degrades to the zero model, whose order matches the
+  least-loaded heuristic).
+
+TRAIN (fit the placement ranking model):
+  colocate train runs deterministic simulator rollouts (labels come from
+  ground-truth windows, never from anything admission can see), fits the
+  pairwise ranking model with seeded SGD, and saves it as a checksummed
+  model file at --out. Same --seed => bit-identical weights at any worker
+  count.
 
 EXAMPLES:
   colocate run memcached:40 img-dnn:30 streamcluster
@@ -496,6 +617,8 @@ EXAMPLES:
   colocate run --faults spike=0.1,drop=0.05 memcached:40 streamcluster
   colocate sweep --sweep memcached:0 masstree:30 img-dnn:30
   colocate fleet --nodes 128 --events 64 --threaded --faults crash_prob=0.3,crash_max=20
+  colocate train --out results/placement.model --epochs 12
+  colocate fleet --placement learned --model results/placement.model
   colocate qos memcached xapian"
 }
 
@@ -715,6 +838,8 @@ mod tests {
                 probe_limit,
                 faults,
                 store,
+                placement,
+                model,
             } => {
                 assert_eq!(nodes, 64);
                 assert_eq!(events, 48);
@@ -725,9 +850,68 @@ mod tests {
                 assert_eq!(probe_limit, 4);
                 assert_eq!(faults, None);
                 assert_eq!(store, None);
+                assert_eq!(placement, PlacementChoice::Heuristic);
+                assert_eq!(model, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fleet_placement_flags() {
+        let cmd = parse(&v(&["fleet", "--placement", "learned", "--model", "m.bin"])).unwrap();
+        match cmd {
+            Command::Fleet { placement, model, .. } => {
+                assert_eq!(placement, PlacementChoice::Learned);
+                assert_eq!(model, Some(PathBuf::from("m.bin")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["fleet", "--placement", "learned"])).unwrap() {
+            Command::Fleet { placement, model, .. } => {
+                assert_eq!(placement, PlacementChoice::Learned);
+                assert_eq!(model, None, "learned without --model serves the zero model");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["fleet", "--placement", "sgd"])).is_err(), "unknown placement");
+        assert!(
+            parse(&v(&["fleet", "--model", "m.bin"])).is_err(),
+            "--model without --placement learned"
+        );
+        assert!(
+            parse(&v(&["fleet", "--placement", "heuristic", "--model", "m.bin"])).is_err(),
+            "--model with the heuristic"
+        );
+    }
+
+    #[test]
+    fn parses_train_command() {
+        match parse(&v(&["train"])).unwrap() {
+            Command::Train { out, seed, epochs, groups } => {
+                assert_eq!(out, PathBuf::from("results/placement.model"));
+                assert_eq!(seed, 42);
+                assert_eq!(epochs, 12);
+                assert_eq!(groups, 24);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&[
+            "train", "--out", "m.bin", "--seed", "7", "--epochs", "3", "--groups", "8",
+        ]))
+        .unwrap()
+        {
+            Command::Train { out, seed, epochs, groups } => {
+                assert_eq!(out, PathBuf::from("m.bin"));
+                assert_eq!(seed, 7);
+                assert_eq!(epochs, 3);
+                assert_eq!(groups, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["train", "--epochs", "0"])).is_err());
+        assert!(parse(&v(&["train", "--groups", "1"])).is_err());
+        assert!(parse(&v(&["train", "memcached:40"])).is_err(), "train takes no job tokens");
     }
 
     #[test]

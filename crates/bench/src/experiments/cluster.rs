@@ -57,7 +57,7 @@ pub fn run(opts: &ExpOptions) -> Report {
     {
         let mut cluster = ClusterScheduler::new(
             nodes,
-            SchedulerConfig { placement: policy, ..SchedulerConfig::default() },
+            SchedulerConfig { placement: policy.clone(), ..SchedulerConfig::default() },
             opts.seed,
         )
         .expect("non-empty cluster");

@@ -104,14 +104,37 @@ fn crash_spec() -> FaultSpec {
     FaultSpec { crash_prob: 0.35, crash_window_max: 20, ..FaultSpec::none() }
 }
 
+/// Resolves `--placement`/`--model` into the model the fleet serves
+/// (`None` = the least-loaded heuristic).
+fn placement_model(opts: &ExpOptions) -> Option<Arc<clite_learn::RankingModel>> {
+    if !opts.learned_placement {
+        return None;
+    }
+    let model = match &opts.model {
+        Some(path) => {
+            let (model, err) = clite_learn::load_or_zeroed(path);
+            if let Some(e) = err {
+                eprintln!("warning: {e}: serving the zero model instead of {}", path.display());
+            }
+            model
+        }
+        None => clite_learn::RankingModel::zeroed(),
+    };
+    Some(Arc::new(model))
+}
+
 /// Runs one trace over one fleet and times it.
 fn run_fleet(
     nodes: usize,
     events: usize,
     mode: AdmissionMode,
     seed: u64,
+    model: Option<&Arc<clite_learn::RankingModel>>,
 ) -> (FleetRun, std::time::Duration) {
-    let mut config = FleetConfig::mean_field(8, 4);
+    let mut config = match model {
+        Some(m) => FleetConfig::mean_field_learned(8, 4, Arc::clone(m)),
+        None => FleetConfig::mean_field(8, 4),
+    };
     config.scheduler.admission = mode;
     let factory = FaultyFactory::new(clite_sim::testbed::ServerFactory, crash_spec());
     let store = ShardedStore::in_memory(ShardPolicy::with_shards(8));
@@ -143,10 +166,12 @@ fn scale_curve(opts: &ExpOptions) -> (Vec<ScalePoint>, String) {
         "adm latency (us)",
         "identical",
     ]);
+    let model = placement_model(opts);
     for &nodes in node_counts {
-        let (serial, serial_wall) = run_fleet(nodes, events, AdmissionMode::Serial, opts.seed);
+        let (serial, serial_wall) =
+            run_fleet(nodes, events, AdmissionMode::Serial, opts.seed, model.as_ref());
         let (threaded, threaded_wall) =
-            run_fleet(nodes, events, AdmissionMode::Threaded, opts.seed);
+            run_fleet(nodes, events, AdmissionMode::Threaded, opts.seed, model.as_ref());
         assert_eq!(serial, threaded, "serial and threaded fleet runs diverged at {nodes} nodes");
         let mean_admission_us =
             serial_wall.as_secs_f64() * 1e6 / (serial.counters.arrivals.max(1)) as f64;
@@ -181,11 +206,13 @@ fn scale_curve(opts: &ExpOptions) -> (Vec<ScalePoint>, String) {
     );
     let body = format!(
         "fleet event loop, {events} events/trace, crashes injected (prob {}),\n\
-         mean-field epoch policy (template every 8 ticks, probe limit 4):\n\n{}\n\
+         mean-field epoch policy (template every 8 ticks, probe limit 4),\n\
+         {} candidate ordering:\n\n{}\n\
          Reading: admission latency stays flat as the fleet grows — the epoch\n\
          template caps per-arrival work at probe-limit searches regardless of\n\
          fleet size — and every serial/threaded pair is byte-identical.\n",
         crash_spec().crash_prob,
+        if model.is_some() { "learned" } else { "heuristic" },
         t.render()
     );
     (points, body)

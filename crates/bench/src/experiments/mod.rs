@@ -20,6 +20,7 @@ pub mod fleet;
 pub mod frontier;
 pub mod loadtest;
 pub mod par;
+pub mod placement;
 pub mod summary;
 pub mod tables;
 
@@ -57,6 +58,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("chaos", chaos::run),
         ("loadtest", loadtest::run),
         ("fleet", fleet::run),
+        ("placement", placement::run),
         ("par", par::run),
     ]
 }

@@ -10,7 +10,7 @@ use clite_load::TraceKind;
 
 #[test]
 fn grid_covers_every_scenario_and_clite_beats_equal_share_when_congested() {
-    let opts = ExpOptions { quick: true, seed: 42, store: None };
+    let opts = ExpOptions { quick: true, seed: 42, ..ExpOptions::default() };
     let (report, body) = run_grid(&opts);
 
     // 2 mixes × 3 traces × 2 policies.

@@ -76,6 +76,29 @@ impl FleetConfig {
             target_margin_pct: 10,
         }
     }
+
+    /// [`mean_field`](FleetConfig::mean_field) with a trained placement
+    /// model: candidate ordering uses [`PlacementPolicy::Learned`] instead
+    /// of the solved target template. The epoch loop keeps solving the
+    /// fleet-wide target for gauge export, but never overwrites the
+    /// learned policy — the model's fleet features absorb the aggregate
+    /// state the template would have encoded.
+    #[must_use]
+    pub fn mean_field_learned(
+        epoch_ticks: u64,
+        probe_limit: usize,
+        model: std::sync::Arc<clite_learn::RankingModel>,
+    ) -> Self {
+        Self {
+            scheduler: SchedulerConfig {
+                placement: PlacementPolicy::Learned { model },
+                probe_limit: Some(probe_limit),
+                ..SchedulerConfig::default()
+            },
+            epoch_ticks,
+            target_margin_pct: 10,
+        }
+    }
 }
 
 /// What handling one event did.
@@ -123,6 +146,8 @@ pub struct FleetCounters {
     pub nodes_onboarded: u64,
     /// Mean-field template re-solves.
     pub epoch_solves: u64,
+    /// Crash-orphaned jobs successfully re-homed on surviving nodes.
+    pub replacements: u64,
 }
 
 /// The result of running a trace to completion.
@@ -206,10 +231,11 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         self.clock
     }
 
-    /// Event counters so far.
+    /// Event counters so far (re-placements are read live from the
+    /// scheduler, which owns the orphan re-homing loops).
     #[must_use]
     pub fn counters(&self) -> FleetCounters {
-        self.counters
+        FleetCounters { replacements: self.scheduler.replaced(), ..self.counters }
     }
 
     /// Current fleet statistics (incrementally maintained).
@@ -302,6 +328,13 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         trace: &[TimedEvent],
         telemetry: &Telemetry<'_>,
     ) -> Result<FleetRun, ClusterError> {
+        if let PlacementPolicy::Learned { model } = &self.scheduler.config().placement {
+            telemetry.emit(Event::ModelLoaded {
+                feature_version: model.feature_version,
+                epochs: model.epochs,
+                train_loss: model.train_loss,
+            });
+        }
         let mut placements = Vec::new();
         for event in trace {
             match self.handle(event, telemetry)? {
@@ -310,7 +343,7 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
                 _ => {}
             }
         }
-        Ok(FleetRun { placements, counters: self.counters, stats: self.scheduler.stats() })
+        Ok(FleetRun { placements, counters: self.counters(), stats: self.scheduler.stats() })
     }
 
     /// Re-solves the mean-field template when the clock crossed into a
@@ -336,7 +369,13 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
             .saturating_add(self.config.target_margin_pct)
             .clamp(5, 95);
         self.target_pct = Some(target_pct);
-        self.scheduler.set_placement(PlacementPolicy::TargetLoad { target_pct });
+        // A learned policy keeps serving its model: the solved target is
+        // still exported as a gauge, but the template never overwrites the
+        // model — its fleet-level features carry the aggregate state the
+        // template would have encoded.
+        if !matches!(self.scheduler.config().placement, PlacementPolicy::Learned { .. }) {
+            self.scheduler.set_placement(PlacementPolicy::TargetLoad { target_pct });
+        }
     }
 
     /// Exports fleet gauges (`clite_fleet_*`) from the incrementally
@@ -355,8 +394,18 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         registry.set_gauge("clite_fleet_clock_ticks", &[], self.clock.now() as f64);
         let qos_ok = stats.nodes.iter().filter(|n| n.alive && n.qos_met).count();
         registry.set_gauge("clite_fleet_qos_ok_nodes", &[], qos_ok as f64);
+        registry.set_gauge("clite_fleet_replacements", &[], self.scheduler.replaced() as f64);
         if let Some(target) = self.target_pct {
             registry.set_gauge("clite_fleet_target_load_pct", &[], f64::from(target));
+        }
+        if let PlacementPolicy::Learned { model } = &self.scheduler.config().placement {
+            registry.set_gauge(
+                "clite_model_feature_version",
+                &[],
+                f64::from(model.feature_version),
+            );
+            registry.set_gauge("clite_model_epochs", &[], f64::from(model.epochs));
+            registry.set_gauge("clite_model_train_loss", &[], model.train_loss);
         }
 
         // Shared worker-pool utilization (`clite_par_*`): cumulative

@@ -10,7 +10,9 @@
 //! * [`node::Node`] — one server plus its committed job set and the last
 //!   CLITE outcome for it;
 //! * [`placement::PlacementPolicy`] — the order in which candidate nodes
-//!   are tried (first-fit, least-loaded, most-loaded/bin-packing);
+//!   are tried (first-fit, least-loaded, most-loaded/bin-packing, the
+//!   mean-field target template, or a trained `clite-learn` ranking model
+//!   bridged through [`learned`]);
 //! * [`scheduler::ClusterScheduler`] — admission control: tentatively add
 //!   the job to a candidate node, run a budget-capped CLITE search, commit
 //!   if every LC job still meets QoS (keeping the found partition), and
@@ -42,6 +44,7 @@
 pub mod clock;
 pub mod event;
 pub mod fleet;
+pub mod learned;
 pub mod node;
 pub mod placement;
 pub mod scheduler;

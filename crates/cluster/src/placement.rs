@@ -1,13 +1,20 @@
 //! Node-ordering policies for admission.
 
+use std::sync::Arc;
+
+use serde::json::Value;
 use serde::Serialize;
 
+use clite_learn::RankingModel;
+use clite_sim::prelude::JobSpec;
 use clite_sim::testbed::TestbedFactory;
 
+use crate::learned;
 use crate::node::Node;
+use crate::stats::ClusterStats;
 
 /// In which order candidate nodes are tried for a new job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum PlacementPolicy {
     /// Nodes in id order; the first feasible node wins. Minimizes search
     /// work, tends to pack low-id nodes.
@@ -31,26 +38,56 @@ pub enum PlacementPolicy {
         /// Per-node target LC load, percent of max QPS (`55` = 0.55).
         target_pct: u32,
     },
+    /// Trained ranking: score every candidate with a `clite-learn` model
+    /// over (job, node, fleet) features and try the best-scoring node
+    /// first. The all-zero model ties every score, and the tie-break
+    /// (least committed LC load, then node id) reproduces the
+    /// [`LeastLoaded`](PlacementPolicy::LeastLoaded) heuristic exactly —
+    /// so a missing or corrupt model file degrades, never fails.
+    Learned {
+        /// The trained model; shared so cloning the policy (and the
+        /// scheduler config holding it) stays cheap.
+        model: Arc<RankingModel>,
+    },
+}
+
+/// A resolved candidate ordering plus the learned scorer's summary (for
+/// the `placement_scored` telemetry event) when a model produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateOrder {
+    /// Candidate node ids, best first.
+    pub order: Vec<usize>,
+    /// `(candidates scored, best model score)` — `None` for heuristics.
+    pub scored: Option<(usize, f64)>,
 }
 
 impl PlacementPolicy {
     /// Short name for reports.
     #[must_use]
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             PlacementPolicy::FirstFit => "first-fit",
             PlacementPolicy::LeastLoaded => "least-loaded",
             PlacementPolicy::MostLoaded => "most-loaded",
             PlacementPolicy::TargetLoad { .. } => "target-load",
+            PlacementPolicy::Learned { .. } => "learned",
         }
     }
 
     /// Candidate node ids in try-order, excluding nodes without physical
-    /// capacity for one more job.
+    /// capacity for one more job. Heuristic policies ignore `job` and
+    /// `stats`; [`Learned`](PlacementPolicy::Learned) feeds both into its
+    /// feature vectors.
     #[must_use]
-    pub fn candidate_order<F: TestbedFactory>(self, nodes: &[Node<F>]) -> Vec<usize> {
+    pub fn candidate_order<F: TestbedFactory>(
+        &self,
+        nodes: &[Node<F>],
+        job: &JobSpec,
+        stats: &ClusterStats,
+    ) -> CandidateOrder {
         let mut ids: Vec<usize> =
             nodes.iter().filter(|n| n.has_capacity_for_one_more()).map(|n| n.id()).collect();
+        let mut scored = None;
         match self {
             PlacementPolicy::FirstFit => {}
             PlacementPolicy::LeastLoaded => {
@@ -64,15 +101,48 @@ impl PlacementPolicy {
                 });
             }
             PlacementPolicy::TargetLoad { target_pct } => {
-                let target = f64::from(target_pct) / 100.0;
+                let target = f64::from(*target_pct) / 100.0;
                 // Stable sort, so equal-load nodes keep id order.
                 ids.sort_by(|&a, &b| {
                     let (la, lb) = (nodes[a].committed_lc_load(), nodes[b].committed_lc_load());
                     (la >= target).cmp(&(lb >= target)).then_with(|| la.total_cmp(&lb))
                 });
             }
+            PlacementPolicy::Learned { model } => {
+                let ranked = learned::rank(model, job, nodes, &ids, stats);
+                if let Some(&(_, best)) = ranked.first() {
+                    scored = Some((ranked.len(), best));
+                }
+                ids = ranked.into_iter().map(|(id, _)| id).collect();
+            }
         }
-        ids
+        CandidateOrder { order: ids, scored }
+    }
+}
+
+// Manual impl (the derive needs every payload field to be `Serialize`,
+// which `Arc<RankingModel>` is not): unit variants keep the derived
+// `"Variant"` shape, payload variants the `{"Variant": {..}}` shape, and
+// `Learned` serializes its model summary rather than the weights.
+impl Serialize for PlacementPolicy {
+    fn to_json_value(&self) -> Value {
+        match self {
+            PlacementPolicy::FirstFit => Value::String("FirstFit".to_owned()),
+            PlacementPolicy::LeastLoaded => Value::String("LeastLoaded".to_owned()),
+            PlacementPolicy::MostLoaded => Value::String("MostLoaded".to_owned()),
+            PlacementPolicy::TargetLoad { target_pct } => Value::Object(vec![(
+                "TargetLoad".to_owned(),
+                Value::Object(vec![("target_pct".to_owned(), target_pct.to_json_value())]),
+            )]),
+            PlacementPolicy::Learned { model } => Value::Object(vec![(
+                "Learned".to_owned(),
+                Value::Object(vec![
+                    ("feature_version".to_owned(), model.feature_version.to_json_value()),
+                    ("epochs".to_owned(), model.epochs.to_json_value()),
+                    ("train_loss".to_owned(), model.train_loss.to_json_value()),
+                ]),
+            )]),
+        }
     }
 }
 
@@ -110,12 +180,18 @@ mod tests {
         nodes
     }
 
+    fn order<F: TestbedFactory>(policy: &PlacementPolicy, nodes: &[Node<F>]) -> Vec<usize> {
+        let stats = ClusterStats::collect(nodes, 0);
+        let job = JobSpec::latency_critical(WorkloadId::Memcached, 0.3);
+        policy.candidate_order(nodes, &job, &stats).order
+    }
+
     #[test]
     fn orderings_differ_as_documented() {
         let nodes = fleet();
-        assert_eq!(PlacementPolicy::FirstFit.candidate_order(&nodes), vec![0, 1, 2]);
-        assert_eq!(PlacementPolicy::LeastLoaded.candidate_order(&nodes), vec![0, 1, 2]);
-        assert_eq!(PlacementPolicy::MostLoaded.candidate_order(&nodes), vec![2, 1, 0]);
+        assert_eq!(order(&PlacementPolicy::FirstFit, &nodes), vec![0, 1, 2]);
+        assert_eq!(order(&PlacementPolicy::LeastLoaded, &nodes), vec![0, 1, 2]);
+        assert_eq!(order(&PlacementPolicy::MostLoaded, &nodes), vec![2, 1, 0]);
     }
 
     #[test]
@@ -132,6 +208,58 @@ mod tests {
                 .unwrap();
             assert!(admitted, "BG jobs are always feasible");
         }
-        assert!(PlacementPolicy::FirstFit.candidate_order(&nodes).is_empty());
+        assert!(order(&PlacementPolicy::FirstFit, &nodes).is_empty());
+    }
+
+    #[test]
+    fn zero_model_matches_least_loaded() {
+        // The graceful-degradation regression: a Learned policy holding
+        // the all-zero model must reproduce the heuristic fallback order
+        // exactly (every score ties; the tie-break is least-loaded).
+        let nodes = fleet();
+        let learned =
+            PlacementPolicy::Learned { model: Arc::new(clite_learn::RankingModel::zeroed()) };
+        let stats = ClusterStats::collect(&nodes, 0);
+        for spec in [
+            JobSpec::latency_critical(WorkloadId::Memcached, 0.3),
+            JobSpec::latency_critical(WorkloadId::ImgDnn, 0.7),
+            JobSpec::background(WorkloadId::Swaptions),
+        ] {
+            let fallback = learned.candidate_order(&nodes, &spec, &stats);
+            let heuristic = PlacementPolicy::LeastLoaded.candidate_order(&nodes, &spec, &stats);
+            assert_eq!(fallback.order, heuristic.order, "zero model must degrade to heuristic");
+            let (count, best) = fallback.scored.expect("learned policies report scores");
+            assert_eq!(count, 3);
+            assert_eq!(best, 0.0, "the zero model scores everything zero");
+        }
+    }
+
+    #[test]
+    fn trained_weights_can_reorder_candidates() {
+        // A model that rewards committed LC load (feature 3) must invert
+        // the least-loaded preference — i.e. the weights actually steer
+        // the order.
+        let nodes = fleet();
+        let mut model = clite_learn::RankingModel::zeroed();
+        model.weights[3] = 1.0;
+        let policy = PlacementPolicy::Learned { model: Arc::new(model) };
+        let stats = ClusterStats::collect(&nodes, 0);
+        let job = JobSpec::latency_critical(WorkloadId::Memcached, 0.3);
+        assert_eq!(policy.candidate_order(&nodes, &job, &stats).order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn policies_serialize_stably() {
+        use serde_json::to_string;
+        assert_eq!(to_string(&PlacementPolicy::LeastLoaded).unwrap(), "\"LeastLoaded\"");
+        assert_eq!(
+            to_string(&PlacementPolicy::TargetLoad { target_pct: 55 }).unwrap(),
+            "{\"TargetLoad\":{\"target_pct\":55}}"
+        );
+        let learned =
+            PlacementPolicy::Learned { model: Arc::new(clite_learn::RankingModel::zeroed()) };
+        let json = to_string(&learned).unwrap();
+        assert!(json.contains("\"Learned\""), "payload shape: {json}");
+        assert!(json.contains("\"feature_version\""), "payload shape: {json}");
     }
 }

@@ -90,6 +90,8 @@ pub struct ClusterScheduler<F: TestbedFactory = ServerFactory> {
     config: SchedulerConfig,
     next_job_id: u64,
     rejected: u64,
+    /// Orphaned jobs successfully re-homed after their node crashed.
+    replaced: u64,
     /// Builder for onboarded nodes ([`ClusterScheduler::add_nodes`]).
     factory: F,
     /// Base seed; node `i` searches from `base_seed + 1000·i`.
@@ -152,6 +154,7 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
             config,
             next_job_id: 0,
             rejected: 0,
+            replaced: 0,
             factory,
             base_seed: seed,
             store: None,
@@ -228,6 +231,13 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         self.rejected
     }
 
+    /// Orphaned jobs successfully re-placed onto surviving nodes after
+    /// their original node crashed.
+    #[must_use]
+    pub fn replaced(&self) -> u64 {
+        self.replaced
+    }
+
     /// Submits a job: tries nodes in the placement policy's order and
     /// commits to the first where a CLITE search finds a QoS-feasible
     /// partition. Returns the placement, or `None` if every node rejected
@@ -280,13 +290,16 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
     ) -> Result<Option<Placement>, ClusterError> {
         let job_id = job.id;
         let workload = job.spec.workload.name().to_owned();
-        let mut order: Vec<usize> = self
-            .config
-            .placement
-            .candidate_order(&self.nodes)
-            .into_iter()
-            .filter(|&i| self.nodes[i].alive())
-            .collect();
+        let candidates = self.config.placement.candidate_order(&self.nodes, &job.spec, &self.stats);
+        if let Some((scored, best_score)) = candidates.scored {
+            telemetry.emit(Event::PlacementScored {
+                job: workload.clone(),
+                candidates: scored,
+                best_score,
+            });
+        }
+        let mut order: Vec<usize> =
+            candidates.order.into_iter().filter(|&i| self.nodes[i].alive()).collect();
         if let Some(limit) = self.config.probe_limit {
             order.truncate(limit.max(1));
         }
@@ -300,6 +313,8 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         for orphan in orphans {
             if self.admit_job(orphan, telemetry)?.is_none() {
                 self.note_rejected();
+            } else {
+                self.replaced += 1;
             }
         }
         Ok(winner.map(|node_id| {
@@ -453,6 +468,8 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
                 for orphan in orphans {
                     if self.admit_job(orphan, telemetry)?.is_none() {
                         self.note_rejected();
+                    } else {
+                        self.replaced += 1;
                     }
                 }
                 Ok(())
@@ -499,6 +516,8 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
                 for orphan in orphans {
                     if self.admit_job(orphan, telemetry)?.is_none() {
                         self.note_rejected();
+                    } else {
+                        self.replaced += 1;
                     }
                 }
                 Ok(())

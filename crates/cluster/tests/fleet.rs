@@ -50,6 +50,42 @@ fn run(mode: AdmissionMode, store: Option<StoreHandle>) -> FleetRun {
     fleet.run(&fleet_trace(), &Telemetry::disabled()).expect("trace runs")
 }
 
+/// Like [`config`] but serving a trained (non-zero) placement model.
+fn learned_config(mode: AdmissionMode) -> FleetConfig {
+    let mut model = clite_learn::RankingModel::zeroed();
+    for (i, w) in model.weights.iter_mut().enumerate() {
+        *w = (i as f64 - 6.0) * 0.05;
+    }
+    model.epochs = 1;
+    let mut config = FleetConfig::mean_field_learned(8, 4, Arc::new(model));
+    config.scheduler.admission = mode;
+    config
+}
+
+#[test]
+fn learned_fleet_is_byte_identical_across_admission_modes() {
+    // The acceptance criterion for the learned policy: the model-ordered
+    // fleet keeps the serial ≡ threaded contract at scale, epoch solves
+    // and all.
+    let mut serial_fleet =
+        FleetService::new(NODES, learned_config(AdmissionMode::Serial), SEED).expect("fleet");
+    let serial = serial_fleet.run(&fleet_trace(), &Telemetry::disabled()).expect("trace runs");
+    let mut threaded_fleet =
+        FleetService::new(NODES, learned_config(AdmissionMode::Threaded), SEED).expect("fleet");
+    let threaded = threaded_fleet.run(&fleet_trace(), &Telemetry::disabled()).expect("trace runs");
+    assert_eq!(serial.placements, threaded.placements, "learned placements diverged");
+    assert_eq!(serial.counters, threaded.counters, "learned counters diverged");
+    assert_eq!(serial.stats, threaded.stats, "learned statistics diverged");
+    assert!(serial.counters.epoch_solves >= 2, "epoch loop must keep solving for gauges");
+    assert!(
+        matches!(
+            serial_fleet.scheduler().config().placement,
+            clite_cluster::placement::PlacementPolicy::Learned { .. }
+        ),
+        "epoch solves must never overwrite the learned policy"
+    );
+}
+
 #[test]
 fn serial_and_threaded_fleets_are_byte_identical_at_256_nodes() {
     let serial = run(AdmissionMode::Serial, None);

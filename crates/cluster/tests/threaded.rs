@@ -5,10 +5,23 @@
 //! rejected outright and others probe several nodes before landing —
 //! exactly the paths where a naive parallelization would diverge.
 
+use std::sync::Arc;
+
 use clite_cluster::placement::PlacementPolicy;
 use clite_cluster::scheduler::{AdmissionMode, ClusterScheduler, SchedulerConfig};
 use clite_sim::prelude::*;
 use clite_store::ObservationStore;
+
+/// A deterministic non-zero ranking model, so the learned policy's
+/// byte-identity is tested with weights that actually reorder candidates.
+fn test_model() -> Arc<clite_learn::RankingModel> {
+    let mut model = clite_learn::RankingModel::zeroed();
+    for (i, w) in model.weights.iter_mut().enumerate() {
+        *w = (i as f64 - 6.0) * 0.05;
+    }
+    model.epochs = 1;
+    Arc::new(model)
+}
 
 fn job_stream() -> Vec<JobSpec> {
     vec![
@@ -39,11 +52,15 @@ fn run(
 
 #[test]
 fn threaded_admission_matches_serial_placements_and_stats() {
-    for placement in
-        [PlacementPolicy::FirstFit, PlacementPolicy::LeastLoaded, PlacementPolicy::MostLoaded]
-    {
-        let (serial_placements, serial_stats) = run(AdmissionMode::Serial, placement, 42);
-        let (threaded_placements, threaded_stats) = run(AdmissionMode::Threaded, placement, 42);
+    for placement in [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::MostLoaded,
+        PlacementPolicy::Learned { model: test_model() },
+    ] {
+        let (serial_placements, serial_stats) = run(AdmissionMode::Serial, placement.clone(), 42);
+        let (threaded_placements, threaded_stats) =
+            run(AdmissionMode::Threaded, placement.clone(), 42);
         assert_eq!(
             serial_placements,
             threaded_placements,
@@ -164,6 +181,32 @@ fn node_crashes_keep_serial_threaded_equivalence() {
     for n in serial_stats.nodes.iter().filter(|n| !n.alive) {
         assert_eq!(n.jobs, 0, "evicted node {} still hosts jobs", n.node);
     }
+}
+
+#[test]
+fn learned_policy_keeps_serial_threaded_equivalence_under_crashes() {
+    // The learned scorer reads committed state (stats, traces, headroom),
+    // all of which the byte-identity discipline already pins — so the
+    // model-ordered fleet must stay identical across admission modes even
+    // while nodes crash and orphans re-home.
+    let spec = clite_faults::FaultSpec {
+        crash_prob: 0.5,
+        crash_window_max: 20,
+        ..clite_faults::FaultSpec::none()
+    };
+    let policy = PlacementPolicy::Learned { model: test_model() };
+    let (serial_placements, serial_stats) =
+        run_with_faults(AdmissionMode::Serial, policy.clone(), 42, spec.clone());
+    let (threaded_placements, threaded_stats) =
+        run_with_faults(AdmissionMode::Threaded, policy, 42, spec);
+    assert_eq!(
+        serial_placements, threaded_placements,
+        "learned placements diverged between serial and threaded admission under crashes"
+    );
+    assert_eq!(
+        serial_stats, threaded_stats,
+        "learned fleet statistics diverged between serial and threaded admission under crashes"
+    );
 }
 
 #[test]

@@ -1,0 +1,264 @@
+//! Checksummed, versioned model files.
+//!
+//! On-disk layout mirrors the `clite-store` log framing
+//! ([`clite_store::log`]):
+//!
+//! ```text
+//! [ b"CLITELRN" ][ version: u32 LE ]            file header, 12 bytes
+//! [ REC_MAGIC: u32 LE ][ len: u32 LE ]
+//! [ fnv1a64(payload): u64 LE ][ payload ]       exactly one frame
+//! ```
+//!
+//! The payload is a fixed little-endian record: feature version, weight
+//! dimension, epoch count, a reserved word, the final training loss, then
+//! the weights. [`decode`] is a total function — any byte sequence maps
+//! to `Some(model)` or `None`, never a panic — and rejects a model whose
+//! feature schema no longer matches [`FEATURE_DIM`]/[`FEATURE_VERSION`]:
+//! stale weights degrade to the zero model rather than scoring a schema
+//! they were never trained on.
+
+use std::io::Write;
+use std::path::Path;
+
+use clite_store::log::{fnv1a64, frame, FRAME_PROLOGUE_LEN, MAX_PAYLOAD_LEN, REC_MAGIC};
+
+use crate::features::{FEATURE_DIM, FEATURE_VERSION};
+use crate::model::RankingModel;
+
+/// File magic: identifies a clite-learn model file.
+pub const MODEL_MAGIC: &[u8; 8] = b"CLITELRN";
+/// Current container format version.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+/// Header length in bytes (magic + version).
+pub const HEADER_LEN: usize = 12;
+
+/// Why a model failed to load.
+#[derive(Debug)]
+pub enum ModelError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes did not decode to a model under the current schema
+    /// (bad magic, torn frame, checksum mismatch, or version/dimension
+    /// drift).
+    Corrupt,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "model file unreadable: {e}"),
+            ModelError::Corrupt => f.write_str("model file corrupt or schema-incompatible"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+/// Serializes a model to its on-disk byte form.
+#[must_use]
+pub fn encode(model: &RankingModel) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(24 + 8 * model.weights.len());
+    payload.extend_from_slice(&model.feature_version.to_le_bytes());
+    payload.extend_from_slice(&(model.weights.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&model.epochs.to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    payload.extend_from_slice(&model.train_loss.to_le_bytes());
+    for w in &model.weights {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + FRAME_PROLOGUE_LEN + payload.len());
+    out.extend_from_slice(MODEL_MAGIC);
+    out.extend_from_slice(&MODEL_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&frame(&payload));
+    out
+}
+
+/// Decodes a model from a full file image. Total: returns `None` for any
+/// malformed, truncated, bit-flipped, or schema-incompatible input.
+#[must_use]
+pub fn decode(bytes: &[u8]) -> Option<RankingModel> {
+    if bytes.len() < HEADER_LEN
+        || &bytes[..8] != MODEL_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().ok()?) != MODEL_FORMAT_VERSION
+    {
+        return None;
+    }
+    let rest = &bytes[HEADER_LEN..];
+    if rest.len() < FRAME_PROLOGUE_LEN {
+        return None;
+    }
+    if u32::from_le_bytes(rest[0..4].try_into().ok()?) != REC_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[4..8].try_into().ok()?);
+    if len > MAX_PAYLOAD_LEN {
+        return None;
+    }
+    let payload = rest.get(FRAME_PROLOGUE_LEN..FRAME_PROLOGUE_LEN + len as usize)?;
+    // Trailing garbage after the single frame is corruption too.
+    if rest.len() != FRAME_PROLOGUE_LEN + len as usize {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(rest[8..16].try_into().ok()?);
+    if fnv1a64(payload) != checksum {
+        return None;
+    }
+    decode_payload(payload)
+}
+
+/// Decodes the fixed-layout payload, enforcing the feature schema.
+fn decode_payload(payload: &[u8]) -> Option<RankingModel> {
+    if payload.len() < 24 {
+        return None;
+    }
+    let feature_version = u32::from_le_bytes(payload[0..4].try_into().ok()?);
+    let dim = u32::from_le_bytes(payload[4..8].try_into().ok()?) as usize;
+    let epochs = u32::from_le_bytes(payload[8..12].try_into().ok()?);
+    let train_loss = f64::from_le_bytes(payload[16..24].try_into().ok()?);
+    if feature_version != FEATURE_VERSION || dim != FEATURE_DIM {
+        return None;
+    }
+    if payload.len() != 24 + 8 * dim {
+        return None;
+    }
+    let weights: Vec<f64> = (0..dim)
+        .map(|i| {
+            let start = 24 + 8 * i;
+            f64::from_le_bytes(payload[start..start + 8].try_into().expect("8 bytes"))
+        })
+        .collect();
+    if weights.iter().any(|w| !w.is_finite()) || !train_loss.is_finite() {
+        return None;
+    }
+    Some(RankingModel { feature_version, weights, epochs, train_loss })
+}
+
+/// Writes `model` to `path` (atomically: temp file + rename, so a crash
+/// mid-save never leaves a torn model where a valid one stood).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] on filesystem failures.
+pub fn save(path: &Path, model: &RankingModel) -> Result<(), ModelError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&encode(model))?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a model from `path`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] if the file cannot be read and
+/// [`ModelError::Corrupt`] if its bytes do not decode under the current
+/// schema.
+pub fn load(path: &Path) -> Result<RankingModel, ModelError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).ok_or(ModelError::Corrupt)
+}
+
+/// Loads a model, degrading gracefully: a missing, unreadable, corrupt,
+/// or schema-stale file yields the zero model (heuristic-fallback order)
+/// plus the error explaining why. This is the serving entry point — a bad
+/// model file must never fail admission.
+#[must_use]
+pub fn load_or_zeroed(path: &Path) -> (RankingModel, Option<ModelError>) {
+    match load(path) {
+        Ok(model) => (model, None),
+        Err(e) => (RankingModel::zeroed(), Some(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> RankingModel {
+        RankingModel {
+            feature_version: FEATURE_VERSION,
+            weights: (0..FEATURE_DIM).map(|i| (i as f64 - 3.0) * 0.125).collect(),
+            epochs: 12,
+            train_loss: 0.314,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let model = sample_model();
+        let decoded = decode(&encode(&model)).expect("round trip");
+        assert_eq!(model, decoded);
+        for (a, b) in model.weights.iter().zip(&decoded.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_is_total_on_corrupt_inputs() {
+        let good = encode(&sample_model());
+        assert!(decode(&[]).is_none());
+        assert!(decode(b"CLITELRN").is_none(), "header only");
+        assert!(decode(&good[..good.len() - 1]).is_none(), "torn tail");
+        assert!(decode(&good[..HEADER_LEN + 3]).is_none(), "torn prologue");
+        let mut flipped = good.clone();
+        let mid = HEADER_LEN + FRAME_PROLOGUE_LEN + 10;
+        flipped[mid] ^= 0x40;
+        assert!(decode(&flipped).is_none(), "bit flip fails the checksum");
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] ^= 0xff;
+        assert!(decode(&wrong_magic).is_none());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_none(), "trailing garbage rejected");
+        // A clite-store log is not a model file.
+        assert!(decode(b"CLITESTO\x01\x00\x00\x00").is_none());
+    }
+
+    #[test]
+    fn schema_drift_is_rejected() {
+        let mut model = sample_model();
+        model.feature_version = FEATURE_VERSION + 1;
+        assert!(decode(&encode(&model)).is_none(), "future feature version");
+        let mut short = sample_model();
+        short.weights.pop();
+        assert!(decode(&encode(&short)).is_none(), "dimension mismatch");
+        let mut nan = sample_model();
+        nan.weights[0] = f64::NAN;
+        assert!(decode(&encode(&nan)).is_none(), "non-finite weights rejected");
+    }
+
+    #[test]
+    fn save_load_round_trips_and_degrades() {
+        let dir = std::env::temp_dir().join(format!("clite-learn-codec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.clite");
+        let model = sample_model();
+        save(&path, &model).unwrap();
+        assert_eq!(load(&path).unwrap(), model);
+
+        // Corrupt the file on disk: load_or_zeroed degrades to zero.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (fallback, err) = load_or_zeroed(&path);
+        assert!(fallback.is_zero());
+        assert!(matches!(err, Some(ModelError::Corrupt)));
+
+        // Missing file: same degradation, io error reported.
+        let (fallback, err) = load_or_zeroed(&dir.join("absent.clite"));
+        assert!(fallback.is_zero());
+        assert!(matches!(err, Some(ModelError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

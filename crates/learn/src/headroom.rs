@@ -1,0 +1,103 @@
+//! Surrogate QoS-headroom prediction: a tiny GP over a node's committed
+//! search trace.
+//!
+//! A candidate node's last CLITE search left a trace of (sample index,
+//! Eq. 3 score) points. Fitting a one-dimensional GP over that trace and
+//! reading the posterior at the *end* of the trace gives a smoothed
+//! estimate of the score level the node's committed mix converged to —
+//! the QoS headroom the next co-runner would inherit — plus a posterior
+//! standard deviation that says how settled the search was. Both feed the
+//! feature vector ([`crate::features::extract`]).
+//!
+//! The fit uses fixed hyper-parameters (no grid search): prediction must
+//! be cheap enough for the admission path and — more importantly —
+//! deterministic, since candidate ordering feeds the fleet's
+//! byte-identity contract.
+
+use clite_gp::gp::{GaussianProcess, GpConfig};
+use clite_gp::kernel::Kernel;
+
+/// A surrogate headroom prediction for one candidate node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headroom {
+    /// Posterior mean score at the end of the node's search trace,
+    /// clamped to `[0, 1]` (0.5 when no trace exists: unknown, neither
+    /// safe nor violating).
+    pub predicted: f64,
+    /// Posterior standard deviation (1.0 when no trace exists — maximal
+    /// uncertainty).
+    pub sigma: f64,
+}
+
+impl Headroom {
+    /// The no-information prior: an empty node (or one whose trace is too
+    /// short to fit) predicts 0.5 with full uncertainty.
+    #[must_use]
+    pub fn prior() -> Self {
+        Self { predicted: 0.5, sigma: 1.0 }
+    }
+}
+
+impl Default for Headroom {
+    fn default() -> Self {
+        Self::prior()
+    }
+}
+
+/// Predicts headroom from a node's `(position, score)` trace, where
+/// `position` is the sample index normalized to `[0, 1]` and `score` the
+/// Eq. 3 value observed there. Needs at least two finite points; anything
+/// less (or a failed factorization) returns [`Headroom::prior`].
+#[must_use]
+pub fn predict(trace: &[(f64, f64)]) -> Headroom {
+    let clean: Vec<(f64, f64)> =
+        trace.iter().copied().filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    if clean.len() < 2 {
+        return Headroom::prior();
+    }
+    let xs: Vec<Vec<f64>> = clean.iter().map(|&(x, _)| vec![x]).collect();
+    let ys: Vec<f64> = clean.iter().map(|&(_, y)| y).collect();
+    let kernel = Kernel::matern52(0.25, 0.3);
+    let config = GpConfig { noise_variance: 1e-3 };
+    match GaussianProcess::fit(kernel, config, xs, ys) {
+        Ok(gp) => {
+            let (mean, std) = gp.predict(&[1.0]);
+            if mean.is_finite() && std.is_finite() {
+                Headroom { predicted: mean.clamp(0.0, 1.0), sigma: std.max(0.0) }
+            } else {
+                Headroom::prior()
+            }
+        }
+        Err(_) => Headroom::prior(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_traces_fall_back_to_prior() {
+        assert_eq!(predict(&[]), Headroom::prior());
+        assert_eq!(predict(&[(0.0, 0.8)]), Headroom::prior());
+        assert_eq!(predict(&[(f64::NAN, 0.8), (0.5, f64::INFINITY)]), Headroom::prior());
+    }
+
+    #[test]
+    fn converged_trace_predicts_near_its_tail() {
+        let trace: Vec<(f64, f64)> =
+            (0..8).map(|i| (i as f64 / 7.0, 0.4 + 0.05 * i as f64)).collect();
+        let h = predict(&trace);
+        assert!(h.predicted > 0.55, "tail of a rising trace is high: {}", h.predicted);
+        assert!(h.sigma < 1.0, "a fitted trace is more certain than the prior");
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let trace = vec![(0.0, 0.3), (0.5, 0.6), (1.0, 0.7)];
+        let a = predict(&trace);
+        let b = predict(&trace);
+        assert_eq!(a, b);
+        assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
+    }
+}

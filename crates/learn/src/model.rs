@@ -1,0 +1,87 @@
+//! The pairwise ranking model: a linear scorer over the feature schema.
+//!
+//! Candidate ordering only needs *relative* scores, so the model is a
+//! plain dot product — no softmax at serving time, no hidden state, no
+//! allocation. The pairwise logistic loss it is trained under
+//! ([`crate::train()`]) makes `score(a) > score(b)` mean "placing on `a`
+//! kept QoS safer than on `b`" in the rollout distribution.
+//!
+//! The all-zero model is the designated fallback: it scores every
+//! candidate identically, and the serving tie-break (least committed LC
+//! load, then node id) reproduces the heuristic order exactly — so a
+//! missing or corrupt model file degrades to the default policy instead
+//! of failing admission.
+
+use crate::features::{FeatureVector, FEATURE_DIM, FEATURE_VERSION};
+
+/// A trained (or zero-initialized) linear ranking model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingModel {
+    /// Feature-schema version the weights were trained against.
+    pub feature_version: u32,
+    /// One weight per feature component.
+    pub weights: Vec<f64>,
+    /// Training epochs the weights went through (0 for the zero model).
+    pub epochs: u32,
+    /// Final mean pairwise training loss (ln 2 is the untrained level).
+    pub train_loss: f64,
+}
+
+impl RankingModel {
+    /// The all-zero fallback model: every candidate ties, the caller's
+    /// tie-break reproduces the heuristic order.
+    #[must_use]
+    pub fn zeroed() -> Self {
+        Self {
+            feature_version: FEATURE_VERSION,
+            weights: vec![0.0; FEATURE_DIM],
+            epochs: 0,
+            train_loss: 0.0,
+        }
+    }
+
+    /// True if every weight is exactly zero (the heuristic-fallback
+    /// state).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.weights.iter().all(|&w| w == 0.0)
+    }
+
+    /// Scores one feature vector. Pure dot product: deterministic, and
+    /// invariant to the order candidates are presented in.
+    #[must_use]
+    pub fn score(&self, features: &FeatureVector) -> f64 {
+        debug_assert_eq!(self.weights.len(), FEATURE_DIM);
+        self.weights.iter().zip(features.iter()).map(|(w, f)| w * f).sum()
+    }
+}
+
+impl Default for RankingModel {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_scores_everything_zero() {
+        let m = RankingModel::zeroed();
+        assert!(m.is_zero());
+        assert_eq!(m.score(&[1.0; FEATURE_DIM]), 0.0);
+        assert_eq!(m.score(&[0.3; FEATURE_DIM]), 0.0);
+    }
+
+    #[test]
+    fn score_is_linear_in_features() {
+        let mut m = RankingModel::zeroed();
+        m.weights[2] = 2.0;
+        m.weights[5] = -1.0;
+        let mut f = [0.0; FEATURE_DIM];
+        f[2] = 0.5;
+        f[5] = 0.25;
+        assert!((m.score(&f) - 0.75).abs() < 1e-15);
+    }
+}

@@ -208,6 +208,31 @@ pub enum Event {
         /// Node index in the cluster.
         node: usize,
     },
+    /// The learned placement policy scored a candidate set for one job.
+    PlacementScored {
+        /// Workload name of the job being placed.
+        job: String,
+        /// Number of candidates scored.
+        candidates: usize,
+        /// Best model score among them.
+        best_score: f64,
+    },
+    /// A ranking model was loaded for serving.
+    ModelLoaded {
+        /// Feature-schema version the model was trained against.
+        feature_version: u32,
+        /// Training epochs the weights went through.
+        epochs: u32,
+        /// Final mean pairwise training loss.
+        train_loss: f64,
+    },
+    /// One training epoch over the rollout set completed.
+    TrainingEpoch {
+        /// Zero-based epoch index.
+        epoch: u32,
+        /// Mean pairwise loss over the epoch.
+        loss: f64,
+    },
 }
 
 impl Event {
@@ -239,6 +264,9 @@ impl Event {
             Event::JobDeparted { .. } => "job_departed",
             Event::LoadShift { .. } => "load_shift",
             Event::NodeOnboarded { .. } => "node_onboarded",
+            Event::PlacementScored { .. } => "placement_scored",
+            Event::ModelLoaded { .. } => "model_loaded",
+            Event::TrainingEpoch { .. } => "training_epoch",
         }
     }
 }
@@ -279,6 +307,9 @@ mod tests {
             Event::JobDeparted { job: 11 },
             Event::LoadShift { job: 11, load_pct: 45 },
             Event::NodeOnboarded { node: 9 },
+            Event::PlacementScored { job: "memcached".to_owned(), candidates: 4, best_score: 0.62 },
+            Event::ModelLoaded { feature_version: 1, epochs: 12, train_loss: 0.31 },
+            Event::TrainingEpoch { epoch: 3, loss: 0.52 },
         ];
         for event in events {
             let line = serde_json::to_string(&event).unwrap();

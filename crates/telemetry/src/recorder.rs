@@ -135,6 +135,22 @@ pub fn apply_event(metrics: &MetricsRegistry, event: &Event) {
         Event::NodeOnboarded { .. } => {
             metrics.inc_counter("clite_fleet_nodes_onboarded_total", &[], 1);
         }
+        Event::PlacementScored { candidates, best_score, .. } => {
+            metrics.inc_counter("clite_placements_scored_total", &[], 1);
+            metrics.observe("clite_placement_candidates", &[], *candidates as f64);
+            metrics.observe("clite_placement_best_score", &[], *best_score);
+        }
+        Event::ModelLoaded { feature_version, epochs, train_loss } => {
+            metrics.inc_counter("clite_models_loaded_total", &[], 1);
+            metrics.set_gauge("clite_model_feature_version", &[], f64::from(*feature_version));
+            metrics.set_gauge("clite_model_epochs", &[], f64::from(*epochs));
+            metrics.set_gauge("clite_model_train_loss", &[], *train_loss);
+        }
+        Event::TrainingEpoch { epoch, loss } => {
+            metrics.inc_counter("clite_training_epochs_total", &[], 1);
+            metrics.set_gauge("clite_training_epoch", &[], f64::from(*epoch));
+            metrics.set_gauge("clite_training_loss", &[], *loss);
+        }
     }
 }
 

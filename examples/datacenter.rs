@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for policy in [PlacementPolicy::LeastLoaded, PlacementPolicy::MostLoaded] {
         let mut cluster = ClusterScheduler::new(
             nodes,
-            SchedulerConfig { placement: policy, ..SchedulerConfig::default() },
+            SchedulerConfig { placement: policy.clone(), ..SchedulerConfig::default() },
             7,
         )?;
 

@@ -12,7 +12,8 @@
 //! * [`core`] — the CLITE controller (score function, search loop,
 //!   adaptation);
 //! * [`policies`] — PARTIES, Heracles, RAND+, GENETIC, ORACLE baselines;
-//! * [`cluster`] — warehouse-scale placement built on the controller.
+//! * [`cluster`] — warehouse-scale placement built on the controller;
+//! * [`learn`] — trained placement scoring for fleet admission.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -22,6 +23,7 @@ pub use clite_bench as bench;
 pub use clite_bo as bo;
 pub use clite_cluster as cluster;
 pub use clite_gp as gp;
+pub use clite_learn as learn;
 pub use clite_par as par;
 pub use clite_policies as policies;
 pub use clite_sim as sim;
