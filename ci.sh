@@ -113,19 +113,25 @@ if [[ "${1:-}" != "quick" ]]; then
 
     # Load-harness regression gate: run the smoke-scale loadtest and diff
     # its tail percentiles against the committed baseline report with
-    # loadgate (exit 1 on a p99/p99.9 regression beyond tolerance). The
-    # first ever run bootstraps the baseline instead of gating.
+    # loadgate (exit 1 on a p99/p99.9 regression beyond tolerance).
+    # loadgate exits 3 when the baseline is missing or unreadable — the
+    # bootstrap signal: commit the current report as the new baseline
+    # instead of failing the build. Exit 1 (regression) and exit 2
+    # (broken current report) still fail CI.
     step "loadtest smoke + loadgate tail-regression gate"
     CLITE_LOAD_REPORT="$store_tmp/load_smoke.json" \
         ./target/release/experiments loadtest --quick --seed 42 > "$store_tmp/loadtest.txt"
     grep -q "CLITE p99 vs equal-share" "$store_tmp/loadtest.txt"
     baseline="results/reports/load_smoke.json"
-    if [[ -f "$baseline" ]]; then
-        ./target/release/loadgate "$store_tmp/load_smoke.json" --previous "$baseline"
-    else
+    gate_status=0
+    ./target/release/loadgate "$store_tmp/load_smoke.json" --previous "$baseline" \
+        || gate_status=$?
+    if [[ "$gate_status" -eq 3 ]]; then
         mkdir -p "$(dirname "$baseline")"
         cp "$store_tmp/load_smoke.json" "$baseline"
         echo "loadgate: bootstrapped baseline at $baseline (commit it)"
+    elif [[ "$gate_status" -ne 0 ]]; then
+        exit "$gate_status"
     fi
 
     # Fleet smoke test: stream a crash-laden event trace over a 64-node
@@ -169,6 +175,38 @@ if [[ "${1:-}" != "quick" ]]; then
         --placement learned --model "$store_tmp/placement.model" \
         --faults crash_prob=0.35,crash_max=20 > "$store_tmp/fleet_learned.txt"
     grep -q "without panic" "$store_tmp/fleet_learned.txt"
+
+    # Durable-recovery byte-identity: the kill-at-every-event replay
+    # sweep at 64 nodes and the journal torn-tail/bit-flip proptests
+    # must hold under release codegen (the witness comparison is
+    # float-codegen-sensitive, like the other identity suites).
+    step "cargo test -p clite-cluster --test recovery --release -q"
+    cargo test -p clite-cluster --test recovery --release -q
+
+    step "cargo test -p clite-store --test journal_props --release -q"
+    cargo test -p clite-store --test journal_props --release -q
+
+    # Kill-and-recover CLI smoke test: journal a fleet run, kill it
+    # mid-trace, then resume from the journal — the recovered run must
+    # report the replayed suffix and still reach the completion marker.
+    step "colocate fleet --journal kill-and-recover smoke test"
+    journal_tmp="$store_tmp/fleet-journal"
+    ./target/release/colocate fleet --nodes 32 --events 12 \
+        --journal "$journal_tmp" --kill-after 6 > "$store_tmp/fleet_kill.txt"
+    grep -q "fleet: killed after journaling event 6" "$store_tmp/fleet_kill.txt"
+    ./target/release/colocate fleet --nodes 32 --events 12 \
+        --journal "$journal_tmp" --recover > "$store_tmp/fleet_recover.txt"
+    grep -q "recovery: replayed" "$store_tmp/fleet_recover.txt"
+    grep -q "without panic" "$store_tmp/fleet_recover.txt"
+
+    # Recovery experiment: regenerate the committed benchmark artifact.
+    # The experiment asserts byte-identical recovery at every kill point
+    # (both WAL boundaries), threaded == serial across a crash, and the
+    # overload gates (deadline-bounded admission tail, journaled sheds).
+    step "recovery experiment (results/BENCH_pr10.json)"
+    ./target/release/experiments recovery --quick --seed 42 > "$store_tmp/recovery_exp.txt"
+    grep -q "benchmark artifact written" "$store_tmp/recovery_exp.txt"
+    grep -q "recovery: PASS" "$store_tmp/recovery_exp.txt"
 
     # Placement A/B experiment: regenerate the committed benchmark
     # artifact. The experiment asserts serial == threaded byte-identity

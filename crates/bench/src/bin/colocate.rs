@@ -199,6 +199,9 @@ fn main() -> ExitCode {
             store,
             placement,
             model,
+            journal,
+            recover,
+            kill_after,
         } => run_fleet(
             nodes,
             events,
@@ -211,6 +214,9 @@ fn main() -> ExitCode {
             store,
             placement,
             model,
+            journal,
+            recover,
+            kill_after,
         ),
         Command::Train { out, seed, epochs, groups } => run_train(&out, seed, epochs, groups),
         Command::Sweep { policy, seed, telemetry_out, store, swept, fixed } => {
@@ -280,7 +286,9 @@ fn main() -> ExitCode {
 /// trace, stream it through the fleet service over a sharded observation
 /// store, and print the counters, fleet statistics, and per-shard store
 /// occupancy. Ends in a `fleet: completed ...` marker line (the CI smoke
-/// test greps for it).
+/// test greps for it). With `--journal DIR` the run is durable (WAL +
+/// checkpoints); `--kill-after K` dies right after journaling event K and
+/// `--recover` resumes, printing a `recovery: replayed ...` marker.
 #[allow(clippy::too_many_arguments)]
 fn run_fleet(
     nodes: usize,
@@ -294,9 +302,15 @@ fn run_fleet(
     store_path: Option<std::path::PathBuf>,
     placement: clite_bench::cli::PlacementChoice,
     model_path: Option<std::path::PathBuf>,
+    journal_dir: Option<std::path::PathBuf>,
+    recover: bool,
+    kill_after: Option<u64>,
 ) -> ExitCode {
     use clite_bench::cli::PlacementChoice;
     use clite_cluster::fleet::{FleetConfig, FleetService};
+    use clite_cluster::recovery::{
+        CrashPlan, CrashPoint, DurableConfig, DurableFleet, DurableOutcome,
+    };
     use clite_cluster::trace::{generate, TraceConfig};
     use clite_faults::{FaultSpec, FaultyFactory};
     use clite_sim::testbed::ServerFactory;
@@ -353,13 +367,6 @@ fn run_fleet(
     config.epoch_ticks = epoch;
     let fault_spec = faults.unwrap_or_else(FaultSpec::none);
     let factory = FaultyFactory::new(ServerFactory, fault_spec.clone());
-    let mut fleet = match FleetService::with_factory(nodes, config, seed, factory) {
-        Ok(f) => f.with_store(store.clone()),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let trace = generate(&TraceConfig { events, ..TraceConfig::default() }, seed);
     println!(
         "fleet: {nodes} nodes, {events} events, seed {seed}, {shards} shards, {} admission, epoch {epoch}, probe limit {probe_limit}, {} placement\n",
@@ -373,11 +380,76 @@ fn run_fleet(
         }
     );
     let start = std::time::Instant::now();
-    let run = match fleet.run(&trace, &Telemetry::disabled()) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: fleet loop failed: {e}");
-            return ExitCode::FAILURE;
+    let run = match &journal_dir {
+        Some(dir) => {
+            let durable = DurableConfig::default();
+            let mut fleet = if recover {
+                match DurableFleet::recover(
+                    nodes,
+                    config,
+                    seed,
+                    factory,
+                    dir,
+                    durable,
+                    Some(store.clone().into()),
+                    &Telemetry::disabled(),
+                ) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("error: recovery from {} failed: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match DurableFleet::create(nodes, config, seed, factory, dir, durable) {
+                    Ok(f) => f.with_store(store.clone()),
+                    Err(e) => {
+                        eprintln!("error: cannot open journal {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            if let Some(info) = fleet.recovery_info() {
+                println!(
+                    "recovery: replayed {} events from checkpoint seq {}{}",
+                    info.replayed,
+                    info.checkpoint_seqno,
+                    if info.journal_damaged { " (journal tail repaired)" } else { "" }
+                );
+            }
+            let plan = kill_after.map(|k| CrashPlan { after_event: k, point: CrashPoint::Applied });
+            match fleet.run(&trace, plan.as_ref(), &Telemetry::disabled()) {
+                Ok(DurableOutcome::Completed(r)) => r,
+                Ok(DurableOutcome::Killed { applied }) => {
+                    println!(
+                        "fleet: killed after journaling event {} ({applied} applied); resume \
+                         with --journal {} --recover",
+                        kill_after.unwrap_or(applied),
+                        dir.display()
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => {
+                    eprintln!("error: durable fleet loop failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let mut fleet = match FleetService::with_factory(nodes, config, seed, factory) {
+                Ok(f) => f.with_store(store.clone()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fleet.run(&trace, &Telemetry::disabled()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: fleet loop failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
     let wall = start.elapsed();
@@ -387,6 +459,7 @@ fn run_fleet(
         "events",
         "arrivals",
         "placed",
+        "shed",
         "departed",
         "shifted",
         "stale",
@@ -397,6 +470,7 @@ fn run_fleet(
         trace.len().to_string(),
         c.arrivals.to_string(),
         c.placed.to_string(),
+        c.arrivals_shed.to_string(),
         c.departures.to_string(),
         c.load_shifts.to_string(),
         c.stale_events.to_string(),

@@ -128,6 +128,14 @@ pub enum Command {
         /// Ranking-model path for learned placement; the zero model
         /// (heuristic-fallback order) when absent or unloadable.
         model: Option<PathBuf>,
+        /// Durability directory (event journal + checkpoints); volatile
+        /// when absent.
+        journal: Option<PathBuf>,
+        /// Resume from the journal directory instead of starting fresh.
+        recover: bool,
+        /// Kill the run after journaling the k-th event (demo/test hook
+        /// for the recovery protocol; requires `--journal`).
+        kill_after: Option<u64>,
     },
     /// Train the placement ranking model over simulator rollouts and save
     /// it as a checksummed model file.
@@ -325,6 +333,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut store: Option<PathBuf> = None;
             let mut placement = PlacementChoice::default();
             let mut model: Option<PathBuf> = None;
+            let mut journal: Option<PathBuf> = None;
+            let mut recover = false;
+            let mut kill_after: Option<u64> = None;
             while let Some(tok) = it.next() {
                 match tok.as_str() {
                     "--nodes" => {
@@ -401,6 +412,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .ok_or_else(|| ParseError("--model requires a path".into()))?;
                         model = Some(PathBuf::from(v));
                     }
+                    "--journal" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--journal requires a directory".into()))?;
+                        journal = Some(PathBuf::from(v));
+                    }
+                    "--recover" => recover = true,
+                    "--kill-after" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--kill-after requires an event".into()))?;
+                        kill_after = Some(
+                            v.parse().map_err(|_| ParseError(format!("bad kill event '{v}'")))?,
+                        );
+                    }
                     other => {
                         return Err(ParseError(format!("unknown fleet argument '{other}'")));
                     }
@@ -408,6 +434,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             if model.is_some() && placement != PlacementChoice::Learned {
                 return Err(ParseError("--model requires --placement learned".into()));
+            }
+            if journal.is_none() && (recover || kill_after.is_some()) {
+                return Err(ParseError("--recover/--kill-after require --journal DIR".into()));
             }
             Ok(Command::Fleet {
                 nodes,
@@ -421,6 +450,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 store,
                 placement,
                 model,
+                journal,
+                recover,
+                kill_after,
             })
         }
         "train" => {
@@ -551,6 +583,7 @@ USAGE:
   colocate fleet [--nodes N] [--events N] [--seed N] [--shards N] [--threaded]
                  [--epoch N] [--probe-limit N] [--faults SPEC] [--store PATH]
                  [--placement heuristic|learned] [--model PATH]
+                 [--journal DIR] [--recover] [--kill-after K]
   colocate train [--out PATH] [--seed N] [--epochs N] [--groups N]
   colocate qos   [WORKLOAD...]
 
@@ -599,6 +632,14 @@ FLEET (long-running event-driven scheduler):
   or corrupt file degrades to the zero model, whose order matches the
   least-loaded heuristic).
 
+DURABILITY (write-ahead journal + checkpoints):
+  --journal DIR makes the fleet durable: every event is journaled (with
+  its shed disposition) before it mutates scheduler state, and periodic
+  checkpoints bound replay. --recover resumes from DIR — newest valid
+  checkpoint plus journal suffix — and finishing the same trace yields a
+  byte-identical witness to a never-crashed run. --kill-after K kills the
+  process right after journaling event K (recovery demo/test hook).
+
 TRAIN (fit the placement ranking model):
   colocate train runs deterministic simulator rollouts (labels come from
   ground-truth windows, never from anything admission can see), fits the
@@ -619,6 +660,8 @@ EXAMPLES:
   colocate fleet --nodes 128 --events 64 --threaded --faults crash_prob=0.3,crash_max=20
   colocate train --out results/placement.model --epochs 12
   colocate fleet --placement learned --model results/placement.model
+  colocate fleet --journal /tmp/fleet.wal --kill-after 20
+  colocate fleet --journal /tmp/fleet.wal --recover
   colocate qos memcached xapian"
 }
 
@@ -840,6 +883,9 @@ mod tests {
                 store,
                 placement,
                 model,
+                journal,
+                recover,
+                kill_after,
             } => {
                 assert_eq!(nodes, 64);
                 assert_eq!(events, 48);
@@ -852,6 +898,9 @@ mod tests {
                 assert_eq!(store, None);
                 assert_eq!(placement, PlacementChoice::Heuristic);
                 assert_eq!(model, None);
+                assert_eq!(journal, None);
+                assert!(!recover);
+                assert_eq!(kill_after, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -968,6 +1017,41 @@ mod tests {
         assert!(parse(&v(&["fleet", "--probe-limit", "0"])).is_err());
         assert!(parse(&v(&["fleet", "--nodes"])).is_err(), "flag needs a value");
         assert!(parse(&v(&["fleet", "memcached:40"])).is_err(), "fleet takes no job tokens");
+    }
+
+    #[test]
+    fn parses_fleet_durability_flags() {
+        let cmd = parse(&v(&["fleet", "--journal", "/tmp/wal", "--kill-after", "7"])).unwrap();
+        match cmd {
+            Command::Fleet { journal, recover, kill_after, .. } => {
+                assert_eq!(journal, Some(PathBuf::from("/tmp/wal")));
+                assert!(!recover);
+                assert_eq!(kill_after, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["fleet", "--journal", "/tmp/wal", "--recover"])).unwrap() {
+            Command::Fleet { recover, kill_after, .. } => {
+                assert!(recover);
+                assert_eq!(kill_after, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["fleet", "--journal"])).is_err(), "flag needs a directory");
+        assert!(parse(&v(&["fleet", "--kill-after", "x", "--journal", "d"])).is_err());
+        assert!(parse(&v(&["fleet", "--recover"])).is_err(), "--recover needs --journal");
+        assert!(parse(&v(&["fleet", "--kill-after", "3"])).is_err(), "needs --journal");
+    }
+
+    #[test]
+    fn fault_spec_errors_name_the_offending_token() {
+        let err = parse(&v(&["run", "--faults", "spike=0.1,bogus=1", "memcached:40"]))
+            .expect_err("unknown key must fail");
+        assert!(err.0.contains("bogus=1"), "message must quote the token: {err}");
+        assert!(err.0.contains("token 1"), "message must give the position: {err}");
+        let err = parse(&v(&["run", "--faults", "spike=abc", "memcached:40"]))
+            .expect_err("bad number must fail");
+        assert!(err.0.contains("spike=abc"), "message must quote the token: {err}");
     }
 
     #[test]

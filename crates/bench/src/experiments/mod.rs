@@ -21,6 +21,7 @@ pub mod frontier;
 pub mod loadtest;
 pub mod par;
 pub mod placement;
+pub mod recovery;
 pub mod summary;
 pub mod tables;
 
@@ -60,6 +61,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("fleet", fleet::run),
         ("placement", placement::run),
         ("par", par::run),
+        ("recovery", recovery::run),
     ]
 }
 

@@ -2,6 +2,7 @@ use std::fmt;
 
 use clite::CliteError;
 use clite_sim::SimError;
+use clite_store::StoreError;
 
 /// Error type for the cluster scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,9 @@ pub enum ClusterError {
     },
     /// The cluster was created with zero nodes.
     EmptyCluster,
+    /// A durability operation — journal append, checkpoint write, or a
+    /// corrupt journal record mid-replay — failed.
+    Store(StoreError),
 }
 
 impl ClusterError {
@@ -52,6 +56,7 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::UnknownJob { job } => write!(f, "unknown job id {job}"),
             ClusterError::EmptyCluster => write!(f, "cluster needs at least one node"),
+            ClusterError::Store(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -61,6 +66,7 @@ impl std::error::Error for ClusterError {
         match self {
             ClusterError::Clite(e) => Some(e),
             ClusterError::Sim(e) => Some(e),
+            ClusterError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -75,5 +81,11 @@ impl From<CliteError> for ClusterError {
 impl From<SimError> for ClusterError {
     fn from(e: SimError) -> Self {
         ClusterError::Sim(e)
+    }
+}
+
+impl From<StoreError> for ClusterError {
+    fn from(e: StoreError) -> Self {
+        ClusterError::Store(e)
     }
 }

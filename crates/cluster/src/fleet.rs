@@ -29,7 +29,10 @@
 //! bucket content). `crates/cluster/tests/fleet.rs` pins both at fleet
 //! scale.
 
+use std::collections::VecDeque;
+
 use clite_sim::testbed::{ServerFactory, TestbedFactory};
+use clite_sim::workload::JobClass;
 use clite_store::StoreHandle;
 use clite_telemetry::{Event, MetricsRegistry, Telemetry};
 
@@ -38,7 +41,53 @@ use crate::event::{FleetEvent, TimedEvent};
 use crate::placement::PlacementPolicy;
 use crate::scheduler::{ClusterScheduler, Placement, SchedulerConfig};
 use crate::stats::ClusterStats;
+use crate::wire::FleetCheckpoint;
 use crate::ClusterError;
+
+/// Load-shedding policy: when and which arrivals the service rejects
+/// without probing a single node.
+///
+/// Both triggers are pure functions of committed state and the event
+/// stream — never wall clock — so shedding decisions replay byte-
+/// identically:
+///
+/// * **Backlog**: the number of same-tick events still queued behind the
+///   arrival (an arrival burst). Supplied by the caller, recorded in the
+///   journal, so recovery sees the same value.
+/// * **Window debt**: the sum of observation windows the last
+///   [`debt_horizon`](OverloadConfig::debt_horizon) admissions cost. A run
+///   of expensive admissions is the deterministic analogue of rising
+///   admission latency.
+///
+/// Only low-priority (background-class) arrivals are ever shed; latency-
+/// critical arrivals always get their probes. Defaults disable both
+/// triggers, so a service without an overload policy is byte-identical to
+/// the pre-shedding code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Shed when the same-tick backlog behind an arrival reaches this
+    /// depth. `None` disables the trigger.
+    pub shed_backlog: Option<u64>,
+    /// Shed when the window debt over the last `debt_horizon` admissions
+    /// reaches this many observation windows. `None` disables the trigger.
+    pub shed_window_debt: Option<u64>,
+    /// How many recent admissions the debt window covers.
+    pub debt_horizon: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self { shed_backlog: None, shed_window_debt: None, debt_horizon: 8 }
+    }
+}
+
+impl OverloadConfig {
+    /// Whether any shedding trigger is armed.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.shed_backlog.is_some() || self.shed_window_debt.is_some()
+    }
+}
 
 /// Fleet-service configuration.
 #[derive(Debug, Clone)]
@@ -53,11 +102,18 @@ pub struct FleetConfig {
     /// the target each node is steered toward leaves room for the next
     /// few arrivals before the template is re-solved.
     pub target_margin_pct: u32,
+    /// Load-shedding policy (disabled by default).
+    pub overload: OverloadConfig,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { scheduler: SchedulerConfig::default(), epoch_ticks: 0, target_margin_pct: 10 }
+        Self {
+            scheduler: SchedulerConfig::default(),
+            epoch_ticks: 0,
+            target_margin_pct: 10,
+            overload: OverloadConfig::default(),
+        }
     }
 }
 
@@ -74,6 +130,7 @@ impl FleetConfig {
             },
             epoch_ticks,
             target_margin_pct: 10,
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -97,7 +154,15 @@ impl FleetConfig {
             },
             epoch_ticks,
             target_margin_pct: 10,
+            overload: OverloadConfig::default(),
         }
+    }
+
+    /// Returns a copy with the given load-shedding policy.
+    #[must_use]
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
     }
 }
 
@@ -127,6 +192,12 @@ pub enum EventOutcome {
         /// Ids of the added nodes.
         nodes: Vec<usize>,
     },
+    /// A low-priority arrival was shed by the overload policy without
+    /// probing any node (it still consumed a job id).
+    Shed {
+        /// The job id the arrival was assigned.
+        job: u64,
+    },
 }
 
 /// Counters summarizing a service's event history.
@@ -148,6 +219,8 @@ pub struct FleetCounters {
     pub epoch_solves: u64,
     /// Crash-orphaned jobs successfully re-homed on surviving nodes.
     pub replacements: u64,
+    /// Low-priority arrivals shed by the overload policy.
+    pub arrivals_shed: u64,
 }
 
 /// The result of running a trace to completion.
@@ -174,6 +247,9 @@ pub struct FleetService<F: TestbedFactory = ServerFactory> {
     /// The currently installed template target (for gauge export).
     target_pct: Option<u32>,
     counters: FleetCounters,
+    /// Observation-window cost of the most recent admissions (newest at
+    /// the back), capped at the overload policy's debt horizon.
+    debt: VecDeque<u64>,
 }
 
 impl FleetService {
@@ -208,7 +284,65 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
             solved_epoch: None,
             target_pct: None,
             counters: FleetCounters::default(),
+            debt: VecDeque::new(),
         })
+    }
+
+    /// Rebuilds a service from a checkpoint, returning it together with
+    /// the per-arrival placements recorded up to the checkpoint (the
+    /// witness prefix the caller extends during replay). The mean-field
+    /// template is reinstalled from the checkpointed target, so candidate
+    /// ordering resumes exactly where the crashed run left it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] for a checkpoint with no
+    /// nodes.
+    pub fn restore(
+        checkpoint: FleetCheckpoint,
+        config: FleetConfig,
+        factory: F,
+        store: Option<StoreHandle>,
+    ) -> Result<(Self, Vec<Option<usize>>), ClusterError> {
+        let scheduler = ClusterScheduler::restore(
+            checkpoint.scheduler,
+            config.scheduler.clone(),
+            factory,
+            store,
+        )?;
+        let mut clock = SimClock::new();
+        clock.advance_to(checkpoint.clock_now);
+        let mut service = Self {
+            scheduler,
+            config,
+            clock,
+            solved_epoch: checkpoint.solved_epoch,
+            target_pct: checkpoint.target_pct,
+            counters: checkpoint.counters,
+            debt: checkpoint.debt.into(),
+        };
+        if let Some(target_pct) = service.target_pct {
+            if !matches!(service.scheduler.config().placement, PlacementPolicy::Learned { .. }) {
+                service.scheduler.set_placement(PlacementPolicy::TargetLoad { target_pct });
+            }
+        }
+        Ok((service, checkpoint.placements))
+    }
+
+    /// Captures a checkpoint of the whole service at event boundary
+    /// `seqno`, including the caller's witness prefix (`placements`).
+    #[must_use]
+    pub fn checkpoint(&self, seqno: u64, placements: &[Option<usize>]) -> FleetCheckpoint {
+        FleetCheckpoint {
+            seqno,
+            clock_now: self.clock.now(),
+            solved_epoch: self.solved_epoch,
+            target_pct: self.target_pct,
+            counters: self.counters(),
+            placements: placements.to_vec(),
+            debt: self.debt.iter().copied().collect(),
+            scheduler: self.scheduler.snapshot(),
+        }
     }
 
     /// Attaches an observation store (single-lock or sharded) to every
@@ -244,6 +378,32 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         self.scheduler.stats()
     }
 
+    /// Whether the overload policy would shed this event right now: a
+    /// background-class arrival while either trigger (same-tick backlog or
+    /// recent window debt) is firing. Pure — callers journal the answer
+    /// *before* applying the event, so recovery replays the same decision.
+    #[must_use]
+    pub fn would_shed(&self, event: &FleetEvent, backlog: u64) -> bool {
+        let FleetEvent::Arrival { spec } = event else {
+            return false;
+        };
+        if spec.class() != JobClass::Background {
+            return false;
+        }
+        let overload = &self.config.overload;
+        overload.shed_backlog.is_some_and(|depth| backlog >= depth)
+            || overload.shed_window_debt.is_some_and(|debt| self.debt.iter().sum::<u64>() >= debt)
+    }
+
+    /// Records one admission's window cost in the overload debt window.
+    fn note_admission_debt(&mut self, windows: u64) {
+        let horizon = self.config.overload.debt_horizon.max(1);
+        if self.debt.len() >= horizon {
+            self.debt.pop_front();
+        }
+        self.debt.push_back(windows);
+    }
+
     /// Handles one event: advances the clock, re-solves the mean-field
     /// template on epoch boundaries, and drives the scheduler.
     ///
@@ -257,13 +417,41 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         event: &TimedEvent,
         telemetry: &Telemetry<'_>,
     ) -> Result<EventOutcome, ClusterError> {
+        self.handle_with_backlog(event, 0, telemetry)
+    }
+
+    /// [`handle`](FleetService::handle) with the same-tick arrival backlog
+    /// supplied, enabling the overload policy's backlog trigger. The
+    /// durable fleet computes the backlog from the trace and journals it
+    /// with the event, so recovery replays identical shedding decisions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-crash controller/simulator failures.
+    pub fn handle_with_backlog(
+        &mut self,
+        event: &TimedEvent,
+        backlog: u64,
+        telemetry: &Telemetry<'_>,
+    ) -> Result<EventOutcome, ClusterError> {
         self.clock.advance_to(event.at);
         self.maybe_solve_epoch();
         match &event.event {
             FleetEvent::Arrival { spec } => {
                 self.counters.arrivals += 1;
                 let workload = spec.workload.name().to_owned();
+                if self.would_shed(&event.event, backlog) {
+                    let job = self.scheduler.note_shed();
+                    self.counters.arrivals_shed += 1;
+                    telemetry.emit(Event::ArrivalShed { job, backlog });
+                    telemetry.emit(Event::JobArrived { job, workload });
+                    return Ok(EventOutcome::Shed { job });
+                }
+                let spent_before = self.scheduler.total_samples_spent();
                 let placed = self.scheduler.submit_with(spec.clone(), telemetry)?;
+                self.note_admission_debt(
+                    self.scheduler.total_samples_spent().saturating_sub(spent_before),
+                );
                 match placed {
                     Some(placement) => {
                         self.counters.placed += 1;
@@ -336,10 +524,11 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
             });
         }
         let mut placements = Vec::new();
-        for event in trace {
-            match self.handle(event, telemetry)? {
+        for (index, event) in trace.iter().enumerate() {
+            let backlog = backlog_at(trace, index);
+            match self.handle_with_backlog(event, backlog, telemetry)? {
                 EventOutcome::Placed(p) => placements.push(Some(p.node)),
-                EventOutcome::Rejected { .. } => placements.push(None),
+                EventOutcome::Rejected { .. } | EventOutcome::Shed { .. } => placements.push(None),
                 _ => {}
             }
         }
@@ -395,6 +584,12 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         let qos_ok = stats.nodes.iter().filter(|n| n.alive && n.qos_met).count();
         registry.set_gauge("clite_fleet_qos_ok_nodes", &[], qos_ok as f64);
         registry.set_gauge("clite_fleet_replacements", &[], self.scheduler.replaced() as f64);
+        registry.set_gauge("clite_fleet_shed_arrivals", &[], self.counters.arrivals_shed as f64);
+        registry.set_gauge(
+            "clite_fleet_admission_debt_windows",
+            &[],
+            self.debt.iter().sum::<u64>() as f64,
+        );
         if let Some(target) = self.target_pct {
             registry.set_gauge("clite_fleet_target_load_pct", &[], f64::from(target));
         }
@@ -420,6 +615,15 @@ impl<F: TestbedFactory + Sync + Clone> FleetService<F> {
         registry.set_gauge("clite_par_caller_tasks", &[], par.caller_tasks as f64);
         registry.set_gauge("clite_par_max_busy_workers", &[], par.max_busy_workers as f64);
     }
+}
+
+/// Same-tick backlog behind `trace[index]`: how many later events share
+/// its timestamp — the burst depth the overload policy's backlog trigger
+/// reads. A pure function of the trace, so it journals and replays.
+#[must_use]
+pub fn backlog_at(trace: &[TimedEvent], index: usize) -> u64 {
+    let at = trace[index].at;
+    trace[index + 1..].iter().take_while(|e| e.at == at).count() as u64
 }
 
 #[cfg(test)]

@@ -47,9 +47,11 @@ pub mod fleet;
 pub mod learned;
 pub mod node;
 pub mod placement;
+pub mod recovery;
 pub mod scheduler;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
 mod error;
 

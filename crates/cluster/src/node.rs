@@ -8,6 +8,7 @@ use clite_sim::testbed::{ServerFactory, TestbedFactory};
 use clite_store::{MixSignature, StoreHandle};
 use clite_telemetry::Telemetry;
 
+use crate::wire::NodeSnapshot;
 use crate::ClusterError;
 
 /// A placed job: cluster-wide id plus its spec.
@@ -103,6 +104,47 @@ impl<F: TestbedFactory> Node<F> {
             commits: 0,
             store: None,
             alive: true,
+        }
+    }
+
+    /// Captures the node's restorable state for a fleet checkpoint: jobs,
+    /// the committed outcome (minus its wall-clock overhead report, which
+    /// no witness reads), and the seed/commit bookkeeping future search
+    /// seeds derive from.
+    #[must_use]
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            id: self.id,
+            seed: self.seed,
+            alive: self.alive,
+            commits: self.commits,
+            searches_run: self.searches_run,
+            samples_spent: self.samples_spent,
+            jobs: self.jobs.iter().map(|j| (j.id, j.spec.clone())).collect(),
+            last_outcome: self.last_outcome.clone().map(|mut o| {
+                o.overhead = None;
+                o
+            }),
+        }
+    }
+
+    /// Rebuilds a node from a checkpoint snapshot. The catalog and factory
+    /// are reattached by the caller (they are configuration, not state);
+    /// the store handle, if any, is installed via [`Node::set_store`].
+    #[must_use]
+    pub fn from_snapshot(snap: NodeSnapshot, catalog: ResourceCatalog, factory: F) -> Self {
+        Self {
+            id: snap.id,
+            catalog,
+            seed: snap.seed,
+            factory,
+            jobs: snap.jobs.into_iter().map(|(id, spec)| PlacedJob { id, spec }).collect(),
+            last_outcome: snap.last_outcome,
+            searches_run: snap.searches_run,
+            samples_spent: snap.samples_spent,
+            commits: snap.commits,
+            store: None,
+            alive: snap.alive,
         }
     }
 

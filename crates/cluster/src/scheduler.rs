@@ -12,6 +12,7 @@ use clite_telemetry::{Event, Phase, Telemetry};
 use crate::node::{AdmissionPlan, Node, PlacedJob};
 use crate::placement::PlacementPolicy;
 use crate::stats::ClusterStats;
+use crate::wire::SchedulerSnapshot;
 use crate::ClusterError;
 
 /// How a submission's admission searches run across candidate nodes.
@@ -55,6 +56,18 @@ pub struct SchedulerConfig {
     /// refinement" half of the mean-field policy. Applied identically in
     /// serial and threaded modes, so byte-identity is unaffected.
     pub probe_limit: Option<usize>,
+    /// Per-admission deadline budget in observation windows: once the
+    /// windows recorded against candidates for *this* admission reach the
+    /// budget, the remaining candidates are not probed (the arrival is
+    /// rejected if none was feasible yet). Checked before each candidate
+    /// in both admission modes at the same points a serial scan would, so
+    /// byte-identity is unaffected. `None` disables the deadline.
+    pub deadline_samples: Option<u64>,
+    /// Retry budget for transient enforce/observe faults inside each
+    /// admission search, overriding the CLITE config's
+    /// `recovery.max_retries` when set (applied once at construction).
+    /// `None` keeps the configured value.
+    pub retry_budget: Option<usize>,
 }
 
 impl Default for SchedulerConfig {
@@ -65,7 +78,20 @@ impl Default for SchedulerConfig {
             clite: CliteConfig::default()
                 .with_termination(Termination { max_iterations: 30, ..Termination::default() }),
             probe_limit: None,
+            deadline_samples: None,
+            retry_budget: None,
         }
+    }
+}
+
+impl SchedulerConfig {
+    /// Folds [`SchedulerConfig::retry_budget`] into the CLITE recovery
+    /// policy (done once per scheduler so probe hot paths stay clone-free).
+    fn apply_retry_budget(mut self) -> Self {
+        if let Some(budget) = self.retry_budget {
+            self.clite.recovery.max_retries = budget;
+        }
+        self
     }
 }
 
@@ -151,7 +177,7 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         let stats = ClusterStats::collect(&nodes, 0);
         Ok(Self {
             nodes,
-            config,
+            config: config.apply_retry_budget(),
             next_job_id: 0,
             rejected: 0,
             replaced: 0,
@@ -277,6 +303,89 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         self.stats.rejected = self.rejected;
     }
 
+    /// Consumes a job id for a shed arrival without probing any node.
+    /// Shedding must keep the "arrival `k` has id `k`" invariant — later
+    /// departures and load shifts reference ids positionally — so a shed
+    /// arrival burns its id exactly as a rejected one would.
+    pub fn note_shed(&mut self) -> u64 {
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        job_id
+    }
+
+    /// Total observation windows charged across the fleet, from the
+    /// incrementally maintained statistics (no node is touched).
+    #[must_use]
+    pub fn total_samples_spent(&self) -> u64 {
+        self.stats.nodes.iter().map(|n| n.samples_spent).sum()
+    }
+
+    /// Captures the scheduler's restorable state (id counters plus every
+    /// node) for a fleet checkpoint.
+    #[must_use]
+    pub fn snapshot(&self) -> SchedulerSnapshot {
+        SchedulerSnapshot {
+            next_job_id: self.next_job_id,
+            rejected: self.rejected,
+            replaced: self.replaced,
+            base_seed: self.base_seed,
+            nodes: self.nodes.iter().map(Node::snapshot).collect(),
+        }
+    }
+
+    /// Rebuilds a scheduler from a checkpoint snapshot. The job index and
+    /// cluster statistics are re-derived from the restored nodes; the
+    /// store handle, when given, is reattached to every node (recovered
+    /// byte-identity is only guaranteed storeless — a warm store changes
+    /// future searches, exactly as it would on a never-crashed run that
+    /// pre-warmed it differently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] for a snapshot with no nodes.
+    pub fn restore(
+        snap: SchedulerSnapshot,
+        config: SchedulerConfig,
+        factory: F,
+        store: Option<StoreHandle>,
+    ) -> Result<Self, ClusterError>
+    where
+        F: Clone,
+    {
+        if snap.nodes.is_empty() {
+            return Err(ClusterError::EmptyCluster);
+        }
+        let mut nodes: Vec<Node<F>> = snap
+            .nodes
+            .into_iter()
+            .map(|n| Node::from_snapshot(n, ResourceCatalog::testbed(), factory.clone()))
+            .collect();
+        if let Some(handle) = &store {
+            for node in &mut nodes {
+                node.set_store(handle.clone());
+            }
+        }
+        let mut job_index = HashMap::new();
+        for node in &nodes {
+            for job in node.jobs() {
+                job_index.insert(job.id, node.id());
+            }
+        }
+        let stats = ClusterStats::collect(&nodes, snap.rejected);
+        Ok(Self {
+            nodes,
+            config: config.apply_retry_budget(),
+            next_job_id: snap.next_job_id,
+            rejected: snap.rejected,
+            replaced: snap.replaced,
+            factory,
+            base_seed: snap.base_seed,
+            store,
+            job_index,
+            stats,
+        })
+    }
+
     /// One admission attempt, shared by fresh submissions and the
     /// re-placement of jobs orphaned by a node crash. Any nodes that crash
     /// while being probed are evicted and their committed jobs re-placed
@@ -338,7 +447,10 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
     /// Serial admission: probe candidates one at a time, committing to
     /// the first feasible node. A probe that surfaces a node crash evicts
     /// that node (its drained jobs are returned for re-placement) and the
-    /// scan continues on the remaining candidates.
+    /// scan continues on the remaining candidates. The per-admission
+    /// deadline budget is checked *before* each probe: once the windows
+    /// recorded for this admission reach it, remaining candidates are
+    /// skipped entirely.
     fn admit_serial(
         &mut self,
         order: &[usize],
@@ -346,9 +458,15 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
         telemetry: &Telemetry<'_>,
     ) -> Result<(Option<usize>, Vec<PlacedJob>), ClusterError> {
         let mut orphans = Vec::new();
+        let mut spent: u64 = 0;
         for &node_id in order {
+            if self.config.deadline_samples.is_some_and(|budget| spent >= budget) {
+                break;
+            }
+            let before = self.nodes[node_id].samples_spent();
             match self.nodes[node_id].try_admit_with(job.clone(), &self.config.clite, telemetry) {
                 Ok(admitted) => {
+                    spent += self.nodes[node_id].samples_spent() - before;
                     self.stats.refresh_node(&self.nodes[node_id]);
                     if admitted {
                         return Ok((Some(node_id), orphans));
@@ -403,9 +521,17 @@ impl<F: TestbedFactory + Sync> ClusterScheduler<F> {
                 )
             });
         let mut orphans = Vec::new();
+        let mut spent: u64 = 0;
         for (result, &node_id) in results.into_iter().zip(order) {
+            // Deadline check mirrors the serial scan's: a candidate the
+            // serial loop would never have probed is discarded unrecorded
+            // here, crashes included.
+            if self.config.deadline_samples.is_some_and(|budget| spent >= budget) {
+                break;
+            }
             match result {
                 Ok(Some(plan)) => {
+                    spent += plan.outcome().samples_used() as u64;
                     self.nodes[node_id].record_probe(&plan);
                     let feasible = plan.feasible();
                     if feasible {
@@ -630,6 +756,55 @@ mod tests {
         c.remove(a.job_id).unwrap();
         let retry = c.submit(JobSpec::latency_critical(WorkloadId::Specjbb, 0.8)).unwrap();
         assert!(retry.is_some(), "departure must free capacity");
+    }
+
+    #[test]
+    fn deadline_budget_caps_probing_and_preserves_byte_identity() {
+        // Saturate a small fleet so the probe job below runs a real — and
+        // infeasible — search on every candidate it reaches. Without a
+        // deadline the scan pays for a search per candidate; with a
+        // 1-window budget it stops after the first search finishes.
+        let build = |deadline: Option<u64>, admission: AdmissionMode| {
+            let mut c = ClusterScheduler::new(
+                3,
+                SchedulerConfig {
+                    placement: PlacementPolicy::FirstFit,
+                    admission,
+                    deadline_samples: deadline,
+                    ..SchedulerConfig::default()
+                },
+                99,
+            )
+            .unwrap();
+            for i in 0..9 {
+                let w = [WorkloadId::Masstree, WorkloadId::ImgDnn][i % 2];
+                let _ = c.submit(JobSpec::latency_critical(w, 0.8)).unwrap();
+            }
+            c
+        };
+        let probe = |c: &mut ClusterScheduler| {
+            let before = c.total_samples_spent();
+            let placed = c.submit(JobSpec::latency_critical(WorkloadId::Specjbb, 0.9)).unwrap();
+            assert!(placed.is_none(), "the saturated fleet must reject the probe job");
+            c.total_samples_spent() - before
+        };
+
+        let mut unbounded = build(None, AdmissionMode::Serial);
+        let mut bounded = build(Some(1), AdmissionMode::Serial);
+        let mut threaded = build(Some(1), AdmissionMode::Threaded);
+        let full_scan = probe(&mut unbounded);
+        let capped = probe(&mut bounded);
+        let capped_threaded = probe(&mut threaded);
+        assert!(capped > 0, "the first candidate's search is still paid for");
+        assert!(
+            capped < full_scan,
+            "deadline must stop the scan after one search: capped {capped}, full {full_scan}"
+        );
+        assert_eq!(
+            capped, capped_threaded,
+            "threaded admission must honor the deadline at the same scan points"
+        );
+        assert_eq!(bounded.stats(), threaded.stats(), "deadline preserves byte-identity");
     }
 
     #[test]

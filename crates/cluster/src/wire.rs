@@ -1,0 +1,737 @@
+//! Wire codecs for durable fleet state: journal entries and checkpoints.
+//!
+//! Reuses the `clite-store` codec primitives (bounds-checked little-endian
+//! [`Reader`], presence-byte optionals, workload codes) so the fleet's
+//! durability layer speaks the same dialect as the observation log instead
+//! of inventing a second framing. Two payload families live here:
+//!
+//! * **Journal entries** — one per [`TimedEvent`], written ahead of the
+//!   mutation they describe (see [`crate::recovery::DurableFleet`]). An
+//!   entry carries the pre-decided *disposition* (applied vs shed) and the
+//!   arrival-burst backlog the decision was made under, so replay re-derives
+//!   the exact same admission sequence without the original trace.
+//! * **Checkpoints** — a full [`FleetCheckpoint`] snapshot of the service,
+//!   scheduler, and every node, written atomically via
+//!   [`clite_store::blob`]. Recovery loads the newest valid checkpoint and
+//!   replays the journal suffix; a corrupt checkpoint degrades to a full
+//!   replay, never an abort.
+//!
+//! Every decoder is total: it returns a [`DecodeError`] naming the offset
+//! and expectation, never panics, and never reads past its slice — the same
+//! crash-safety argument as the store codec, because these bytes are read
+//! exactly when something already went wrong.
+
+use clite::score::{ScoreBreakdown, ScoreMode};
+use clite::trace::{CliteOutcome, SampleRecord};
+use clite_sim::load::LoadSchedule;
+use clite_sim::resource::ResourceCatalog;
+use clite_sim::server::JobSpec;
+use clite_sim::workload::WorkloadProfile;
+use clite_store::codec::{
+    put_f64, put_observation, put_opt_f64, put_partition_rows, put_u32, put_u64, put_u8,
+    read_observation, read_partition_rows, workload_code, workload_from_code, DecodeError, Reader,
+};
+
+use crate::event::{FleetEvent, TimedEvent};
+use crate::fleet::FleetCounters;
+
+/// Checkpoint blob magic (8 bytes, mirrors the `CLITESTO` log magic).
+pub const CKPT_MAGIC: &[u8; 8] = b"CLITECKP";
+/// Checkpoint payload format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Vector lengths above which a payload is rejected as corrupt (a length
+/// prefix this large can only come from flipped bits).
+const MAX_VEC: usize = 1 << 20;
+
+fn read_len(r: &mut Reader<'_>, expected: &'static str) -> Result<usize, DecodeError> {
+    let n = r.u32(expected)? as usize;
+    if n > MAX_VEC {
+        return Err(r.fail(expected));
+    }
+    Ok(n)
+}
+
+// ── journal entries ──────────────────────────────────────────────────────
+
+/// One recovered journal entry: the event, the disposition decided before
+/// it was applied, and the arrival backlog that decision saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// `true` when the admission path shed this arrival instead of
+    /// probing nodes (low-priority arrival under overload).
+    pub shed: bool,
+    /// Same-tick arrival backlog at decision time (events still queued
+    /// behind this one with the same timestamp).
+    pub backlog: u64,
+    /// The event itself.
+    pub event: TimedEvent,
+}
+
+/// Encodes one journal entry (disposition, backlog, event).
+#[must_use]
+pub fn encode_journal_entry(shed: bool, backlog: u64, event: &TimedEvent) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u8(&mut buf, u8::from(shed));
+    put_u64(&mut buf, backlog);
+    put_event(&mut buf, event);
+    buf
+}
+
+/// Decodes one journal entry.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any malformed byte; trailing garbage is
+/// rejected.
+pub fn decode_journal_entry(payload: &[u8]) -> Result<JournalEntry, DecodeError> {
+    let mut r = Reader::new(payload);
+    let shed = match r.u8("disposition")? {
+        0 => false,
+        1 => true,
+        _ => return Err(r.fail("disposition")),
+    };
+    let backlog = r.u64("backlog")?;
+    let event = read_event(&mut r)?;
+    if !r.done() {
+        return Err(r.fail("end of journal entry"));
+    }
+    Ok(JournalEntry { shed, backlog, event })
+}
+
+// ── events ───────────────────────────────────────────────────────────────
+
+fn put_event(buf: &mut Vec<u8>, event: &TimedEvent) {
+    put_u64(buf, event.at);
+    match &event.event {
+        FleetEvent::Arrival { spec } => {
+            put_u8(buf, 0);
+            put_job_spec(buf, spec);
+        }
+        FleetEvent::Departure { job } => {
+            put_u8(buf, 1);
+            put_u64(buf, *job);
+        }
+        FleetEvent::LoadShift { job, load } => {
+            put_u8(buf, 2);
+            put_u64(buf, *job);
+            put_load(buf, load);
+        }
+        FleetEvent::Onboard { nodes } => {
+            put_u8(buf, 3);
+            put_u64(buf, *nodes as u64);
+        }
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<TimedEvent, DecodeError> {
+    let at = r.u64("event tick")?;
+    let event = match r.u8("event tag")? {
+        0 => FleetEvent::Arrival { spec: read_job_spec(r)? },
+        1 => FleetEvent::Departure { job: r.u64("job id")? },
+        2 => FleetEvent::LoadShift { job: r.u64("job id")?, load: read_load(r)? },
+        3 => FleetEvent::Onboard { nodes: r.u64("onboard count")? as usize },
+        _ => return Err(r.fail("event tag")),
+    };
+    Ok(TimedEvent::new(at, event))
+}
+
+fn put_load(buf: &mut Vec<u8>, load: &LoadSchedule) {
+    match load {
+        LoadSchedule::Constant(l) => {
+            put_u8(buf, 0);
+            put_f64(buf, *l);
+        }
+        LoadSchedule::Steps(phases) => {
+            put_u8(buf, 1);
+            put_pairs(buf, phases);
+        }
+        LoadSchedule::Ramp { from, to, duration_s } => {
+            put_u8(buf, 2);
+            put_f64(buf, *from);
+            put_f64(buf, *to);
+            put_f64(buf, *duration_s);
+        }
+        LoadSchedule::Diurnal { base, amplitude, period_s } => {
+            put_u8(buf, 3);
+            put_f64(buf, *base);
+            put_f64(buf, *amplitude);
+            put_f64(buf, *period_s);
+        }
+        LoadSchedule::Trace(points) => {
+            put_u8(buf, 4);
+            put_pairs(buf, points);
+        }
+    }
+}
+
+fn put_pairs(buf: &mut Vec<u8>, pairs: &[(f64, f64)]) {
+    put_u32(buf, pairs.len() as u32);
+    for &(a, b) in pairs {
+        put_f64(buf, a);
+        put_f64(buf, b);
+    }
+}
+
+fn read_pairs(r: &mut Reader<'_>) -> Result<Vec<(f64, f64)>, DecodeError> {
+    let n = read_len(r, "pair count")?;
+    let mut pairs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        pairs.push((r.f64("pair")?, r.f64("pair")?));
+    }
+    Ok(pairs)
+}
+
+fn read_load(r: &mut Reader<'_>) -> Result<LoadSchedule, DecodeError> {
+    Ok(match r.u8("load tag")? {
+        0 => LoadSchedule::Constant(r.f64("load")?),
+        1 => LoadSchedule::Steps(read_pairs(r)?),
+        2 => LoadSchedule::Ramp {
+            from: r.f64("ramp")?,
+            to: r.f64("ramp")?,
+            duration_s: r.f64("ramp")?,
+        },
+        3 => LoadSchedule::Diurnal {
+            base: r.f64("diurnal")?,
+            amplitude: r.f64("diurnal")?,
+            period_s: r.f64("diurnal")?,
+        },
+        4 => LoadSchedule::Trace(read_pairs(r)?),
+        _ => return Err(r.fail("load tag")),
+    })
+}
+
+fn put_job_spec(buf: &mut Vec<u8>, spec: &JobSpec) {
+    put_u8(buf, workload_code(spec.workload));
+    put_load(buf, &spec.load);
+    match &spec.profile_override {
+        None => put_u8(buf, 0),
+        Some(p) => {
+            put_u8(buf, 1);
+            put_profile(buf, p);
+        }
+    }
+}
+
+fn read_job_spec(r: &mut Reader<'_>) -> Result<JobSpec, DecodeError> {
+    let workload = workload_from_code(r)?;
+    let load = read_load(r)?;
+    let profile_override = match r.u8("profile presence")? {
+        0 => None,
+        1 => Some(read_profile(r)?),
+        _ => return Err(r.fail("profile presence")),
+    };
+    Ok(JobSpec { workload, load, profile_override })
+}
+
+fn put_profile(buf: &mut Vec<u8>, p: &WorkloadProfile) {
+    put_u8(buf, workload_code(p.id));
+    for v in [
+        p.cpu_time_us,
+        p.parallel_frac,
+        p.mem_time_us,
+        p.disk_time_us,
+        p.hit_max,
+        p.ways_sat,
+        p.working_set_frac,
+        p.thrash_exp,
+        p.mem_intensity,
+        p.disk_intensity,
+        p.net_time_us,
+        p.net_intensity,
+    ] {
+        put_f64(buf, v);
+    }
+}
+
+fn read_profile(r: &mut Reader<'_>) -> Result<WorkloadProfile, DecodeError> {
+    Ok(WorkloadProfile {
+        id: workload_from_code(r)?,
+        cpu_time_us: r.f64("profile")?,
+        parallel_frac: r.f64("profile")?,
+        mem_time_us: r.f64("profile")?,
+        disk_time_us: r.f64("profile")?,
+        hit_max: r.f64("profile")?,
+        ways_sat: r.f64("profile")?,
+        working_set_frac: r.f64("profile")?,
+        thrash_exp: r.f64("profile")?,
+        mem_intensity: r.f64("profile")?,
+        disk_intensity: r.f64("profile")?,
+        net_time_us: r.f64("profile")?,
+        net_intensity: r.f64("profile")?,
+    })
+}
+
+// ── controller outcomes ──────────────────────────────────────────────────
+
+fn put_score(buf: &mut Vec<u8>, s: &ScoreBreakdown) {
+    put_f64(buf, s.value);
+    put_u8(
+        buf,
+        match s.mode {
+            ScoreMode::QosViolated => 0,
+            ScoreMode::QosMet => 1,
+        },
+    );
+    put_f64_vec(buf, &s.lc_ratios);
+    put_f64_vec(buf, &s.bg_ratios);
+}
+
+fn read_score(r: &mut Reader<'_>) -> Result<ScoreBreakdown, DecodeError> {
+    Ok(ScoreBreakdown {
+        value: r.f64("score value")?,
+        mode: match r.u8("score mode")? {
+            0 => ScoreMode::QosViolated,
+            1 => ScoreMode::QosMet,
+            _ => return Err(r.fail("score mode")),
+        },
+        lc_ratios: read_f64_vec(r)?,
+        bg_ratios: read_f64_vec(r)?,
+    })
+}
+
+fn put_f64_vec(buf: &mut Vec<u8>, v: &[f64]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_f64(buf, x);
+    }
+}
+
+fn read_f64_vec(r: &mut Reader<'_>) -> Result<Vec<f64>, DecodeError> {
+    let n = read_len(r, "f64 vec")?;
+    let mut v = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        v.push(r.f64("f64 vec")?);
+    }
+    Ok(v)
+}
+
+fn put_sample(buf: &mut Vec<u8>, s: &SampleRecord) {
+    put_u64(buf, s.index as u64);
+    put_u8(buf, u8::from(s.bootstrap));
+    put_partition_rows(buf, &s.partition);
+    put_observation(buf, &s.observation);
+    put_score(buf, &s.score);
+    put_opt_f64(buf, s.expected_improvement);
+    match s.frozen_job {
+        None => put_u8(buf, 0),
+        Some(j) => {
+            put_u8(buf, 1);
+            put_u64(buf, j as u64);
+        }
+    }
+}
+
+fn read_sample(r: &mut Reader<'_>, catalog: ResourceCatalog) -> Result<SampleRecord, DecodeError> {
+    Ok(SampleRecord {
+        index: r.u64("sample index")? as usize,
+        bootstrap: match r.u8("bootstrap flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(r.fail("bootstrap flag")),
+        },
+        partition: read_partition_rows(r, catalog)?,
+        observation: read_observation(r)?,
+        score: read_score(r)?,
+        expected_improvement: r.opt_f64("expected improvement")?,
+        frozen_job: match r.u8("frozen presence")? {
+            0 => None,
+            1 => Some(r.u64("frozen job")? as usize),
+            _ => return Err(r.fail("frozen presence")),
+        },
+    })
+}
+
+/// Encodes a [`CliteOutcome`] minus its overhead report.
+///
+/// Wall-clock phase timings are observability, not scheduler state: no
+/// byte-identity witness reads them, and serializing nanoseconds would
+/// make checkpoints nondeterministic. Restored outcomes carry
+/// `overhead: None`.
+fn put_outcome(buf: &mut Vec<u8>, o: &CliteOutcome) {
+    put_partition_rows(buf, &o.best_partition);
+    put_f64(buf, o.best_score);
+    put_u32(buf, o.samples.len() as u32);
+    for s in &o.samples {
+        put_sample(buf, s);
+    }
+    put_u8(buf, u8::from(o.converged));
+    put_u32(buf, o.infeasible_jobs.len() as u32);
+    for &j in &o.infeasible_jobs {
+        put_u64(buf, j as u64);
+    }
+    match o.samples_to_qos {
+        None => put_u8(buf, 0),
+        Some(i) => {
+            put_u8(buf, 1);
+            put_u64(buf, i as u64);
+        }
+    }
+    put_u64(buf, o.quarantined as u64);
+}
+
+fn read_outcome(r: &mut Reader<'_>, catalog: ResourceCatalog) -> Result<CliteOutcome, DecodeError> {
+    let best_partition = read_partition_rows(r, catalog)?;
+    let best_score = r.f64("best score")?;
+    let n = read_len(r, "sample count")?;
+    let mut samples = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        samples.push(read_sample(r, catalog)?);
+    }
+    let converged = match r.u8("converged flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(r.fail("converged flag")),
+    };
+    let k = read_len(r, "infeasible count")?;
+    let mut infeasible_jobs = Vec::with_capacity(k.min(1024));
+    for _ in 0..k {
+        infeasible_jobs.push(r.u64("infeasible job")? as usize);
+    }
+    let samples_to_qos = match r.u8("qos presence")? {
+        0 => None,
+        1 => Some(r.u64("samples to qos")? as usize),
+        _ => return Err(r.fail("qos presence")),
+    };
+    let quarantined = r.u64("quarantined")? as usize;
+    Ok(CliteOutcome {
+        best_partition,
+        best_score,
+        samples,
+        converged,
+        infeasible_jobs,
+        samples_to_qos,
+        quarantined,
+        overhead: None,
+    })
+}
+
+// ── snapshots ────────────────────────────────────────────────────────────
+
+/// Restorable state of one node: everything future admissions and the
+/// statistics witness depend on. The testbed factory, catalog, and store
+/// handle are reattached by the restoring scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// Node id within the cluster.
+    pub id: usize,
+    /// The node's search-seed base.
+    pub seed: u64,
+    /// Whether the node is in service.
+    pub alive: bool,
+    /// Committed state changes so far (drives the next search seed).
+    pub commits: u64,
+    /// Searches charged to the node.
+    pub searches_run: usize,
+    /// Observation windows spent.
+    pub samples_spent: u64,
+    /// Committed jobs in placement order, as `(id, spec)` pairs.
+    pub jobs: Vec<(u64, JobSpec)>,
+    /// The committed outcome (minus overhead), if any.
+    pub last_outcome: Option<CliteOutcome>,
+}
+
+/// Restorable state of the scheduler: its id counters plus every node.
+/// The job index and cluster statistics are re-derived on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerSnapshot {
+    /// Next job id to assign.
+    pub next_job_id: u64,
+    /// Jobs rejected so far.
+    pub rejected: u64,
+    /// Orphans successfully re-homed.
+    pub replaced: u64,
+    /// Base seed (node `i` searches from `base_seed + 1000·i`).
+    pub base_seed: u64,
+    /// Every node, founding and onboarded, in id order.
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+/// A full checkpoint of the durable fleet at a journal boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// Events applied when the checkpoint was taken; recovery replays the
+    /// journal suffix starting at this seqno.
+    pub seqno: u64,
+    /// Clock tick at checkpoint time.
+    pub clock_now: u64,
+    /// Last epoch the mean-field template was solved for.
+    pub solved_epoch: Option<u64>,
+    /// The installed template target.
+    pub target_pct: Option<u32>,
+    /// Fleet counters (the `replacements` field stores the scheduler's
+    /// live count).
+    pub counters: FleetCounters,
+    /// Per-arrival placements so far (the byte-identity witness prefix).
+    pub placements: Vec<Option<usize>>,
+    /// Recent per-admission window costs (the overload debt horizon).
+    pub debt: Vec<u64>,
+    /// The scheduler and its nodes.
+    pub scheduler: SchedulerSnapshot,
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(x) => {
+            put_u8(buf, 1);
+            put_u64(buf, x);
+        }
+    }
+}
+
+fn read_opt_u64(r: &mut Reader<'_>, expected: &'static str) -> Result<Option<u64>, DecodeError> {
+    match r.u8(expected)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64(expected)?)),
+        _ => Err(r.fail(expected)),
+    }
+}
+
+/// Encodes a checkpoint payload (wrap in [`clite_store::blob::save`] with
+/// [`CKPT_MAGIC`]/[`CKPT_VERSION`] for the durable file).
+#[must_use]
+pub fn encode_checkpoint(c: &FleetCheckpoint) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4096);
+    put_u64(&mut buf, c.seqno);
+    put_u64(&mut buf, c.clock_now);
+    put_opt_u64(&mut buf, c.solved_epoch);
+    put_opt_u64(&mut buf, c.target_pct.map(u64::from));
+    let k = &c.counters;
+    for v in [
+        k.arrivals,
+        k.placed,
+        k.departures,
+        k.load_shifts,
+        k.stale_events,
+        k.nodes_onboarded,
+        k.epoch_solves,
+        k.replacements,
+        k.arrivals_shed,
+    ] {
+        put_u64(&mut buf, v);
+    }
+    put_u32(&mut buf, c.placements.len() as u32);
+    for p in &c.placements {
+        put_opt_u64(&mut buf, p.map(|n| n as u64));
+    }
+    put_u32(&mut buf, c.debt.len() as u32);
+    for &d in &c.debt {
+        put_u64(&mut buf, d);
+    }
+    let s = &c.scheduler;
+    put_u64(&mut buf, s.next_job_id);
+    put_u64(&mut buf, s.rejected);
+    put_u64(&mut buf, s.replaced);
+    put_u64(&mut buf, s.base_seed);
+    put_u32(&mut buf, s.nodes.len() as u32);
+    for n in &s.nodes {
+        put_u64(&mut buf, n.id as u64);
+        put_u64(&mut buf, n.seed);
+        put_u8(&mut buf, u8::from(n.alive));
+        put_u64(&mut buf, n.commits);
+        put_u64(&mut buf, n.searches_run as u64);
+        put_u64(&mut buf, n.samples_spent);
+        put_u32(&mut buf, n.jobs.len() as u32);
+        for (id, spec) in &n.jobs {
+            put_u64(&mut buf, *id);
+            put_job_spec(&mut buf, spec);
+        }
+        match &n.last_outcome {
+            None => put_u8(&mut buf, 0),
+            Some(o) => {
+                put_u8(&mut buf, 1);
+                put_outcome(&mut buf, o);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a checkpoint payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any malformed byte; trailing garbage is
+/// rejected. Callers treat a decode failure as "no usable checkpoint" and
+/// fall back to a full journal replay.
+pub fn decode_checkpoint(payload: &[u8]) -> Result<FleetCheckpoint, DecodeError> {
+    let catalog = ResourceCatalog::testbed();
+    let mut r = Reader::new(payload);
+    let seqno = r.u64("ckpt seqno")?;
+    let clock_now = r.u64("clock")?;
+    let solved_epoch = read_opt_u64(&mut r, "solved epoch")?;
+    let target_pct = read_opt_u64(&mut r, "target pct")?.map(|v| v as u32);
+    let counters = FleetCounters {
+        arrivals: r.u64("counters")?,
+        placed: r.u64("counters")?,
+        departures: r.u64("counters")?,
+        load_shifts: r.u64("counters")?,
+        stale_events: r.u64("counters")?,
+        nodes_onboarded: r.u64("counters")?,
+        epoch_solves: r.u64("counters")?,
+        replacements: r.u64("counters")?,
+        arrivals_shed: r.u64("counters")?,
+    };
+    let np = read_len(&mut r, "placement count")?;
+    let mut placements = Vec::with_capacity(np.min(4096));
+    for _ in 0..np {
+        placements.push(read_opt_u64(&mut r, "placement")?.map(|v| v as usize));
+    }
+    let nd = read_len(&mut r, "debt count")?;
+    let mut debt = Vec::with_capacity(nd.min(4096));
+    for _ in 0..nd {
+        debt.push(r.u64("debt")?);
+    }
+    let next_job_id = r.u64("next job id")?;
+    let rejected = r.u64("rejected")?;
+    let replaced = r.u64("replaced")?;
+    let base_seed = r.u64("base seed")?;
+    let nn = read_len(&mut r, "node count")?;
+    let mut nodes = Vec::with_capacity(nn.min(4096));
+    for _ in 0..nn {
+        let id = r.u64("node id")? as usize;
+        let seed = r.u64("node seed")?;
+        let alive = match r.u8("alive flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(r.fail("alive flag")),
+        };
+        let commits = r.u64("commits")?;
+        let searches_run = r.u64("searches run")? as usize;
+        let samples_spent = r.u64("samples spent")?;
+        let nj = read_len(&mut r, "job count")?;
+        let mut jobs = Vec::with_capacity(nj.min(1024));
+        for _ in 0..nj {
+            let id = r.u64("job id")?;
+            jobs.push((id, read_job_spec(&mut r)?));
+        }
+        let last_outcome = match r.u8("outcome presence")? {
+            0 => None,
+            1 => Some(read_outcome(&mut r, catalog)?),
+            _ => return Err(r.fail("outcome presence")),
+        };
+        nodes.push(NodeSnapshot {
+            id,
+            seed,
+            alive,
+            commits,
+            searches_run,
+            samples_spent,
+            jobs,
+            last_outcome,
+        });
+    }
+    if !r.done() {
+        return Err(r.fail("end of checkpoint"));
+    }
+    Ok(FleetCheckpoint {
+        seqno,
+        clock_now,
+        solved_epoch,
+        target_pct,
+        counters,
+        placements,
+        debt,
+        scheduler: SchedulerSnapshot { next_job_id, rejected, replaced, base_seed, nodes },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clite_sim::workload::WorkloadId;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent::new(
+                1,
+                FleetEvent::Arrival { spec: JobSpec::latency_critical(WorkloadId::Memcached, 0.3) },
+            ),
+            TimedEvent::new(
+                2,
+                FleetEvent::Arrival {
+                    spec: JobSpec::latency_critical_scheduled(
+                        WorkloadId::Xapian,
+                        LoadSchedule::Diurnal { base: 0.4, amplitude: 0.2, period_s: 60.0 },
+                    ),
+                },
+            ),
+            TimedEvent::new(3, FleetEvent::Departure { job: 7 }),
+            TimedEvent::new(
+                4,
+                FleetEvent::LoadShift {
+                    job: 1,
+                    load: LoadSchedule::Steps(vec![(0.0, 0.1), (5.0, 0.5)]),
+                },
+            ),
+            TimedEvent::new(5, FleetEvent::Onboard { nodes: 3 }),
+        ]
+    }
+
+    #[test]
+    fn journal_entries_round_trip() {
+        for (i, event) in sample_events().iter().enumerate() {
+            let shed = i % 2 == 0;
+            let bytes = encode_journal_entry(shed, i as u64, event);
+            let entry = decode_journal_entry(&bytes).unwrap();
+            assert_eq!(entry.shed, shed);
+            assert_eq!(entry.backlog, i as u64);
+            assert_eq!(&entry.event, event);
+        }
+    }
+
+    #[test]
+    fn journal_entry_rejects_truncation_at_every_offset() {
+        let bytes = encode_journal_entry(false, 2, &sample_events()[1]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_journal_entry(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        assert!(decode_journal_entry(&bytes).is_ok());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_journal_entry(&trailing).is_err(), "trailing garbage rejected");
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let ckpt = FleetCheckpoint {
+            seqno: 9,
+            clock_now: 17,
+            solved_epoch: Some(2),
+            target_pct: Some(40),
+            counters: FleetCounters {
+                arrivals: 5,
+                placed: 4,
+                arrivals_shed: 1,
+                ..Default::default()
+            },
+            placements: vec![Some(0), None, Some(3)],
+            debt: vec![12, 7],
+            scheduler: SchedulerSnapshot {
+                next_job_id: 5,
+                rejected: 1,
+                replaced: 0,
+                base_seed: 42,
+                nodes: vec![NodeSnapshot {
+                    id: 0,
+                    seed: 42,
+                    alive: true,
+                    commits: 3,
+                    searches_run: 4,
+                    samples_spent: 61,
+                    jobs: vec![(2, JobSpec::latency_critical(WorkloadId::Memcached, 0.3))],
+                    last_outcome: None,
+                }],
+            },
+        };
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ckpt);
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+    }
+}

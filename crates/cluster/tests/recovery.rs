@@ -1,0 +1,210 @@
+//! Durable-recovery identity at fleet scale: kill the durable fleet after
+//! the k-th event — at both WAL boundaries — for **every** k in the trace,
+//! recover from checkpoint + journal suffix, finish the trace, and demand
+//! the [`FleetRun`] witness be byte-identical to a never-crashed run. Also
+//! pins the overload path: shedding decisions survive kill/recover because
+//! the disposition and backlog ride in the journal.
+
+use std::path::PathBuf;
+
+use clite_cluster::event::TimedEvent;
+use clite_cluster::fleet::{FleetConfig, FleetRun, FleetService, OverloadConfig};
+use clite_cluster::recovery::{CrashPlan, CrashPoint, DurableConfig, DurableFleet, DurableOutcome};
+use clite_cluster::scheduler::AdmissionMode;
+use clite_cluster::trace::{generate, TraceConfig};
+use clite_sim::testbed::ServerFactory;
+use clite_telemetry::Telemetry;
+
+const NODES: usize = 64;
+const SEED: u64 = 42;
+
+fn recovery_trace() -> Vec<TimedEvent> {
+    generate(
+        &TraceConfig {
+            events: 14,
+            arrival_weight: 6,
+            departure_weight: 2,
+            load_shift_weight: 2,
+            onboard_every: Some(6),
+            onboard_nodes: 4,
+        },
+        SEED,
+    )
+}
+
+fn config(mode: AdmissionMode) -> FleetConfig {
+    let mut config = FleetConfig::mean_field(4, 3);
+    config.scheduler.admission = mode;
+    config
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clite-recovery-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn baseline(mode: AdmissionMode, trace: &[TimedEvent]) -> FleetRun {
+    let mut service = FleetService::new(NODES, config(mode), SEED).expect("fleet");
+    service.run(trace, &Telemetry::disabled()).expect("baseline runs")
+}
+
+/// The tentpole gate: kill at every event boundary (both crash points),
+/// recover, finish, compare — byte-identical every time, at 64 nodes,
+/// with checkpoints cutting the replay suffix mid-sweep.
+#[test]
+fn kill_at_every_event_recovers_byte_identically() {
+    let trace = recovery_trace();
+    let want = baseline(AdmissionMode::Serial, &trace);
+    let durable = DurableConfig { checkpoint_every: 4 };
+    let dir = tempdir("sweep");
+    for k in 0..trace.len() as u64 {
+        for point in [CrashPoint::Journaled, CrashPoint::Applied] {
+            let mut fleet = DurableFleet::create(
+                NODES,
+                config(AdmissionMode::Serial),
+                SEED,
+                ServerFactory,
+                &dir,
+                durable,
+            )
+            .expect("create");
+            let plan = CrashPlan { after_event: k, point };
+            let outcome =
+                fleet.run(&trace, Some(&plan), &Telemetry::disabled()).expect("run to kill");
+            assert!(matches!(outcome, DurableOutcome::Killed { .. }), "plan at k={k} must fire");
+            drop(fleet);
+
+            let mut recovered = DurableFleet::recover(
+                NODES,
+                config(AdmissionMode::Serial),
+                SEED,
+                ServerFactory,
+                &dir,
+                durable,
+                None,
+                &Telemetry::disabled(),
+            )
+            .expect("recover");
+            let DurableOutcome::Completed(got) =
+                recovered.run(&trace, None, &Telemetry::disabled()).expect("finish")
+            else {
+                panic!("no crash plan on the resumed run");
+            };
+            assert_eq!(got, want, "witness diverged after kill at k={k} ({point:?})");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Serial and threaded admission recover to the same witness: the WAL
+/// layer sits above the admission modes and must not perturb their
+/// byte-identity contract.
+#[test]
+fn recovered_threaded_fleet_matches_serial() {
+    let trace = recovery_trace();
+    let want = baseline(AdmissionMode::Serial, &trace);
+    let durable = DurableConfig { checkpoint_every: 4 };
+    let dir = tempdir("threaded");
+    let mut fleet = DurableFleet::create(
+        NODES,
+        config(AdmissionMode::Threaded),
+        SEED,
+        ServerFactory,
+        &dir,
+        durable,
+    )
+    .expect("create");
+    let plan = CrashPlan { after_event: 7, point: CrashPoint::Journaled };
+    fleet.run(&trace, Some(&plan), &Telemetry::disabled()).expect("run to kill");
+    drop(fleet);
+    let mut recovered = DurableFleet::recover(
+        NODES,
+        config(AdmissionMode::Threaded),
+        SEED,
+        ServerFactory,
+        &dir,
+        durable,
+        None,
+        &Telemetry::disabled(),
+    )
+    .expect("recover");
+    let DurableOutcome::Completed(got) =
+        recovered.run(&trace, None, &Telemetry::disabled()).expect("finish")
+    else {
+        panic!("must complete");
+    };
+    assert_eq!(got, want, "threaded recovery diverged from the serial baseline");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overload shedding under a bursty trace survives kill/recover: the
+/// journal carries each arrival's disposition and backlog, so the
+/// recovered run sheds the same arrivals and the journal accounts for
+/// every one of them.
+#[test]
+fn shedding_decisions_survive_recovery_and_are_journaled() {
+    // A burst: every event lands on the same tick, so the backlog trigger
+    // fires for background arrivals while LC arrivals always probe. Use an
+    // arrival-heavy trace so the fixture reliably contains BG arrivals.
+    let burst: Vec<TimedEvent> = generate(
+        &TraceConfig {
+            events: 20,
+            arrival_weight: 8,
+            departure_weight: 1,
+            load_shift_weight: 1,
+            onboard_every: None,
+            onboard_nodes: 0,
+        },
+        SEED,
+    )
+    .into_iter()
+    .map(|e| TimedEvent::new(1, e.event))
+    .collect();
+    let mut shedding_config = config(AdmissionMode::Serial);
+    shedding_config.overload =
+        OverloadConfig { shed_backlog: Some(4), shed_window_debt: None, debt_horizon: 8 };
+
+    let want = {
+        let mut service = FleetService::new(NODES, shedding_config.clone(), SEED).expect("fleet");
+        service.run(&burst, &Telemetry::disabled()).expect("baseline")
+    };
+    assert!(want.counters.arrivals_shed > 0, "fixture must actually shed");
+    assert_eq!(
+        want.placements.len() as u64,
+        want.counters.arrivals,
+        "shed arrivals still hold a witness slot"
+    );
+
+    let durable = DurableConfig { checkpoint_every: 3 };
+    let dir = tempdir("shed");
+    let mut fleet =
+        DurableFleet::create(NODES, shedding_config.clone(), SEED, ServerFactory, &dir, durable)
+            .expect("create");
+    let plan = CrashPlan { after_event: 5, point: CrashPoint::Applied };
+    fleet.run(&burst, Some(&plan), &Telemetry::disabled()).expect("run to kill");
+    drop(fleet);
+    let mut recovered = DurableFleet::recover(
+        NODES,
+        shedding_config,
+        SEED,
+        ServerFactory,
+        &dir,
+        durable,
+        None,
+        &Telemetry::disabled(),
+    )
+    .expect("recover");
+    let DurableOutcome::Completed(got) =
+        recovered.run(&burst, None, &Telemetry::disabled()).expect("finish")
+    else {
+        panic!("must complete");
+    };
+    assert_eq!(got, want, "shedding run diverged across kill/recover");
+    let journaled = DurableFleet::<ServerFactory>::journaled_sheds(&dir).expect("audit");
+    assert_eq!(
+        journaled, want.counters.arrivals_shed,
+        "every shed arrival must be accounted in the journal"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

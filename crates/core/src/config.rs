@@ -49,9 +49,22 @@ pub struct RecoveryConfig {
     /// up and engages the safe fallback (for faults) or quarantines the
     /// point (for unsettled outliers).
     pub max_retries: usize,
-    /// Windows of backoff spent before retry `n` (the retry waits
-    /// `n * backoff_windows` windows, counting them as overhead).
+    /// Base of the exponential backoff spent before retry `n`: the retry
+    /// waits `backoff_windows << (n-1)` windows (capped by
+    /// [`RecoveryConfig::backoff_cap`], plus jitter), counting them as
+    /// overhead. `0` disables backoff entirely.
     pub backoff_windows: usize,
+    /// Cap on the exponential term, in windows, so a long retry chain
+    /// cannot stall a search for exponentially many windows.
+    pub backoff_cap: usize,
+    /// Maximum deterministic jitter added to each backoff, in windows: a
+    /// seed-derived value in `0..=jitter_windows` decorrelates retry
+    /// storms across concurrent searches. `0` (the default) adds none,
+    /// keeping default-config schedules free of any jitter stream.
+    pub jitter_windows: usize,
+    /// Seed for the jitter stream (a pure function of this seed and the
+    /// attempt number — never wall clock or a shared RNG).
+    pub jitter_seed: u64,
     /// Outlier guard threshold in posterior standard deviations: an
     /// observation whose Eq. 3 score deviates from the surrogate's
     /// posterior mean by more than this many σ is re-observed before it
@@ -72,6 +85,9 @@ impl Default for RecoveryConfig {
         Self {
             max_retries: 3,
             backoff_windows: 1,
+            backoff_cap: 8,
+            jitter_windows: 0,
+            jitter_seed: 0,
             outlier_threshold: None,
             agree_tol: 0.1,
             sigma_floor: 0.02,
@@ -92,6 +108,35 @@ impl RecoveryConfig {
     #[must_use]
     pub fn guard_enabled(&self) -> bool {
         self.outlier_threshold.is_some()
+    }
+
+    /// Windows of backoff to wait before retry `attempt` (1-based):
+    /// capped exponential (`backoff_windows << (attempt-1)`, at most
+    /// [`RecoveryConfig::backoff_cap`]) plus deterministic seed-derived
+    /// jitter in `0..=jitter_windows`. A pure function of the config and
+    /// the attempt number, so retry schedules replay byte-identically.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: usize) -> usize {
+        if attempt == 0 || self.backoff_windows == 0 {
+            return 0;
+        }
+        let shift = (attempt - 1).min(usize::BITS as usize - 1) as u32;
+        let exp = self
+            .backoff_windows
+            .checked_shl(shift)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap.max(self.backoff_windows));
+        let jitter = if self.jitter_windows == 0 {
+            0
+        } else {
+            // SplitMix64 finalizer over (seed, attempt): well-mixed but
+            // reproducible, mirroring the fault-injection streams.
+            let mut z = self.jitter_seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as usize % (self.jitter_windows + 1)
+        };
+        exp + jitter
     }
 }
 
@@ -194,5 +239,41 @@ mod tests {
         assert!(c.recovery.max_retries > 0, "fault retries are always armed");
         let h = CliteConfig::default().hardened();
         assert_eq!(h.recovery.outlier_threshold, Some(5.0));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_cap_and_no_default_jitter() {
+        let r = RecoveryConfig::default();
+        assert_eq!(r.backoff_for(0), 0);
+        // Attempts 1 and 2 match the old linear schedule (1, 2 windows),
+        // so default-config fault paths that never chain three transient
+        // faults replay byte-identically to the pre-exponential code.
+        assert_eq!(r.backoff_for(1), 1);
+        assert_eq!(r.backoff_for(2), 2);
+        assert_eq!(r.backoff_for(3), 4);
+        assert_eq!(r.backoff_for(4), 8);
+        assert_eq!(r.backoff_for(5), 8, "capped at backoff_cap");
+        assert_eq!(r.backoff_for(64), 8, "no overflow at absurd attempts");
+
+        let none = RecoveryConfig { backoff_windows: 0, ..RecoveryConfig::default() };
+        assert_eq!(none.backoff_for(3), 0, "zero base disables backoff");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let r =
+            RecoveryConfig { jitter_windows: 3, jitter_seed: 0xFEED, ..RecoveryConfig::default() };
+        for attempt in 1..=8 {
+            let a = r.backoff_for(attempt);
+            let b = r.backoff_for(attempt);
+            assert_eq!(a, b, "jitter must replay");
+            let base = RecoveryConfig::default().backoff_for(attempt);
+            assert!((base..=base + 3).contains(&a), "jitter bounded at attempt {attempt}");
+        }
+        let other = RecoveryConfig { jitter_seed: 0xBEEF, ..r.clone() };
+        assert!(
+            (1..=8).any(|n| other.backoff_for(n) != r.backoff_for(n)),
+            "different seeds should decorrelate some attempt"
+        );
     }
 }

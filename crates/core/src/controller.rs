@@ -755,10 +755,11 @@ fn observe_resilient<T: Testbed>(
                 }
                 attempt += 1;
                 telemetry.emit(Event::ObservationRetried { sample, attempt });
-                // Window-counted backoff: give a glitching measurement path
-                // time to settle before burning another retry. The waited
-                // windows advance the clock like any other overhead.
-                for _ in 0..recovery.backoff_windows.saturating_mul(attempt) {
+                // Capped exponential backoff (+ deterministic jitter):
+                // give a glitching measurement path time to settle before
+                // burning another retry. The waited windows advance the
+                // clock like any other overhead.
+                for _ in 0..recovery.backoff_for(attempt) {
                     server.advance_window();
                 }
             }

@@ -169,61 +169,64 @@ impl FaultSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultSpecParseError`] on unknown keys, malformed numbers,
-    /// or probabilities outside `[0, 1]`.
-    pub fn parse(s: &str) -> Result<Self, FaultSpecParseError> {
+    /// Returns [`FaultSpecError`] naming the offending token, its
+    /// position, and what was wrong with it.
+    pub fn parse(s: &str) -> Result<Self, FaultSpecError> {
         let s = s.trim();
         match s {
             "none" => return Ok(Self::none()),
             "default" => return Ok(Self::default_chaos()),
-            "" => return Err(FaultSpecParseError("empty fault spec".to_string())),
+            "" => {
+                return Err(FaultSpecError {
+                    index: 0,
+                    token: String::new(),
+                    kind: FaultSpecErrorKind::Empty,
+                });
+            }
             _ => {}
         }
         let mut spec = Self::none();
-        for part in s.split(',') {
+        for (index, part) in s.split(',').enumerate() {
             let part = part.trim();
+            let err = |kind| FaultSpecError { index, token: part.to_string(), kind };
             let Some((key, value)) = part.split_once('=') else {
-                return Err(FaultSpecParseError(format!(
-                    "expected key=value, got `{part}` (or use `none`/`default`)"
-                )));
+                return Err(err(FaultSpecErrorKind::MissingEquals));
             };
-            let prob = |v: &str| -> Result<f64, FaultSpecParseError> {
-                let p: f64 = v
-                    .parse()
-                    .map_err(|_| FaultSpecParseError(format!("bad number `{v}` for `{key}`")))?;
+            let key = key.trim();
+            let prob = |v: &str| -> Result<f64, FaultSpecErrorKind> {
+                let p: f64 = v.parse().map_err(|_| FaultSpecErrorKind::BadNumber)?;
                 if !(0.0..=1.0).contains(&p) {
-                    return Err(FaultSpecParseError(format!(
-                        "probability `{key}={v}` outside [0, 1]"
-                    )));
+                    return Err(FaultSpecErrorKind::OutOfRange {
+                        bounds: "a probability in [0, 1]",
+                    });
                 }
                 Ok(p)
             };
-            let int = |v: &str| -> Result<u64, FaultSpecParseError> {
-                v.parse().map_err(|_| FaultSpecParseError(format!("bad integer `{v}` for `{key}`")))
+            let int = |v: &str| -> Result<u64, FaultSpecErrorKind> {
+                v.parse().map_err(|_| FaultSpecErrorKind::BadNumber)
             };
-            match key.trim() {
-                "spike" => spec.spike_prob = prob(value)?,
-                "spike_mag" => {
-                    spec.spike_magnitude = value.parse().map_err(|_| {
-                        FaultSpecParseError(format!("bad number `{value}` for `spike_mag`"))
-                    })?;
-                    if spec.spike_magnitude <= 1.0 {
-                        return Err(FaultSpecParseError(format!(
-                            "spike_mag `{value}` must exceed 1"
-                        )));
+            let parsed: Result<(), FaultSpecErrorKind> = match key {
+                "spike" => prob(value).map(|p| spec.spike_prob = p),
+                "spike_mag" => match value.parse::<f64>() {
+                    Err(_) => Err(FaultSpecErrorKind::BadNumber),
+                    Ok(m) if m <= 1.0 => {
+                        Err(FaultSpecErrorKind::OutOfRange { bounds: "a magnitude above 1" })
                     }
-                }
-                "drop" => spec.drop_prob = prob(value)?,
-                "stuck" => spec.stuck_prob = prob(value)?,
-                "stuck_windows" => spec.stuck_windows = int(value)?,
-                "enforce" => spec.enforce_fail_prob = prob(value)?,
-                "crash" => spec.crash_at_window = Some(int(value)?),
-                "crash_prob" => spec.crash_prob = prob(value)?,
-                "crash_max" => spec.crash_window_max = int(value)?.max(1),
-                other => {
-                    return Err(FaultSpecParseError(format!("unknown fault key `{other}`")));
-                }
-            }
+                    Ok(m) => {
+                        spec.spike_magnitude = m;
+                        Ok(())
+                    }
+                },
+                "drop" => prob(value).map(|p| spec.drop_prob = p),
+                "stuck" => prob(value).map(|p| spec.stuck_prob = p),
+                "stuck_windows" => int(value).map(|n| spec.stuck_windows = n),
+                "enforce" => prob(value).map(|p| spec.enforce_fail_prob = p),
+                "crash" => int(value).map(|n| spec.crash_at_window = Some(n)),
+                "crash_prob" => prob(value).map(|p| spec.crash_prob = p),
+                "crash_max" => int(value).map(|n| spec.crash_window_max = n.max(1)),
+                _ => Err(FaultSpecErrorKind::UnknownKey),
+            };
+            parsed.map_err(err)?;
         }
         Ok(spec)
     }
@@ -235,17 +238,98 @@ impl Default for FaultSpec {
     }
 }
 
-/// Error from [`FaultSpec::parse`].
+/// Error from [`FaultSpec::parse`]: which token was bad, where it sat in
+/// the comma-separated spec, and why it was rejected. The CLI surfaces
+/// all three so the user can fix the exact token instead of re-deriving
+/// it from a free-form message.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FaultSpecParseError(String);
+pub struct FaultSpecError {
+    /// 0-based position of the offending token among the comma-separated
+    /// parts of the spec string.
+    pub index: usize,
+    /// The offending token, trimmed (empty when the whole spec was empty).
+    pub token: String,
+    /// What was wrong with it.
+    pub kind: FaultSpecErrorKind,
+}
 
-impl fmt::Display for FaultSpecParseError {
+/// What [`FaultSpec::parse`] rejected about a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultSpecErrorKind {
+    /// The spec string was empty.
+    Empty,
+    /// The token had no `=` (and was not `none`/`default`).
+    MissingEquals,
+    /// The key is not in the fault grammar.
+    UnknownKey,
+    /// The value did not parse as a number.
+    BadNumber,
+    /// The value parsed but fell outside its legal range.
+    OutOfRange {
+        /// What the value must be.
+        bounds: &'static str,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid fault spec: {}", self.0)
+        let Self { index, token, kind } = self;
+        match kind {
+            FaultSpecErrorKind::Empty => write!(f, "invalid fault spec: empty"),
+            FaultSpecErrorKind::MissingEquals => write!(
+                f,
+                "invalid fault spec at token {index} (`{token}`): \
+                 expected key=value (or use `none`/`default`)"
+            ),
+            FaultSpecErrorKind::UnknownKey => {
+                write!(f, "invalid fault spec at token {index} (`{token}`): unknown fault key")
+            }
+            FaultSpecErrorKind::BadNumber => {
+                write!(f, "invalid fault spec at token {index} (`{token}`): bad number")
+            }
+            FaultSpecErrorKind::OutOfRange { bounds } => {
+                write!(f, "invalid fault spec at token {index} (`{token}`): value must be {bounds}")
+            }
+        }
     }
 }
 
-impl std::error::Error for FaultSpecParseError {}
+impl std::error::Error for FaultSpecError {}
+
+/// Deterministic kill schedule for a durable fleet run: the "process"
+/// dies immediately after handling its `after_event`-th journaled event
+/// (0-based seqno), at one of two instruction boundaries. Sweeping
+/// `after_event` over every seqno — at both boundaries — is how the
+/// recovery experiment proves checkpoint+journal replay byte-identical
+/// to a never-crashed run at *any* kill point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Seqno of the last event handled before the kill.
+    pub after_event: u64,
+    /// Which side of the journal/apply boundary the kill lands on.
+    pub point: CrashPoint,
+}
+
+/// Where, relative to one event's write-ahead protocol, a [`CrashPlan`]
+/// kills the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the event is journaled but before it mutates scheduler
+    /// state: recovery must re-apply it from the journal.
+    Journaled,
+    /// After the event is applied (and any due checkpoint written):
+    /// recovery must *not* double-apply it.
+    Applied,
+}
+
+impl CrashPlan {
+    /// Whether the plan fires at `point` for the event with `seqno`.
+    #[must_use]
+    pub fn fires(&self, seqno: u64, point: CrashPoint) -> bool {
+        self.after_event == seqno && self.point == point
+    }
+}
 
 /// Counters for every fault this decorator has injected, by kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -566,6 +650,40 @@ mod tests {
         assert!(FaultSpec::parse("bogus=1").is_err());
         assert!(FaultSpec::parse("").is_err());
         assert!(FaultSpec::parse("spike").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_token_and_position() {
+        let err = FaultSpec::parse("spike=0.1,bogus=1").unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.token, "bogus=1");
+        assert_eq!(err.kind, FaultSpecErrorKind::UnknownKey);
+        assert!(err.to_string().contains("token 1"));
+        assert!(err.to_string().contains("bogus=1"));
+
+        let err = FaultSpec::parse("drop=0.1, spike=nan?, crash=3").unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.token, "spike=nan?");
+        assert_eq!(err.kind, FaultSpecErrorKind::BadNumber);
+
+        let err = FaultSpec::parse("spike=1.5").unwrap_err();
+        assert!(matches!(err.kind, FaultSpecErrorKind::OutOfRange { .. }));
+        let err = FaultSpec::parse("spike_mag=0.5").unwrap_err();
+        assert!(matches!(err.kind, FaultSpecErrorKind::OutOfRange { .. }));
+        let err = FaultSpec::parse("spike").unwrap_err();
+        assert_eq!(err.kind, FaultSpecErrorKind::MissingEquals);
+        assert_eq!(FaultSpec::parse("").unwrap_err().kind, FaultSpecErrorKind::Empty);
+    }
+
+    #[test]
+    fn crash_plan_fires_at_exactly_one_boundary() {
+        let plan = CrashPlan { after_event: 3, point: CrashPoint::Journaled };
+        assert!(plan.fires(3, CrashPoint::Journaled));
+        assert!(!plan.fires(3, CrashPoint::Applied));
+        assert!(!plan.fires(2, CrashPoint::Journaled));
+        let plan = CrashPlan { after_event: 0, point: CrashPoint::Applied };
+        assert!(plan.fires(0, CrashPoint::Applied));
+        assert!(!plan.fires(0, CrashPoint::Journaled));
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! ```
 //!
 //! Exit codes: 0 = no regression, 1 = at least one tail regressed
-//! beyond tolerance, 2 = usage or I/O error. ci.sh bootstraps by
-//! committing the first report and gating every later run against it.
+//! beyond tolerance, 2 = usage or I/O error on the *current* report,
+//! 3 = the baseline (`--previous`) report is missing or unreadable.
+//! Exit 3 is the bootstrap signal: ci.sh reacts to it by committing the
+//! current report as the new baseline instead of failing the build.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -61,8 +63,23 @@ fn main() -> ExitCode {
 
     let prev = match LoadReport::load(&previous) {
         Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return fail_baseline(&format!(
+                "baseline report missing at {path}\n\
+                 bootstrap it from the current run and commit the result:\n\
+                 \n  cp {current} {path}\n",
+                path = previous.display(),
+                current = current.display(),
+            ));
+        }
         Err(e) => {
-            return fail_io(&format!("cannot read previous report {}: {e}", previous.display()))
+            return fail_baseline(&format!(
+                "baseline report at {path} is unreadable ({e})\n\
+                 it is stale or corrupt — replace it with the current run and commit:\n\
+                 \n  cp {current} {path}\n",
+                path = previous.display(),
+                current = current.display(),
+            ));
         }
     };
     let cur = match LoadReport::load(&current) {
@@ -101,4 +118,11 @@ fn fail_usage(message: &str) -> ExitCode {
 fn fail_io(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::from(2)
+}
+
+/// The baseline-problem exit: distinct from I/O errors so CI can react
+/// by bootstrapping a fresh baseline instead of failing the build.
+fn fail_baseline(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(3)
 }

@@ -83,13 +83,27 @@ fn gate_errors_cleanly_on_missing_or_malformed_input() {
     let good = dir.join("good.json");
     synthetic_report(1_000.0).save(&good).unwrap();
 
+    // A missing BASELINE is the bootstrap signal: exit 3 with a
+    // copy-paste remediation naming both paths.
     let missing = run_gate(&good, &dir.join("nope.json"), 0.25);
-    assert_eq!(missing.status.code(), Some(2), "I/O problems are exit 2, not a silent pass");
+    assert_eq!(missing.status.code(), Some(3), "missing baseline is the bootstrap exit");
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(stderr.contains("baseline report missing"), "{stderr}");
+    assert!(stderr.contains("nope.json"), "remediation must name the baseline path: {stderr}");
+    assert!(stderr.contains("cp "), "remediation must be actionable: {stderr}");
 
+    // A corrupt BASELINE is also exit 3 (stale artifacts must not wedge
+    // CI), with a replace-and-commit remediation.
     let garbage = dir.join("garbage.json");
     std::fs::write(&garbage, "{not json").unwrap();
+    let corrupt_baseline = run_gate(&good, &garbage, 0.25);
+    assert_eq!(corrupt_baseline.status.code(), Some(3), "corrupt baseline is the bootstrap exit");
+    let stderr = String::from_utf8_lossy(&corrupt_baseline.stderr);
+    assert!(stderr.contains("unreadable"), "{stderr}");
+
+    // A malformed CURRENT report is a real I/O error: exit 2.
     let malformed = run_gate(&garbage, &good, 0.25);
-    assert_eq!(malformed.status.code(), Some(2));
+    assert_eq!(malformed.status.code(), Some(2), "broken current report is exit 2");
 
     std::fs::remove_dir_all(&dir).ok();
 }

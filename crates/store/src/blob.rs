@@ -1,0 +1,175 @@
+//! Atomic checksummed single-blob files: the checkpoint codec.
+//!
+//! A blob file is `[magic: 8 bytes][version: u32 LE][frame(payload)]`,
+//! with the frame borrowed from the record log ([`crate::log::frame`]:
+//! record magic, length, FNV-1a 64 checksum, payload). Writes go through
+//! a `.tmp` sibling and a rename, so a crash leaves either the old blob
+//! or the new one — never a mix — and reads treat *any* malformed byte
+//! as "no usable blob" rather than an error, because a checkpoint that
+//! fails its checksum must degrade to full-journal replay, not abort
+//! recovery.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::log::{fnv1a64, FRAME_PROLOGUE_LEN, MAX_PAYLOAD_LEN, REC_MAGIC};
+use crate::{StoreError, StoreResult};
+
+/// Blob header length: magic + version.
+const BLOB_HEADER_LEN: usize = 12;
+
+/// What reading a blob file found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobRead {
+    /// No file at the path (a fresh start, not damage).
+    Missing,
+    /// A file exists but its magic, version, framing, or checksum is
+    /// wrong; callers should fall back as if the blob were absent.
+    Corrupt {
+        /// What check failed.
+        reason: &'static str,
+    },
+    /// The intact payload.
+    Valid(Vec<u8>),
+}
+
+/// Atomically writes `payload` as a checksummed blob at `path`.
+///
+/// The `.tmp` suffix is appended to the full file name, mirroring
+/// [`crate::log::LogFile::rewrite`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failures.
+pub fn save(path: &Path, magic: &[u8; 8], version: u32, payload: &[u8]) -> StoreResult<()> {
+    let io =
+        |op: &'static str| move |e: std::io::Error| StoreError::Io { op, message: e.to_string() };
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    {
+        let mut out = std::fs::File::create(&tmp).map_err(io("create tmp"))?;
+        let mut bytes = Vec::with_capacity(BLOB_HEADER_LEN + FRAME_PROLOGUE_LEN + payload.len());
+        bytes.extend_from_slice(magic);
+        bytes.extend_from_slice(&version.to_le_bytes());
+        bytes.extend_from_slice(&crate::log::frame(payload));
+        out.write_all(&bytes).map_err(io("write tmp"))?;
+        out.flush().map_err(io("flush tmp"))?;
+    }
+    std::fs::rename(&tmp, path).map_err(io("rename"))?;
+    Ok(())
+}
+
+/// Reads the blob at `path`, verifying magic, version, framing, and
+/// checksum. Total on content: corruption maps to [`BlobRead::Corrupt`],
+/// never a panic or an error.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failures other than the file
+/// simply not existing (which is [`BlobRead::Missing`]).
+pub fn read(path: &Path, magic: &[u8; 8], version: u32) -> StoreResult<BlobRead> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BlobRead::Missing),
+        Err(e) => return Err(StoreError::Io { op: "read blob", message: e.to_string() }),
+    };
+    Ok(parse(&bytes, magic, version))
+}
+
+fn parse(bytes: &[u8], magic: &[u8; 8], version: u32) -> BlobRead {
+    let corrupt = |reason| BlobRead::Corrupt { reason };
+    if bytes.len() < BLOB_HEADER_LEN + FRAME_PROLOGUE_LEN {
+        return corrupt("truncated header");
+    }
+    if &bytes[..8] != magic {
+        return corrupt("bad magic");
+    }
+    if u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) != version {
+        return corrupt("bad version");
+    }
+    let frame = &bytes[BLOB_HEADER_LEN..];
+    if u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) != REC_MAGIC {
+        return corrupt("bad frame magic");
+    }
+    let len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD_LEN {
+        return corrupt("absurd length");
+    }
+    let checksum = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+    let Some(payload) = frame.get(FRAME_PROLOGUE_LEN..FRAME_PROLOGUE_LEN + len as usize) else {
+        return corrupt("truncated payload");
+    };
+    if frame.len() != FRAME_PROLOGUE_LEN + len as usize {
+        return corrupt("trailing bytes");
+    }
+    if fnv1a64(payload) != checksum {
+        return corrupt("checksum mismatch");
+    }
+    BlobRead::Valid(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 8] = b"CLITETST";
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("clite-blob-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_overwrites_atomically() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("state.ckpt");
+        assert_eq!(read(&path, MAGIC, 1).unwrap(), BlobRead::Missing);
+        save(&path, MAGIC, 1, b"first").unwrap();
+        assert_eq!(read(&path, MAGIC, 1).unwrap(), BlobRead::Valid(b"first".to_vec()));
+        save(&path, MAGIC, 1, b"second, longer payload").unwrap();
+        assert_eq!(
+            read(&path, MAGIC, 1).unwrap(),
+            BlobRead::Valid(b"second, longer payload".to_vec())
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_at_every_offset_reads_as_corrupt_or_missing_prefix() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("state.ckpt");
+        save(&path, MAGIC, 1, b"payload under test").unwrap();
+        let img = std::fs::read(&path).unwrap();
+        for at in 0..img.len() {
+            let mut bad = img.clone();
+            bad[at] ^= 0x40;
+            match parse(&bad, MAGIC, 1) {
+                BlobRead::Valid(p) => panic!("flip at {at} still read valid: {p:?}"),
+                BlobRead::Missing => unreachable!(),
+                BlobRead::Corrupt { .. } => {}
+            }
+        }
+        // Truncation at every offset is equally non-fatal.
+        for cut in 0..img.len() {
+            assert!(
+                matches!(parse(&img[..cut], MAGIC, 1), BlobRead::Corrupt { .. }),
+                "cut at {cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_magic_or_version_is_corrupt() {
+        let dir = tmp_dir("magic");
+        let path = dir.join("state.ckpt");
+        save(&path, MAGIC, 1, b"x").unwrap();
+        assert!(matches!(read(&path, b"CLITEOTH", 1).unwrap(), BlobRead::Corrupt { .. }));
+        assert!(matches!(read(&path, MAGIC, 2).unwrap(), BlobRead::Corrupt { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

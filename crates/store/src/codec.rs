@@ -42,24 +42,34 @@ impl std::error::Error for DecodeError {}
 const MAX_JOBS: usize = 1024;
 
 // ── primitive writers ────────────────────────────────────────────────────
+//
+// The writers and `Reader` are public: downstream codecs (the fleet
+// checkpoint in `clite-cluster`) reuse the exact same wire idiom rather
+// than inventing a second framing dialect.
 
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
+/// Appends one byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+/// Appends a `u32` in little-endian byte order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+/// Appends a `u64` in little-endian byte order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
+/// Appends an `f64` as its little-endian bit pattern (bit-exact round
+/// trip, unlike any decimal printing).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
+/// Appends an optional `f64` as a presence byte plus the value.
+pub fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
     match v {
         None => put_u8(buf, 0),
         Some(x) => {
@@ -72,21 +82,34 @@ fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
 // ── primitive readers ────────────────────────────────────────────────────
 
 /// A bounds-checked little-endian reader over one payload slice.
-struct Reader<'a> {
+///
+/// Every accessor returns a [`DecodeError`] naming the offset and the
+/// expectation instead of panicking or reading past the slice — the whole
+/// crash-recovery safety argument in one type.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// A reader positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn fail(&self, expected: &'static str) -> DecodeError {
+    /// A decode error at the current position.
+    #[must_use]
+    pub fn fail(&self, expected: &'static str) -> DecodeError {
         DecodeError { offset: self.pos, expected }
     }
 
-    fn bytes(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], DecodeError> {
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or_else(|| self.fail(expected))?;
         if end > self.buf.len() {
             return Err(self.fail(expected));
@@ -96,23 +119,48 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, expected: &'static str) -> Result<u8, DecodeError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] at end of input.
+    pub fn u8(&mut self, expected: &'static str) -> Result<u8, DecodeError> {
         Ok(self.bytes(1, expected)?[0])
     }
 
-    fn u32(&mut self, expected: &'static str) -> Result<u32, DecodeError> {
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self, expected: &'static str) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.bytes(4, expected)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self, expected: &'static str) -> Result<u64, DecodeError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self, expected: &'static str) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.bytes(8, expected)?.try_into().expect("8 bytes")))
     }
 
-    fn f64(&mut self, expected: &'static str) -> Result<f64, DecodeError> {
+    /// Reads a little-endian `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if fewer than 8 bytes remain.
+    pub fn f64(&mut self, expected: &'static str) -> Result<f64, DecodeError> {
         Ok(f64::from_le_bytes(self.bytes(8, expected)?.try_into().expect("8 bytes")))
     }
 
-    fn opt_f64(&mut self, expected: &'static str) -> Result<Option<f64>, DecodeError> {
+    /// Reads an optional `f64` (presence byte plus value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a malformed presence byte or short input.
+    pub fn opt_f64(&mut self, expected: &'static str) -> Result<Option<f64>, DecodeError> {
         match self.u8(expected)? {
             0 => Ok(None),
             1 => Ok(Some(self.f64(expected)?)),
@@ -120,18 +168,28 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn done(&self) -> bool {
+    /// True once the whole slice has been consumed (decoders require this
+    /// so trailing garbage is rejected, not silently ignored).
+    #[must_use]
+    pub fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
 
 // ── domain types ─────────────────────────────────────────────────────────
 
-fn workload_code(w: WorkloadId) -> u8 {
+/// The stable wire code of a workload (its index in [`WorkloadId::ALL`]).
+#[must_use]
+pub fn workload_code(w: WorkloadId) -> u8 {
     WorkloadId::ALL.iter().position(|&x| x == w).expect("workload in ALL") as u8
 }
 
-fn workload_from_code(r: &mut Reader<'_>) -> Result<WorkloadId, DecodeError> {
+/// Reads a workload code back.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on an out-of-range code.
+pub fn workload_from_code(r: &mut Reader<'_>) -> Result<WorkloadId, DecodeError> {
     let code = r.u8("workload code")?;
     WorkloadId::ALL.get(code as usize).copied().ok_or_else(|| r.fail("workload code"))
 }
@@ -173,6 +231,103 @@ fn read_counters(r: &mut Reader<'_>) -> Result<CounterSample, DecodeError> {
     })
 }
 
+/// Encodes partition rows (units only; the catalog travels separately).
+pub fn put_partition_rows(buf: &mut Vec<u8>, partition: &Partition) {
+    put_u32(buf, partition.job_count() as u32);
+    for row in partition.rows() {
+        for u in row.all_units() {
+            put_u32(buf, u);
+        }
+    }
+}
+
+/// Reads partition rows back under `catalog`, validating feasibility.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on short input, an absurd row count, or rows
+/// that do not form a feasible partition of `catalog`.
+pub fn read_partition_rows(
+    r: &mut Reader<'_>,
+    catalog: ResourceCatalog,
+) -> Result<Partition, DecodeError> {
+    let n_rows = job_count(r, "partition row count")?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let mut units = [0u32; NUM_RESOURCES];
+        for u in &mut units {
+            *u = r.u32("partition units")?;
+        }
+        rows.push(JobAllocation::from_units(units));
+    }
+    Partition::from_rows(catalog, rows).map_err(|_| r.fail("feasible partition rows"))
+}
+
+/// Encodes one observation window (times, then per-job records).
+pub fn put_observation(buf: &mut Vec<u8>, observation: &Observation) {
+    put_f64(buf, observation.time_s);
+    put_f64(buf, observation.window_s);
+    put_u32(buf, observation.jobs.len() as u32);
+    for j in &observation.jobs {
+        put_u8(buf, workload_code(j.workload));
+        put_u8(buf, class_code(j.class));
+        put_f64(buf, j.latency_p95_us);
+        put_f64(buf, j.offered_qps);
+        put_f64(buf, j.normalized_perf);
+        put_u8(
+            buf,
+            match j.qos_met {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            },
+        );
+        put_opt_f64(buf, j.qos_target_us);
+        put_opt_f64(buf, j.iso_latency_p95_us);
+        put_counters(buf, &j.counters);
+    }
+}
+
+/// Reads one observation window back.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any malformed byte.
+pub fn read_observation(r: &mut Reader<'_>) -> Result<Observation, DecodeError> {
+    let time_s = r.f64("observation time")?;
+    let window_s = r.f64("observation window")?;
+    let n_obs = job_count(r, "observation job count")?;
+    let mut obs_jobs = Vec::with_capacity(n_obs);
+    for _ in 0..n_obs {
+        let workload = workload_from_code(r)?;
+        let class = class_from_code(r)?;
+        let latency_p95_us = r.f64("latency")?;
+        let offered_qps = r.f64("offered qps")?;
+        let normalized_perf = r.f64("normalized perf")?;
+        let qos_met = match r.u8("qos met flag")? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            _ => return Err(r.fail("qos met flag")),
+        };
+        let qos_target_us = r.opt_f64("qos target")?;
+        let iso_latency_p95_us = r.opt_f64("iso latency")?;
+        let counters = read_counters(r)?;
+        obs_jobs.push(JobObservation {
+            workload,
+            class,
+            latency_p95_us,
+            offered_qps,
+            normalized_perf,
+            qos_met,
+            qos_target_us,
+            iso_latency_p95_us,
+            counters,
+        });
+    }
+    Ok(Observation { time_s, window_s, jobs: obs_jobs })
+}
+
 fn job_count(r: &mut Reader<'_>, expected: &'static str) -> Result<usize, DecodeError> {
     let n = r.u32(expected)? as usize;
     if n == 0 || n > MAX_JOBS {
@@ -198,36 +353,9 @@ pub fn encode_record(record: &StoreRecord) -> Vec<u8> {
         put_u32(&mut buf, j.load_pct);
     }
 
-    // Partition rows (the catalog is the signature's).
-    put_u32(&mut buf, record.partition.job_count() as u32);
-    for row in record.partition.rows() {
-        for u in row.all_units() {
-            put_u32(&mut buf, u);
-        }
-    }
-
-    // Observation.
-    put_f64(&mut buf, record.observation.time_s);
-    put_f64(&mut buf, record.observation.window_s);
-    put_u32(&mut buf, record.observation.jobs.len() as u32);
-    for j in &record.observation.jobs {
-        put_u8(&mut buf, workload_code(j.workload));
-        put_u8(&mut buf, class_code(j.class));
-        put_f64(&mut buf, j.latency_p95_us);
-        put_f64(&mut buf, j.offered_qps);
-        put_f64(&mut buf, j.normalized_perf);
-        put_u8(
-            &mut buf,
-            match j.qos_met {
-                None => 0,
-                Some(false) => 1,
-                Some(true) => 2,
-            },
-        );
-        put_opt_f64(&mut buf, j.qos_target_us);
-        put_opt_f64(&mut buf, j.iso_latency_p95_us);
-        put_counters(&mut buf, &j.counters);
-    }
+    // Partition rows (the catalog is the signature's), then observation.
+    put_partition_rows(&mut buf, &record.partition);
+    put_observation(&mut buf, &record.observation);
 
     put_f64(&mut buf, record.score);
     buf
@@ -259,51 +387,9 @@ pub fn decode_record(payload: &[u8]) -> Result<StoreRecord, DecodeError> {
     }
     let signature = MixSignature { catalog, jobs };
 
-    let n_rows = job_count(&mut r, "partition row count")?;
-    let mut rows = Vec::with_capacity(n_rows);
-    for _ in 0..n_rows {
-        let mut units = [0u32; NUM_RESOURCES];
-        for u in &mut units {
-            *u = r.u32("partition units")?;
-        }
-        rows.push(JobAllocation::from_units(units));
-    }
     let cat = ResourceCatalog::new(catalog).map_err(|_| r.fail("valid catalog"))?;
-    let partition =
-        Partition::from_rows(cat, rows).map_err(|_| r.fail("feasible partition rows"))?;
-
-    let time_s = r.f64("observation time")?;
-    let window_s = r.f64("observation window")?;
-    let n_obs = job_count(&mut r, "observation job count")?;
-    let mut obs_jobs = Vec::with_capacity(n_obs);
-    for _ in 0..n_obs {
-        let workload = workload_from_code(&mut r)?;
-        let class = class_from_code(&mut r)?;
-        let latency_p95_us = r.f64("latency")?;
-        let offered_qps = r.f64("offered qps")?;
-        let normalized_perf = r.f64("normalized perf")?;
-        let qos_met = match r.u8("qos met flag")? {
-            0 => None,
-            1 => Some(false),
-            2 => Some(true),
-            _ => return Err(r.fail("qos met flag")),
-        };
-        let qos_target_us = r.opt_f64("qos target")?;
-        let iso_latency_p95_us = r.opt_f64("iso latency")?;
-        let counters = read_counters(&mut r)?;
-        obs_jobs.push(JobObservation {
-            workload,
-            class,
-            latency_p95_us,
-            offered_qps,
-            normalized_perf,
-            qos_met,
-            qos_target_us,
-            iso_latency_p95_us,
-            counters,
-        });
-    }
-    let observation = Observation { time_s, window_s, jobs: obs_jobs };
+    let partition = read_partition_rows(&mut r, cat)?;
+    let observation = read_observation(&mut r)?;
 
     let score = r.f64("score")?;
     if !r.done() {

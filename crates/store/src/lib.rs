@@ -22,13 +22,17 @@
 //! no wall-clock timestamps, no RNG, no hash-iteration order. Warm-started
 //! searches therefore stay byte-deterministic.
 
+pub mod blob;
 pub mod codec;
+pub mod journal;
 pub mod log;
 pub mod shard;
 pub mod signature;
 pub mod store;
 
+pub use blob::BlobRead;
 pub use codec::DecodeError;
+pub use journal::{EventJournal, JournalRecord, JournalRecovery};
 pub use shard::{ShardPolicy, ShardedStore, StoreHandle};
 pub use signature::{JobSignature, MixKey, MixSignature};
 pub use store::{ObservationStore, SharedStore, StorePolicy, StoreStats, WarmEntry, WarmStart};

@@ -233,6 +233,44 @@ pub enum Event {
         /// Mean pairwise loss over the epoch.
         loss: f64,
     },
+    /// A fleet event was written to the write-ahead journal before being
+    /// applied.
+    JournalAppended {
+        /// Commit sequence number the record carries.
+        seqno: u64,
+        /// Encoded payload size in bytes (seqno prefix included).
+        bytes: u64,
+    },
+    /// A fleet checkpoint was atomically written.
+    CheckpointWritten {
+        /// Journal seqno the checkpoint covers (events `< seqno` are
+        /// folded into it).
+        seqno: u64,
+        /// Checkpoint payload size in bytes.
+        bytes: u64,
+    },
+    /// Recovery loaded a checkpoint (or started cold) and replayed the
+    /// journal suffix.
+    RecoveryReplayed {
+        /// Seqno the loaded checkpoint covered (0 if none was usable).
+        checkpoint_seqno: u64,
+        /// Journaled events re-applied on top of it.
+        replayed: u64,
+    },
+    /// The supervisor restarted the fleet loop after a failure.
+    RestartAttempted {
+        /// 1-based restart attempt number.
+        attempt: u32,
+        /// Deterministic backoff recorded before this attempt, in ticks.
+        backoff_ticks: u64,
+    },
+    /// Overload protection rejected (shed) a low-priority arrival.
+    ArrivalShed {
+        /// Cluster-assigned job id the arrival consumed.
+        job: u64,
+        /// Same-tick backlog depth when the arrival was shed.
+        backlog: u64,
+    },
 }
 
 impl Event {
@@ -267,6 +305,11 @@ impl Event {
             Event::PlacementScored { .. } => "placement_scored",
             Event::ModelLoaded { .. } => "model_loaded",
             Event::TrainingEpoch { .. } => "training_epoch",
+            Event::JournalAppended { .. } => "journal_appended",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::RecoveryReplayed { .. } => "recovery_replayed",
+            Event::RestartAttempted { .. } => "restart_attempted",
+            Event::ArrivalShed { .. } => "arrival_shed",
         }
     }
 }
@@ -310,6 +353,11 @@ mod tests {
             Event::PlacementScored { job: "memcached".to_owned(), candidates: 4, best_score: 0.62 },
             Event::ModelLoaded { feature_version: 1, epochs: 12, train_loss: 0.31 },
             Event::TrainingEpoch { epoch: 3, loss: 0.52 },
+            Event::JournalAppended { seqno: 17, bytes: 64 },
+            Event::CheckpointWritten { seqno: 16, bytes: 4096 },
+            Event::RecoveryReplayed { checkpoint_seqno: 16, replayed: 2 },
+            Event::RestartAttempted { attempt: 2, backoff_ticks: 3 },
+            Event::ArrivalShed { job: 23, backlog: 5 },
         ];
         for event in events {
             let line = serde_json::to_string(&event).unwrap();

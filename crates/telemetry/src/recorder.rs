@@ -151,6 +151,34 @@ pub fn apply_event(metrics: &MetricsRegistry, event: &Event) {
             metrics.set_gauge("clite_training_epoch", &[], f64::from(*epoch));
             metrics.set_gauge("clite_training_loss", &[], *loss);
         }
+        Event::JournalAppended { seqno, bytes } => {
+            metrics.inc_counter("clite_fleet_journal_appends_total", &[], 1);
+            metrics.set_gauge("clite_fleet_journal_seqno", &[], *seqno as f64);
+            metrics.observe("clite_fleet_journal_record_bytes", &[], *bytes as f64);
+        }
+        Event::CheckpointWritten { seqno, bytes } => {
+            metrics.inc_counter("clite_fleet_checkpoints_total", &[], 1);
+            metrics.set_gauge("clite_fleet_checkpoint_seqno", &[], *seqno as f64);
+            metrics.observe("clite_fleet_checkpoint_bytes", &[], *bytes as f64);
+        }
+        Event::RecoveryReplayed { checkpoint_seqno, replayed } => {
+            metrics.inc_counter("clite_fleet_recoveries_total", &[], 1);
+            metrics.set_gauge(
+                "clite_fleet_recovery_checkpoint_seqno",
+                &[],
+                *checkpoint_seqno as f64,
+            );
+            metrics.set_gauge("clite_fleet_recovery_replayed", &[], *replayed as f64);
+        }
+        Event::RestartAttempted { attempt, backoff_ticks } => {
+            metrics.inc_counter("clite_fleet_restarts_total", &[], 1);
+            metrics.set_gauge("clite_fleet_restart_attempt", &[], f64::from(*attempt));
+            metrics.observe("clite_fleet_restart_backoff_ticks", &[], *backoff_ticks as f64);
+        }
+        Event::ArrivalShed { backlog, .. } => {
+            metrics.inc_counter("clite_fleet_shed_arrivals_total", &[], 1);
+            metrics.set_gauge("clite_fleet_shed_backlog", &[], *backlog as f64);
+        }
     }
 }
 
